@@ -1,0 +1,57 @@
+"""Ablation (§III-B): run-length-encoded sparse activation storage.
+
+Paper: RLE reduces the stored key activation's memory by more than 80%
+for Faster16, which is what makes on-chip activation storage feasible.
+Measured here on the actual post-ReLU target activations of the mini
+networks over real clips.
+"""
+
+import numpy as np
+import pytest
+
+from common import eval_clips
+from conftest import register_table
+from repro.core import AMCExecutor
+from repro.hardware.rle import encode, storage_report
+from repro.nn.train import get_trained_network
+
+
+@pytest.fixture(scope="module")
+def rle_results():
+    clips = eval_clips("test")[:6]
+    results = {}
+    for mini in ("mini_alexnet", "mini_fasterm", "mini_faster16"):
+        network = get_trained_network(mini)
+        executor = AMCExecutor(network)
+        savings, densities = [], []
+        for clip in clips:
+            executor.reset()
+            executor.process_key(clip.frames[0])
+            report = storage_report(executor.stored_activation())
+            savings.append(report["saving_percent"])
+            densities.append(report["density"])
+        results[mini] = (float(np.mean(savings)), float(np.mean(densities)))
+    return results
+
+
+def test_ablation_rle_storage(benchmark, rle_results):
+    network = get_trained_network("mini_fasterm")
+    executor = AMCExecutor(network)
+    executor.process_key(eval_clips("test")[0].frames[0])
+    activation = executor.stored_activation()
+    benchmark(encode, activation)
+
+    register_table(
+        "Ablation SecIII-B: RLE activation storage (paper: >80% saving)",
+        ["network", "mean saving %", "mean density"],
+        [
+            [mini, saving, density]
+            for mini, (saving, density) in rle_results.items()
+        ],
+    )
+    # Post-ReLU activations are sparse enough for large savings on every
+    # network (the paper's 80% refers to VGG-scale activations; the mini
+    # networks land in the same regime).
+    for mini, (saving, density) in rle_results.items():
+        assert saving > 40.0
+        assert density < 0.55

@@ -1,0 +1,45 @@
+"""Fig. 12: hardware area on 65 nm — Eyeriss vs EIE vs EVA2.
+
+Paper: Eyeriss 12.2 mm2, EIE ~58.9 mm2 (scaled to 65 nm), EVA2 2.6 mm2 =
+3.5% of the composite VPU, with the pixel buffers at 54.5% and the
+activation buffer at 16.0% of EVA2.
+"""
+
+import pytest
+
+from conftest import register_table
+from repro.hardware import VPUModel
+
+
+@pytest.fixture(scope="module")
+def vpu():
+    return VPUModel("faster16")
+
+
+def test_fig12_area(benchmark, vpu):
+    area = benchmark(vpu.area_breakdown)
+    eva2 = vpu.eva2.area_breakdown()
+    register_table(
+        "Fig 12 area (paper: Eyeriss 12.2, EIE 58.9, EVA2 2.6 mm2 = 3.5%)",
+        ["unit", "area mm2", "fraction of VPU"],
+        [
+            ["Eyeriss (conv)", area["eyeriss_mm2"],
+             area["eyeriss_mm2"] / area["total_mm2"]],
+            ["EIE (FC)", area["eie_mm2"], area["eie_mm2"] / area["total_mm2"]],
+            ["EVA2", area["eva2_mm2"], area["eva2_fraction"]],
+        ],
+    )
+    register_table(
+        "Fig 12 EVA2 internals (paper: pixel buffers 54.5%, activation 16.0%)",
+        ["component", "area mm2", "fraction of EVA2"],
+        [
+            ["pixel buffers (eDRAM)", eva2["pixel_buffers_mm2"],
+             eva2["pixel_buffers_mm2"] / eva2["total_mm2"]],
+            ["activation buffer (eDRAM)", eva2["activation_buffer_mm2"],
+             eva2["activation_buffer_mm2"] / eva2["total_mm2"]],
+            ["logic", eva2["logic_mm2"], eva2["logic_mm2"] / eva2["total_mm2"]],
+        ],
+    )
+    assert area["eva2_mm2"] == pytest.approx(2.6, rel=0.1)
+    assert 0.02 < area["eva2_fraction"] < 0.05
+    assert eva2["pixel_buffers_mm2"] > eva2["activation_buffer_mm2"]

@@ -1,0 +1,73 @@
+"""Fig. 13: per-frame latency and energy — orig vs pred vs avg.
+
+Paper headline: average energy per frame drops by 54% (FasterM), 62%
+(Faster16), 87% (AlexNet) at <1% accuracy loss. ``orig`` comes from the
+calibrated baseline model, ``pred`` from the EVA2 + suffix model, and
+``avg`` mixes them with the *measured* key-frame fraction of the med
+configuration on the mini-network pipeline (the same role the YTBB runs
+play in the paper).
+"""
+
+import pytest
+
+from common import NETWORK_MAP, table1_configs
+from conftest import register_table
+from repro.hardware import VPUConfig, VPUModel
+
+
+@pytest.fixture(scope="module")
+def fig13_rows():
+    rows = []
+    for mini, (paper_name, _, mode) in NETWORK_MAP.items():
+        key_fraction = table1_configs(mini)["med"].key_fraction
+        vpu = VPUModel(paper_name.lower(), VPUConfig(memoize=(mode == "memoize")))
+        orig = VPUModel.total(vpu.baseline_frame_cost())
+        pred = VPUModel.total(vpu.predicted_frame_cost())
+        avg = vpu.average_frame_cost(key_fraction)
+        rows.append((paper_name, key_fraction, orig, pred, avg))
+    return rows
+
+
+def test_fig13_energy_latency(benchmark, fig13_rows):
+    vpu = VPUModel("faster16")
+    benchmark(lambda: vpu.average_frame_cost(0.36))
+
+    register_table(
+        "Fig 13 per-frame cost (paper avg/orig energy: Alex 0.13, F16 0.38, FM 0.46)",
+        ["network", "keys", "orig ms", "pred ms", "avg ms", "orig mJ",
+         "pred mJ", "avg mJ", "avg/orig energy"],
+        [
+            [name, keys, orig.latency_ms, pred.latency_ms, avg.latency_ms,
+             orig.energy_mj, pred.energy_mj, avg.energy_mj,
+             avg.energy_mj / orig.energy_mj]
+            for name, keys, orig, pred, avg in fig13_rows
+        ],
+    )
+
+    by_name = {row[0]: row for row in fig13_rows}
+    for name, keys, orig, pred, avg in fig13_rows:
+        # Shape: predicted frames are much cheaper; averages in between.
+        assert pred.energy_mj < 0.5 * orig.energy_mj
+        assert pred.energy_mj < avg.energy_mj < orig.energy_mj
+        assert pred.latency_ms < avg.latency_ms < orig.latency_ms
+    # AlexNet's average saving is the largest (lowest key-frame rate).
+    ratio = lambda row: row[4].energy_mj / row[2].energy_mj
+    assert ratio(by_name["AlexNet"]) < ratio(by_name["Faster16"])
+    assert ratio(by_name["AlexNet"]) < ratio(by_name["FasterM"])
+
+
+def test_fig13_unit_breakdown(benchmark):
+    """The stacked-bar view: EIE is orders of magnitude below Eyeriss on
+    key frames (the paper's observation about FC efficiency)."""
+    vpu = VPUModel("faster16")
+    breakdown = benchmark(vpu.key_frame_cost)
+    register_table(
+        "Fig 13 Faster16 key-frame breakdown by unit",
+        ["unit", "latency ms", "energy mJ"],
+        [
+            [unit, cost.latency_ms, cost.energy_mj]
+            for unit, cost in sorted(breakdown.items())
+        ],
+    )
+    assert breakdown["eie"].energy_mj < 0.1 * breakdown["eyeriss"].energy_mj
+    assert breakdown["eva2"].energy_mj < 0.01 * breakdown["eyeriss"].energy_mj

@@ -1,0 +1,131 @@
+"""Fig. 14: accuracy impact of the motion-estimation technique.
+
+For the two detection networks, at key-frame gaps of 1 frame (33 ms) and
+6 frames (198 ms), compare predicted-frame mAP across:
+
+* new key frame — precise execution of the later frame (upper bound),
+* dense pyramid flow — the FlowNet2-s stand-in,
+* Lucas–Kanade — classic single-level optical flow,
+* RFBME — the paper's algorithm,
+* old key frame — stale reuse with no compensation (lower bound).
+
+Paper shape: RFBME is at or near the best motion-estimation method at both
+gaps, all methods sit between the two bounds, and the spread widens at the
+longer gap.
+"""
+
+import numpy as np
+import pytest
+
+from common import eval_clips
+from conftest import register_table
+from repro.analysis.evaluation import decode_detections
+from repro.core import AMCExecutor
+from repro.motion import lucas_kanade, pool_to_grid, pyramid_flow
+from repro.nn.train import get_trained_network
+from repro.vision import GroundTruth, mean_average_precision
+
+GAPS = {"33 ms": 1, "198 ms": 6}
+METHODS = ["new key frame", "pyramid flow", "Lucas-Kanade", "RFBME", "old key frame"]
+#: evaluate every 3rd key-frame start to bound runtime.
+START_STRIDE = 3
+
+
+def _field_for(method, executor, key_frame, new_frame):
+    """Receptive-field-granularity field for one method (None = special)."""
+    if method == "RFBME":
+        return executor.estimate(new_frame).field
+    if method == "Lucas-Kanade":
+        flow = lucas_kanade(key_frame, new_frame)
+    elif method == "pyramid flow":
+        flow = pyramid_flow(key_frame, new_frame)
+    else:
+        raise AssertionError(method)
+    return pool_to_grid(flow, executor.rf, executor.grid_shape)
+
+
+def evaluate_method(network, method, gap, clips):
+    """mAP of predicted frames only, for one method at one gap."""
+    executor = AMCExecutor(network)
+    detections, truths = [], []
+    frame_id = 0
+    for clip in clips:
+        frame_size = clip.frames.shape[2]
+        for start in range(0, len(clip) - gap, START_STRIDE):
+            key_frame = clip.frames[start]
+            new_frame = clip.frames[start + gap]
+            executor.reset()
+            executor.process_key(key_frame)
+
+            if method == "new key frame":
+                output = network.forward(new_frame[None, None])
+            elif method == "old key frame":
+                output = network.forward_suffix(
+                    executor.stored_activation()[None], executor.target
+                )
+            else:
+                field = _field_for(method, executor, key_frame, new_frame)
+                output = executor.process_predicted(new_frame, pixel_field=field)
+
+            ann = clip.annotations[start + gap]
+            truths.append(GroundTruth(frame_id, ann.class_id, ann.box))
+            detections.extend(
+                decode_detections(output, [frame_id], frame_size=frame_size)
+            )
+            frame_id += 1
+    return mean_average_precision(detections, truths)
+
+
+@pytest.fixture(scope="module")
+def fig14_results():
+    clips = eval_clips("test")
+    results = {}
+    for mini in ("mini_fasterm", "mini_faster16"):
+        network = get_trained_network(mini)
+        for gap_label, gap in GAPS.items():
+            for method in METHODS:
+                results[(mini, gap_label, method)] = evaluate_method(
+                    network, method, gap, clips
+                )
+    return results
+
+
+def test_fig14_motion_estimation(benchmark, fig14_results):
+    clips = eval_clips("test")[:1]
+    network = get_trained_network("mini_fasterm")
+    benchmark(evaluate_method, network, "RFBME", 1, clips)
+
+    for mini in ("mini_fasterm", "mini_faster16"):
+        register_table(
+            f"Fig 14 motion estimation, {mini} (mAP on predicted frames)",
+            ["method"] + list(GAPS),
+            [
+                [method] + [
+                    100 * fig14_results[(mini, gap_label, method)]
+                    for gap_label in GAPS
+                ]
+                for method in METHODS
+            ],
+        )
+
+    for mini in ("mini_fasterm", "mini_faster16"):
+        for gap_label in GAPS:
+            score = lambda m: fig14_results[(mini, gap_label, m)]
+            # Bounds: precise execution is the ceiling; every compensation
+            # method beats or matches stale reuse at the long gap.
+            assert score("new key frame") >= score("RFBME") - 0.02
+            if gap_label == "198 ms":
+                assert score("RFBME") >= score("old key frame") - 0.02
+        # The 33 ms gap is easier than 198 ms for stale reuse.
+        assert (
+            fig14_results[(mini, "33 ms", "old key frame")]
+            >= fig14_results[(mini, "198 ms", "old key frame")] - 0.02
+        )
+    # RFBME is competitive with the dense-flow methods at the long gap
+    # (the paper's conclusion that its efficiency costs no accuracy).
+    for mini in ("mini_fasterm", "mini_faster16"):
+        best_flow = max(
+            fig14_results[(mini, "198 ms", m)]
+            for m in ("pyramid flow", "Lucas-Kanade")
+        )
+        assert fig14_results[(mini, "198 ms", "RFBME")] >= best_flow - 0.08

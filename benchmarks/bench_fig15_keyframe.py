@@ -1,0 +1,92 @@
+"""Fig. 15: adaptive key-frame selection strategy.
+
+Sweeps the decision threshold for both adaptive metrics — RFBME block-match
+error and total motion-vector magnitude — and reports accuracy against the
+fraction of predicted frames. Paper shape: both metrics trace curves above
+the fixed-rate line (the straight line between the all-key and
+all-predicted endpoints), making both viable; the hardware uses match
+error because it is free.
+"""
+
+import pytest
+
+from common import NETWORK_MAP, threshold_sweep
+from conftest import register_table
+
+NETWORKS = ("mini_alexnet", "mini_fasterm", "mini_faster16")
+METRICS = ("match_error", "motion_magnitude")
+
+
+@pytest.fixture(scope="module")
+def fig15_curves():
+    return {
+        (name, metric): threshold_sweep(name, "test", metric)
+        for name in NETWORKS
+        for metric in METRICS
+    }
+
+
+def _fixed_rate_accuracy(points, predicted_fraction):
+    """Accuracy of the straight line between the curve's endpoints."""
+    all_key = max(points, key=lambda p: p.key_fraction)
+    all_pred = min(points, key=lambda p: p.key_fraction)
+    span = all_key.key_fraction - all_pred.key_fraction
+    if span <= 0:
+        return all_key.accuracy
+    alpha = (predicted_fraction - (1 - all_key.key_fraction)) / span
+    return all_key.accuracy + alpha * (all_pred.accuracy - all_key.accuracy)
+
+
+def test_fig15_keyframe_selection(benchmark, fig15_curves):
+    from common import executor_for, eval_clips
+    from repro.analysis import run_policy
+    from repro.core import MatchErrorPolicy
+
+    benchmark(
+        run_policy, executor_for("mini_fasterm"), MatchErrorPolicy(2.0),
+        eval_clips("test")[:1], "detection",
+    )
+
+    for name in NETWORKS:
+        rows = []
+        for metric in METRICS:
+            for point in fig15_curves[(name, metric)]:
+                rows.append(
+                    [metric, 100 * (1 - point.key_fraction),
+                     100 * point.accuracy]
+                )
+        register_table(
+            f"Fig 15 adaptive key-frame selection, {name} "
+            "(accuracy vs % predicted frames)",
+            ["metric", "predicted %", "accuracy %"],
+            rows,
+        )
+
+    for name in NETWORKS:
+        for metric in METRICS:
+            points = fig15_curves[(name, metric)]
+            fractions = [p.key_fraction for p in points]
+            # The sweep spans a wide operating range. (Match error is
+            # never exactly zero, so threshold 0 reaches all-keys; motion
+            # magnitude is exactly zero on static frames, capping its
+            # maximum key fraction below 1.)
+            if metric == "match_error":
+                assert max(fractions) == 1.0
+            else:
+                assert max(fractions) > 0.3
+            assert min(fractions) < 0.5
+            # Accuracy at all-keys is at least as good as all-predicted.
+            best_keys = max(points, key=lambda p: p.key_fraction)
+            fewest_keys = min(points, key=lambda p: p.key_fraction)
+            assert best_keys.accuracy >= fewest_keys.accuracy - 0.03
+
+        # The adaptive curve beats (or matches) the fixed-rate line at
+        # mid-range operating points for the hardware's metric.
+        points = fig15_curves[(name, "match_error")]
+        mid = [p for p in points if 0.2 < p.key_fraction < 0.9]
+        if mid:
+            above = sum(
+                p.accuracy >= _fixed_rate_accuracy(points, 1 - p.key_fraction) - 0.05
+                for p in mid
+            )
+            assert above >= len(mid) // 2

@@ -1,0 +1,54 @@
+"""§IV-A first-order model: prefix MACs vs motion-estimation ops.
+
+Paper numbers for Faster16 (conv5_3 prefix, 1000x562 input): 1.7e11 prefix
+MACs, ~3e9 unoptimized matching adds, ~1.3e7 RFBME adds. The benchmark
+times the actual RFBME implementation on a mini-network-scale frame.
+"""
+
+import numpy as np
+import pytest
+
+from conftest import register_table
+from repro.analysis import first_order_report
+from repro.core.receptive_field import ReceptiveField
+from repro.core.rfbme import RFBMEConfig, estimate_motion
+from repro.hardware import PAPER_TARGET_LAYERS, spec_by_name
+
+
+@pytest.fixture(scope="module")
+def reports():
+    rows = []
+    for name in ("alexnet", "fasterm", "faster16"):
+        spec = spec_by_name(name)
+        target = PAPER_TARGET_LAYERS[spec.name]
+        size, stride, _ = spec.receptive_field(target)
+        rows.append(first_order_report(spec, target, size, stride))
+    return rows
+
+
+def test_first_order_model(benchmark, reports):
+    """Times RFBME on a 64x64 frame; registers the §IV-A comparison."""
+    rng = np.random.default_rng(0)
+    key = rng.random((64, 64))
+    new = np.roll(key, 3, axis=1)
+    rf = ReceptiveField(size=59, stride=8, padding=26)
+    result = benchmark(estimate_motion, key, new, rf, (8, 8), RFBMEConfig(12, 2))
+    assert result.field.grid_shape == (8, 8)
+
+    register_table(
+        "SecIV-A first-order model (paper: Faster16 = 1.7e11 MACs vs 1.3e7 adds)",
+        ["network", "target", "prefix MACs", "unoptimized adds", "RFBME adds",
+         "MACs/add", "reuse speedup"],
+        [
+            [r.network, r.target_layer, float(r.prefix_macs), r.unoptimized_ops,
+             r.rfbme_ops, r.savings_ratio, r.reuse_speedup]
+            for r in reports
+        ],
+    )
+    faster16 = next(r for r in reports if r.network == "Faster16")
+    assert faster16.prefix_macs == pytest.approx(1.7e11, rel=0.02)
+    assert faster16.unoptimized_ops == pytest.approx(3e9, rel=0.05)
+    assert faster16.rfbme_ops == pytest.approx(1.3e7, rel=0.12)
+    # The headline: savings of ~3+ orders of magnitude on every network.
+    for report in reports:
+        assert report.savings_ratio > 1e3

@@ -1,0 +1,108 @@
+"""Table II: accuracy impact of the AMC target layer.
+
+Early target = the first pooling layer; late target = the last spatial
+layer (the paper's §IV-E3 definitions). Predicted-frame accuracy is
+measured at a short gap (33 ms = 1 frame) and a long gap (198 ms = 6
+frames) for the detection networks, and at a long memoization gap for the
+classification network.
+
+Paper shape: the late target is usually at least as accurate as the early
+one (warping errors do not compound catastrophically through a deep
+prefix), and accuracy falls with gap length.
+"""
+
+import pytest
+
+from common import NETWORK_MAP, eval_clips
+from conftest import register_table
+from repro.analysis.evaluation import decode_detections
+from repro.core import AMCConfig, AMCExecutor
+from repro.nn.functional import softmax
+from repro.nn.train import get_trained_network
+from repro.vision import GroundTruth, mean_average_precision
+
+GAPS = {"33 ms": 1, "198 ms": 6}
+START_STRIDE = 3
+
+
+def predicted_accuracy(network, task, mode, target, gap, clips):
+    """Accuracy over predicted frames at a fixed gap for one target."""
+    executor = AMCExecutor(network, AMCConfig(target_layer=target, mode=mode))
+    detections, truths = [], []
+    correct, total = 0, 0
+    frame_id = 0
+    for clip in clips:
+        for start in range(0, len(clip) - gap, START_STRIDE):
+            executor.reset()
+            executor.process_key(clip.frames[start])
+            output = executor.process_predicted(clip.frames[start + gap])
+            ann = clip.annotations[start + gap]
+            if task == "detection":
+                truths.append(GroundTruth(frame_id, ann.class_id, ann.box))
+                detections.extend(
+                    decode_detections(output, [frame_id],
+                                      frame_size=clip.frames.shape[2])
+                )
+                frame_id += 1
+            else:
+                probs = softmax(output)
+                correct += int(probs[0].argmax() == ann.class_id)
+                total += 1
+    if task == "detection":
+        return mean_average_precision(detections, truths)
+    return correct / max(total, 1)
+
+
+@pytest.fixture(scope="module")
+def table2_results():
+    clips = eval_clips("test")
+    results = {}
+    for mini, (_, task, mode) in NETWORK_MAP.items():
+        network = get_trained_network(mini)
+        early = network.first_post_pool_layer()
+        late = network.last_spatial_layer()
+        for gap_label, gap in GAPS.items():
+            for which, target in (("early", early), ("late", late)):
+                results[(mini, gap_label, which)] = predicted_accuracy(
+                    network, task, mode, target, gap, clips
+                )
+    return results
+
+
+def test_table2_target_layer(benchmark, table2_results):
+    network = get_trained_network("mini_fasterm")
+    benchmark(
+        predicted_accuracy, network, "detection", "warp",
+        network.last_spatial_layer(), 1, eval_clips("test")[:1],
+    )
+
+    register_table(
+        "Table II target-layer choice (accuracy %, predicted frames)",
+        ["network", "interval", "early target", "late target"],
+        [
+            [mini, gap_label,
+             100 * table2_results[(mini, gap_label, "early")],
+             100 * table2_results[(mini, gap_label, "late")]]
+            for mini in NETWORK_MAP
+            for gap_label in GAPS
+        ],
+    )
+
+    for mini in NETWORK_MAP:
+        # Longer gaps never help (within noise).
+        for which in ("early", "late"):
+            assert (
+                table2_results[(mini, "198 ms", which)]
+                <= table2_results[(mini, "33 ms", which)] + 0.05
+            )
+    # The paper's conclusion: the late target is viable — averaged over
+    # gaps it matches or beats the early target for the detection
+    # networks (the paper itself records one small per-gap exception).
+    for mini in ("mini_fasterm", "mini_faster16"):
+        late_avg = sum(
+            table2_results[(mini, g, "late")] for g in GAPS
+        ) / len(GAPS)
+        early_avg = sum(
+            table2_results[(mini, g, "early")] for g in GAPS
+        ) / len(GAPS)
+        assert late_avg >= early_avg - 0.03

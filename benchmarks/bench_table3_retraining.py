@@ -1,0 +1,118 @@
+"""Table III: fine-tuning the CNN suffix on warped activation data.
+
+Protocol (paper §IV-E4): collect warped activations from predicted-frame
+execution, fine-tune only the suffix layers on them, then measure accuracy
+on *plain* (precisely computed) activations. Paper conclusion: retraining
+is unnecessary — it changes key-frame accuracy negligibly or hurts it.
+"""
+
+import numpy as np
+import pytest
+
+from common import eval_clips
+from conftest import register_table
+from repro.analysis.evaluation import decode_detections
+from repro.core import AMCConfig, AMCExecutor
+from repro.nn.optim import Adam
+from repro.nn.train import detection_loss, get_trained_network
+from repro.video import build_clipset
+from repro.vision import GroundTruth, mean_average_precision
+
+GAP = 6
+FINETUNE_EPOCHS = 2
+#: gentle rate: the paper fine-tunes converged networks, not retrains them.
+FINETUNE_LR = 1e-4
+
+
+def collect_warped_dataset(network, target, clips):
+    """(warped activations, labels, normalised boxes) at a fixed gap."""
+    executor = AMCExecutor(network, AMCConfig(target_layer=target))
+    acts, labels, boxes = [], [], []
+    for clip in clips:
+        frame_size = clip.frames.shape[2]
+        for start in range(0, len(clip) - GAP, 2):
+            executor.reset()
+            executor.process_key(clip.frames[start])
+            estimation = executor.estimate(clip.frames[start + GAP])
+            acts.append(executor.predicted_activation(estimation))
+            ann = clip.annotations[start + GAP]
+            labels.append(ann.class_id)
+            boxes.append(np.asarray(ann.box) / frame_size)
+    return np.stack(acts), np.asarray(labels), np.stack(boxes)
+
+
+def finetune_suffix(network, target, acts, labels, boxes, seed=0):
+    """Train only the suffix layers on warped activations."""
+    rng = np.random.default_rng(seed)
+    suffix = network.suffix_layers(target)
+    optimizer = Adam(suffix, lr=FINETUNE_LR)
+    for _ in range(FINETUNE_EPOCHS):
+        order = rng.permutation(len(acts))
+        for start in range(0, len(acts), 32):
+            idx = order[start : start + 32]
+            optimizer.zero_grad()
+            output = network.forward_suffix(acts[idx], target, train=True)
+            _, grad = detection_loss(output, labels[idx], boxes[idx])
+            network.backward_suffix(grad, target)
+            optimizer.step()
+
+
+def plain_frame_map(network, clips):
+    """mAP with full precise execution (key frames only)."""
+    detections, truths = [], []
+    frame_id = 0
+    for clip in clips:
+        outputs = network.forward(clip.frames[:, None, :, :])
+        for t, ann in enumerate(clip.annotations):
+            truths.append(GroundTruth(frame_id, ann.class_id, ann.box))
+            detections.extend(
+                decode_detections(outputs[t : t + 1], [frame_id],
+                                  frame_size=clip.frames.shape[2])
+            )
+            frame_id += 1
+    return mean_average_precision(detections, truths)
+
+
+@pytest.fixture(scope="module")
+def table3_results():
+    train_clips = build_clipset("train", clips_per_scenario=2, num_frames=12).clips
+    test_clips = eval_clips("test")
+    results = {}
+    for mini in ("mini_fasterm", "mini_faster16"):
+        base_network = get_trained_network(mini)
+        results[(mini, "no retraining")] = plain_frame_map(base_network, test_clips)
+        for which in ("early", "late"):
+            network = get_trained_network(mini)  # fresh copy per experiment
+            target = (
+                network.first_post_pool_layer()
+                if which == "early"
+                else network.last_spatial_layer()
+            )
+            acts, labels, boxes = collect_warped_dataset(network, target, train_clips)
+            finetune_suffix(network, target, acts, labels, boxes)
+            results[(mini, f"{which} target")] = plain_frame_map(network, test_clips)
+    return results
+
+
+def test_table3_retraining(benchmark, table3_results):
+    network = get_trained_network("mini_fasterm")
+    benchmark(plain_frame_map, network, eval_clips("test")[:1])
+
+    register_table(
+        "Table III suffix fine-tuning on warped data (mAP % on plain frames)",
+        ["network", "configuration", "accuracy %"],
+        [
+            [mini, config, 100 * score]
+            for (mini, config), score in sorted(table3_results.items())
+        ],
+    )
+
+    for mini in ("mini_fasterm", "mini_faster16"):
+        base = table3_results[(mini, "no retraining")]
+        for which in ("early target", "late target"):
+            retrained = table3_results[(mini, which)]
+            # Paper conclusion: retraining does not meaningfully improve
+            # plain-frame accuracy (and may degrade it slightly).
+            assert retrained <= base + 0.06
+            # ...but neither does it destroy the network.
+            assert retrained >= base - 0.25

@@ -1,0 +1,34 @@
+"""Benchmark harness support.
+
+Benches register their paper-style result tables here; a terminal-summary
+hook prints every table after the run, so ``pytest benchmarks/
+--benchmark-only`` emits both pytest-benchmark timing and the reproduced
+rows/series for each paper table and figure.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence, Tuple
+
+from repro.analysis.reporting import format_table
+
+_TABLES: List[Tuple[str, str]] = []
+
+
+def register_table(
+    title: str, headers: Sequence[str], rows: Sequence[Sequence[object]]
+) -> None:
+    """Queue one result table for the end-of-run summary."""
+    _TABLES.append((title, format_table(headers, rows)))
+
+
+def pytest_terminal_summary(terminalreporter):
+    if not _TABLES:
+        return
+    terminalreporter.write_sep("=", "reproduced paper tables & figures")
+    for title, table in _TABLES:
+        terminalreporter.write_line("")
+        terminalreporter.write_line(f"## {title}")
+        for line in table.splitlines():
+            terminalreporter.write_line(line)
+    terminalreporter.write_line("")

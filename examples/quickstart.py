@@ -1,0 +1,74 @@
+"""Quickstart: run one video clip through the EVA2 pipeline.
+
+Demonstrates the core API in ~30 lines of logic:
+
+1. get a trained detection network from the model zoo,
+2. wrap it in an AMC executor (prefix/suffix split at the last spatial
+   layer, bilinear warping),
+3. stream a synthetic clip through the EVA2 pipeline under an adaptive
+   key-frame policy,
+4. report per-frame decisions, task accuracy, and the modelled energy
+   saving on the paper's FasterM-class hardware.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro.analysis import detection_score
+from repro.analysis.reporting import format_table
+from repro.core import AMCExecutor, EVA2Pipeline, MatchErrorPolicy
+from repro.hardware import VPUModel
+from repro.nn.train import get_trained_network
+from repro.video import generate_clip, scenario
+
+
+def main():
+    # 1. A trained mini detection network (trains on first use, cached).
+    network = get_trained_network("mini_fasterm")
+
+    # 2. AMC executor: stores key-frame activations, warps them for
+    #    predicted frames. Defaults: last spatial target layer, RFBME
+    #    motion estimation, bilinear interpolation.
+    executor = AMCExecutor(network)
+    print(f"network: {network.name}")
+    print(f"AMC target layer: {executor.target}")
+    print(f"receptive field: size={executor.rf.size} stride={executor.rf.stride}")
+    print(f"prefix MACs skipped per predicted frame: {executor.prefix_macs():,}")
+    print()
+
+    # 3. Stream a clip under an adaptive key-frame policy: frames whose
+    #    RFBME match error exceeds the threshold run precisely.
+    clip = generate_clip(scenario("camera_pan"), seed=2, num_frames=16)
+    pipeline = EVA2Pipeline(executor, MatchErrorPolicy(threshold=2.0))
+    result = pipeline.run_clip(clip)
+
+    rows = []
+    for record in result.records:
+        rows.append([
+            record.index,
+            "KEY" if record.is_key else "pred",
+            record.match_error if record.match_error is not None else "-",
+            record.motion_magnitude if record.motion_magnitude is not None else "-",
+        ])
+    print(format_table(["frame", "mode", "match error", "motion magnitude"], rows))
+    print()
+
+    # 4. Accuracy (vs running every frame precisely) and hardware cost.
+    accuracy = detection_score([result], [clip])
+    from repro.core import AlwaysKeyPolicy
+
+    precise = EVA2Pipeline(executor, AlwaysKeyPolicy()).run_clip(clip)
+    precise_accuracy = detection_score([precise], [clip])
+    vpu = VPUModel("fasterm")
+    avg = vpu.average_frame_cost(result.key_fraction)
+    orig = VPUModel.total(vpu.baseline_frame_cost())
+    print(f"key frames: {result.num_key_frames}/{len(result)} "
+          f"({100 * result.key_fraction:.0f}%)")
+    print(f"mAP on this clip: {100 * accuracy:.1f}% with AMC vs "
+          f"{100 * precise_accuracy:.1f}% all-precise")
+    print(f"modelled energy/frame (FasterM-class VPU): "
+          f"{avg.energy_mj:.1f} mJ vs {orig.energy_mj:.1f} mJ baseline "
+          f"({100 * (1 - avg.energy_mj / orig.energy_mj):.0f}% saving)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,8 @@
+"""Legacy entry point: this environment's setuptools lacks the wheel
+package, so editable installs need the pre-PEP-517 path
+(``pip install -e . --no-use-pep517``). Configuration lives in
+pyproject.toml."""
+
+from setuptools import setup
+
+setup()

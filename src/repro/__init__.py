@@ -1,0 +1,18 @@
+"""repro — reproduction of "EVA2: Exploiting Temporal Redundancy in Live
+Computer Vision" (Buckler et al., ISCA 2018).
+
+Subpackages:
+
+* :mod:`repro.core` — the paper's contribution: activation motion
+  compensation (AMC), RFBME motion estimation, activation warping, adaptive
+  key-frame control, and the EVA2 execution pipeline.
+* :mod:`repro.nn` — numpy CNN framework (layers, training, quantization).
+* :mod:`repro.motion` — motion-estimation algorithm library.
+* :mod:`repro.video` — synthetic annotated video generation.
+* :mod:`repro.vision` — task metrics (top-1 accuracy, mAP).
+* :mod:`repro.hardware` — energy/latency/area model of the Eyeriss + EIE +
+  EVA2 vision processing unit, plus RLE and fixed-point datapath models.
+* :mod:`repro.analysis` — first-order models and trade-off sweeps.
+"""
+
+__version__ = "1.0.0"

@@ -1,0 +1,111 @@
+"""Task-level evaluation of pipeline outputs against clip ground truth.
+
+Bridges :class:`repro.core.pipeline.PipelineResult` (per-frame network
+outputs) and the paper's vision metrics: top-1 accuracy for classification
+networks, mAP for detection networks. Detection outputs are decoded from
+the head's (class logits, normalised box) layout with the max softmax
+probability as confidence.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence, Tuple
+
+import numpy as np
+
+from ..core.pipeline import PipelineResult
+from ..nn.functional import softmax
+from ..nn.models import split_detection_output
+from ..video.generator import VideoClip
+from ..vision.classification import top1_accuracy
+from ..vision.detection import Detection, GroundTruth, mean_average_precision
+
+__all__ = [
+    "decode_detections",
+    "classification_score",
+    "detection_score",
+    "score_pipeline_results",
+]
+
+
+def decode_detections(
+    outputs: np.ndarray,
+    frame_ids: Sequence[int],
+    frame_size: int = 64,
+) -> List[Detection]:
+    """Decode (N, K+4) head outputs into :class:`Detection` records."""
+    if len(outputs) != len(frame_ids):
+        raise ValueError(f"{len(outputs)} outputs vs {len(frame_ids)} frame ids")
+    logits, boxes = split_detection_output(outputs)
+    probs = softmax(logits)
+    detections = []
+    for row, frame_id in enumerate(frame_ids):
+        class_id = int(np.argmax(probs[row]))
+        cx, cy, w, h = boxes[row] * frame_size
+        detections.append(
+            Detection(
+                frame_id=frame_id,
+                class_id=class_id,
+                confidence=float(probs[row, class_id]),
+                box=(float(cx), float(cy), float(max(w, 0.0)), float(max(h, 0.0))),
+            )
+        )
+    return detections
+
+
+def _ground_truths(clips: Sequence[VideoClip]) -> Tuple[List[GroundTruth], int]:
+    truths: List[GroundTruth] = []
+    frame_id = 0
+    for clip in clips:
+        for ann in clip.annotations:
+            truths.append(GroundTruth(frame_id, ann.class_id, ann.box))
+            frame_id += 1
+    return truths, frame_id
+
+
+def classification_score(
+    results: Sequence[PipelineResult], clips: Sequence[VideoClip]
+) -> float:
+    """Top-1 accuracy over all frames of all clips."""
+    _check_alignment(results, clips)
+    logits = np.concatenate([result.outputs() for result in results])
+    labels = np.concatenate(
+        [[ann.class_id for ann in clip.annotations] for clip in clips]
+    )
+    return top1_accuracy(logits, labels)
+
+
+def detection_score(
+    results: Sequence[PipelineResult], clips: Sequence[VideoClip]
+) -> float:
+    """mAP over all frames of all clips."""
+    _check_alignment(results, clips)
+    truths, total = _ground_truths(clips)
+    outputs = np.concatenate([result.outputs() for result in results])
+    detections = decode_detections(
+        outputs, list(range(total)), frame_size=clips[0].frames.shape[2]
+    )
+    return mean_average_precision(detections, truths)
+
+
+def score_pipeline_results(
+    task: str, results: Sequence[PipelineResult], clips: Sequence[VideoClip]
+) -> float:
+    """Dispatch on task: 'classification' (top-1) or 'detection' (mAP)."""
+    if task == "classification":
+        return classification_score(results, clips)
+    if task == "detection":
+        return detection_score(results, clips)
+    raise ValueError(f"unknown task {task!r}")
+
+
+def _check_alignment(
+    results: Sequence[PipelineResult], clips: Sequence[VideoClip]
+) -> None:
+    if len(results) != len(clips):
+        raise ValueError(f"{len(results)} results vs {len(clips)} clips")
+    for result, clip in zip(results, clips):
+        if len(result) != len(clip):
+            raise ValueError(
+                f"result has {len(result)} frames, clip has {len(clip)}"
+            )

@@ -1,0 +1,70 @@
+"""The paper's first-order efficiency model — §IV-A.
+
+Closed-form operation counts comparing the CNN prefix a predicted frame
+skips against the motion-estimation work it adds:
+
+* ``prefix MACs`` — summed over conv layers (Faster16 through conv5_3 at
+  1000x562: 1.7e11),
+* ``unoptimized ops`` — exhaustive receptive-field matching without tile
+  reuse (Faster16: ~3e9),
+* ``RFBME ops`` — with tile reuse (Faster16: ~1.3e7).
+
+The underlying formulas live in :mod:`repro.hardware.rfbme_ops` (the EVA2
+energy model shares them); this module packages them into the §IV-A
+report, validated against the paper's three headline numbers in the test
+suite.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..hardware.layer_stats import NetworkSpec
+from ..hardware.rfbme_ops import SearchParams, rfbme_ops, unoptimized_ops
+
+__all__ = [
+    "SearchParams",
+    "unoptimized_ops",
+    "rfbme_ops",
+    "FirstOrderReport",
+    "first_order_report",
+]
+
+
+@dataclass(frozen=True)
+class FirstOrderReport:
+    """Side-by-side prefix-vs-motion-estimation op counts."""
+
+    network: str
+    target_layer: str
+    prefix_macs: int
+    unoptimized_ops: float
+    rfbme_ops: float
+
+    @property
+    def savings_ratio(self) -> float:
+        """Prefix MACs per RFBME add — the paper's ~1e11 vs ~1e7 headline."""
+        return self.prefix_macs / self.rfbme_ops
+
+    @property
+    def reuse_speedup(self) -> float:
+        """Unoptimized vs tile-reuse op ratio."""
+        return self.unoptimized_ops / self.rfbme_ops
+
+
+def first_order_report(
+    spec: NetworkSpec,
+    target_layer: str,
+    rfield_size: int,
+    rfield_stride: int,
+    search: SearchParams = SearchParams(),
+) -> FirstOrderReport:
+    """Build the §IV-A comparison for one network spec and target layer."""
+    _, height, width = spec.layer(target_layer).out_shape
+    return FirstOrderReport(
+        network=spec.name,
+        target_layer=target_layer,
+        prefix_macs=spec.prefix_macs(target_layer),
+        unoptimized_ops=unoptimized_ops(width, height, rfield_size, search),
+        rfbme_ops=rfbme_ops(width, height, rfield_size, rfield_stride, search),
+    )

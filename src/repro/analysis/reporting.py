@@ -1,0 +1,37 @@
+"""Plain-text table formatting for benches and examples."""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+__all__ = ["format_table"]
+
+
+def format_table(headers: Sequence[str], rows: Sequence[Sequence[object]]) -> str:
+    """Render an aligned text table.
+
+    Numbers are formatted compactly; everything else via ``str``.
+    """
+    def fmt(cell: object) -> str:
+        if isinstance(cell, bool):
+            return str(cell)
+        if isinstance(cell, float):
+            if cell == 0:
+                return "0"
+            if abs(cell) >= 1e5 or abs(cell) < 1e-3:
+                return f"{cell:.3g}"
+            return f"{cell:.3f}".rstrip("0").rstrip(".")
+        return str(cell)
+
+    cells: List[List[str]] = [[fmt(c) for c in row] for row in rows]
+    widths = [
+        max(len(str(headers[i])), *(len(row[i]) for row in cells)) if cells else len(str(headers[i]))
+        for i in range(len(headers))
+    ]
+    lines = [
+        "  ".join(str(h).ljust(w) for h, w in zip(headers, widths)),
+        "  ".join("-" * w for w in widths),
+    ]
+    for row in cells:
+        lines.append("  ".join(c.ljust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)

@@ -1,0 +1,144 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands:
+
+* ``info``      — library, networks, and scenario inventory.
+* ``run``       — stream one synthetic clip through the EVA2 pipeline and
+                  print per-frame decisions plus accuracy.
+* ``hardware``  — the Fig. 12 / Fig. 13 numbers for a real network.
+* ``firstorder``— the §IV-A op-count comparison.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from .analysis import detection_score, first_order_report
+from .analysis.reporting import format_table
+from .core import AMCConfig, AMCExecutor, EVA2Pipeline, MatchErrorPolicy, StaticPolicy
+from .hardware import PAPER_TARGET_LAYERS, VPUConfig, VPUModel, spec_by_name
+from .video import scenario, scenario_names
+
+__all__ = ["main"]
+
+
+def _cmd_info(args: argparse.Namespace) -> int:
+    from .nn.train import _TASKS  # zoo inventory
+
+    print("repro — EVA2 (ISCA 2018) reproduction")
+    print()
+    print("zoo networks: " + ", ".join(sorted(_TASKS)))
+    print("scenarios:    " + ", ".join(scenario_names()))
+    print("hardware:     alexnet, fasterm, faster16, vgg16")
+    return 0
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    from .nn.train import get_trained_network
+    from .video import generate_clip
+
+    network = get_trained_network(args.network)
+    mode = "memoize" if args.network == "mini_alexnet" else "warp"
+    executor = AMCExecutor(network, AMCConfig(mode=mode))
+    policy = (
+        StaticPolicy(args.interval)
+        if args.interval
+        else MatchErrorPolicy(args.threshold)
+    )
+    clip = generate_clip(scenario(args.scenario), seed=args.seed,
+                         num_frames=args.frames)
+    result = EVA2Pipeline(executor, policy).run_clip(clip)
+
+    rows = [
+        [r.index, "KEY" if r.is_key else "pred",
+         r.match_error if r.match_error is not None else "-"]
+        for r in result.records
+    ]
+    print(format_table(["frame", "mode", "match error"], rows))
+    print(f"\nkey frames: {result.num_key_frames}/{len(result)}")
+    if mode == "warp":
+        print(f"clip mAP: {100 * detection_score([result], [clip]):.1f}%")
+    return 0
+
+
+def _cmd_hardware(args: argparse.Namespace) -> int:
+    memoize = args.network == "alexnet"
+    vpu = VPUModel(args.network, VPUConfig(memoize=memoize))
+    area = vpu.area_breakdown()
+    orig = VPUModel.total(vpu.baseline_frame_cost())
+    pred = VPUModel.total(vpu.predicted_frame_cost())
+    print(format_table(
+        ["quantity", "value"],
+        [
+            ["network", vpu.spec.name],
+            ["AMC target layer", vpu.target],
+            ["VPU area mm2", area["total_mm2"]],
+            ["EVA2 area mm2", area["eva2_mm2"]],
+            ["orig frame (ms / mJ)", f"{orig.latency_ms:.1f} / {orig.energy_mj:.1f}"],
+            ["pred frame (ms / mJ)", f"{pred.latency_ms:.2f} / {pred.energy_mj:.3f}"],
+            ["pred/orig energy", pred.energy_mj / orig.energy_mj],
+        ],
+    ))
+    return 0
+
+
+def _cmd_firstorder(args: argparse.Namespace) -> int:
+    spec = spec_by_name(args.network)
+    target = PAPER_TARGET_LAYERS.get(spec.name, spec.last_spatial_layer())
+    size, stride, _ = spec.receptive_field(target)
+    report = first_order_report(spec, target, size, stride)
+    print(format_table(
+        ["quantity", "value"],
+        [
+            ["network", report.network],
+            ["target layer", report.target_layer],
+            ["prefix MACs", float(report.prefix_macs)],
+            ["unoptimized adds", report.unoptimized_ops],
+            ["RFBME adds", report.rfbme_ops],
+            ["MACs per RFBME add", report.savings_ratio],
+        ],
+    ))
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro", description="EVA2 (ISCA 2018) reproduction toolkit"
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("info", help="inventory").set_defaults(func=_cmd_info)
+
+    run = sub.add_parser("run", help="run a clip through the EVA2 pipeline")
+    run.add_argument("--network", default="mini_fasterm",
+                     choices=["mini_alexnet", "mini_fasterm", "mini_faster16"])
+    run.add_argument("--scenario", default="camera_pan")
+    run.add_argument("--seed", type=int, default=2)
+    run.add_argument("--frames", type=int, default=16)
+    run.add_argument("--threshold", type=float, default=2.0,
+                     help="adaptive match-error threshold")
+    run.add_argument("--interval", type=int, default=0,
+                     help="use a static key-frame interval instead")
+    run.set_defaults(func=_cmd_run)
+
+    hw = sub.add_parser("hardware", help="VPU model numbers")
+    hw.add_argument("--network", default="faster16",
+                    choices=["alexnet", "fasterm", "faster16"])
+    hw.set_defaults(func=_cmd_hardware)
+
+    fo = sub.add_parser("firstorder", help="SecIV-A op-count comparison")
+    fo.add_argument("--network", default="faster16",
+                    choices=["alexnet", "fasterm", "faster16"])
+    fo.set_defaults(func=_cmd_firstorder)
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

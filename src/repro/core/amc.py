@@ -1,0 +1,196 @@
+"""Activation motion compensation executor — paper §II.
+
+:class:`AMCExecutor` wraps a CNN with the key/predicted frame machinery:
+
+* **key frame** — run the full network precisely; store the input pixels
+  (reference for motion estimation) and the target layer's activation.
+* **predicted frame** — run RFBME against the stored pixels, scale the
+  vector field by the receptive-field stride, warp the stored activation,
+  and run only the CNN suffix.
+
+The executor supports the design-space knobs the paper evaluates: target
+layer (Table II), bilinear vs nearest interpolation (§II-C3), warping vs
+memoization (§IV-E1), a fixed-point warp datapath (§III-B), and pluggable
+motion estimators (Fig. 14).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field as dataclass_field
+from typing import Optional
+
+import numpy as np
+
+from ..hardware.fixed_point import QFormat
+from ..motion.vector_field import VectorField
+from ..nn.network import Network
+from .receptive_field import ReceptiveField, receptive_field_of
+from .rfbme import RFBMEConfig, RFBMEResult, estimate_motion
+from .warp import scale_to_activation, warp_activation
+
+__all__ = ["AMCConfig", "AMCExecutor", "PredictionStats"]
+
+_MODES = ("warp", "memoize")
+
+
+@dataclass(frozen=True)
+class AMCConfig:
+    """Design-space configuration for one AMC deployment."""
+
+    #: AMC target layer; None selects the network's last spatial layer.
+    target_layer: Optional[str] = None
+    #: 'bilinear' (hardware default) or 'nearest'.
+    interpolation: str = "bilinear"
+    #: 'warp' (motion compensation) or 'memoize' (reuse the stored
+    #: activation untouched — the right choice for classification, §IV-E1).
+    mode: str = "warp"
+    #: optional fixed-point format for the warp datapath.
+    fixed_point: Optional[QFormat] = None
+    #: RFBME search parameters.
+    rfbme: RFBMEConfig = dataclass_field(default_factory=RFBMEConfig)
+
+    def __post_init__(self):
+        if self.mode not in _MODES:
+            raise ValueError(f"mode must be one of {_MODES}, got {self.mode!r}")
+
+
+@dataclass
+class PredictionStats:
+    """What one predicted frame cost and how the match looked."""
+
+    estimation: Optional[RFBMEResult]
+    warped: bool
+
+
+class AMCExecutor:
+    """AMC execution engine bound to one network."""
+
+    def __init__(self, network: Network, config: Optional[AMCConfig] = None):
+        self.network = network
+        self.config = config or AMCConfig()
+        self.target = self.config.target_layer or network.last_spatial_layer()
+        network.validate_target(self.target)
+
+        self.rf: ReceptiveField = receptive_field_of(network, self.target)
+        target_shape = network.layer_output_shape(self.target)
+        if len(target_shape) != 3:
+            raise ValueError(
+                f"target layer {self.target!r} is not spatial: {target_shape}"
+            )
+        self.channels, self.grid_h, self.grid_w = target_shape
+
+        self._key_pixels: Optional[np.ndarray] = None
+        self._key_activation: Optional[np.ndarray] = None
+
+    # ------------------------------------------------------------------ #
+    @property
+    def has_key(self) -> bool:
+        """Whether a key frame has been stored."""
+        return self._key_activation is not None
+
+    @property
+    def grid_shape(self):
+        return (self.grid_h, self.grid_w)
+
+    def reset(self) -> None:
+        """Forget the stored key frame (start of a new clip)."""
+        self._key_pixels = None
+        self._key_activation = None
+
+    def stored_activation(self) -> np.ndarray:
+        """Copy of the stored target activation (C, H, W)."""
+        if self._key_activation is None:
+            raise RuntimeError("no key frame stored")
+        return self._key_activation.copy()
+
+    # ------------------------------------------------------------------ #
+    def process_key(self, frame: np.ndarray) -> np.ndarray:
+        """Run ``frame`` (H, W grayscale) precisely; store pixels and the
+        target activation; return the network output (1, ...)."""
+        self._check_frame(frame)
+        batch = frame[None, None, :, :]
+        activation = self.network.forward_prefix(batch, self.target)
+        output = self.network.forward_suffix(activation, self.target)
+        self._key_pixels = frame.copy()
+        self._key_activation = activation[0].copy()
+        return output
+
+    def estimate(self, frame: np.ndarray) -> RFBMEResult:
+        """RFBME between the stored key pixels and ``frame``."""
+        self._check_frame(frame)
+        if self._key_pixels is None:
+            raise RuntimeError("cannot estimate motion: no key frame stored")
+        return estimate_motion(
+            self._key_pixels,
+            frame,
+            self.rf,
+            self.grid_shape,
+            config=self.config.rfbme,
+        )
+
+    def predicted_activation(
+        self,
+        estimation: Optional[RFBMEResult] = None,
+        pixel_field: Optional[VectorField] = None,
+    ) -> np.ndarray:
+        """The warped (or memoized) activation for a predicted frame.
+
+        ``pixel_field`` overrides the RFBME field with an externally
+        computed one (already at receptive-field granularity, pixel units)
+        — how Fig. 14 plugs in Lucas–Kanade and dense-pyramid flow.
+        """
+        if self._key_activation is None:
+            raise RuntimeError("cannot predict: no key frame stored")
+        if self.config.mode == "memoize":
+            return self._key_activation.copy()
+
+        if pixel_field is None:
+            if estimation is None:
+                raise ValueError("warp mode needs an estimation or a pixel_field")
+            pixel_field = estimation.field
+        if pixel_field.grid_shape != self.grid_shape:
+            raise ValueError(
+                f"field grid {pixel_field.grid_shape} != activation grid "
+                f"{self.grid_shape}"
+            )
+        activation_field = scale_to_activation(pixel_field, self.rf)
+        return warp_activation(
+            self._key_activation,
+            activation_field,
+            interpolation=self.config.interpolation,
+            fixed_point=self.config.fixed_point,
+        )
+
+    def process_predicted(
+        self,
+        frame: np.ndarray,
+        estimation: Optional[RFBMEResult] = None,
+        pixel_field: Optional[VectorField] = None,
+    ) -> np.ndarray:
+        """Run ``frame`` as a predicted frame; return the network output.
+
+        ``estimation`` may be supplied to avoid re-running RFBME when the
+        key-frame controller already computed it; in warp mode with neither
+        argument given, RFBME runs here.
+        """
+        self._check_frame(frame)
+        if self.config.mode == "warp" and estimation is None and pixel_field is None:
+            estimation = self.estimate(frame)
+        activation = self.predicted_activation(estimation, pixel_field)
+        return self.network.forward_suffix(activation[None], self.target)
+
+    # ------------------------------------------------------------------ #
+    def prefix_macs(self) -> int:
+        """MACs a predicted frame skips."""
+        return self.network.prefix_macs(self.target)
+
+    def suffix_macs(self) -> int:
+        """MACs every frame pays."""
+        return self.network.suffix_macs(self.target)
+
+    def _check_frame(self, frame: np.ndarray) -> None:
+        expected = self.network.input_shape[1:]
+        if frame.ndim != 2 or frame.shape != expected:
+            raise ValueError(
+                f"frame must be {expected} grayscale, got {frame.shape}"
+            )

@@ -1,0 +1,153 @@
+"""Delta-network execution — the strategy the paper argues against (§II).
+
+Delta networks (O'Connor & Welling; Neil et al.) exploit temporal
+redundancy per layer: store every layer's activations, compute the change
+(delta) of the input, propagate only significant deltas, and add them to
+the stored data. The paper identifies three structural costs that motivate
+AMC instead:
+
+1. the hardware must store activations for *every* layer, not one;
+2. every layer's weights are loaded every frame (weight traffic dominates
+   CNN energy);
+3. pixelwise deltas assume pixels change slowly — camera pans and object
+   motion change most pixels abruptly, so deltas stay dense.
+
+:class:`DeltaExecutor` implements the strategy faithfully enough to
+quantify all three against AMC (``benchmarks/bench_ablation_delta.py``):
+per-layer delta thresholding, effective-MAC accounting proportional to
+input-delta density, and total activation-memory accounting.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from ..nn.network import Network
+
+__all__ = ["DeltaFrameStats", "DeltaExecutor"]
+
+
+@dataclass
+class DeltaFrameStats:
+    """Cost accounting for one delta-mode frame."""
+
+    #: per-layer fraction of nonzero input-delta values.
+    delta_densities: Dict[str, float]
+    #: MACs actually needed: full layer MACs x input-delta density.
+    effective_macs: int
+    #: MACs a dense (non-delta) execution would need.
+    full_macs: int
+    #: weights touched (delta networks still read every weight).
+    weights_loaded: int
+
+    @property
+    def mac_saving(self) -> float:
+        """Fraction of MACs skipped thanks to delta sparsity."""
+        if self.full_macs == 0:
+            return 0.0
+        return 1.0 - self.effective_macs / self.full_macs
+
+
+class DeltaExecutor:
+    """Per-layer delta execution over a :class:`~repro.nn.network.Network`.
+
+    ``threshold`` zeroes deltas with magnitude at or below it before each
+    layer — the sigma-delta quantization knob trading accuracy for
+    sparsity. With ``threshold=0`` execution is exact (deltas merely
+    track the true activations).
+    """
+
+    def __init__(self, network: Network, threshold: float = 1e-3):
+        if threshold < 0:
+            raise ValueError(f"threshold must be >= 0, got {threshold}")
+        self.network = network
+        self.threshold = threshold
+        self._stored_inputs: Optional[List[np.ndarray]] = None
+        self._stored_outputs: Optional[List[np.ndarray]] = None
+
+    # ------------------------------------------------------------------ #
+    @property
+    def has_state(self) -> bool:
+        return self._stored_inputs is not None
+
+    def reset(self) -> None:
+        self._stored_inputs = None
+        self._stored_outputs = None
+
+    def memory_values(self) -> int:
+        """Activation values the strategy must keep resident.
+
+        Every layer's input is stored (the paper's first objection); the
+        final output is stored too so the next frame can return deltas.
+        """
+        if self._stored_inputs is None:
+            raise RuntimeError("no frame processed yet")
+        total = sum(arr.size for arr in self._stored_inputs)
+        return total + self._stored_outputs[-1].size
+
+    # ------------------------------------------------------------------ #
+    def process_first(self, frame: np.ndarray) -> np.ndarray:
+        """Dense execution of the first frame; stores all activations."""
+        x = self._to_batch(frame)
+        inputs, outputs = [], []
+        for layer in self.network.layers:
+            inputs.append(x)
+            x = layer.forward(x)
+            outputs.append(x)
+        self._stored_inputs = inputs
+        self._stored_outputs = outputs
+        return x
+
+    def process_delta(self, frame: np.ndarray):
+        """Delta execution of a subsequent frame.
+
+        Returns ``(output, DeltaFrameStats)``. The propagation recomputes
+        each layer on (stored input + thresholded delta) and updates the
+        stored state, so repeated frames track the true network output up
+        to the thresholding error.
+        """
+        if self._stored_inputs is None:
+            raise RuntimeError("process_first must run before process_delta")
+        x = self._to_batch(frame)
+        densities: Dict[str, float] = {}
+        effective_macs = 0
+        full_macs = 0
+        weights_loaded = 0
+
+        for index, layer in enumerate(self.network.layers):
+            delta = x - self._stored_inputs[index]
+            if self.threshold > 0:
+                delta = np.where(np.abs(delta) > self.threshold, delta, 0.0)
+            density = float((delta != 0).mean()) if delta.size else 0.0
+            densities[layer.name] = density
+
+            new_input = self._stored_inputs[index] + delta
+            new_output = layer.forward(new_input)
+
+            input_shape = self.network.layer_input_shapes[index]
+            layer_macs = layer.macs(input_shape)
+            full_macs += layer_macs
+            effective_macs += int(round(layer_macs * density))
+            weights_loaded += layer.param_count()
+
+            self._stored_inputs[index] = new_input
+            self._stored_outputs[index] = new_output
+            x = new_output
+
+        stats = DeltaFrameStats(
+            delta_densities=densities,
+            effective_macs=effective_macs,
+            full_macs=full_macs,
+            weights_loaded=weights_loaded,
+        )
+        return x, stats
+
+    # ------------------------------------------------------------------ #
+    def _to_batch(self, frame: np.ndarray) -> np.ndarray:
+        expected = self.network.input_shape[1:]
+        if frame.ndim != 2 or frame.shape != expected:
+            raise ValueError(f"frame must be {expected} grayscale, got {frame.shape}")
+        return frame[None, None, :, :]

@@ -1,0 +1,95 @@
+"""Receptive-field arithmetic.
+
+Every activation value at an AMC target layer has a *receptive field*: the
+region of input pixels that feeds it (paper Fig. 2). Activation motion
+compensation needs three numbers describing that mapping for the chosen
+prefix — the receptive field's size, stride, and padding in input-pixel
+space — because:
+
+* RFBME estimates motion at receptive-field granularity (one vector per
+  target-activation coordinate), using ``stride``-sized tiles (Fig. 7);
+* activation warping divides pixel-space vectors by ``stride`` to get
+  activation-space vectors (the δ → δ' scaling of §II-B).
+
+The propagation uses the standard receptive-field recurrence: composing a
+layer with window ``f``, stride ``s``, padding ``p`` onto a prefix with
+cumulative (size R, stride S, padding P) gives
+
+    R' = R + (f - 1) * S
+    S' = S * s
+    P' = P + p * S
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence, Tuple
+
+__all__ = ["ReceptiveField", "propagate", "receptive_field_of"]
+
+
+@dataclass(frozen=True)
+class ReceptiveField:
+    """Receptive-field geometry of one layer's outputs w.r.t. the input."""
+
+    size: int
+    stride: int
+    padding: int
+
+    def __post_init__(self):
+        if self.size < 1 or self.stride < 1 or self.padding < 0:
+            raise ValueError(f"invalid receptive field {self}")
+
+    def input_origin(self, index: int) -> int:
+        """Input coordinate of the top/left edge of output ``index``'s field.
+
+        May be negative (the field starts in the padding region, Fig. 7a).
+        """
+        return index * self.stride - self.padding
+
+    def input_extent(self, index: int) -> Tuple[int, int]:
+        """Half-open input range [start, stop) covered by output ``index``."""
+        start = self.input_origin(index)
+        return start, start + self.size
+
+    def full_tiles(self, index: int, num_tiles: int) -> Tuple[int, int]:
+        """Half-open range of stride-sized tiles fully inside this field
+        *and* inside the image (RFBME ignores partial and out-of-bounds
+        tiles, §III-A).
+
+        Tiles are ``stride`` x ``stride`` squares aligned to the image
+        origin; ``num_tiles`` is the per-axis tile count of the image.
+        """
+        start, stop = self.input_extent(index)
+        # First tile whose origin >= start; last tile whose end <= stop.
+        first = -(-start // self.stride)  # ceil division
+        last = stop // self.stride  # exclusive
+        return max(first, 0), min(last, num_tiles)
+
+    def tiles_per_field(self) -> int:
+        """Number of whole tiles spanned by one receptive field per axis."""
+        return self.size // self.stride
+
+
+def propagate(geometries: Sequence[Tuple[int, int, int]]) -> ReceptiveField:
+    """Compose per-layer (field, stride, pad) geometries into one
+    :class:`ReceptiveField` for the final layer's outputs."""
+    size, stride, padding = 1, 1, 0
+    for field, layer_stride, pad in geometries:
+        if field < 1 or layer_stride < 1 or pad < 0:
+            raise ValueError(f"invalid layer geometry {(field, layer_stride, pad)}")
+        size = size + (field - 1) * stride
+        padding = padding + pad * stride
+        stride = stride * layer_stride
+    return ReceptiveField(size=size, stride=stride, padding=padding)
+
+
+def receptive_field_of(network, target: str) -> ReceptiveField:
+    """Receptive field of ``target`` layer's outputs in ``network``.
+
+    ``network`` is a :class:`repro.nn.network.Network`; the prefix up to and
+    including ``target`` must be spatial.
+    """
+    network.validate_target(target)
+    geometries = [layer.geometry() for layer in network.prefix_layers(target)]
+    return propagate(geometries)

@@ -1,0 +1,49 @@
+"""Hardware cost models: Eyeriss + EIE + EVA2 vision processing unit."""
+
+from .cost import Cost
+from .eie import EIEModel
+from .eva2 import EVA2Model, EVA2Params
+from .eyeriss import EyerissModel
+from .fixed_point import Q8_8, UQ0_16, QFormat
+from .layer_stats import (
+    NetworkSpec,
+    alexnet_spec,
+    faster16_spec,
+    fasterm_spec,
+    spec_by_name,
+    vgg16_spec,
+)
+from .memory import EDRAM, SRAM, MemoryTech
+from .rfbme_ops import SearchParams, rfbme_ops, unoptimized_ops
+from .rle import RLEStream, decode, encode, storage_report
+from .vpu import PAPER_TARGET_LAYERS, VPUConfig, VPUModel
+
+__all__ = [
+    "Cost",
+    "EIEModel",
+    "EVA2Model",
+    "EVA2Params",
+    "EyerissModel",
+    "Q8_8",
+    "UQ0_16",
+    "QFormat",
+    "NetworkSpec",
+    "alexnet_spec",
+    "faster16_spec",
+    "fasterm_spec",
+    "spec_by_name",
+    "vgg16_spec",
+    "EDRAM",
+    "SRAM",
+    "MemoryTech",
+    "SearchParams",
+    "rfbme_ops",
+    "unoptimized_ops",
+    "RLEStream",
+    "decode",
+    "encode",
+    "storage_report",
+    "PAPER_TARGET_LAYERS",
+    "VPUConfig",
+    "VPUModel",
+]

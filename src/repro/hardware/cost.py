@@ -1,0 +1,34 @@
+"""Shared cost accounting type for the hardware models."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["Cost"]
+
+
+@dataclass(frozen=True)
+class Cost:
+    """A (latency, energy) pair. Addition composes sequential work."""
+
+    latency_ms: float
+    energy_mj: float
+
+    def __add__(self, other: "Cost") -> "Cost":
+        return Cost(self.latency_ms + other.latency_ms, self.energy_mj + other.energy_mj)
+
+    def __mul__(self, factor: float) -> "Cost":
+        return Cost(self.latency_ms * factor, self.energy_mj * factor)
+
+    __rmul__ = __mul__
+
+    @staticmethod
+    def zero() -> "Cost":
+        return Cost(0.0, 0.0)
+
+    @staticmethod
+    def sum(costs) -> "Cost":
+        total = Cost.zero()
+        for cost in costs:
+            total = total + cost
+        return total

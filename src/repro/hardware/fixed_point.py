@@ -1,0 +1,109 @@
+"""Q-format fixed-point arithmetic.
+
+EVA2's warp engine computes bilinear interpolation in 16-bit fixed point
+(paper §III-B: "shifts the final result back to a 16-bit fixed-point
+representation"). This module models that datapath bit-exactly: values are
+held as integers scaled by 2^frac_bits, multiplies produce wide
+intermediates, and results are shifted back with saturation — the same
+structure as the paper's weighting units.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["QFormat", "Q8_8", "UQ0_16"]
+
+
+@dataclass(frozen=True)
+class QFormat:
+    """A signed fixed-point format with ``int_bits``.``frac_bits`` split.
+
+    Total width is ``int_bits + frac_bits`` plus an implicit sign bit when
+    ``signed`` is true. All conversions saturate rather than wrap: the warp
+    engine's adders are saturating, and wrapping would inject enormous
+    errors into warped activations.
+    """
+
+    int_bits: int
+    frac_bits: int
+    signed: bool = True
+
+    def __post_init__(self):
+        if self.int_bits < 0 or self.frac_bits < 0:
+            raise ValueError("bit widths must be non-negative")
+        if self.int_bits + self.frac_bits == 0:
+            raise ValueError("format must have at least one bit")
+
+    @property
+    def total_bits(self) -> int:
+        """Storage width including the sign bit."""
+        return self.int_bits + self.frac_bits + (1 if self.signed else 0)
+
+    @property
+    def scale(self) -> int:
+        return 1 << self.frac_bits
+
+    @property
+    def max_raw(self) -> int:
+        return (1 << (self.int_bits + self.frac_bits)) - 1
+
+    @property
+    def min_raw(self) -> int:
+        return -(1 << (self.int_bits + self.frac_bits)) if self.signed else 0
+
+    @property
+    def max_value(self) -> float:
+        return self.max_raw / self.scale
+
+    @property
+    def min_value(self) -> float:
+        return self.min_raw / self.scale
+
+    @property
+    def resolution(self) -> float:
+        """Smallest representable increment."""
+        return 1.0 / self.scale
+
+    # ------------------------------------------------------------------ #
+    def quantize(self, values: np.ndarray) -> np.ndarray:
+        """Real values → raw integer representation (round-to-nearest,
+        saturating)."""
+        raw = np.rint(np.asarray(values, dtype=np.float64) * self.scale)
+        return np.clip(raw, self.min_raw, self.max_raw).astype(np.int64)
+
+    def dequantize(self, raw: np.ndarray) -> np.ndarray:
+        """Raw integers → real values."""
+        return np.asarray(raw, dtype=np.float64) / self.scale
+
+    def roundtrip(self, values: np.ndarray) -> np.ndarray:
+        """Quantize then dequantize — the value the hardware would hold."""
+        return self.dequantize(self.quantize(values))
+
+    def multiply(self, raw_a: np.ndarray, raw_b: np.ndarray) -> np.ndarray:
+        """Fixed-point multiply: wide intermediate, shift back, saturate.
+
+        Mirrors the warp engine's weighting units, which compute wide
+        products and shift the sum back to 16 bits (paper Fig. 11).
+        """
+        wide = np.asarray(raw_a, dtype=np.int64) * np.asarray(raw_b, dtype=np.int64)
+        shifted = wide >> self.frac_bits
+        return np.clip(shifted, self.min_raw, self.max_raw)
+
+    def add(self, raw_a: np.ndarray, raw_b: np.ndarray) -> np.ndarray:
+        """Saturating fixed-point addition."""
+        total = np.asarray(raw_a, dtype=np.int64) + np.asarray(raw_b, dtype=np.int64)
+        return np.clip(total, self.min_raw, self.max_raw)
+
+    def quantization_error(self, values: np.ndarray) -> float:
+        """Max absolute round-trip error over ``values``."""
+        return float(np.max(np.abs(self.roundtrip(values) - np.asarray(values))))
+
+
+#: The warp engine's activation format: 16-bit signed, 8 integer / 7 frac.
+Q8_8 = QFormat(int_bits=8, frac_bits=7, signed=True)
+
+#: Motion-vector fractional bits (u, v in [0, 1)): unsigned pure fraction.
+UQ0_16 = QFormat(int_bits=0, frac_bits=16, signed=False)

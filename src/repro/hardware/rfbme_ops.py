@@ -1,0 +1,67 @@
+"""Analytic RFBME operation-count formulas — paper §IV-A.
+
+These are the closed forms the paper uses to compare motion-estimation
+cost against the skipped CNN prefix:
+
+    unoptimized ops = (layer_w * layer_h) * (2r/s)^2 * rfield_size^2
+    RFBME ops       = unoptimized / rfield_stride^2
+                    + (layer_w * layer_h) * (rfield_size / rfield_stride)^2
+
+They live in :mod:`repro.hardware` because the EVA2 energy model costs
+motion estimation with them; :mod:`repro.analysis.first_order` wraps them
+into the full §IV-A report.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["SearchParams", "unoptimized_ops", "rfbme_ops"]
+
+
+@dataclass(frozen=True)
+class SearchParams:
+    """RFBME search geometry for the analytic model.
+
+    The paper's Faster16 example implies (2*radius/stride)^2 = 36 search
+    offsets; radius 24 / stride 8 is the matching configuration for a
+    receptive-field stride of 16.
+    """
+
+    search_radius: int = 24
+    search_stride: int = 8
+
+    def __post_init__(self):
+        if self.search_radius < 1 or self.search_stride < 1:
+            raise ValueError(f"invalid search params {self}")
+
+    @property
+    def offsets_squared(self) -> float:
+        return (2 * self.search_radius / self.search_stride) ** 2
+
+
+def unoptimized_ops(
+    layer_width: int,
+    layer_height: int,
+    rfield_size: int,
+    search: SearchParams,
+) -> float:
+    """Adds for exhaustive per-receptive-field matching (no tile reuse)."""
+    if layer_width < 1 or layer_height < 1 or rfield_size < 1:
+        raise ValueError("layer dims and rfield_size must be >= 1")
+    return layer_width * layer_height * search.offsets_squared * rfield_size**2
+
+
+def rfbme_ops(
+    layer_width: int,
+    layer_height: int,
+    rfield_size: int,
+    rfield_stride: int,
+    search: SearchParams,
+) -> float:
+    """Adds for RFBME with tile reuse."""
+    if rfield_stride < 1:
+        raise ValueError(f"rfield_stride must be >= 1, got {rfield_stride}")
+    base = unoptimized_ops(layer_width, layer_height, rfield_size, search)
+    recombine = layer_width * layer_height * (rfield_size / rfield_stride) ** 2
+    return base / rfield_stride**2 + recombine

@@ -1,0 +1,150 @@
+"""Whole vision-processing-unit cost model — paper Fig. 5, Fig. 13, Table I.
+
+Composes the three units:
+
+* Eyeriss executes convolutional layers,
+* EIE executes fully-connected layers,
+* EVA2 performs motion estimation, the key/predicted decision, and
+  activation warping.
+
+Frame cost accounting (per paper §III):
+
+* ``orig`` (baseline, no EVA2) — all layers, every frame.
+* key frame — all layers plus EVA2's motion-estimation + store overhead.
+* predicted frame — EVA2 (ME + warp) plus only the suffix layers: any
+  spatial conv layers after the target on Eyeriss, the FC head on EIE.
+
+Latency composes additively (the units are invoked serially per frame in
+the paper's design), energy likewise.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+from .cost import Cost
+from .eie import EIEModel
+from .eva2 import EVA2Model, EVA2Params
+from .eyeriss import EyerissModel
+from .layer_stats import NetworkSpec, spec_by_name
+from .rfbme_ops import SearchParams
+
+__all__ = ["VPUConfig", "VPUModel", "PAPER_TARGET_LAYERS"]
+
+#: AMC target layers for the paper's three networks: the last spatial
+#: layer of the backbone (the layer whose activation is warped). The RPN
+#: convolutions consume the warped features, so they sit in the suffix.
+PAPER_TARGET_LAYERS = {
+    "AlexNet": "conv5",
+    "Faster16": "conv5_3",
+    "FasterM": "conv5",
+}
+
+
+@dataclass(frozen=True)
+class VPUConfig:
+    """Configuration of one VPU deployment."""
+
+    target_layer: Optional[str] = None  # None: the paper's choice
+    #: nonzero fraction of the stored activation.
+    density: float = 0.2
+    #: memoization mode skips the warp (AlexNet's configuration, §IV-E1).
+    memoize: bool = False
+    search: Optional[SearchParams] = None
+
+
+class VPUModel:
+    """Per-frame energy/latency model for one network on the full VPU."""
+
+    def __init__(self, spec_or_name, config: Optional[VPUConfig] = None):
+        if isinstance(spec_or_name, str):
+            self.spec: NetworkSpec = spec_by_name(spec_or_name)
+        else:
+            self.spec = spec_or_name
+        self.config = config or VPUConfig()
+        self.target = self.config.target_layer or PAPER_TARGET_LAYERS.get(
+            self.spec.name, self.spec.last_spatial_layer()
+        )
+
+        self.eyeriss = EyerissModel(self.spec.name)
+        self.eie = EIEModel()
+
+        rf_size, rf_stride, _ = self.spec.receptive_field(self.target)
+        channels, grid_h, grid_w = self.spec.layer(self.target).out_shape
+        _, in_h, in_w = self.spec.input_shape
+        search = self.config.search or SearchParams(
+            search_radius=max(rf_stride + rf_stride // 2, 1),
+            search_stride=max(rf_stride // 2, 1),
+        )
+        self.eva2 = EVA2Model(
+            EVA2Params(
+                frame_height=in_h,
+                frame_width=in_w,
+                rfield_size=rf_size,
+                rfield_stride=rf_stride,
+                grid_height=grid_h,
+                grid_width=grid_w,
+                channels=channels,
+                density=self.config.density,
+                search=search,
+            )
+        )
+
+    # ------------------------------------------------------------------ #
+    def _layer_cost(self, stats) -> Dict[str, Cost]:
+        """Split a layer list between Eyeriss (conv) and EIE (fc)."""
+        conv_macs = sum(s.macs for s in stats if s.kind == "conv")
+        fc_macs = sum(s.macs for s in stats if s.kind == "fc")
+        return {
+            "eyeriss": Cost(
+                self.eyeriss.latency_ms(conv_macs), self.eyeriss.energy_mj(conv_macs)
+            ),
+            "eie": Cost(self.eie.latency_ms(fc_macs), self.eie.energy_mj(fc_macs)),
+        }
+
+    def baseline_frame_cost(self) -> Dict[str, Cost]:
+        """The paper's ``orig``: the unmodified accelerator, no EVA2."""
+        breakdown = self._layer_cost(self.spec.stats)
+        breakdown["eva2"] = Cost.zero()
+        return breakdown
+
+    def key_frame_cost(self) -> Dict[str, Cost]:
+        """Full network plus EVA2's decision + store overhead."""
+        breakdown = self._layer_cost(self.spec.stats)
+        breakdown["eva2"] = self.eva2.key_frame_cost()
+        return breakdown
+
+    def predicted_frame_cost(self) -> Dict[str, Cost]:
+        """EVA2 plus the CNN suffix only."""
+        breakdown = self._layer_cost(self.spec.suffix_stats(self.target))
+        eva2 = self.eva2.motion_estimation_cost()
+        if not self.config.memoize:
+            eva2 = eva2 + self.eva2.warp_cost()
+        breakdown["eva2"] = eva2
+        return breakdown
+
+    # ------------------------------------------------------------------ #
+    @staticmethod
+    def total(breakdown: Dict[str, Cost]) -> Cost:
+        return Cost.sum(breakdown.values())
+
+    def average_frame_cost(self, key_fraction: float) -> Cost:
+        """Weighted mix of key and predicted frames (Table I ``avg``)."""
+        if not 0.0 <= key_fraction <= 1.0:
+            raise ValueError(f"key_fraction must be in [0, 1], got {key_fraction}")
+        key = self.total(self.key_frame_cost())
+        predicted = self.total(self.predicted_frame_cost())
+        return key_fraction * key + (1.0 - key_fraction) * predicted
+
+    def area_breakdown(self) -> Dict[str, float]:
+        """Fig. 12: die area of the three units."""
+        eva2 = self.eva2.area_mm2
+        total = self.eyeriss.area_mm2 + self.eie.area_mm2 + eva2
+        return {
+            "eyeriss_mm2": self.eyeriss.area_mm2,
+            "eie_mm2": self.eie.area_mm2,
+            "eva2_mm2": eva2,
+            "eva2_fraction": eva2 / total,
+            "total_mm2": total,
+        }

@@ -1,0 +1,25 @@
+"""Motion estimation algorithm library.
+
+All estimators return backward-warp :class:`VectorField` objects — see
+:mod:`repro.motion.vector_field` for the convention. RFBME itself lives in
+:mod:`repro.core.rfbme` because it is part of the paper's contribution;
+the algorithms here are the baselines it is compared against (Fig. 14) and
+the codec-style matchers it descends from.
+"""
+
+from .block_matching import BlockMatchResult, block_match
+from .coarse_flow import pyramid_flow
+from .horn_schunck import horn_schunck
+from .lucas_kanade import lucas_kanade
+from .vector_field import VectorField, pool_to_grid, zero_field
+
+__all__ = [
+    "BlockMatchResult",
+    "block_match",
+    "pyramid_flow",
+    "horn_schunck",
+    "lucas_kanade",
+    "VectorField",
+    "pool_to_grid",
+    "zero_field",
+]

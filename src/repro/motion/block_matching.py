@@ -1,0 +1,188 @@
+"""Classic block-matching motion estimation.
+
+The algorithms video codecs use (paper §II-C1, refs [19, 20]): the current
+frame is cut into fixed-size blocks and each block searches a window of the
+reference frame for its best match under sum-of-absolute-differences (SAD).
+
+Three search organisations are provided:
+
+* ``exhaustive`` — every offset in the window (the quality ceiling; RFBME's
+  producer uses a subsampled version of this search);
+* ``three_step`` — the logarithmic three-step search of Li, Zeng & Liou;
+* ``diamond`` — the diamond search of Zhu & Ma.
+
+All return backward vectors (see :mod:`repro.motion.vector_field`) on the
+block grid, with SAD statistics and comparison counts for cost analysis.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Tuple
+
+import numpy as np
+
+from .vector_field import VectorField
+
+__all__ = ["BlockMatchResult", "block_match"]
+
+_METHODS = ("exhaustive", "three_step", "diamond")
+
+
+@dataclass
+class BlockMatchResult:
+    """Block-granularity motion field plus match diagnostics."""
+
+    field: VectorField  # (n_by, n_bx, 2) backward vectors in pixels
+    block_size: int
+    #: per-block minimum SAD, normalised per pixel.
+    errors: np.ndarray
+    #: number of candidate blocks compared (cost proxy).
+    comparisons: int
+
+    def dense(self, shape: Tuple[int, int]) -> VectorField:
+        """Upsample to pixel granularity by block replication."""
+        height, width = shape
+        reps = self.field.data.repeat(self.block_size, axis=0).repeat(
+            self.block_size, axis=1
+        )
+        out = np.zeros((height, width, 2))
+        h = min(height, reps.shape[0])
+        w = min(width, reps.shape[1])
+        out[:h, :w] = reps[:h, :w]
+        return VectorField(out)
+
+
+def _sad(
+    reference: np.ndarray,
+    block: np.ndarray,
+    origin_y: int,
+    origin_x: int,
+    dy: int,
+    dx: int,
+) -> float:
+    """SAD of ``block`` against the reference at (origin + offset).
+
+    Returns inf when the candidate window leaves the reference frame.
+    """
+    size_y, size_x = block.shape
+    y0, x0 = origin_y + dy, origin_x + dx
+    if y0 < 0 or x0 < 0 or y0 + size_y > reference.shape[0] or x0 + size_x > reference.shape[1]:
+        return np.inf
+    return float(np.abs(block - reference[y0 : y0 + size_y, x0 : x0 + size_x]).sum())
+
+
+def _search_exhaustive(radius: int, stride: int) -> List[Tuple[int, int]]:
+    offsets = range(-radius, radius + 1, stride)
+    return [(dy, dx) for dy in offsets for dx in offsets]
+
+
+def _refine(
+    reference: np.ndarray,
+    block: np.ndarray,
+    origin: Tuple[int, int],
+    start: Tuple[int, int],
+    pattern: List[Tuple[int, int]],
+    best_cost: float,
+    comparisons: int,
+    max_steps: int = 32,
+) -> Tuple[Tuple[int, int], float, int]:
+    """Greedy pattern descent shared by three-step and diamond searches."""
+    current = start
+    for _ in range(max_steps):
+        improved = False
+        for dy, dx in pattern:
+            candidate = (current[0] + dy, current[1] + dx)
+            cost = _sad(reference, block, origin[0], origin[1], *candidate)
+            comparisons += 1
+            if cost < best_cost:
+                best_cost, current, improved = cost, candidate, True
+        if not improved:
+            break
+    return current, best_cost, comparisons
+
+
+def block_match(
+    reference: np.ndarray,
+    current: np.ndarray,
+    block_size: int = 8,
+    search_radius: int = 12,
+    method: str = "exhaustive",
+    search_stride: int = 1,
+) -> BlockMatchResult:
+    """Match ``current``'s blocks against ``reference``.
+
+    Vectors follow the backward convention: ``field[by, bx]`` is where the
+    block's content came from in the reference.
+    """
+    if reference.shape != current.shape:
+        raise ValueError(f"shape mismatch {reference.shape} vs {current.shape}")
+    if reference.ndim != 2:
+        raise ValueError(f"frames must be 2D grayscale, got {reference.shape}")
+    if method not in _METHODS:
+        raise ValueError(f"method must be one of {_METHODS}, got {method!r}")
+    if block_size < 1 or search_radius < 0 or search_stride < 1:
+        raise ValueError("block_size/search_stride must be >= 1, radius >= 0")
+
+    height, width = current.shape
+    n_by, n_bx = height // block_size, width // block_size
+    if n_by == 0 or n_bx == 0:
+        raise ValueError(f"frame {current.shape} smaller than one block")
+
+    field = np.zeros((n_by, n_bx, 2))
+    errors = np.zeros((n_by, n_bx))
+    comparisons = 0
+
+    for by in range(n_by):
+        for bx in range(n_bx):
+            oy, ox = by * block_size, bx * block_size
+            block = current[oy : oy + block_size, ox : ox + block_size]
+            zero_cost = _sad(reference, block, oy, ox, 0, 0)
+            comparisons += 1
+            best_offset, best_cost = (0, 0), zero_cost
+
+            if method == "exhaustive":
+                for dy, dx in _search_exhaustive(search_radius, search_stride):
+                    cost = _sad(reference, block, oy, ox, dy, dx)
+                    comparisons += 1
+                    if cost < best_cost:
+                        best_cost, best_offset = cost, (dy, dx)
+            elif method == "three_step":
+                step = max(search_radius // 2, 1)
+                while True:
+                    pattern = [
+                        (dy, dx)
+                        for dy in (-step, 0, step)
+                        for dx in (-step, 0, step)
+                        if (dy, dx) != (0, 0)
+                    ]
+                    best_offset, best_cost, comparisons = _refine(
+                        reference, block, (oy, ox), best_offset, pattern,
+                        best_cost, comparisons, max_steps=1,
+                    )
+                    if step == 1:
+                        break
+                    step //= 2
+            else:  # diamond
+                large = [(-2, 0), (2, 0), (0, -2), (0, 2), (-1, -1), (-1, 1), (1, -1), (1, 1)]
+                best_offset, best_cost, comparisons = _refine(
+                    reference, block, (oy, ox), best_offset, large,
+                    best_cost, comparisons,
+                )
+                small = [(-1, 0), (1, 0), (0, -1), (0, 1)]
+                best_offset, best_cost, comparisons = _refine(
+                    reference, block, (oy, ox), best_offset, small,
+                    best_cost, comparisons, max_steps=1,
+                )
+
+            field[by, bx] = best_offset
+            errors[by, bx] = (
+                best_cost / (block_size * block_size) if np.isfinite(best_cost) else 0.0
+            )
+
+    return BlockMatchResult(
+        field=VectorField(field),
+        block_size=block_size,
+        errors=errors,
+        comparisons=comparisons,
+    )

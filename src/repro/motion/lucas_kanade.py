@@ -1,0 +1,70 @@
+"""Dense Lucas–Kanade optical flow (paper ref [22], evaluated in Fig. 14).
+
+Solves, at every pixel, the local least-squares system
+
+    [ Σw Ix²   Σw IxIy ] [vx]   [ Σw Ix It ]
+    [ Σw IxIy  Σw Iy²  ] [vy] = [ Σw Iy It ]
+
+with Gaussian-weighted neighbourhood sums. We estimate *backward* flow —
+``current(p) ≈ reference(p + v)`` — by differentiating the reference frame
+and taking the temporal difference ``It = current - reference``, so the
+result plugs straight into activation warping after receptive-field
+pooling.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from scipy import ndimage
+
+from .vector_field import VectorField
+
+__all__ = ["lucas_kanade"]
+
+#: Eigenvalue floor: below this the local system is considered degenerate
+#: (flat patch / aperture problem) and the flow is left at zero.
+_MIN_EIGEN = 1e-6
+
+
+def lucas_kanade(
+    reference: np.ndarray,
+    current: np.ndarray,
+    window_sigma: float = 2.0,
+) -> VectorField:
+    """Backward dense flow from ``reference`` to ``current``.
+
+    ``window_sigma`` sets the Gaussian integration window; larger windows
+    are more robust but blur motion boundaries.
+    """
+    if reference.shape != current.shape:
+        raise ValueError(f"shape mismatch {reference.shape} vs {current.shape}")
+    if reference.ndim != 2:
+        raise ValueError(f"frames must be 2D grayscale, got {reference.shape}")
+    if window_sigma <= 0:
+        raise ValueError(f"window_sigma must be positive, got {window_sigma}")
+
+    grad_y, grad_x = np.gradient(reference)
+    grad_t = current - reference
+
+    def smooth(img: np.ndarray) -> np.ndarray:
+        return ndimage.gaussian_filter(img, window_sigma, mode="nearest")
+
+    sxx = smooth(grad_x * grad_x)
+    sxy = smooth(grad_x * grad_y)
+    syy = smooth(grad_y * grad_y)
+    sxt = smooth(grad_x * grad_t)
+    syt = smooth(grad_y * grad_t)
+
+    # Closed-form 2x2 solve with determinant/trace guards.
+    det = sxx * syy - sxy * sxy
+    trace = sxx + syy
+    # Smaller eigenvalue of the structure tensor.
+    lambda_min = trace / 2 - np.sqrt(np.maximum(trace**2 / 4 - det, 0.0))
+    valid = lambda_min > _MIN_EIGEN
+
+    safe_det = np.where(valid, det, 1.0)
+    vx = np.where(valid, (syy * sxt - sxy * syt) / safe_det, 0.0)
+    vy = np.where(valid, (sxx * syt - sxy * sxt) / safe_det, 0.0)
+
+    field = np.stack([vy, vx], axis=-1)
+    return VectorField(field)

@@ -1,0 +1,124 @@
+"""Motion vector fields.
+
+All motion estimators in this library produce a :class:`VectorField` in the
+*backward-warp* convention: ``data[y, x] = (dy, dx)`` means the content now
+at position (y, x) of the current frame came from position
+(y + dy, x + dx) of the reference (key) frame. This is exactly the lookup
+direction activation warping needs — for each predicted activation
+coordinate, where in the stored key activation to sample.
+
+Fields can live at two granularities:
+
+* pixel granularity — one vector per pixel (optical-flow methods);
+* receptive-field granularity — one vector per target-activation
+  coordinate (RFBME's native output).
+
+:func:`pool_to_grid` converts the former to the latter by averaging vectors
+over each receptive field, which is how the paper adapts Lucas–Kanade and
+FlowNet output for AMC (§IV-E2).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Tuple
+
+import numpy as np
+
+if TYPE_CHECKING:  # avoid a circular import; only needed for annotations
+    from ..core.receptive_field import ReceptiveField
+
+__all__ = ["VectorField", "pool_to_grid", "zero_field"]
+
+
+@dataclass
+class VectorField:
+    """A (H, W, 2) array of backward-warp displacement vectors, in pixels.
+
+    ``grid_shape`` is (H, W) of the field itself; the vectors are always in
+    input-pixel units regardless of granularity (scaling to activation
+    units happens in the warp step, dividing by the receptive-field
+    stride).
+    """
+
+    data: np.ndarray
+
+    def __post_init__(self):
+        self.data = np.asarray(self.data, dtype=np.float64)
+        if self.data.ndim != 3 or self.data.shape[2] != 2:
+            raise ValueError(f"vector field must be (H, W, 2), got {self.data.shape}")
+
+    @property
+    def grid_shape(self) -> Tuple[int, int]:
+        return self.data.shape[0], self.data.shape[1]
+
+    def magnitudes(self) -> np.ndarray:
+        """Per-vector Euclidean magnitude."""
+        return np.hypot(self.data[..., 0], self.data[..., 1])
+
+    def total_magnitude(self) -> float:
+        """Sum of vector magnitudes — the paper's 'total motion magnitude'
+        key-frame metric (§II-C4)."""
+        return float(self.magnitudes().sum())
+
+    def mean_magnitude(self) -> float:
+        return float(self.magnitudes().mean()) if self.data.size else 0.0
+
+    def scaled(self, factor: float) -> "VectorField":
+        """A copy with every vector multiplied by ``factor``."""
+        return VectorField(self.data * factor)
+
+    def negated(self) -> "VectorField":
+        """Flip between forward and backward conventions."""
+        return VectorField(-self.data)
+
+    def endpoint_error(self, other: "VectorField") -> float:
+        """Mean Euclidean distance between corresponding vectors."""
+        if self.grid_shape != other.grid_shape:
+            raise ValueError(
+                f"grid mismatch {self.grid_shape} vs {other.grid_shape}"
+            )
+        diff = self.data - other.data
+        return float(np.hypot(diff[..., 0], diff[..., 1]).mean())
+
+
+def zero_field(height: int, width: int) -> VectorField:
+    """An all-zero field (the 'no motion' hypothesis)."""
+    return VectorField(np.zeros((height, width, 2)))
+
+
+def pool_to_grid(
+    pixel_field: VectorField, rf: "ReceptiveField", grid_shape: Tuple[int, int]
+) -> VectorField:
+    """Average a pixel-granularity field over each receptive field.
+
+    For each target-activation coordinate, averages the pixel vectors whose
+    positions fall inside that coordinate's receptive field (clipped to the
+    image). This is the conversion the paper applies to pixel-level optical
+    flow before warping (§IV-E2).
+    """
+    height, width = pixel_field.grid_shape
+    out_h, out_w = grid_shape
+    pooled = np.zeros((out_h, out_w, 2))
+    # Integral image over each component for O(1) box averages.
+    integral = np.zeros((height + 1, width + 1, 2))
+    integral[1:, 1:] = pixel_field.data.cumsum(axis=0).cumsum(axis=1)
+
+    for i in range(out_h):
+        y0, y1 = rf.input_extent(i)
+        y0, y1 = max(y0, 0), min(y1, height)
+        if y0 >= y1:
+            continue
+        for j in range(out_w):
+            x0, x1 = rf.input_extent(j)
+            x0, x1 = max(x0, 0), min(x1, width)
+            if x0 >= x1:
+                continue
+            box = (
+                integral[y1, x1]
+                - integral[y0, x1]
+                - integral[y1, x0]
+                + integral[y0, x0]
+            )
+            pooled[i, j] = box / ((y1 - y0) * (x1 - x0))
+    return VectorField(pooled)

@@ -1,0 +1,36 @@
+"""Weight initialisers.
+
+All initialisers take an explicit ``numpy.random.Generator`` so every network
+in the repository is reproducible from a seed — benches train the accuracy
+networks on first use and must get identical weights every run.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+__all__ = ["kaiming_conv", "kaiming_linear", "zeros"]
+
+
+def kaiming_conv(
+    shape: Tuple[int, int, int, int], rng: np.random.Generator
+) -> np.ndarray:
+    """He-normal init for conv weights (out_c, in_c, kh, kw)."""
+    out_c, in_c, kh, kw = shape
+    fan_in = in_c * kh * kw
+    std = np.sqrt(2.0 / fan_in)
+    return rng.normal(0.0, std, size=shape)
+
+
+def kaiming_linear(shape: Tuple[int, int], rng: np.random.Generator) -> np.ndarray:
+    """He-normal init for linear weights (out_features, in_features)."""
+    fan_in = shape[1]
+    std = np.sqrt(2.0 / fan_in)
+    return rng.normal(0.0, std, size=shape)
+
+
+def zeros(shape) -> np.ndarray:
+    """Zero init (biases)."""
+    return np.zeros(shape)

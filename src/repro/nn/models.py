@@ -1,0 +1,147 @@
+"""The three evaluation networks, scaled to the synthetic substrate.
+
+The paper studies AlexNet (classification), FasterM (detection, shallow
+CNN-M prefix) and Faster16 (detection, deep VGG-16 prefix). Our analogues
+keep the structural properties AMC interacts with:
+
+* a purely convolutional, spatial prefix (convs + pools + ReLUs),
+* a non-spatial fully-connected suffix (the task head),
+* MiniFaster16 is roughly twice as deep as MiniFasterM, so its prefix
+  accumulates more warping error and costs more MACs — the same relative
+  position the real pair occupies.
+
+Detection networks output ``NUM_CLASSES`` class logits followed by 4 box
+coordinates (cx, cy, w, h, normalised to [0, 1]).
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+from ..video.sprites import NUM_CLASSES
+from .layers import Conv2d, Flatten, Linear, MaxPool2d, ReLU
+from .network import Network
+
+__all__ = [
+    "INPUT_SHAPE",
+    "DETECTION_OUTPUTS",
+    "build_mini_alexnet",
+    "build_mini_fasterm",
+    "build_mini_faster16",
+    "build_network",
+    "split_detection_output",
+]
+
+#: All networks consume 64x64 grayscale frames.
+INPUT_SHAPE: Tuple[int, int, int] = (1, 64, 64)
+
+#: Detection head width: class logits + (cx, cy, w, h).
+DETECTION_OUTPUTS = NUM_CLASSES + 4
+
+
+def build_mini_alexnet(seed: int = 0) -> Network:
+    """Classification network: 5 convs (two strided stages) + 2 FC."""
+    rng = np.random.default_rng(seed)
+    layers = [
+        Conv2d("conv1", 1, 8, kernel=5, stride=2, pad=2, rng=rng),
+        ReLU("relu1"),
+        MaxPool2d("pool1", field=2, stride=2),
+        Conv2d("conv2", 8, 16, kernel=3, stride=1, pad=1, rng=rng),
+        ReLU("relu2"),
+        MaxPool2d("pool2", field=2, stride=2),
+        Conv2d("conv3", 16, 24, kernel=3, stride=1, pad=1, rng=rng),
+        ReLU("relu3"),
+        Conv2d("conv4", 24, 24, kernel=3, stride=1, pad=1, rng=rng),
+        ReLU("relu4"),
+        Conv2d("conv5", 24, 16, kernel=3, stride=1, pad=1, rng=rng),
+        ReLU("relu5"),
+        Flatten("flatten"),
+        Linear("fc1", 16 * 8 * 8, 64, rng=rng),
+        ReLU("relu_fc1"),
+        Linear("fc2", 64, NUM_CLASSES, rng=rng),
+    ]
+    return Network("mini_alexnet", layers, INPUT_SHAPE)
+
+
+def build_mini_fasterm(seed: int = 1) -> Network:
+    """Shallow detection network (CNN-M analogue): 5 convs + 2-FC head."""
+    rng = np.random.default_rng(seed)
+    layers = [
+        Conv2d("conv1", 1, 8, kernel=5, stride=2, pad=2, rng=rng),
+        ReLU("relu1"),
+        MaxPool2d("pool1", field=2, stride=2),
+        Conv2d("conv2", 8, 16, kernel=3, stride=1, pad=1, rng=rng),
+        ReLU("relu2"),
+        Conv2d("conv3", 16, 24, kernel=3, stride=1, pad=1, rng=rng),
+        ReLU("relu3"),
+        MaxPool2d("pool2", field=2, stride=2),
+        Conv2d("conv4", 24, 24, kernel=3, stride=1, pad=1, rng=rng),
+        ReLU("relu4"),
+        Conv2d("conv5", 24, 16, kernel=3, stride=1, pad=1, rng=rng),
+        ReLU("relu5"),
+        Flatten("flatten"),
+        Linear("fc1", 16 * 8 * 8, 96, rng=rng),
+        ReLU("relu_fc1"),
+        Linear("fc2", 96, DETECTION_OUTPUTS, rng=rng),
+    ]
+    return Network("mini_fasterm", layers, INPUT_SHAPE)
+
+
+def build_mini_faster16(seed: int = 2) -> Network:
+    """Deep detection network (VGG-16 analogue): 8 convs + 2-FC head.
+
+    Twice MiniFasterM's conv depth and wider channels, so its prefix is both
+    the biggest AMC saving and the biggest warping-error accumulator.
+    """
+    rng = np.random.default_rng(seed)
+    layers = [
+        Conv2d("conv1_1", 1, 8, kernel=3, stride=1, pad=1, rng=rng),
+        ReLU("relu1_1"),
+        Conv2d("conv1_2", 8, 8, kernel=3, stride=1, pad=1, rng=rng),
+        ReLU("relu1_2"),
+        MaxPool2d("pool1", field=2, stride=2),
+        Conv2d("conv2_1", 8, 16, kernel=3, stride=1, pad=1, rng=rng),
+        ReLU("relu2_1"),
+        Conv2d("conv2_2", 16, 16, kernel=3, stride=1, pad=1, rng=rng),
+        ReLU("relu2_2"),
+        MaxPool2d("pool2", field=2, stride=2),
+        Conv2d("conv3_1", 16, 24, kernel=3, stride=1, pad=1, rng=rng),
+        ReLU("relu3_1"),
+        Conv2d("conv3_2", 24, 24, kernel=3, stride=1, pad=1, rng=rng),
+        ReLU("relu3_2"),
+        MaxPool2d("pool3", field=2, stride=2),
+        Conv2d("conv4_1", 24, 32, kernel=3, stride=1, pad=1, rng=rng),
+        ReLU("relu4_1"),
+        Conv2d("conv4_2", 32, 16, kernel=3, stride=1, pad=1, rng=rng),
+        ReLU("relu4_2"),
+        Flatten("flatten"),
+        Linear("fc1", 16 * 8 * 8, 96, rng=rng),
+        ReLU("relu_fc1"),
+        Linear("fc2", 96, DETECTION_OUTPUTS, rng=rng),
+    ]
+    return Network("mini_faster16", layers, INPUT_SHAPE)
+
+
+_BUILDERS = {
+    "mini_alexnet": build_mini_alexnet,
+    "mini_fasterm": build_mini_fasterm,
+    "mini_faster16": build_mini_faster16,
+}
+
+
+def build_network(name: str) -> Network:
+    """Build an untrained network by name."""
+    if name not in _BUILDERS:
+        raise KeyError(f"unknown network {name!r}; have {sorted(_BUILDERS)}")
+    return _BUILDERS[name]()
+
+
+def split_detection_output(output: np.ndarray):
+    """Split a detection head's (N, K+4) output into (logits, boxes)."""
+    if output.shape[-1] != DETECTION_OUTPUTS:
+        raise ValueError(
+            f"expected {DETECTION_OUTPUTS} outputs, got {output.shape[-1]}"
+        )
+    return output[..., :NUM_CLASSES], output[..., NUM_CLASSES:]

@@ -1,0 +1,108 @@
+"""Optimisers for training the accuracy-experiment networks.
+
+Plain SGD with momentum matches the Caffe recipes the paper trains with;
+Adam is provided because the synthetic-task networks converge in far fewer
+steps with it, keeping the benches fast.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Sequence
+
+import numpy as np
+
+from .layers import Layer
+
+__all__ = ["Optimizer", "SGD", "Adam"]
+
+
+class Optimizer:
+    """Base optimiser over a set of layers (optionally a subset: the suffix)."""
+
+    def __init__(self, layers: Sequence[Layer]):
+        self.layers = list(layers)
+
+    def step(self) -> None:
+        raise NotImplementedError
+
+    def zero_grad(self) -> None:
+        for layer in self.layers:
+            layer.zero_grad()
+
+
+class SGD(Optimizer):
+    """Stochastic gradient descent with momentum and weight decay."""
+
+    def __init__(
+        self,
+        layers: Sequence[Layer],
+        lr: float = 0.01,
+        momentum: float = 0.9,
+        weight_decay: float = 0.0,
+    ):
+        super().__init__(layers)
+        if lr <= 0:
+            raise ValueError(f"learning rate must be positive, got {lr}")
+        self.lr = lr
+        self.momentum = momentum
+        self.weight_decay = weight_decay
+        self._velocity: Dict[int, Dict[str, np.ndarray]] = {}
+
+    def step(self) -> None:
+        for layer in self.layers:
+            vel = self._velocity.setdefault(id(layer), {})
+            for key, param in layer.params.items():
+                grad = layer.grads[key]
+                if self.weight_decay:
+                    grad = grad + self.weight_decay * param
+                v = vel.get(key)
+                if v is None:
+                    v = np.zeros_like(param)
+                v = self.momentum * v - self.lr * grad
+                vel[key] = v
+                param += v
+
+
+class Adam(Optimizer):
+    """Adam optimiser (Kingma & Ba)."""
+
+    def __init__(
+        self,
+        layers: Sequence[Layer],
+        lr: float = 1e-3,
+        betas=(0.9, 0.999),
+        eps: float = 1e-8,
+        weight_decay: float = 0.0,
+    ):
+        super().__init__(layers)
+        if lr <= 0:
+            raise ValueError(f"learning rate must be positive, got {lr}")
+        self.lr = lr
+        self.beta1, self.beta2 = betas
+        self.eps = eps
+        self.weight_decay = weight_decay
+        self._m: Dict[int, Dict[str, np.ndarray]] = {}
+        self._v: Dict[int, Dict[str, np.ndarray]] = {}
+        self._t = 0
+
+    def step(self) -> None:
+        self._t += 1
+        bias1 = 1.0 - self.beta1**self._t
+        bias2 = 1.0 - self.beta2**self._t
+        for layer in self.layers:
+            m_state = self._m.setdefault(id(layer), {})
+            v_state = self._v.setdefault(id(layer), {})
+            for key, param in layer.params.items():
+                grad = layer.grads[key]
+                if self.weight_decay:
+                    grad = grad + self.weight_decay * param
+                m = m_state.get(key)
+                v = v_state.get(key)
+                if m is None:
+                    m = np.zeros_like(param)
+                    v = np.zeros_like(param)
+                m = self.beta1 * m + (1 - self.beta1) * grad
+                v = self.beta2 * v + (1 - self.beta2) * grad**2
+                m_state[key] = m
+                v_state[key] = v
+                param -= self.lr * (m / bias1) / (np.sqrt(v / bias2) + self.eps)

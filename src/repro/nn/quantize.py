@@ -1,0 +1,55 @@
+"""Activation quantization for fixed-point inference.
+
+EVA2 stores and warps activations in 16-bit fixed point. The accuracy
+experiments therefore optionally run the AMC datapath through
+:class:`repro.hardware.fixed_point.QFormat` round-trips. This module picks
+per-tensor formats and measures the quantization impact.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..hardware.fixed_point import QFormat
+
+__all__ = ["choose_format", "quantize_activation", "QuantStats"]
+
+
+@dataclass(frozen=True)
+class QuantStats:
+    """Quantization quality report for one tensor."""
+
+    max_abs_error: float
+    mean_abs_error: float
+    saturated_fraction: float
+
+
+def choose_format(values: np.ndarray, total_bits: int = 16) -> QFormat:
+    """Pick the Q-format with the fewest integer bits that avoids saturation.
+
+    Mirrors how a hardware designer sizes the warp-engine datapath: enough
+    integer bits for the observed dynamic range, all remaining bits spent on
+    fraction.
+    """
+    if total_bits < 2:
+        raise ValueError("need at least sign + 1 value bit")
+    peak = float(np.max(np.abs(values))) if values.size else 0.0
+    int_bits = 0
+    while (1 << int_bits) <= peak and int_bits < total_bits - 1:
+        int_bits += 1
+    return QFormat(int_bits=int_bits, frac_bits=total_bits - 1 - int_bits, signed=True)
+
+
+def quantize_activation(values: np.ndarray, fmt: QFormat):
+    """Round-trip ``values`` through ``fmt``; return (quantized, stats)."""
+    quantized = fmt.roundtrip(values)
+    err = np.abs(quantized - values)
+    saturated = np.logical_or(values > fmt.max_value, values < fmt.min_value)
+    stats = QuantStats(
+        max_abs_error=float(err.max()) if err.size else 0.0,
+        mean_abs_error=float(err.mean()) if err.size else 0.0,
+        saturated_fraction=float(saturated.mean()) if err.size else 0.0,
+    )
+    return quantized, stats

@@ -1,0 +1,23 @@
+"""Synthetic annotated video substrate (YouTube-BB stand-in)."""
+
+from .dataset import ClipSet, build_clipset, frames_and_labels, training_arrays
+from .generator import FRAME_PERIOD_MS, Annotation, VideoClip, generate_clip
+from .scenes import SCENARIOS, SceneConfig, scenario, scenario_names
+from .sprites import NUM_CLASSES, SHAPE_NAMES
+
+__all__ = [
+    "ClipSet",
+    "build_clipset",
+    "frames_and_labels",
+    "training_arrays",
+    "FRAME_PERIOD_MS",
+    "Annotation",
+    "VideoClip",
+    "generate_clip",
+    "SCENARIOS",
+    "SceneConfig",
+    "scenario",
+    "scenario_names",
+    "NUM_CLASSES",
+    "SHAPE_NAMES",
+]

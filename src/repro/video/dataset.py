@@ -1,0 +1,116 @@
+"""Dataset construction on top of the clip generator.
+
+Provides the three splits the paper uses (train / validation / test, with
+the test set held out from all tuning) and helpers to flatten clips into
+(frame, label, box) arrays for training and into frame pairs at a fixed
+temporal gap for the motion-estimation experiments.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from .generator import VideoClip, generate_clip
+from .scenes import SCENARIOS, SceneConfig, scenario
+from .sprites import NUM_CLASSES
+
+__all__ = ["ClipSet", "build_clipset", "frames_and_labels", "training_arrays"]
+
+# Seed bases keep the three splits disjoint streams of clips.
+_SPLIT_SEEDS = {"train": 10_000, "val": 20_000, "test": 30_000}
+
+
+@dataclass
+class ClipSet:
+    """A collection of annotated clips forming one dataset split."""
+
+    clips: List[VideoClip]
+    split: str
+
+    def __len__(self) -> int:
+        return len(self.clips)
+
+    def num_frames(self) -> int:
+        return sum(len(clip) for clip in self.clips)
+
+
+def build_clipset(
+    split: str,
+    clips_per_scenario: int = 4,
+    scenarios: Optional[Sequence[str]] = None,
+    num_frames: Optional[int] = None,
+    seed_offset: int = 0,
+) -> ClipSet:
+    """Build a split from every (or selected) scenario family.
+
+    Classes are assigned round-robin so every split covers the full label
+    space regardless of size.
+    """
+    if split not in _SPLIT_SEEDS:
+        raise ValueError(f"split must be one of {sorted(_SPLIT_SEEDS)}, got {split!r}")
+    names = list(scenarios) if scenarios is not None else sorted(SCENARIOS)
+    base = _SPLIT_SEEDS[split] + seed_offset
+
+    clips: List[VideoClip] = []
+    counter = 0
+    for name in names:
+        config = scenario(name)
+        for i in range(clips_per_scenario):
+            clips.append(
+                generate_clip(
+                    config,
+                    seed=base + counter,
+                    class_id=counter % NUM_CLASSES,
+                    num_frames=num_frames,
+                )
+            )
+            counter += 1
+    return ClipSet(clips=clips, split=split)
+
+
+def frames_and_labels(
+    clipset: ClipSet,
+) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Flatten a clip set to (frames (N,1,H,W), labels (N,), boxes (N,4)).
+
+    Boxes are normalised to [0, 1] by frame size, matching the detection
+    head's output parameterisation.
+    """
+    frames: List[np.ndarray] = []
+    labels: List[int] = []
+    boxes: List[np.ndarray] = []
+    for clip in clipset.clips:
+        _, height, width = clip.frames.shape
+        scale = np.array([width, height, width, height], dtype=np.float64)
+        for t in range(len(clip)):
+            frames.append(clip.frames[t][None, :, :])
+            ann = clip.annotations[t]
+            labels.append(ann.class_id)
+            boxes.append(np.asarray(ann.box) / scale)
+    return (
+        np.stack(frames),
+        np.asarray(labels, dtype=np.int64),
+        np.stack(boxes),
+    )
+
+
+def training_arrays(
+    clips_per_scenario: int = 4,
+    num_frames: int = 12,
+    scenarios: Optional[Sequence[str]] = None,
+) -> Dict[str, Tuple[np.ndarray, np.ndarray, np.ndarray]]:
+    """Convenience: train and val splits flattened to arrays."""
+    return {
+        split: frames_and_labels(
+            build_clipset(
+                split,
+                clips_per_scenario=clips_per_scenario,
+                scenarios=scenarios,
+                num_frames=num_frames,
+            )
+        )
+        for split in ("train", "val")
+    }

@@ -1,0 +1,141 @@
+"""Procedural sprites and textures for synthetic video.
+
+The paper evaluates on natural video (YouTube-BoundingBoxes); offline we
+synthesise the properties AMC actually interacts with: textured objects
+moving over textured backgrounds. Texture matters — block matching needs
+image gradient to lock onto, and a flat-colour scene would make motion
+estimation trivially easy and unrealistically cheap.
+
+Eight sprite shape classes give the classification and detection tasks a
+label space comparable in difficulty to "which of a handful of object
+categories is on screen".
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+import numpy as np
+
+__all__ = [
+    "SHAPE_NAMES",
+    "NUM_CLASSES",
+    "shape_mask",
+    "smooth_noise_texture",
+    "checker_texture",
+    "gradient_texture",
+    "background_texture",
+]
+
+#: Shape classes, index = class id.
+SHAPE_NAMES: List[str] = [
+    "square",
+    "circle",
+    "triangle",
+    "diamond",
+    "ring",
+    "cross",
+    "hbar",
+    "vbar",
+]
+
+NUM_CLASSES = len(SHAPE_NAMES)
+
+
+def shape_mask(class_id: int, size: int) -> np.ndarray:
+    """Binary (size, size) mask of the given shape class.
+
+    Masks are centred and scaled to fill most of the patch so that the
+    bounding box annotation (the patch extent) is tight.
+    """
+    if not 0 <= class_id < NUM_CLASSES:
+        raise ValueError(f"class_id must be in [0, {NUM_CLASSES}), got {class_id}")
+    if size < 4:
+        raise ValueError(f"sprite size must be >= 4, got {size}")
+
+    ys, xs = np.mgrid[0:size, 0:size]
+    cy = cx = (size - 1) / 2.0
+    half = size / 2.0
+    dy = ys - cy
+    dx = xs - cx
+    name = SHAPE_NAMES[class_id]
+
+    if name == "square":
+        mask = (np.abs(dy) <= 0.9 * half) & (np.abs(dx) <= 0.9 * half)
+    elif name == "circle":
+        mask = dy**2 + dx**2 <= (0.9 * half) ** 2
+    elif name == "triangle":
+        # Upward triangle: widens linearly from apex to base.
+        frac = ys / max(size - 1, 1)
+        mask = np.abs(dx) <= frac * 0.9 * half
+    elif name == "diamond":
+        mask = np.abs(dy) + np.abs(dx) <= 0.95 * half
+    elif name == "ring":
+        r2 = dy**2 + dx**2
+        mask = (r2 <= (0.9 * half) ** 2) & (r2 >= (0.45 * half) ** 2)
+    elif name == "cross":
+        arm = 0.3 * half
+        mask = (np.abs(dy) <= arm) | (np.abs(dx) <= arm)
+    elif name == "hbar":
+        mask = np.abs(dy) <= 0.3 * half
+    elif name == "vbar":
+        mask = np.abs(dx) <= 0.3 * half
+    else:  # pragma: no cover - SHAPE_NAMES is exhaustive
+        raise AssertionError(name)
+    return mask.astype(np.float64)
+
+
+def smooth_noise_texture(
+    height: int, width: int, rng: np.random.Generator, smoothness: int = 4
+) -> np.ndarray:
+    """Band-limited noise in [0, 1]: white noise upsampled bilinearly.
+
+    ``smoothness`` is the upsampling factor; larger values give blobbier,
+    lower-frequency textures (more like natural image content).
+    """
+    if smoothness < 1:
+        raise ValueError(f"smoothness must be >= 1, got {smoothness}")
+    coarse_h = max(2, height // smoothness + 2)
+    coarse_w = max(2, width // smoothness + 2)
+    coarse = rng.random((coarse_h, coarse_w))
+
+    ys = np.linspace(0, coarse_h - 1.001, height)
+    xs = np.linspace(0, coarse_w - 1.001, width)
+    y0 = ys.astype(int)
+    x0 = xs.astype(int)
+    fy = (ys - y0)[:, None]
+    fx = (xs - x0)[None, :]
+    top = coarse[y0][:, x0] * (1 - fx) + coarse[y0][:, x0 + 1] * fx
+    bot = coarse[y0 + 1][:, x0] * (1 - fx) + coarse[y0 + 1][:, x0 + 1] * fx
+    return top * (1 - fy[:, 0][:, None]) + bot * fy[:, 0][:, None]
+
+
+def checker_texture(height: int, width: int, period: int = 8) -> np.ndarray:
+    """Checkerboard in {0.25, 0.75} — strong, regular gradients."""
+    if period < 1:
+        raise ValueError(f"period must be >= 1, got {period}")
+    ys, xs = np.mgrid[0:height, 0:width]
+    board = ((ys // period) + (xs // period)) % 2
+    return 0.25 + 0.5 * board
+
+
+def gradient_texture(height: int, width: int, horizontal: bool = True) -> np.ndarray:
+    """Linear ramp in [0, 1] — the degenerate low-texture case."""
+    if horizontal:
+        ramp = np.linspace(0.0, 1.0, width)
+        return np.tile(ramp, (height, 1))
+    ramp = np.linspace(0.0, 1.0, height)
+    return np.tile(ramp[:, None], (1, width))
+
+
+def background_texture(
+    height: int, width: int, rng: np.random.Generator, kind: str = "noise"
+) -> np.ndarray:
+    """A background canvas; oversized callers crop a panning window from it."""
+    if kind == "noise":
+        return smooth_noise_texture(height, width, rng, smoothness=6)
+    if kind == "checker":
+        return checker_texture(height, width, period=max(4, height // 8))
+    if kind == "gradient":
+        return gradient_texture(height, width)
+    raise ValueError(f"unknown background kind {kind!r}")

@@ -1,0 +1,20 @@
+"""Vision task metrics: top-1 accuracy and mean average precision."""
+
+from .classification import top1_accuracy, topk_accuracy
+from .detection import (
+    Detection,
+    GroundTruth,
+    average_precision,
+    iou,
+    mean_average_precision,
+)
+
+__all__ = [
+    "top1_accuracy",
+    "topk_accuracy",
+    "Detection",
+    "GroundTruth",
+    "average_precision",
+    "iou",
+    "mean_average_precision",
+]

@@ -1,0 +1,36 @@
+"""Classification metrics — the paper uses top-1 accuracy for AlexNet."""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+__all__ = ["top1_accuracy", "topk_accuracy"]
+
+
+def top1_accuracy(logits: np.ndarray, labels: np.ndarray) -> float:
+    """Fraction of rows whose argmax matches the label."""
+    logits = np.asarray(logits)
+    labels = np.asarray(labels)
+    if logits.ndim != 2:
+        raise ValueError(f"logits must be (N, K), got {logits.shape}")
+    if len(labels) != len(logits):
+        raise ValueError(f"{len(logits)} logits vs {len(labels)} labels")
+    if len(logits) == 0:
+        return 0.0
+    return float((logits.argmax(axis=1) == labels).mean())
+
+
+def topk_accuracy(logits: np.ndarray, labels: np.ndarray, k: int = 5) -> float:
+    """Fraction of rows whose label is among the top-k scores."""
+    logits = np.asarray(logits)
+    labels = np.asarray(labels)
+    if logits.ndim != 2:
+        raise ValueError(f"logits must be (N, K), got {logits.shape}")
+    if not 1 <= k <= logits.shape[1]:
+        raise ValueError(f"k must be in [1, {logits.shape[1]}], got {k}")
+    if len(logits) == 0:
+        return 0.0
+    topk = np.argsort(logits, axis=1)[:, -k:]
+    return float((topk == labels[:, None]).any(axis=1).mean())

@@ -1,0 +1,136 @@
+"""Object-detection metrics — IoU and mean average precision.
+
+The paper scores its detection networks (Faster16, FasterM) with mAP on
+YouTube-BB. Our substrate is single-object-per-frame, so each frame
+contributes one ground-truth box and one prediction (the detection head's
+class scores + regressed box); mAP is computed the standard way — per-class
+all-point-interpolated AP over confidence-ranked predictions with an IoU
+matching threshold — so multi-detection inputs also work.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Sequence, Tuple
+
+import numpy as np
+
+__all__ = ["Detection", "GroundTruth", "iou", "average_precision", "mean_average_precision"]
+
+#: The standard PASCAL-style match threshold.
+DEFAULT_IOU_THRESHOLD = 0.5
+
+
+@dataclass(frozen=True)
+class Detection:
+    """One predicted box: (cx, cy, w, h) plus class and confidence.
+
+    ``frame_id`` ties predictions to their ground truth across a whole
+    evaluation set.
+    """
+
+    frame_id: int
+    class_id: int
+    confidence: float
+    box: Tuple[float, float, float, float]
+
+
+@dataclass(frozen=True)
+class GroundTruth:
+    """One reference box."""
+
+    frame_id: int
+    class_id: int
+    box: Tuple[float, float, float, float]
+
+
+def _to_corners(box: Sequence[float]) -> Tuple[float, float, float, float]:
+    cx, cy, w, h = box
+    if w < 0 or h < 0:
+        raise ValueError(f"box has negative extent: {box}")
+    return (cx - w / 2, cy - h / 2, cx + w / 2, cy + h / 2)
+
+
+def iou(box_a: Sequence[float], box_b: Sequence[float]) -> float:
+    """Intersection-over-union of two (cx, cy, w, h) boxes."""
+    ax0, ay0, ax1, ay1 = _to_corners(box_a)
+    bx0, by0, bx1, by1 = _to_corners(box_b)
+    ix0, iy0 = max(ax0, bx0), max(ay0, by0)
+    ix1, iy1 = min(ax1, bx1), min(ay1, by1)
+    iw, ih = max(ix1 - ix0, 0.0), max(iy1 - iy0, 0.0)
+    inter = iw * ih
+    union = (ax1 - ax0) * (ay1 - ay0) + (bx1 - bx0) * (by1 - by0) - inter
+    if union <= 0:
+        return 0.0
+    return inter / union
+
+
+def average_precision(
+    detections: Sequence[Detection],
+    truths: Sequence[GroundTruth],
+    iou_threshold: float = DEFAULT_IOU_THRESHOLD,
+) -> float:
+    """All-point-interpolated AP for a single class.
+
+    ``detections`` and ``truths`` must already be filtered to one class.
+    Each ground truth can match at most one detection (highest-confidence
+    first); unmatched detections are false positives.
+    """
+    if not truths:
+        return 0.0
+    ranked = sorted(detections, key=lambda d: -d.confidence)
+    truth_by_frame: Dict[int, List[GroundTruth]] = {}
+    for truth in truths:
+        truth_by_frame.setdefault(truth.frame_id, []).append(truth)
+    matched: set = set()
+
+    tp = np.zeros(len(ranked))
+    fp = np.zeros(len(ranked))
+    for rank, det in enumerate(ranked):
+        candidates = truth_by_frame.get(det.frame_id, [])
+        best_iou, best = 0.0, None
+        for truth in candidates:
+            if id(truth) in matched:
+                continue
+            overlap = iou(det.box, truth.box)
+            if overlap > best_iou:
+                best_iou, best = overlap, truth
+        if best is not None and best_iou >= iou_threshold:
+            matched.add(id(best))
+            tp[rank] = 1
+        else:
+            fp[rank] = 1
+
+    tp_cum = tp.cumsum()
+    fp_cum = fp.cumsum()
+    recall = tp_cum / len(truths)
+    precision = tp_cum / np.maximum(tp_cum + fp_cum, 1e-12)
+
+    # All-point interpolation: envelope of precision from the right.
+    recall = np.concatenate([[0.0], recall, [1.0]])
+    precision = np.concatenate([[0.0], precision, [0.0]])
+    for i in range(len(precision) - 2, -1, -1):
+        precision[i] = max(precision[i], precision[i + 1])
+    changes = np.where(recall[1:] != recall[:-1])[0]
+    return float(((recall[changes + 1] - recall[changes]) * precision[changes + 1]).sum())
+
+
+def mean_average_precision(
+    detections: Sequence[Detection],
+    truths: Sequence[GroundTruth],
+    iou_threshold: float = DEFAULT_IOU_THRESHOLD,
+) -> float:
+    """mAP: mean per-class AP over the classes present in the ground truth."""
+    classes = sorted({truth.class_id for truth in truths})
+    if not classes:
+        return 0.0
+    aps = []
+    for class_id in classes:
+        aps.append(
+            average_precision(
+                [d for d in detections if d.class_id == class_id],
+                [t for t in truths if t.class_id == class_id],
+                iou_threshold,
+            )
+        )
+    return float(np.mean(aps))

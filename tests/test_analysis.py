@@ -1,0 +1,140 @@
+"""Tests for the analysis package: first-order report, evaluation bridge,
+and trade-off sweeps."""
+
+import numpy as np
+import pytest
+
+from repro.analysis import (
+    SweepPoint,
+    classification_score,
+    decode_detections,
+    detection_score,
+    first_order_report,
+    run_policy,
+    score_pipeline_results,
+    select_configs,
+    sweep_thresholds,
+)
+from repro.core import AMCExecutor, AlwaysKeyPolicy, StaticPolicy
+from repro.core.pipeline import EVA2Pipeline
+from repro.hardware import faster16_spec
+from repro.video import generate_clip, scenario
+
+
+class TestFirstOrder:
+    def test_paper_headline_numbers(self):
+        """§IV-A: 1.7e11 prefix MACs, ~3e9 unoptimized, ~1.3e7 RFBME."""
+        spec = faster16_spec()
+        size, stride, _ = spec.receptive_field("conv5_3")
+        report = first_order_report(spec, "conv5_3", size, stride)
+        assert report.prefix_macs == pytest.approx(1.7e11, rel=0.02)
+        assert report.unoptimized_ops == pytest.approx(3e9, rel=0.05)
+        assert report.rfbme_ops == pytest.approx(1.3e7, rel=0.12)
+
+    def test_savings_ratio_is_four_orders_of_magnitude(self):
+        spec = faster16_spec()
+        size, stride, _ = spec.receptive_field("conv5_3")
+        report = first_order_report(spec, "conv5_3", size, stride)
+        assert report.savings_ratio > 1e4
+        assert report.reuse_speedup > 100
+
+
+class TestEvaluationBridge:
+    def test_decode_detections_confidence_from_softmax(self):
+        from repro.nn.models import DETECTION_OUTPUTS
+
+        out = np.zeros((1, DETECTION_OUTPUTS))
+        out[0, 2] = 10.0  # class 2 confident
+        out[0, -4:] = [0.5, 0.5, 0.25, 0.25]
+        dets = decode_detections(out, [7])
+        assert dets[0].frame_id == 7
+        assert dets[0].class_id == 2
+        assert dets[0].confidence > 0.95
+        assert dets[0].box == (32.0, 32.0, 16.0, 16.0)
+
+    def test_decode_length_mismatch(self):
+        from repro.nn.models import DETECTION_OUTPUTS
+
+        with pytest.raises(ValueError):
+            decode_detections(np.zeros((2, DETECTION_OUTPUTS)), [0])
+
+    def test_classification_score_on_always_key(self, trained_alexnet):
+        clips = [generate_clip(scenario("slow"), seed=s, num_frames=6) for s in (1, 2)]
+        pipeline = EVA2Pipeline(AMCExecutor(trained_alexnet), AlwaysKeyPolicy())
+        results = pipeline.run_clips(clips)
+        score = classification_score(results, clips)
+        assert 0.0 <= score <= 1.0
+
+    def test_detection_score_on_always_key(self, trained_fasterm):
+        clips = [generate_clip(scenario("slow"), seed=s, num_frames=6) for s in (3, 4)]
+        pipeline = EVA2Pipeline(AMCExecutor(trained_fasterm), AlwaysKeyPolicy())
+        results = pipeline.run_clips(clips)
+        score = detection_score(results, clips)
+        assert 0.0 <= score <= 1.0
+
+    def test_unknown_task(self, trained_fasterm):
+        with pytest.raises(ValueError):
+            score_pipeline_results("segmentation", [], [])
+
+    def test_misaligned_results_rejected(self, trained_fasterm):
+        clip = generate_clip(scenario("slow"), seed=5, num_frames=6)
+        pipeline = EVA2Pipeline(AMCExecutor(trained_fasterm), AlwaysKeyPolicy())
+        results = pipeline.run_clips([clip])
+        with pytest.raises(ValueError):
+            detection_score(results, [])
+
+
+class TestTradeoffSweep:
+    @pytest.fixture(scope="class")
+    def clips(self):
+        return [
+            generate_clip(scenario(name), seed=700 + i, num_frames=8)
+            for i, name in enumerate(["slow", "linear_motion"])
+        ]
+
+    def test_run_policy(self, trained_fasterm, clips):
+        accuracy, key_fraction = run_policy(
+            AMCExecutor(trained_fasterm), StaticPolicy(4), clips, "detection"
+        )
+        assert 0.0 <= accuracy <= 1.0
+        assert 0.2 < key_fraction < 0.4
+
+    def test_sweep_monotone_key_fraction(self, trained_fasterm, clips):
+        """Higher thresholds -> fewer key frames."""
+        points = sweep_thresholds(
+            AMCExecutor(trained_fasterm),
+            clips,
+            "detection",
+            thresholds=[0.0, 15.0, 1e9],
+        )
+        fractions = [p.key_fraction for p in points]
+        assert fractions[0] >= fractions[1] >= fractions[2]
+        assert fractions[0] == 1.0  # threshold 0: everything is a key frame
+
+    def test_sweep_unknown_metric(self, trained_fasterm, clips):
+        with pytest.raises(ValueError):
+            sweep_thresholds(
+                AMCExecutor(trained_fasterm), clips, "detection", [1.0],
+                metric="entropy",
+            )
+
+    def test_select_configs(self):
+        points = [
+            SweepPoint(threshold=0.0, key_fraction=1.0, accuracy=0.60),
+            SweepPoint(threshold=1.0, key_fraction=0.5, accuracy=0.597),
+            SweepPoint(threshold=2.0, key_fraction=0.3, accuracy=0.592),
+            SweepPoint(threshold=3.0, key_fraction=0.1, accuracy=0.55),
+        ]
+        configs = select_configs(points, baseline_accuracy=0.60)
+        assert configs["hi"].key_fraction == 0.5
+        assert configs["med"].key_fraction == 0.3
+        assert configs["lo"].key_fraction == 0.3  # 0.1 breaches the 2% budget
+
+    def test_select_configs_fallback(self):
+        points = [SweepPoint(threshold=5.0, key_fraction=0.2, accuracy=0.10)]
+        configs = select_configs(points, baseline_accuracy=0.9)
+        assert configs["hi"].accuracy == 0.10  # best available
+
+    def test_select_configs_empty(self):
+        with pytest.raises(ValueError):
+            select_configs([], baseline_accuracy=0.5)

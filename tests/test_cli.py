@@ -1,0 +1,48 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestCLI:
+    def test_info(self, capsys):
+        assert main(["info"]) == 0
+        out = capsys.readouterr().out
+        assert "mini_fasterm" in out
+        assert "camera_pan" in out
+
+    def test_firstorder(self, capsys):
+        assert main(["firstorder", "--network", "faster16"]) == 0
+        out = capsys.readouterr().out
+        assert "conv5_3" in out
+        assert "1.71e+11" in out
+
+    def test_hardware(self, capsys):
+        assert main(["hardware", "--network", "fasterm"]) == 0
+        out = capsys.readouterr().out
+        assert "EVA2 area" in out
+
+    def test_run_static_interval(self, capsys):
+        assert main([
+            "run", "--scenario", "slow", "--seed", "1",
+            "--frames", "6", "--interval", "3",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "key frames: 2/6" in out
+
+    def test_run_adaptive(self, capsys):
+        assert main([
+            "run", "--scenario", "static", "--seed", "1",
+            "--frames", "5", "--threshold", "5.0",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "key frames: 1/5" in out
+
+    def test_unknown_command_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["teleport"])
+
+    def test_bad_network_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["hardware", "--network", "resnet"])

@@ -1,0 +1,86 @@
+"""Tests for the delta-network baseline executor."""
+
+import numpy as np
+import pytest
+
+from repro.core.delta import DeltaExecutor
+from repro.video import generate_clip, scenario
+
+
+class TestDeltaExecutor:
+    def test_first_frame_matches_network(self, trained_fasterm, linear_clip):
+        executor = DeltaExecutor(trained_fasterm)
+        out = executor.process_first(linear_clip.frames[0])
+        plain = trained_fasterm.forward(linear_clip.frames[0][None, None])
+        np.testing.assert_allclose(out, plain)
+
+    def test_zero_threshold_is_exact(self, trained_fasterm, linear_clip):
+        """With no thresholding, delta execution tracks the true network."""
+        executor = DeltaExecutor(trained_fasterm, threshold=0.0)
+        executor.process_first(linear_clip.frames[0])
+        for t in (1, 3, 5):
+            out, _ = executor.process_delta(linear_clip.frames[t])
+            plain = trained_fasterm.forward(linear_clip.frames[t][None, None])
+            np.testing.assert_allclose(out, plain, atol=1e-9)
+
+    def test_small_threshold_close_to_exact(self, trained_fasterm, linear_clip):
+        executor = DeltaExecutor(trained_fasterm, threshold=1e-3)
+        executor.process_first(linear_clip.frames[0])
+        out, _ = executor.process_delta(linear_clip.frames[2])
+        plain = trained_fasterm.forward(linear_clip.frames[2][None, None])
+        assert np.abs(out - plain).max() < 0.25
+
+    def test_identical_frame_gives_full_saving(self, trained_fasterm, linear_clip):
+        executor = DeltaExecutor(trained_fasterm, threshold=1e-6)
+        executor.process_first(linear_clip.frames[0])
+        _, stats = executor.process_delta(linear_clip.frames[0].copy())
+        assert stats.effective_macs == 0
+        assert stats.mac_saving == pytest.approx(1.0)
+
+    def test_motion_reduces_saving(self, trained_fasterm):
+        """Pans touch most pixels -> dense deltas -> little saving (§II)."""
+        static = generate_clip(scenario("static"), seed=21, num_frames=4)
+        pan = generate_clip(scenario("camera_pan"), seed=21, num_frames=4)
+        savings = {}
+        for label, clip in (("static", static), ("pan", pan)):
+            executor = DeltaExecutor(trained_fasterm, threshold=0.02)
+            executor.process_first(clip.frames[0])
+            _, stats = executor.process_delta(clip.frames[2])
+            savings[label] = stats.mac_saving
+        assert savings["static"] > savings["pan"]
+
+    def test_memory_counts_every_layer(self, trained_fasterm, linear_clip):
+        executor = DeltaExecutor(trained_fasterm)
+        executor.process_first(linear_clip.frames[0])
+        # At minimum the input + first conv activation + final output.
+        assert executor.memory_values() > 64 * 64 + 8 * 32 * 32
+
+    def test_weights_loaded_every_frame(self, trained_fasterm, linear_clip):
+        executor = DeltaExecutor(trained_fasterm)
+        executor.process_first(linear_clip.frames[0])
+        _, stats = executor.process_delta(linear_clip.frames[1])
+        assert stats.weights_loaded == trained_fasterm.param_count()
+
+    def test_delta_before_first_raises(self, trained_fasterm, linear_clip):
+        executor = DeltaExecutor(trained_fasterm)
+        with pytest.raises(RuntimeError):
+            executor.process_delta(linear_clip.frames[0])
+
+    def test_memory_before_first_raises(self, trained_fasterm):
+        with pytest.raises(RuntimeError):
+            DeltaExecutor(trained_fasterm).memory_values()
+
+    def test_reset(self, trained_fasterm, linear_clip):
+        executor = DeltaExecutor(trained_fasterm)
+        executor.process_first(linear_clip.frames[0])
+        executor.reset()
+        assert not executor.has_state
+
+    def test_invalid_threshold(self, trained_fasterm):
+        with pytest.raises(ValueError):
+            DeltaExecutor(trained_fasterm, threshold=-0.1)
+
+    def test_frame_validation(self, trained_fasterm, rng):
+        executor = DeltaExecutor(trained_fasterm)
+        with pytest.raises(ValueError):
+            executor.process_first(rng.normal(size=(32, 32)))

@@ -1,0 +1,404 @@
+"""Tests for the hardware substrate: fixed point, RLE, layer tables, cost
+models, and the composed VPU — including checks against the paper's
+published numbers."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.receptive_field import receptive_field_of
+from repro.hardware import (
+    EDRAM,
+    PAPER_TARGET_LAYERS,
+    Q8_8,
+    Cost,
+    EIEModel,
+    EVA2Model,
+    EVA2Params,
+    EyerissModel,
+    QFormat,
+    SearchParams,
+    VPUConfig,
+    VPUModel,
+    alexnet_spec,
+    decode,
+    encode,
+    faster16_spec,
+    fasterm_spec,
+    spec_by_name,
+    storage_report,
+    vgg16_spec,
+)
+from repro.hardware.rfbme_ops import rfbme_ops, unoptimized_ops
+from repro.nn import build_mini_fasterm
+
+
+class TestFixedPoint:
+    def test_roundtrip_exact_for_representable(self):
+        fmt = QFormat(4, 4)
+        values = np.array([0.0, 1.5, -2.25, 7.9375])
+        np.testing.assert_array_equal(fmt.roundtrip(values), values)
+
+    def test_saturation(self):
+        fmt = QFormat(4, 4)
+        assert fmt.roundtrip(np.array([100.0]))[0] == fmt.max_value
+        assert fmt.roundtrip(np.array([-100.0]))[0] == fmt.min_value
+
+    def test_resolution(self):
+        fmt = QFormat(8, 7)
+        assert fmt.resolution == 1 / 128
+        assert fmt.total_bits == 16
+
+    def test_multiply_matches_float_within_resolution(self):
+        fmt = QFormat(4, 8)
+        a, b = 1.5, 2.25
+        raw = fmt.multiply(fmt.quantize(np.array([a])), fmt.quantize(np.array([b])))
+        assert abs(fmt.dequantize(raw)[0] - a * b) <= 2 * fmt.resolution
+
+    def test_add_saturates(self):
+        fmt = QFormat(2, 2)
+        raw = fmt.add(fmt.quantize(np.array([3.5])), fmt.quantize(np.array([3.5])))
+        assert fmt.dequantize(raw)[0] == fmt.max_value
+
+    def test_invalid_format(self):
+        with pytest.raises(ValueError):
+            QFormat(-1, 4)
+        with pytest.raises(ValueError):
+            QFormat(0, 0)
+
+    def test_quantization_error_bound(self, rng):
+        values = rng.uniform(-100, 100, size=1000)
+        fmt = QFormat(8, 7)
+        assert fmt.quantization_error(values) <= fmt.resolution / 2 + 1e-12
+
+    @settings(max_examples=25, deadline=None)
+    @given(st.integers(0, 10_000))
+    def test_roundtrip_error_property(self, seed):
+        rng = np.random.default_rng(seed)
+        values = rng.uniform(Q8_8.min_value, Q8_8.max_value, size=64)
+        err = np.abs(Q8_8.roundtrip(values) - values)
+        assert err.max() <= Q8_8.resolution / 2 + 1e-12
+
+
+class TestRLE:
+    def test_roundtrip_sparse(self, rng):
+        act = rng.normal(size=(4, 8, 8))
+        act[np.abs(act) < 1.0] = 0.0  # sparsify
+        stream = encode(act)
+        np.testing.assert_array_equal(decode(stream), act)
+
+    def test_roundtrip_dense(self, rng):
+        act = rng.normal(size=(2, 4, 4)) + 10.0  # all nonzero
+        np.testing.assert_array_equal(decode(encode(act)), act)
+
+    def test_all_zero(self):
+        act = np.zeros((2, 6, 6))
+        stream = encode(act)
+        np.testing.assert_array_equal(decode(stream), act)
+
+    def test_gap_overflow_handled(self):
+        """Runs longer than the gap field emit placeholder entries and
+        still decode exactly."""
+        act = np.zeros((1, 1, 64))
+        act[0, 0, 60] = 5.0
+        stream = encode(act, gap_bits=4)  # max gap 15 << 60
+        assert stream.num_entries > 1
+        np.testing.assert_array_equal(decode(stream), act)
+
+    def test_compression_on_realistic_sparsity(self, rng):
+        """~85% zeros (post-ReLU level) -> >70% storage saving."""
+        act = rng.normal(size=(16, 16, 16))
+        act[rng.random(act.shape) < 0.85] = 0.0
+        report = storage_report(act)
+        assert report["saving_percent"] > 70.0
+
+    def test_paper_sparsity_gives_paper_saving(self, rng):
+        """The paper's >80% saving corresponds to ~15% density."""
+        act = rng.normal(size=(16, 16, 16))
+        act[rng.random(act.shape) < 0.87] = 0.0
+        report = storage_report(act)
+        assert report["saving_percent"] > 80.0
+
+    def test_tolerance_rounds_near_zeros(self):
+        act = np.array([[[0.001, 1.0, -0.002, 2.0]]])
+        stream = encode(act, tolerance=0.01)
+        decoded = decode(stream)
+        np.testing.assert_array_equal(decoded[0, 0], [0.0, 1.0, 0.0, 2.0])
+
+    def test_validation(self, rng):
+        with pytest.raises(ValueError):
+            encode(rng.normal(size=(4, 4)))
+        with pytest.raises(ValueError):
+            encode(rng.normal(size=(1, 4, 4)), gap_bits=0)
+        with pytest.raises(ValueError):
+            encode(rng.normal(size=(1, 4, 4)), tolerance=-1.0)
+
+    @settings(max_examples=20, deadline=None)
+    @given(seed=st.integers(0, 10_000), density=st.floats(0.0, 1.0))
+    def test_roundtrip_property(self, seed, density):
+        rng = np.random.default_rng(seed)
+        act = rng.normal(size=(2, 6, 6))
+        act[rng.random(act.shape) > density] = 0.0
+        np.testing.assert_array_equal(decode(encode(act, gap_bits=3)), act)
+
+
+class TestLayerStats:
+    def test_faster16_prefix_matches_paper(self):
+        """Paper §IV-A: the conv5_3 prefix at 1000x562 is 1.7e11 MACs."""
+        spec = faster16_spec()
+        assert spec.prefix_macs("conv5_3") == pytest.approx(1.7e11, rel=0.02)
+
+    def test_alexnet_macs_match_published(self):
+        spec = alexnet_spec()
+        assert spec.conv_macs() == pytest.approx(6.7e8, rel=0.02)
+        assert spec.fc_macs() == pytest.approx(5.9e7, rel=0.02)
+
+    def test_vgg16_macs_match_published(self):
+        spec = vgg16_spec()
+        assert spec.conv_macs() == pytest.approx(1.53e10, rel=0.02)
+
+    def test_conv5_3_receptive_field(self):
+        """VGG-16 conv5_3: the well-known RF size 196, stride 16."""
+        size, stride, _ = faster16_spec().receptive_field("conv5_3")
+        assert (size, stride) == (196, 16)
+
+    def test_receptive_field_matches_core_implementation(self):
+        """Cross-check the duplicated recurrence against the core module
+        on an equivalent layer sequence."""
+        net = build_mini_fasterm()
+        rf = receptive_field_of(net, net.last_spatial_layer())
+        # Rebuild the same geometry as a spec-level propagation.
+        from repro.hardware.layer_stats import ConvSpec, NetworkSpec, PoolSpec
+
+        spec = NetworkSpec(
+            "mini_fasterm_shape",
+            (1, 64, 64),
+            [
+                ConvSpec("conv1", 8, kernel=5, stride=2, pad=2),
+                PoolSpec("pool1", 2, 2),
+                ConvSpec("conv2", 16, kernel=3, pad=1),
+                ConvSpec("conv3", 24, kernel=3, pad=1),
+                PoolSpec("pool2", 2, 2),
+                ConvSpec("conv4", 24, kernel=3, pad=1),
+                ConvSpec("conv5", 16, kernel=3, pad=1),
+            ],
+        )
+        assert spec.receptive_field("conv5") == (rf.size, rf.stride, rf.padding)
+
+    def test_rf_through_fc_rejected(self):
+        with pytest.raises(ValueError):
+            alexnet_spec().receptive_field("fc6")
+
+    def test_unknown_layer(self):
+        with pytest.raises(KeyError):
+            alexnet_spec().prefix_macs("conv9")
+
+    def test_unknown_spec(self):
+        with pytest.raises(KeyError):
+            spec_by_name("resnet")
+
+    def test_grouped_conv_halves_macs(self):
+        spec = alexnet_spec()
+        conv2 = spec.layer("conv2")
+        # groups=2: in_per_group = 48.
+        assert conv2.macs == 27 * 27 * 256 * 48 * 25
+
+    def test_fc_instances_multiply_macs_not_weights(self):
+        spec = fasterm_spec()
+        fc7 = spec.layer("fc7")
+        assert fc7.macs == 1024 * 1024 * 300
+        assert fc7.weights == 1024 * 1024
+
+
+class TestRFBMEOps:
+    def test_paper_unoptimized_number(self):
+        """Paper §IV-A: ~3e9 adds for the unoptimized variant."""
+        ops = unoptimized_ops(62, 35, 196, SearchParams(24, 8))
+        assert ops == pytest.approx(3e9, rel=0.05)
+
+    def test_paper_rfbme_number(self):
+        """Paper §IV-A: ~1.3e7 adds with tile reuse."""
+        ops = rfbme_ops(62, 35, 196, 16, SearchParams(24, 8))
+        assert ops == pytest.approx(1.3e7, rel=0.12)
+
+    def test_reuse_benefit_scales_with_stride_squared(self):
+        small = rfbme_ops(32, 32, 64, 4, SearchParams(8, 4))
+        large = rfbme_ops(32, 32, 64, 16, SearchParams(8, 4))
+        assert large < small
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            SearchParams(0, 1)
+        with pytest.raises(ValueError):
+            unoptimized_ops(0, 10, 16, SearchParams())
+        with pytest.raises(ValueError):
+            rfbme_ops(10, 10, 16, 0, SearchParams())
+
+
+class TestCost:
+    def test_add_and_scale(self):
+        total = Cost(1.0, 2.0) + Cost(3.0, 4.0)
+        assert total == Cost(4.0, 6.0)
+        assert 2 * Cost(1.0, 2.0) == Cost(2.0, 4.0)
+
+    def test_sum(self):
+        assert Cost.sum([Cost(1, 1), Cost(2, 2)]) == Cost(3.0, 3.0)
+        assert Cost.sum([]) == Cost.zero()
+
+
+class TestAcceleratorModels:
+    def test_eyeriss_calibration_reproduces_table1_orig(self):
+        """Energy/latency of each network's conv MACs must land on the
+        Table I orig row it was calibrated to."""
+        for name, spec_fn, ms, mj in [
+            ("AlexNet", alexnet_spec, 115.4, 32.2),
+            ("Faster16", faster16_spec, 4370.1, 1035.5),
+            ("FasterM", fasterm_spec, 492.3, 116.7),
+        ]:
+            model = EyerissModel(name)
+            macs = spec_fn().conv_macs()
+            assert model.latency_ms(macs) == pytest.approx(ms, rel=1e-6)
+            assert model.energy_mj(macs) == pytest.approx(mj, rel=1e-6)
+
+    def test_eie_cheaper_per_mac_than_eyeriss(self):
+        eie = EIEModel()
+        eyeriss = EyerissModel("Faster16")
+        macs = int(1e9)
+        assert eie.energy_mj(macs) < eyeriss.energy_mj(macs)
+        assert eie.latency_ms(macs) < eyeriss.latency_ms(macs)
+
+    def test_unknown_network_falls_back(self):
+        model = EyerissModel("SqueezeNet")
+        assert model.calibration is EyerissModel("Faster16").calibration
+
+
+class TestEVA2Model:
+    def _faster16_eva2(self):
+        return EVA2Model(
+            EVA2Params(
+                frame_height=562,
+                frame_width=1000,
+                rfield_size=196,
+                rfield_stride=16,
+                grid_height=35,
+                grid_width=62,
+                channels=512,
+                density=0.2,
+            )
+        )
+
+    def test_area_near_paper(self):
+        """Paper Fig. 12: EVA2 is 2.6 mm2."""
+        area = self._faster16_eva2().area_breakdown()
+        assert area["total_mm2"] == pytest.approx(2.6, rel=0.1)
+
+    def test_pixel_buffers_dominate_area(self):
+        """Paper: pixel buffers are 54.5% of EVA2 area."""
+        area = self._faster16_eva2().area_breakdown()
+        fraction = area["pixel_buffers_mm2"] / area["total_mm2"]
+        assert 0.4 < fraction < 0.65
+
+    def test_costs_positive_and_small(self):
+        model = self._faster16_eva2()
+        me = model.motion_estimation_cost()
+        warp = model.warp_cost()
+        assert me.latency_ms > 0 and me.energy_mj > 0
+        assert warp.latency_ms > 0 and warp.energy_mj > 0
+        # EVA2 work is far below one conv-layer execution (~mJ scale).
+        assert (me + warp).energy_mj < 5.0
+
+    def test_warp_cost_scales_with_density(self):
+        dense = EVA2Params(
+            frame_height=562, frame_width=1000, rfield_size=196,
+            rfield_stride=16, grid_height=35, grid_width=62, channels=512,
+            density=0.8,
+        )
+        sparse_cost = self._faster16_eva2().warp_cost()
+        dense_cost = EVA2Model(dense).warp_cost()
+        assert dense_cost.energy_mj > sparse_cost.energy_mj
+        assert dense_cost.latency_ms > sparse_cost.latency_ms
+
+    def test_params_validation(self):
+        with pytest.raises(ValueError):
+            EVA2Params(
+                frame_height=0, frame_width=10, rfield_size=8, rfield_stride=8,
+                grid_height=1, grid_width=1, channels=1,
+            )
+        with pytest.raises(ValueError):
+            EVA2Params(
+                frame_height=10, frame_width=10, rfield_size=8, rfield_stride=8,
+                grid_height=1, grid_width=1, channels=1, density=2.0,
+            )
+        with pytest.raises(ValueError):
+            EVA2Params(
+                frame_height=10, frame_width=10, rfield_size=4, rfield_stride=8,
+                grid_height=1, grid_width=1, channels=1,
+            )
+
+
+class TestVPUModel:
+    @pytest.mark.parametrize("name", ["alexnet", "faster16", "fasterm"])
+    def test_predicted_cheaper_than_key(self, name):
+        vpu = VPUModel(name)
+        key = VPUModel.total(vpu.key_frame_cost())
+        pred = VPUModel.total(vpu.predicted_frame_cost())
+        assert pred.energy_mj < key.energy_mj
+        assert pred.latency_ms < key.latency_ms
+
+    def test_faster16_pred_is_small_fraction(self):
+        """Fig. 13: Faster16 predicted frames cost a few % of orig."""
+        vpu = VPUModel("faster16")
+        orig = VPUModel.total(vpu.baseline_frame_cost())
+        pred = VPUModel.total(vpu.predicted_frame_cost())
+        assert pred.energy_mj / orig.energy_mj < 0.15
+
+    def test_average_interpolates(self):
+        vpu = VPUModel("fasterm")
+        key = VPUModel.total(vpu.key_frame_cost())
+        pred = VPUModel.total(vpu.predicted_frame_cost())
+        avg = vpu.average_frame_cost(0.5)
+        assert pred.energy_mj < avg.energy_mj < key.energy_mj
+
+    def test_average_extremes(self):
+        vpu = VPUModel("fasterm")
+        assert vpu.average_frame_cost(1.0) == VPUModel.total(vpu.key_frame_cost())
+        assert vpu.average_frame_cost(0.0) == VPUModel.total(vpu.predicted_frame_cost())
+        with pytest.raises(ValueError):
+            vpu.average_frame_cost(1.5)
+
+    def test_memoize_skips_warp(self):
+        warp = VPUModel("alexnet", VPUConfig(memoize=False))
+        memo = VPUModel("alexnet", VPUConfig(memoize=True))
+        assert (
+            VPUModel.total(memo.predicted_frame_cost()).energy_mj
+            < VPUModel.total(warp.predicted_frame_cost()).energy_mj
+        )
+
+    def test_area_breakdown_matches_fig12(self):
+        """EVA2 is ~3.5% of the three-unit VPU (paper Fig. 12)."""
+        vpu = VPUModel("faster16")
+        area = vpu.area_breakdown()
+        assert area["eyeriss_mm2"] == 12.2
+        assert area["eie_mm2"] == 58.9
+        assert 0.02 < area["eva2_fraction"] < 0.05
+
+    def test_paper_target_layers(self):
+        assert PAPER_TARGET_LAYERS["Faster16"] == "conv5_3"
+        vpu = VPUModel("faster16")
+        assert vpu.target == "conv5_3"
+
+    def test_orig_has_no_eva2_cost(self):
+        vpu = VPUModel("fasterm")
+        assert vpu.baseline_frame_cost()["eva2"] == Cost.zero()
+
+
+class TestMemoryTech:
+    def test_area_scales_linearly(self):
+        one_mb = EDRAM.area_mm2(1024 * 1024)
+        two_mb = EDRAM.area_mm2(2 * 1024 * 1024)
+        assert two_mb == pytest.approx(2 * one_mb)
+
+    def test_negative_size_rejected(self):
+        with pytest.raises(ValueError):
+            EDRAM.area_mm2(-1)

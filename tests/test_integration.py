@@ -1,0 +1,150 @@
+"""End-to-end integration tests spanning video -> AMC -> metrics ->
+hardware accounting, including the fixed-point datapath and RLE storage
+in the loop — the flows a downstream user would actually wire up."""
+
+import numpy as np
+import pytest
+
+from repro.analysis import detection_score, run_policy
+from repro.core import (
+    AMCConfig,
+    AMCExecutor,
+    AlwaysKeyPolicy,
+    EVA2Pipeline,
+    MatchErrorPolicy,
+    StaticPolicy,
+)
+from repro.hardware import Q8_8, VPUConfig, VPUModel
+from repro.hardware.rle import decode, encode
+from repro.video import generate_clip, scenario
+
+
+class TestEndToEndDetection:
+    def test_full_amc_loop_close_to_precise(self, trained_fasterm):
+        """A realistic clip under adaptive AMC scores within a modest gap
+        of all-precise execution while skipping a large share of frames."""
+        clips = [
+            generate_clip(scenario(name), seed=600 + i, num_frames=12)
+            for i, name in enumerate(["slow", "linear_motion", "camera_pan"])
+        ]
+        precise, _ = run_policy(
+            AMCExecutor(trained_fasterm), AlwaysKeyPolicy(), clips, "detection"
+        )
+        amc, key_fraction = run_policy(
+            AMCExecutor(trained_fasterm), MatchErrorPolicy(2.0), clips, "detection"
+        )
+        assert key_fraction < 0.8
+        assert amc > precise - 0.15
+
+    def test_fixed_point_pipeline_matches_float_closely(self, trained_fasterm):
+        """Running the warp datapath in 16-bit fixed point must barely
+        move detection outputs (the paper's hardware runs this way)."""
+        clip = generate_clip(scenario("camera_pan"), seed=77, num_frames=8)
+        float_ex = AMCExecutor(trained_fasterm, AMCConfig())
+        fixed_ex = AMCExecutor(trained_fasterm, AMCConfig(fixed_point=Q8_8))
+        for ex in (float_ex, fixed_ex):
+            ex.process_key(clip.frames[0])
+        est_f = float_ex.estimate(clip.frames[5])
+        est_q = fixed_ex.estimate(clip.frames[5])
+        out_f = float_ex.process_predicted(clip.frames[5], est_f)
+        out_q = fixed_ex.process_predicted(clip.frames[5], est_q)
+        assert np.abs(out_f - out_q).max() < 0.5
+
+    def test_rle_roundtrip_inside_amc(self, trained_fasterm):
+        """Storing the key activation through RLE (as the hardware does)
+        then predicting from the decoded copy is lossless."""
+        clip = generate_clip(scenario("linear_motion"), seed=5, num_frames=8)
+        executor = AMCExecutor(trained_fasterm)
+        executor.process_key(clip.frames[0])
+        stored = executor.stored_activation()
+        decoded = decode(encode(stored))
+        np.testing.assert_array_equal(decoded, stored)
+
+    def test_pipeline_feeds_hardware_model(self, trained_fasterm):
+        """Measured key fraction + VPU model = the Fig. 13 'avg' bar."""
+        clip = generate_clip(scenario("slow"), seed=8, num_frames=12)
+        pipeline = EVA2Pipeline(AMCExecutor(trained_fasterm), StaticPolicy(4))
+        result = pipeline.run_clip(clip)
+        vpu = VPUModel("fasterm")
+        avg = vpu.average_frame_cost(result.key_fraction)
+        orig = VPUModel.total(vpu.baseline_frame_cost())
+        assert avg.energy_mj < orig.energy_mj
+        # With 25% keys the saving must be substantial.
+        assert avg.energy_mj < 0.75 * orig.energy_mj
+
+
+class TestEndToEndClassification:
+    def test_memoized_classification_over_full_clipset(self, trained_alexnet):
+        clips = [
+            generate_clip(scenario("slow"), seed=650 + i, num_frames=10)
+            for i in range(3)
+        ]
+        executor = AMCExecutor(trained_alexnet, AMCConfig(mode="memoize"))
+        accuracy, key_fraction = run_policy(
+            executor, StaticPolicy(5), clips, "classification"
+        )
+        precise, _ = run_policy(
+            AMCExecutor(trained_alexnet, AMCConfig(mode="memoize")),
+            AlwaysKeyPolicy(), clips, "classification",
+        )
+        assert key_fraction == pytest.approx(0.2, abs=0.05)
+        # Slow scenes: memoized classification barely degrades.
+        assert accuracy > precise - 0.1
+
+
+class TestOcclusionBehaviour:
+    def test_occlusion_change_raises_match_error(self, trained_fasterm):
+        """The key-frame signal rises when occlusion *changes* between the
+        key frame and the prediction — de-occlusion creates 'new pixels'
+        motion cannot explain (§II-B condition 1, §II-C4)."""
+        gap = 2
+        executor = AMCExecutor(trained_fasterm)
+        changed, unchanged = [], []
+        for seed in range(30, 38):
+            clip = generate_clip(scenario("occlusion"), seed=seed, num_frames=16)
+            for start in range(0, len(clip) - gap, 2):
+                executor.reset()
+                executor.process_key(clip.frames[start])
+                error = executor.estimate(clip.frames[start + gap]).total_match_error
+                delta_occ = abs(
+                    clip.annotations[start + gap].occluded_fraction
+                    - clip.annotations[start].occluded_fraction
+                )
+                (changed if delta_occ > 0.1 else unchanged).append(error)
+        assert changed, "no occlusion-change events generated"
+        assert np.mean(changed) > np.mean(unchanged)
+
+    def test_lighting_change_raises_match_error_without_motion(
+        self, trained_fasterm
+    ):
+        from repro.video import SceneConfig
+        from repro.video.generator import generate_clip as gen
+
+        still = SceneConfig(name="still", speed=(0.0, 0.0), noise_sigma=0.0)
+        # period 8: frame 2 sits at the sinusoid's peak (gain 1.25).
+        lit = SceneConfig(
+            name="lit", speed=(0.0, 0.0), noise_sigma=0.0,
+            lighting_amplitude=0.25, lighting_period=8.0,
+        )
+        executor = AMCExecutor(trained_fasterm)
+        errors = {}
+        for config in (still, lit):
+            clip = gen(config, seed=9, num_frames=4)
+            executor.reset()
+            executor.process_key(clip.frames[0])
+            errors[config.name] = executor.estimate(clip.frames[2]).total_match_error
+        assert errors["lit"] > errors["still"] + 1.0
+
+
+class TestDeterminism:
+    def test_pipeline_fully_deterministic(self, trained_fasterm):
+        clip = generate_clip(scenario("chaotic"), seed=3, num_frames=8)
+        outputs = []
+        for _ in range(2):
+            pipeline = EVA2Pipeline(
+                AMCExecutor(trained_fasterm), MatchErrorPolicy(2.0)
+            )
+            result = pipeline.run_clip(clip)
+            outputs.append((result.outputs(), result.key_mask()))
+        np.testing.assert_array_equal(outputs[0][0], outputs[1][0])
+        np.testing.assert_array_equal(outputs[0][1], outputs[1][1])

@@ -1,0 +1,205 @@
+"""Tests for the motion-estimation library: vector fields, block matching,
+Lucas-Kanade, Horn-Schunck, and pyramidal flow."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.receptive_field import ReceptiveField
+from repro.motion import (
+    VectorField,
+    block_match,
+    horn_schunck,
+    lucas_kanade,
+    pool_to_grid,
+    pyramid_flow,
+    zero_field,
+)
+from repro.video.sprites import smooth_noise_texture
+
+
+def textured(rng, h=64, w=64, smoothness=4):
+    return smooth_noise_texture(h, w, rng, smoothness)
+
+
+def shifted(frame, dy, dx):
+    return np.roll(np.roll(frame, dy, axis=0), dx, axis=1)
+
+
+class TestVectorField:
+    def test_shape_validation(self):
+        with pytest.raises(ValueError):
+            VectorField(np.zeros((4, 4)))
+
+    def test_magnitudes(self):
+        data = np.zeros((2, 2, 2))
+        data[0, 0] = (3, 4)
+        field = VectorField(data)
+        assert field.magnitudes()[0, 0] == pytest.approx(5.0)
+        assert field.total_magnitude() == pytest.approx(5.0)
+        assert field.mean_magnitude() == pytest.approx(1.25)
+
+    def test_scaled_and_negated(self):
+        data = np.ones((2, 2, 2))
+        field = VectorField(data)
+        np.testing.assert_allclose(field.scaled(0.5).data, 0.5)
+        np.testing.assert_allclose(field.negated().data, -1.0)
+
+    def test_endpoint_error(self):
+        a = zero_field(4, 4)
+        data = np.zeros((4, 4, 2))
+        data[..., 1] = 2.0
+        b = VectorField(data)
+        assert a.endpoint_error(b) == pytest.approx(2.0)
+
+    def test_endpoint_error_grid_mismatch(self):
+        with pytest.raises(ValueError):
+            zero_field(4, 4).endpoint_error(zero_field(5, 5))
+
+    def test_pool_to_grid_uniform_field(self):
+        data = np.zeros((32, 32, 2))
+        data[..., 0] = 3.0
+        rf = ReceptiveField(size=16, stride=8, padding=4)
+        pooled = pool_to_grid(VectorField(data), rf, (4, 4))
+        np.testing.assert_allclose(pooled.data[..., 0], 3.0)
+        np.testing.assert_allclose(pooled.data[..., 1], 0.0)
+
+    def test_pool_to_grid_averages_locally(self):
+        """A field nonzero only on the left half pools to larger values in
+        left-grid cells than right-grid cells."""
+        data = np.zeros((32, 32, 2))
+        data[:, :16, 1] = 4.0
+        rf = ReceptiveField(size=8, stride=8, padding=0)
+        pooled = pool_to_grid(VectorField(data), rf, (4, 4))
+        assert pooled.data[0, 0, 1] > pooled.data[0, 3, 1]
+
+
+class TestBlockMatching:
+    def test_exhaustive_recovers_global_shift(self, rng):
+        ref = textured(rng, smoothness=3)
+        cur = shifted(ref, 3, -2)
+        result = block_match(ref, cur, block_size=8, search_radius=6)
+        interior = result.field.data[2:6, 2:6]
+        np.testing.assert_allclose(interior[..., 0], -3)
+        np.testing.assert_allclose(interior[..., 1], 2)
+
+    @pytest.mark.parametrize("method", ["three_step", "diamond"])
+    def test_fast_searches_never_worse_than_zero_offset(self, rng, method):
+        """Greedy searches can stop in local minima, but they start from
+        the zero offset so their match error never exceeds it."""
+        ref = textured(rng, smoothness=3)
+        cur = shifted(ref, 3, -2)
+        fast = block_match(ref, cur, 8, 6, method)
+        none = block_match(ref, cur, 8, 0, "exhaustive")  # zero-offset SAD
+        assert (fast.errors <= none.errors + 1e-12).all()
+        assert fast.errors.mean() < none.errors.mean()
+
+    def test_identical_frames(self, rng):
+        ref = textured(rng)
+        result = block_match(ref, ref.copy(), block_size=8, search_radius=4)
+        assert result.field.total_magnitude() == 0.0
+        np.testing.assert_allclose(result.errors, 0.0)
+
+    def test_exhaustive_comparison_count(self, rng):
+        ref = textured(rng, 32, 32)
+        result = block_match(ref, ref, block_size=8, search_radius=2, method="exhaustive")
+        blocks = 16
+        # zero-cost check + full 5x5 window per block.
+        assert result.comparisons == blocks * (1 + 25)
+
+    def test_fast_searches_cheaper_than_exhaustive(self, rng):
+        ref = textured(rng)
+        cur = shifted(ref, 2, 2)
+        exhaustive = block_match(ref, cur, 8, 8, "exhaustive")
+        three = block_match(ref, cur, 8, 8, "three_step")
+        diamond = block_match(ref, cur, 8, 8, "diamond")
+        assert three.comparisons < exhaustive.comparisons
+        assert diamond.comparisons < exhaustive.comparisons
+
+    def test_dense_upsampling(self, rng):
+        ref = textured(rng, 32, 32)
+        result = block_match(ref, shifted(ref, 2, 0), block_size=8, search_radius=4)
+        dense = result.dense((32, 32))
+        assert dense.grid_shape == (32, 32)
+        # Interior pixel inherits its block's vector.
+        np.testing.assert_allclose(dense.data[12, 12], result.field.data[1, 1])
+
+    def test_validation(self, rng):
+        ref = textured(rng, 16, 16)
+        with pytest.raises(ValueError):
+            block_match(ref, textured(rng, 8, 8))
+        with pytest.raises(ValueError):
+            block_match(ref, ref, method="psychic")
+        with pytest.raises(ValueError):
+            block_match(ref, ref, block_size=0)
+        with pytest.raises(ValueError):
+            block_match(ref, ref, block_size=32)
+
+
+class TestOpticalFlow:
+    def test_lucas_kanade_small_shift(self, rng):
+        ref = textured(rng, smoothness=6)
+        cur = shifted(ref, 0, 1)
+        flow = lucas_kanade(ref, cur)
+        # Backward flow: content came from +1 column to the left -> dx ~ -1.
+        interior = flow.data[16:48, 16:48, 1]
+        assert -1.6 < interior.mean() < -0.4
+
+    def test_lucas_kanade_zero_on_identical(self, rng):
+        ref = textured(rng)
+        flow = lucas_kanade(ref, ref.copy())
+        assert flow.total_magnitude() == pytest.approx(0.0, abs=1e-9)
+
+    def test_lucas_kanade_flat_region_stays_zero(self):
+        ref = np.full((32, 32), 0.5)
+        cur = np.full((32, 32), 0.5)
+        flow = lucas_kanade(ref, cur)
+        assert flow.total_magnitude() == 0.0
+
+    def test_horn_schunck_small_shift(self, rng):
+        ref = textured(rng, smoothness=6)
+        cur = shifted(ref, 1, 0)
+        # Lower alpha weights the data term more, converging faster on
+        # clean synthetic shifts.
+        flow = horn_schunck(ref, cur, alpha=0.3, iterations=256)
+        interior = flow.data[16:48, 16:48, 0]
+        assert -1.8 < interior.mean() < -0.4
+
+    def test_pyramid_flow_handles_large_shift(self, rng):
+        """Single-level LK fails beyond its linear range; the pyramid
+        recovers large displacements (the reason it stands in for
+        FlowNet2-s)."""
+        ref = textured(rng, smoothness=8)
+        cur = shifted(ref, 0, 6)
+        single = lucas_kanade(ref, cur)
+        pyramid = pyramid_flow(ref, cur, levels=3)
+        interior = slice(16, 48)
+        single_err = abs(single.data[interior, interior, 1].mean() + 6)
+        pyramid_err = abs(pyramid.data[interior, interior, 1].mean() + 6)
+        assert pyramid_err < single_err
+
+    def test_validation(self, rng):
+        ref = textured(rng, 16, 16)
+        bad = textured(rng, 8, 8)
+        for fn in (lucas_kanade, horn_schunck, pyramid_flow):
+            with pytest.raises(ValueError):
+                fn(ref, bad)
+        with pytest.raises(ValueError):
+            lucas_kanade(ref, ref, window_sigma=0)
+        with pytest.raises(ValueError):
+            horn_schunck(ref, ref, alpha=0)
+        with pytest.raises(ValueError):
+            pyramid_flow(ref, ref, levels=0)
+
+
+@settings(max_examples=10, deadline=None)
+@given(dy=st.integers(-2, 2), dx=st.integers(-2, 2))
+def test_block_match_exact_on_any_small_shift(dy, dx):
+    rng = np.random.default_rng(17)
+    ref = textured(rng, smoothness=3)
+    cur = shifted(ref, dy, dx)
+    result = block_match(ref, cur, block_size=8, search_radius=4)
+    interior = result.field.data[2:6, 2:6]
+    np.testing.assert_allclose(interior[..., 0], -dy)
+    np.testing.assert_allclose(interior[..., 1], -dx)

@@ -1,0 +1,204 @@
+"""Tests for layer classes and the Network container, focused on the
+structural queries AMC relies on (spatiality, prefix/suffix, MAC counts)."""
+
+import numpy as np
+import pytest
+
+from repro.nn import (
+    Conv2d,
+    Flatten,
+    Linear,
+    MaxPool2d,
+    Network,
+    ReLU,
+    build_mini_alexnet,
+    build_mini_faster16,
+    build_mini_fasterm,
+)
+
+
+def tiny_network():
+    rng = np.random.default_rng(0)
+    return Network(
+        "tiny",
+        [
+            Conv2d("conv1", 1, 4, kernel=3, stride=1, pad=1, rng=rng),
+            ReLU("relu1"),
+            MaxPool2d("pool1", 2, 2),
+            Conv2d("conv2", 4, 8, kernel=3, stride=1, pad=1, rng=rng),
+            ReLU("relu2"),
+            Flatten("flatten"),
+            Linear("fc", 8 * 8 * 8, 10, rng=rng),
+        ],
+        (1, 16, 16),
+    )
+
+
+class TestLayerBasics:
+    def test_conv_output_shape(self):
+        conv = Conv2d("c", 3, 8, kernel=3, stride=2, pad=1)
+        assert conv.output_shape((3, 16, 16)) == (8, 8, 8)
+
+    def test_conv_channel_check(self):
+        conv = Conv2d("c", 3, 8, kernel=3)
+        with pytest.raises(ValueError):
+            conv.output_shape((4, 16, 16))
+
+    def test_conv_macs_formula(self):
+        # paper §IV-A: outputs x in_c x k x k
+        conv = Conv2d("c", 3, 8, kernel=3, stride=1, pad=1)
+        assert conv.macs((3, 16, 16)) == 16 * 16 * 8 * 3 * 3 * 3
+
+    def test_linear_macs(self):
+        fc = Linear("f", 100, 10)
+        assert fc.macs((100,)) == 1000
+
+    def test_spatiality_flags(self):
+        assert Conv2d("c", 1, 1, kernel=1).is_spatial
+        assert MaxPool2d("p", 2, 2).is_spatial
+        assert ReLU("r").is_spatial
+        assert not Flatten("f").is_spatial
+        assert not Linear("l", 4, 2).is_spatial
+
+    def test_backward_without_train_forward_raises(self, rng):
+        conv = Conv2d("c", 1, 2, kernel=3, pad=1)
+        conv.forward(rng.normal(size=(1, 1, 8, 8)), train=False)
+        with pytest.raises(RuntimeError):
+            conv.backward(rng.normal(size=(1, 2, 8, 8)))
+
+    def test_param_count(self):
+        conv = Conv2d("c", 2, 4, kernel=3)
+        assert conv.param_count() == 4 * 2 * 9 + 4
+
+
+class TestNetworkStructure:
+    def test_duplicate_names_rejected(self):
+        rng = np.random.default_rng(0)
+        with pytest.raises(ValueError):
+            Network(
+                "dup",
+                [ReLU("same"), ReLU("same")],
+                (1, 8, 8),
+            )
+
+    def test_shape_propagation_validated_at_construction(self):
+        rng = np.random.default_rng(0)
+        with pytest.raises(ValueError):
+            Network(
+                "bad",
+                [
+                    Conv2d("c1", 1, 4, kernel=3, rng=rng),
+                    Conv2d("c2", 8, 4, kernel=3, rng=rng),  # wrong in_channels
+                ],
+                (1, 16, 16),
+            )
+
+    def test_last_spatial_layer(self):
+        net = tiny_network()
+        assert net.last_spatial_layer() == "relu2"
+
+    def test_first_post_pool_layer(self):
+        net = tiny_network()
+        assert net.first_post_pool_layer() == "pool1"
+
+    def test_spatial_layers_stop_at_flatten(self):
+        net = tiny_network()
+        assert net.spatial_layers() == ["conv1", "relu1", "pool1", "conv2", "relu2"]
+
+    def test_validate_target_rejects_nonspatial_prefix(self):
+        net = tiny_network()
+        with pytest.raises(ValueError):
+            net.validate_target("fc")
+
+    def test_prefix_suffix_partition(self):
+        net = tiny_network()
+        prefix = net.prefix_layers("pool1")
+        suffix = net.suffix_layers("pool1")
+        assert [l.name for l in prefix] == ["conv1", "relu1", "pool1"]
+        assert [l.name for l in suffix] == ["conv2", "relu2", "flatten", "fc"]
+
+    def test_prefix_plus_suffix_macs_equals_total(self):
+        net = tiny_network()
+        total = sum(net.macs_per_layer().values())
+        assert net.prefix_macs("pool1") + net.suffix_macs("pool1") == total
+
+
+class TestNetworkExecution:
+    def test_prefix_then_suffix_equals_full(self, rng):
+        net = tiny_network()
+        x = rng.normal(size=(2, 1, 16, 16))
+        full = net.forward(x)
+        act = net.forward_prefix(x, "relu2")
+        split = net.forward_suffix(act, "relu2")
+        np.testing.assert_allclose(full, split)
+
+    def test_layer_output_shape_matches_execution(self, rng):
+        net = tiny_network()
+        x = rng.normal(size=(1, 1, 16, 16))
+        act = net.forward_prefix(x, "conv2")
+        assert act.shape[1:] == net.layer_output_shape("conv2")
+
+    def test_state_dict_roundtrip(self, rng):
+        net = tiny_network()
+        state = net.state_dict()
+        other = tiny_network()
+        for layer in other.layers:
+            for key in layer.params:
+                layer.params[key] += 1.0  # perturb
+        other.load_state_dict(state)
+        x = rng.normal(size=(1, 1, 16, 16))
+        np.testing.assert_allclose(net.forward(x), other.forward(x))
+
+    def test_load_state_dict_missing_key(self):
+        net = tiny_network()
+        state = net.state_dict()
+        del state["fc.weight"]
+        with pytest.raises(KeyError):
+            tiny_network().load_state_dict(state)
+
+    def test_load_state_dict_shape_mismatch(self):
+        net = tiny_network()
+        state = net.state_dict()
+        state["fc.weight"] = state["fc.weight"][:, :-1]
+        with pytest.raises(ValueError):
+            tiny_network().load_state_dict(state)
+
+    def test_zero_grad(self, rng):
+        net = tiny_network()
+        x = rng.normal(size=(1, 1, 16, 16))
+        out = net.forward(x, train=True)
+        net.backward(np.ones_like(out))
+        net.zero_grad()
+        for layer in net.layers:
+            for grad in layer.grads.values():
+                assert not grad.any()
+
+
+class TestModelBuilders:
+    @pytest.mark.parametrize(
+        "builder,outputs",
+        [(build_mini_alexnet, 8), (build_mini_fasterm, 12), (build_mini_faster16, 12)],
+    )
+    def test_shapes(self, builder, outputs, rng):
+        net = builder()
+        out = net.forward(rng.normal(size=(2, 1, 64, 64)))
+        assert out.shape == (2, outputs)
+
+    def test_deterministic_construction(self):
+        a = build_mini_fasterm().state_dict()
+        b = build_mini_fasterm().state_dict()
+        for key in a:
+            np.testing.assert_array_equal(a[key], b[key])
+
+    def test_faster16_deeper_than_fasterm(self):
+        fasterm = build_mini_fasterm()
+        faster16 = build_mini_faster16()
+        convs = lambda net: sum(1 for l in net.layers if isinstance(l, Conv2d))
+        assert convs(faster16) > convs(fasterm)
+
+    def test_faster16_prefix_costs_more(self):
+        fasterm = build_mini_fasterm()
+        faster16 = build_mini_faster16()
+        assert faster16.prefix_macs(
+            faster16.last_spatial_layer()
+        ) > fasterm.prefix_macs(fasterm.last_spatial_layer())

@@ -1,0 +1,203 @@
+"""Tests for optimisers, training loops, quantization helpers, and the
+model zoo."""
+
+import numpy as np
+import pytest
+
+from repro.hardware.fixed_point import QFormat
+from repro.nn import (
+    Adam,
+    Conv2d,
+    Flatten,
+    Linear,
+    Network,
+    ReLU,
+    SGD,
+    build_mini_alexnet,
+    classification_accuracy,
+    train_classifier,
+    train_detector,
+)
+from repro.nn.models import DETECTION_OUTPUTS
+from repro.nn.quantize import choose_format, quantize_activation
+from repro.nn.train import detection_loss, get_trained_network
+from repro.video import NUM_CLASSES
+
+
+def make_toy_data(rng, n=64):
+    """Linearly separable 2-class image data."""
+    frames = rng.normal(size=(n, 1, 8, 8))
+    labels = (frames.mean(axis=(1, 2, 3)) > 0).astype(np.int64)
+    frames[labels == 1] += 0.5
+    return frames, labels
+
+
+def toy_net(outputs=2):
+    rng = np.random.default_rng(0)
+    return Network(
+        "toy",
+        [
+            Conv2d("c1", 1, 4, kernel=3, pad=1, rng=rng),
+            ReLU("r1"),
+            Flatten("f"),
+            Linear("fc", 4 * 8 * 8, outputs, rng=rng),
+        ],
+        (1, 8, 8),
+    )
+
+
+class TestOptimizers:
+    @pytest.mark.parametrize("opt_cls", [SGD, Adam])
+    def test_reduces_loss(self, rng, opt_cls):
+        frames, labels = make_toy_data(rng)
+        net = toy_net()
+        result = train_classifier(net, frames, labels, epochs=5, lr=1e-2)
+        assert result.losses[-1] < result.losses[0]
+
+    def test_sgd_step_moves_params(self, rng):
+        net = toy_net()
+        frames, labels = make_toy_data(rng, n=8)
+        opt = SGD(net.layers, lr=0.1)
+        before = net.state_dict()
+        from repro.nn import functional as F
+
+        logits = net.forward(frames, train=True)
+        net.backward(F.cross_entropy_grad(logits, labels))
+        opt.step()
+        after = net.state_dict()
+        assert any(
+            not np.array_equal(before[k], after[k]) for k in before
+        )
+
+    def test_weight_decay_shrinks_weights(self, rng):
+        net_a, net_b = toy_net(), toy_net()
+        frames, labels = make_toy_data(rng, n=16)
+        from repro.nn import functional as F
+
+        for net, decay in ((net_a, 0.0), (net_b, 1.0)):
+            opt = SGD(net.layers, lr=0.01, momentum=0.0, weight_decay=decay)
+            logits = net.forward(frames, train=True)
+            net.backward(F.cross_entropy_grad(logits, labels))
+            opt.step()
+        norm = lambda net: sum(
+            float((p**2).sum()) for _, _, p in net.parameters()
+        )
+        assert norm(net_b) < norm(net_a)
+
+    def test_invalid_lr(self):
+        with pytest.raises(ValueError):
+            SGD([], lr=0.0)
+        with pytest.raises(ValueError):
+            Adam([], lr=-1.0)
+
+
+class TestTraining:
+    def test_classifier_learns_toy_task(self, rng):
+        frames, labels = make_toy_data(rng, n=128)
+        net = toy_net()
+        result = train_classifier(net, frames, labels, epochs=8, lr=5e-3)
+        assert result.final_metric > 0.9
+
+    def test_detector_loss_and_grad_shapes(self, rng):
+        output = rng.normal(size=(4, DETECTION_OUTPUTS))
+        labels = rng.integers(0, NUM_CLASSES, size=4)
+        boxes = rng.uniform(0.2, 0.8, size=(4, 4))
+        loss, grad = detection_loss(output, labels, boxes)
+        assert loss > 0
+        assert grad.shape == output.shape
+
+    def test_detector_training_reduces_loss(self, rng):
+        frames = rng.normal(size=(48, 1, 8, 8))
+        labels = rng.integers(0, NUM_CLASSES, size=48)
+        boxes = rng.uniform(0.2, 0.8, size=(48, 4))
+        net = toy_net(outputs=DETECTION_OUTPUTS)
+        result = train_detector(net, frames, labels, boxes, epochs=6, lr=3e-3)
+        assert result.losses[-1] < result.losses[0]
+
+    def test_training_deterministic(self, rng):
+        frames, labels = make_toy_data(rng, n=32)
+        nets = [toy_net(), toy_net()]
+        for net in nets:
+            train_classifier(net, frames, labels, epochs=2, seed=7)
+        a, b = nets[0].state_dict(), nets[1].state_dict()
+        for key in a:
+            np.testing.assert_array_equal(a[key], b[key])
+
+
+class TestModelZoo:
+    def test_unknown_network(self):
+        with pytest.raises(KeyError):
+            get_trained_network("resnet50")
+
+    def test_fresh_copy_isolated(self):
+        a = get_trained_network("mini_alexnet")
+        b = get_trained_network("mini_alexnet")
+        a.layers[0].params["weight"][...] = 0.0
+        assert b.layers[0].params["weight"].any()
+
+    def test_shared_copy_is_cached_instance(self):
+        a = get_trained_network("mini_alexnet", fresh_copy=False)
+        b = get_trained_network("mini_alexnet", fresh_copy=False)
+        assert a is b
+
+    def test_trained_alexnet_beats_chance(self, trained_alexnet, tiny_test_set):
+        from repro.video import frames_and_labels
+
+        frames, labels, _ = frames_and_labels(tiny_test_set)
+        acc = classification_accuracy(trained_alexnet, frames, labels)
+        assert acc > 2.0 / NUM_CLASSES  # well above the 1/8 chance level
+
+    def test_trained_detector_localises(self, trained_fasterm, tiny_test_set):
+        from repro.nn.models import split_detection_output
+        from repro.video import frames_and_labels
+
+        frames, labels, boxes = frames_and_labels(tiny_test_set)
+        out = trained_fasterm.forward(frames)
+        _, pred_boxes = split_detection_output(out)
+        err_px = np.abs(pred_boxes - boxes).mean() * 64
+        assert err_px < 8.0  # object centres within a fraction of the frame
+
+
+class TestQuantize:
+    def test_choose_format_avoids_saturation(self, rng):
+        values = rng.uniform(-30, 30, size=100)
+        fmt = choose_format(values, total_bits=16)
+        assert fmt.max_value >= np.abs(values).max()
+
+    def test_choose_format_spends_bits_on_fraction(self):
+        fmt = choose_format(np.array([0.1, -0.4]), total_bits=16)
+        assert fmt.int_bits == 0
+        assert fmt.frac_bits == 15
+
+    def test_quantize_activation_stats(self, rng):
+        values = rng.uniform(-1, 1, size=256)
+        fmt = choose_format(values)
+        _, stats = quantize_activation(values, fmt)
+        assert stats.max_abs_error <= fmt.resolution / 2 + 1e-12
+        assert stats.saturated_fraction == 0.0
+
+    def test_saturation_reported(self):
+        fmt = QFormat(1, 6)
+        _, stats = quantize_activation(np.array([10.0, 0.5]), fmt)
+        assert stats.saturated_fraction == pytest.approx(0.5)
+
+    def test_choose_format_validation(self):
+        with pytest.raises(ValueError):
+            choose_format(np.array([1.0]), total_bits=1)
+
+    def test_quantized_network_outputs_close(self, trained_alexnet, tiny_test_set):
+        """16-bit activation quantization barely moves the logits."""
+        from repro.video import frames_and_labels
+
+        frames, _, _ = frames_and_labels(tiny_test_set)
+        x = frames[:4]
+        exact = trained_alexnet.forward(x)
+        act = trained_alexnet.forward_prefix(
+            x, trained_alexnet.last_spatial_layer()
+        )
+        fmt = choose_format(act)
+        quantized, _ = quantize_activation(act, fmt)
+        approx = trained_alexnet.forward_suffix(
+            quantized, trained_alexnet.last_spatial_layer()
+        )
+        assert np.abs(exact - approx).max() < 0.05

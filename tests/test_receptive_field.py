@@ -1,0 +1,175 @@
+"""Receptive-field propagation tests, including a brute-force cross-check
+that perturbs single input pixels and observes which outputs change."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.receptive_field import ReceptiveField, propagate, receptive_field_of
+from repro.nn import Conv2d, MaxPool2d, Network, ReLU
+
+
+class TestPropagate:
+    def test_single_conv(self):
+        rf = propagate([(3, 1, 1)])
+        assert rf == ReceptiveField(size=3, stride=1, padding=1)
+
+    def test_conv_then_pool(self):
+        # conv 3x3 s1 p1 -> pool 2x2 s2: size 3+1=4, stride 2.
+        rf = propagate([(3, 1, 1), (2, 2, 0)])
+        assert rf == ReceptiveField(size=4, stride=2, padding=1)
+
+    def test_vgg_block_structure(self):
+        """Two 3x3 convs + pool per block: classic VGG growth."""
+        geoms = [(3, 1, 1), (3, 1, 1), (2, 2, 0)] * 2
+        rf = propagate(geoms)
+        assert rf.stride == 4
+        # block 1: 3 -> 5 -> 6 (stride 2); block 2: 10 -> 14 -> 16 (stride 4).
+        assert rf.size == 16
+
+    def test_identity_layers_ignored(self):
+        rf_with = propagate([(3, 1, 1), (1, 1, 0), (2, 2, 0)])
+        rf_without = propagate([(3, 1, 1), (2, 2, 0)])
+        assert rf_with == rf_without
+
+    def test_invalid_geometry(self):
+        with pytest.raises(ValueError):
+            propagate([(0, 1, 0)])
+
+    def test_invalid_rf(self):
+        with pytest.raises(ValueError):
+            ReceptiveField(size=0, stride=1, padding=0)
+
+
+class TestReceptiveFieldQueries:
+    def test_input_origin_with_padding(self):
+        rf = ReceptiveField(size=6, stride=2, padding=2)
+        # Paper Fig. 7: first field starts at -2.
+        assert rf.input_origin(0) == -2
+        assert rf.input_origin(1) == 0
+
+    def test_input_extent(self):
+        rf = ReceptiveField(size=6, stride=2, padding=2)
+        assert rf.input_extent(0) == (-2, 4)
+
+    def test_full_tiles_fig7(self):
+        """Paper Fig. 7: size 6, stride 2, padding 2 on an 8-wide image.
+
+        Field (a) at index 0 spans [-2, 4): full in-bounds tiles 0..1.
+        Field (b) at index 1 spans [0, 6): tiles 0..2.
+        Field (c) at index 2 spans [2, 8): tiles 1..3.
+        """
+        rf = ReceptiveField(size=6, stride=2, padding=2)
+        num_tiles = 4  # 8-pixel image, 2-pixel tiles
+        assert rf.full_tiles(0, num_tiles) == (0, 2)
+        assert rf.full_tiles(1, num_tiles) == (0, 3)
+        assert rf.full_tiles(2, num_tiles) == (1, 4)
+
+    def test_partial_tiles_ignored(self):
+        """Non-multiple size: trailing partial tile dropped (§III-A)."""
+        rf = ReceptiveField(size=7, stride=2, padding=0)
+        assert rf.tiles_per_field() == 3
+        first, last = rf.full_tiles(0, 10)
+        assert last - first == 3
+
+    def test_fully_out_of_bounds(self):
+        rf = ReceptiveField(size=4, stride=4, padding=8)
+        first, last = rf.full_tiles(0, 2)
+        assert first >= last  # empty range
+
+
+class TestAgainstNetwork:
+    def _brute_force_rf_size(self, net, target):
+        """Perturb each input pixel; measure the input span feeding output
+        centre position."""
+        shape = net.input_shape
+        x = np.zeros((1,) + shape)
+        base = net.forward_prefix(x, target)
+        c, oh, ow = net.layer_output_shape(target)
+        centre = (oh // 2, ow // 2)
+        touched = []
+        for px in range(shape[1]):
+            probe = x.copy()
+            probe[0, 0, shape[1] // 2, px] = 10.0
+            out = net.forward_prefix(probe, target)
+            if not np.allclose(
+                out[0, :, centre[0], centre[1]], base[0, :, centre[0], centre[1]]
+            ):
+                touched.append(px)
+        return touched
+
+    def test_rf_matches_brute_force(self):
+        rng = np.random.default_rng(3)
+        net = Network(
+            "probe",
+            [
+                Conv2d("c1", 1, 2, kernel=3, stride=1, pad=1, rng=rng),
+                ReLU("r1"),
+                MaxPool2d("p1", 2, 2),
+                Conv2d("c2", 2, 2, kernel=3, stride=1, pad=1, rng=rng),
+            ],
+            (1, 16, 16),
+        )
+        # Make all weights positive so perturbations always propagate.
+        for layer in net.layers:
+            if "weight" in layer.params:
+                layer.params["weight"] = np.abs(layer.params["weight"]) + 0.1
+        rf = receptive_field_of(net, "c2")
+        touched = self._brute_force_rf_size(net, "c2")
+        span = max(touched) - min(touched) + 1
+        assert span <= rf.size
+        assert span >= rf.size - 2 * rf.padding  # padding clips the edges
+
+    def test_receptive_field_of_rejects_nonspatial(self, trained_fasterm):
+        with pytest.raises(ValueError):
+            receptive_field_of(trained_fasterm, "fc1")
+
+    def test_mini_networks_rf(self, trained_fasterm):
+        rf = receptive_field_of(trained_fasterm, trained_fasterm.last_spatial_layer())
+        assert rf.stride == 8
+        assert rf.size == 59
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    st.lists(
+        st.tuples(st.integers(1, 5), st.integers(1, 3), st.integers(0, 2)),
+        min_size=1,
+        max_size=5,
+    )
+)
+def test_propagate_composition_property(geoms):
+    """Propagating all at once equals propagating in two halves."""
+    full = propagate(geoms)
+    half = len(geoms) // 2
+    first = propagate(geoms[:half]) if half else ReceptiveField(1, 1, 0)
+    # Compose the second half on top of the first manually.
+    size, stride, padding = first.size, first.stride, first.padding
+    for field, layer_stride, pad in geoms[half:]:
+        size = size + (field - 1) * stride
+        padding = padding + pad * stride
+        stride = stride * layer_stride
+    assert (full.size, full.stride, full.padding) == (size, stride, padding)
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    size=st.integers(1, 16),
+    stride=st.integers(1, 8),
+    padding=st.integers(0, 8),
+    index=st.integers(0, 10),
+    num_tiles=st.integers(1, 16),
+)
+def test_full_tiles_always_within_bounds(size, stride, padding, index, num_tiles):
+    if size < stride:
+        size = stride
+    rf = ReceptiveField(size=size, stride=stride, padding=padding)
+    first, last = rf.full_tiles(index, num_tiles)
+    assert 0 <= first
+    assert last <= num_tiles
+    if last > first:
+        # Every full tile really is inside the field extent.
+        start, stop = rf.input_extent(index)
+        assert first * stride >= start
+        assert last * stride <= stop

@@ -1,0 +1,161 @@
+"""RFBME tests: translation recovery, the faithful producer/consumer
+pipeline vs the vectorized implementation, op accounting, and config
+validation."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.receptive_field import ReceptiveField
+from repro.core.rfbme import OpCounts, RFBMEConfig, estimate_motion
+from repro.video import generate_clip, scenario
+
+
+def textured_frame(rng, height=64, width=64):
+    from repro.video.sprites import smooth_noise_texture
+
+    return smooth_noise_texture(height, width, rng, smoothness=3)
+
+
+def translate(frame, dy, dx):
+    """Shift content by (dy, dx) with edge replication."""
+    out = np.roll(np.roll(frame, dy, axis=0), dx, axis=1)
+    return out
+
+
+RF = ReceptiveField(size=24, stride=8, padding=8)
+GRID = (8, 8)
+
+
+class TestTranslationRecovery:
+    @pytest.mark.parametrize("dy,dx", [(0, 0), (2, 0), (0, -4), (4, 4), (-2, 6)])
+    def test_pure_translation(self, rng, dy, dx):
+        """A globally translated frame yields the backward vector (-dy,-dx)
+        for interior receptive fields."""
+        key = textured_frame(rng)
+        new = translate(key, dy, dx)
+        result = estimate_motion(key, new, RF, GRID, RFBMEConfig(8, 2))
+        interior = result.field.data[2:6, 2:6]
+        expected = np.array([-dy, -dx], dtype=float)
+        np.testing.assert_allclose(
+            interior.reshape(-1, 2), np.tile(expected, (16, 1)), atol=0.0
+        )
+
+    def test_identical_frames_zero_field_zero_error(self, rng):
+        key = textured_frame(rng)
+        result = estimate_motion(key, key.copy(), RF, GRID)
+        assert result.field.total_magnitude() == 0.0
+        assert result.total_match_error == 0.0
+
+    def test_match_error_increases_with_noise(self, rng):
+        key = textured_frame(rng)
+        small = estimate_motion(key, key + rng.normal(0, 0.01, key.shape), RF, GRID)
+        large = estimate_motion(key, key + rng.normal(0, 0.2, key.shape), RF, GRID)
+        assert large.total_match_error > small.total_match_error
+
+    def test_odd_translation_quantized_by_search_stride(self, rng):
+        """Search stride 2 cannot represent odd shifts exactly; the result
+        is the nearest even offset."""
+        key = textured_frame(rng)
+        new = translate(key, 0, 3)
+        result = estimate_motion(key, new, RF, GRID, RFBMEConfig(8, 2))
+        interior_dx = result.field.data[2:6, 2:6, 1]
+        assert set(np.unique(interior_dx)) <= {-2.0, -4.0}
+
+
+class TestFaithfulPipeline:
+    @pytest.mark.parametrize("scen", ["linear_motion", "camera_pan", "occlusion"])
+    def test_matches_vectorized(self, scen):
+        clip = generate_clip(scenario(scen), seed=55)
+        key, new = clip.frames[0], clip.frames[5]
+        fast = estimate_motion(key, new, RF, GRID, RFBMEConfig(8, 2))
+        slow = estimate_motion(key, new, RF, GRID, RFBMEConfig(8, 2), faithful=True)
+        np.testing.assert_allclose(fast.field.data, slow.field.data)
+        np.testing.assert_allclose(fast.match_errors, slow.match_errors, atol=1e-9)
+
+    def test_faithful_op_counts_positive(self, rng):
+        key = textured_frame(rng)
+        new = translate(key, 2, 2)
+        result = estimate_motion(key, new, RF, GRID, faithful=True)
+        assert result.ops.producer_adds > 0
+        assert result.ops.consumer_adds > 0
+
+    def test_rolling_consumer_cheaper_than_full_sums(self, rng):
+        """The incremental consumer must beat naive per-field recompute:
+        (tiles/field)^2 adds per field per offset."""
+        key = textured_frame(rng)
+        new = translate(key, 2, 0)
+        config = RFBMEConfig(8, 2)
+        result = estimate_motion(key, new, RF, GRID, config, faithful=True)
+        n_offsets_sq = len(config.offsets()) ** 2
+        naive = GRID[0] * GRID[1] * RF.tiles_per_field() ** 2 * n_offsets_sq
+        assert result.ops.consumer_adds < naive
+
+
+class TestConfig:
+    def test_zero_offset_always_searched(self):
+        config = RFBMEConfig(search_radius=8, search_stride=2)
+        assert 0 in config.offsets()
+
+    def test_radius_must_be_multiple_of_stride(self):
+        with pytest.raises(ValueError):
+            RFBMEConfig(search_radius=7, search_stride=2)
+
+    def test_negative_radius_rejected(self):
+        with pytest.raises(ValueError):
+            RFBMEConfig(search_radius=-2, search_stride=2)
+
+    def test_radius_zero_degenerates_to_no_motion(self, rng):
+        key = textured_frame(rng)
+        new = translate(key, 4, 4)
+        result = estimate_motion(key, new, RF, GRID, RFBMEConfig(0, 1))
+        assert result.field.total_magnitude() == 0.0
+
+
+class TestValidation:
+    def test_shape_mismatch(self, rng):
+        with pytest.raises(ValueError):
+            estimate_motion(
+                rng.normal(size=(64, 64)), rng.normal(size=(32, 32)), RF, GRID
+            )
+
+    def test_non_2d_frames(self, rng):
+        with pytest.raises(ValueError):
+            estimate_motion(
+                rng.normal(size=(3, 64, 64)), rng.normal(size=(3, 64, 64)), RF, GRID
+            )
+
+    def test_frame_smaller_than_tile(self, rng):
+        small_rf = ReceptiveField(size=32, stride=32, padding=0)
+        with pytest.raises(ValueError):
+            estimate_motion(
+                rng.normal(size=(16, 16)), rng.normal(size=(16, 16)), small_rf, (1, 1)
+            )
+
+
+class TestOpCounts:
+    def test_total(self):
+        ops = OpCounts(producer_adds=10, consumer_adds=5)
+        assert ops.total == 15
+
+    def test_producer_scales_with_offsets(self, rng):
+        key = textured_frame(rng)
+        new = translate(key, 1, 1)
+        few = estimate_motion(key, new, RF, GRID, RFBMEConfig(4, 2))
+        many = estimate_motion(key, new, RF, GRID, RFBMEConfig(8, 2))
+        assert many.ops.producer_adds > few.ops.producer_adds
+
+
+@settings(max_examples=15, deadline=None)
+@given(dy=st.integers(-3, 3), dx=st.integers(-3, 3))
+def test_translation_recovery_property(dy, dx):
+    """For any even global shift within the search radius, interior fields
+    recover the exact backward vector (search stride 1)."""
+    rng = np.random.default_rng(99)
+    key = textured_frame(rng)
+    new = translate(key, dy, dx)
+    result = estimate_motion(key, new, RF, GRID, RFBMEConfig(4, 1))
+    interior = result.field.data[3:5, 3:5]
+    np.testing.assert_allclose(interior[..., 0], -dy)
+    np.testing.assert_allclose(interior[..., 1], -dx)

@@ -1,0 +1,166 @@
+"""Tests for the vision metrics: IoU, AP, mAP, top-1/top-k accuracy."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.vision import (
+    Detection,
+    GroundTruth,
+    average_precision,
+    iou,
+    mean_average_precision,
+    top1_accuracy,
+    topk_accuracy,
+)
+
+
+class TestIoU:
+    def test_identical_boxes(self):
+        assert iou((10, 10, 4, 4), (10, 10, 4, 4)) == pytest.approx(1.0)
+
+    def test_disjoint_boxes(self):
+        assert iou((0, 0, 2, 2), (10, 10, 2, 2)) == 0.0
+
+    def test_half_overlap(self):
+        # Two 4x4 boxes offset by 2 in x: intersection 2x4=8, union 24.
+        assert iou((2, 2, 4, 4), (4, 2, 4, 4)) == pytest.approx(8 / 24)
+
+    def test_contained_box(self):
+        assert iou((5, 5, 2, 2), (5, 5, 4, 4)) == pytest.approx(4 / 16)
+
+    def test_negative_extent_rejected(self):
+        with pytest.raises(ValueError):
+            iou((0, 0, -1, 2), (0, 0, 2, 2))
+
+    def test_zero_area(self):
+        assert iou((0, 0, 0, 0), (0, 0, 0, 0)) == 0.0
+
+
+class TestAveragePrecision:
+    def test_perfect_detections(self):
+        truths = [GroundTruth(i, 0, (10, 10, 4, 4)) for i in range(4)]
+        dets = [Detection(i, 0, 0.9, (10, 10, 4, 4)) for i in range(4)]
+        assert average_precision(dets, truths) == pytest.approx(1.0)
+
+    def test_all_misses(self):
+        truths = [GroundTruth(0, 0, (10, 10, 4, 4))]
+        dets = [Detection(0, 0, 0.9, (40, 40, 4, 4))]
+        assert average_precision(dets, truths) == 0.0
+
+    def test_no_truths(self):
+        assert average_precision([Detection(0, 0, 0.5, (0, 0, 1, 1))], []) == 0.0
+
+    def test_no_detections(self):
+        assert average_precision([], [GroundTruth(0, 0, (0, 0, 2, 2))]) == 0.0
+
+    def test_half_recall(self):
+        truths = [GroundTruth(i, 0, (10, 10, 4, 4)) for i in range(2)]
+        dets = [Detection(0, 0, 0.9, (10, 10, 4, 4))]  # only frame 0 found
+        assert average_precision(dets, truths) == pytest.approx(0.5)
+
+    def test_duplicate_detections_penalised(self):
+        truths = [GroundTruth(0, 0, (10, 10, 4, 4))]
+        dets = [
+            Detection(0, 0, 0.9, (10, 10, 4, 4)),
+            Detection(0, 0, 0.8, (10, 10, 4, 4)),  # duplicate: FP
+        ]
+        ap = average_precision(dets, truths)
+        assert ap == pytest.approx(1.0)  # recall reached at precision 1
+
+    def test_confidence_ordering_matters(self):
+        """A wrong high-confidence detection drags precision down."""
+        truths = [GroundTruth(i, 0, (10, 10, 4, 4)) for i in range(2)]
+        good_first = [
+            Detection(0, 0, 0.9, (10, 10, 4, 4)),
+            Detection(1, 0, 0.8, (40, 40, 4, 4)),  # miss
+            Detection(1, 0, 0.7, (10, 10, 4, 4)),
+        ]
+        bad_first = [
+            Detection(1, 0, 0.9, (40, 40, 4, 4)),  # miss first
+            Detection(0, 0, 0.8, (10, 10, 4, 4)),
+            Detection(1, 0, 0.7, (10, 10, 4, 4)),
+        ]
+        assert average_precision(good_first, truths) > average_precision(
+            bad_first, truths
+        )
+
+    def test_iou_threshold(self):
+        truths = [GroundTruth(0, 0, (10, 10, 4, 4))]
+        dets = [Detection(0, 0, 0.9, (12, 10, 4, 4))]  # IoU = 8/24 = 0.33
+        assert average_precision(dets, truths, iou_threshold=0.3) == pytest.approx(1.0)
+        assert average_precision(dets, truths, iou_threshold=0.5) == 0.0
+
+
+class TestMeanAP:
+    def test_averages_over_classes(self):
+        truths = [
+            GroundTruth(0, 0, (10, 10, 4, 4)),
+            GroundTruth(1, 1, (10, 10, 4, 4)),
+        ]
+        dets = [
+            Detection(0, 0, 0.9, (10, 10, 4, 4)),  # class 0 perfect
+            Detection(1, 1, 0.9, (40, 40, 4, 4)),  # class 1 miss
+        ]
+        assert mean_average_precision(dets, truths) == pytest.approx(0.5)
+
+    def test_empty_truths(self):
+        assert mean_average_precision([], []) == 0.0
+
+    def test_wrong_class_never_matches(self):
+        truths = [GroundTruth(0, 0, (10, 10, 4, 4))]
+        dets = [Detection(0, 1, 0.9, (10, 10, 4, 4))]
+        assert mean_average_precision(dets, truths) == 0.0
+
+
+class TestClassification:
+    def test_top1(self):
+        logits = np.array([[0.1, 0.9], [0.8, 0.2], [0.4, 0.6]])
+        labels = np.array([1, 0, 0])
+        assert top1_accuracy(logits, labels) == pytest.approx(2 / 3)
+
+    def test_topk(self):
+        logits = np.array([[3.0, 2.0, 1.0, 0.0]])
+        assert topk_accuracy(logits, np.array([2]), k=3) == 1.0
+        assert topk_accuracy(logits, np.array([3]), k=3) == 0.0
+
+    def test_empty(self):
+        assert top1_accuracy(np.zeros((0, 4)), np.zeros(0, dtype=int)) == 0.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            top1_accuracy(np.zeros(4), np.zeros(4, dtype=int))
+        with pytest.raises(ValueError):
+            top1_accuracy(np.zeros((2, 4)), np.zeros(3, dtype=int))
+        with pytest.raises(ValueError):
+            topk_accuracy(np.zeros((2, 4)), np.zeros(2, dtype=int), k=5)
+
+
+@settings(max_examples=20, deadline=None)
+@given(
+    offset=st.floats(0, 10, allow_nan=False),
+    size=st.floats(0.5, 10, allow_nan=False),
+)
+def test_iou_bounds_property(offset, size):
+    """IoU is always in [0, 1] and symmetric."""
+    a = (5.0, 5.0, size, size)
+    b = (5.0 + offset, 5.0, size, size)
+    val = iou(a, b)
+    assert 0.0 <= val <= 1.0
+    assert val == pytest.approx(iou(b, a))
+
+
+@settings(max_examples=20, deadline=None)
+@given(st.integers(0, 1000))
+def test_ap_bounded_property(seed):
+    rng = np.random.default_rng(seed)
+    truths = [
+        GroundTruth(i, 0, tuple(rng.uniform(2, 30, size=4))) for i in range(5)
+    ]
+    dets = [
+        Detection(int(rng.integers(0, 5)), 0, float(rng.random()),
+                  tuple(rng.uniform(2, 30, size=4)))
+        for _ in range(8)
+    ]
+    assert 0.0 <= average_precision(dets, truths) <= 1.0
