@@ -3,8 +3,12 @@
 Commands:
 
 * ``info``      — library, networks, and scenario inventory.
-* ``run``       — stream one synthetic clip through the EVA2 pipeline and
-                  print per-frame decisions plus accuracy.
+* ``run``       — stream synthetic clips through the EVA2 pipeline; one
+                  clip prints per-frame decisions plus accuracy, while
+                  ``--clips N`` runs a multi-clip workload on the runtime
+                  layer (``--batch`` for lockstep RFBME batching,
+                  ``--workers N`` for a worker pool) and prints
+                  throughput statistics.
 * ``hardware``  — the Fig. 12 / Fig. 13 numbers for a real network.
 * ``firstorder``— the §IV-A op-count comparison.
 """
@@ -37,11 +41,34 @@ def _cmd_info(args: argparse.Namespace) -> int:
 
 def _cmd_run(args: argparse.Namespace) -> int:
     from .nn.train import get_trained_network
+    from .runtime import PAPER_MODES
     from .video import generate_clip
 
+    mode = PAPER_MODES[args.network]
+    if args.clips < 1:
+        print("error: --clips must be >= 1", file=sys.stderr)
+        return 2
+    if args.clips > 1:
+        if args.batch and args.workers > 1:
+            print(
+                "error: --batch (lockstep) and --workers (pool) are "
+                "separate execution paths; pick one",
+                file=sys.stderr,
+            )
+            return 2
+        return _run_workload(args, mode)
+    if args.batch or args.workers > 1:
+        print(
+            "error: --batch/--workers apply to multi-clip workloads; "
+            "add --clips N (N > 1)",
+            file=sys.stderr,
+        )
+        return 2
+
     network = get_trained_network(args.network)
-    mode = "memoize" if args.network == "mini_alexnet" else "warp"
-    executor = AMCExecutor(network, AMCConfig(mode=mode))
+    executor = AMCExecutor(
+        network, AMCConfig(mode=mode, rfbme_backend=args.rfbme)
+    )
     policy = (
         StaticPolicy(args.interval)
         if args.interval
@@ -60,6 +87,41 @@ def _cmd_run(args: argparse.Namespace) -> int:
     print(f"\nkey frames: {result.num_key_frames}/{len(result)}")
     if mode == "warp":
         print(f"clip mAP: {100 * detection_score([result], [clip]):.1f}%")
+    return 0
+
+
+def _run_workload(args: argparse.Namespace, mode: str) -> int:
+    """Multi-clip path of ``run``: the runtime layer plus a summary table."""
+    from .runtime import (
+        PipelineSpec,
+        SchedulerConfig,
+        run_workload,
+        synthetic_workload,
+    )
+
+    spec = PipelineSpec(
+        network=args.network,
+        mode=None,  # resolved from PAPER_MODES by the spec
+        policy="static" if args.interval else "match_error",
+        threshold=args.threshold,
+        interval=args.interval or 4,
+        rfbme_backend=args.rfbme,
+    )
+    clips = synthetic_workload(
+        args.clips,
+        num_frames=args.frames,
+        scenarios=[args.scenario],
+        base_seed=args.seed,
+    )
+    spec.warm()  # train/load once, outside the timed region
+    scheduler = (
+        SchedulerConfig(workers=args.workers) if args.workers > 1 else None
+    )
+    result = run_workload(spec, clips, batch=args.batch, scheduler=scheduler)
+    print(format_table(["quantity", "value"], result.summary_rows()))
+    if mode == "warp":
+        score = detection_score(result.results, clips)
+        print(f"\nworkload mAP: {100 * score:.1f}%")
     return 0
 
 
@@ -121,6 +183,15 @@ def build_parser() -> argparse.ArgumentParser:
                      help="adaptive match-error threshold")
     run.add_argument("--interval", type=int, default=0,
                      help="use a static key-frame interval instead")
+    run.add_argument("--clips", type=int, default=1,
+                     help="clips in the workload; >1 uses the runtime layer")
+    run.add_argument("--batch", action="store_true",
+                     help="lockstep batched execution for multi-clip runs")
+    run.add_argument("--workers", type=int, default=0,
+                     help="worker pool size for multi-clip runs")
+    run.add_argument("--rfbme", default=None,
+                     choices=["kernel", "batched", "loop"],
+                     help="RFBME host backend (default: fastest available)")
     run.set_defaults(func=_cmd_run)
 
     hw = sub.add_parser("hardware", help="VPU model numbers")

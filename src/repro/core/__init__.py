@@ -12,7 +12,14 @@ from .keyframe import (
 )
 from .pipeline import EVA2Pipeline, FrameRecord, PipelineResult
 from .receptive_field import ReceptiveField, propagate, receptive_field_of
-from .rfbme import OpCounts, RFBMEConfig, RFBMEResult, estimate_motion
+from .rfbme import (
+    OpCounts,
+    RFBMEConfig,
+    RFBMEEngine,
+    RFBMEResult,
+    estimate_motion,
+    estimate_motion_batch,
+)
 from .warp import scale_to_activation, warp_activation
 
 __all__ = [
@@ -35,8 +42,10 @@ __all__ = [
     "receptive_field_of",
     "OpCounts",
     "RFBMEConfig",
+    "RFBMEEngine",
     "RFBMEResult",
     "estimate_motion",
+    "estimate_motion_batch",
     "scale_to_activation",
     "warp_activation",
 ]

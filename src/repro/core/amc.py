@@ -25,7 +25,7 @@ from ..hardware.fixed_point import QFormat
 from ..motion.vector_field import VectorField
 from ..nn.network import Network
 from .receptive_field import ReceptiveField, receptive_field_of
-from .rfbme import RFBMEConfig, RFBMEResult, estimate_motion
+from .rfbme import BACKENDS, RFBMEConfig, RFBMEEngine, RFBMEResult
 from .warp import scale_to_activation, warp_activation
 
 __all__ = ["AMCConfig", "AMCExecutor", "PredictionStats"]
@@ -48,10 +48,19 @@ class AMCConfig:
     fixed_point: Optional[QFormat] = None
     #: RFBME search parameters.
     rfbme: RFBMEConfig = dataclass_field(default_factory=RFBMEConfig)
+    #: RFBME host backend ("kernel"/"batched"/"loop"); None picks the
+    #: fastest available. All backends are bit-identical — this knob
+    #: exists for benchmarking and regression testing.
+    rfbme_backend: Optional[str] = None
 
     def __post_init__(self):
         if self.mode not in _MODES:
             raise ValueError(f"mode must be one of {_MODES}, got {self.mode!r}")
+        if self.rfbme_backend is not None and self.rfbme_backend not in BACKENDS:
+            raise ValueError(
+                f"rfbme_backend must be None or one of {BACKENDS}, "
+                f"got {self.rfbme_backend!r}"
+            )
 
 
 @dataclass
@@ -81,6 +90,7 @@ class AMCExecutor:
 
         self._key_pixels: Optional[np.ndarray] = None
         self._key_activation: Optional[np.ndarray] = None
+        self._engine: Optional[RFBMEEngine] = None
 
     # ------------------------------------------------------------------ #
     @property
@@ -103,6 +113,32 @@ class AMCExecutor:
             raise RuntimeError("no key frame stored")
         return self._key_activation.copy()
 
+    def stored_pixels(self) -> np.ndarray:
+        """The stored key-frame pixels (H, W), read-only view.
+
+        The runtime layer pairs these with incoming frames to batch RFBME
+        across many clips in one call; a locked view keeps that zero-copy
+        without letting callers corrupt the stored key frame.
+        """
+        if self._key_pixels is None:
+            raise RuntimeError("no key frame stored")
+        view = self._key_pixels.view()
+        view.flags.writeable = False
+        return view
+
+    @property
+    def rfbme_engine(self) -> RFBMEEngine:
+        """The reusable RFBME evaluator for this executor's geometry."""
+        if self._engine is None:
+            self._engine = RFBMEEngine(
+                self.network.input_shape[1:],
+                self.rf,
+                self.grid_shape,
+                config=self.config.rfbme,
+                backend=self.config.rfbme_backend,
+            )
+        return self._engine
+
     # ------------------------------------------------------------------ #
     def process_key(self, frame: np.ndarray) -> np.ndarray:
         """Run ``frame`` (H, W grayscale) precisely; store pixels and the
@@ -120,13 +156,7 @@ class AMCExecutor:
         self._check_frame(frame)
         if self._key_pixels is None:
             raise RuntimeError("cannot estimate motion: no key frame stored")
-        return estimate_motion(
-            self._key_pixels,
-            frame,
-            self.rf,
-            self.grid_shape,
-            config=self.config.rfbme,
-        )
+        return self.rfbme_engine.estimate(self._key_pixels, frame)
 
     def predicted_activation(
         self,

@@ -44,6 +44,33 @@ class FrameRecord:
     #: total motion magnitude, None for frame 0.
     motion_magnitude: Optional[float]
 
+    @classmethod
+    def from_step(
+        cls,
+        index: int,
+        is_key: bool,
+        output: np.ndarray,
+        estimation: Optional[RFBMEResult],
+    ) -> "FrameRecord":
+        """Build the record for one executed frame.
+
+        Shared by the serial pipeline and the lockstep runtime
+        (:class:`repro.runtime.BatchedPipeline`) so both trace frames
+        identically.
+        """
+        return cls(
+            index=index,
+            is_key=is_key,
+            output=output[0],
+            estimation_ops=estimation.ops if estimation else None,
+            match_error=(
+                estimation.total_match_error if estimation else None
+            ),
+            motion_magnitude=(
+                estimation.field.total_magnitude() if estimation else None
+            ),
+        )
+
 
 @dataclass
 class PipelineResult:
@@ -102,21 +129,19 @@ class EVA2Pipeline:
                 output = self.executor.process_predicted(frame, estimation)
 
             records.append(
-                FrameRecord(
-                    index=index,
-                    is_key=is_key,
-                    output=output[0],
-                    estimation_ops=estimation.ops if estimation else None,
-                    match_error=(
-                        estimation.total_match_error if estimation else None
-                    ),
-                    motion_magnitude=(
-                        estimation.field.total_magnitude() if estimation else None
-                    ),
-                )
+                FrameRecord.from_step(index, is_key, output, estimation)
             )
         return PipelineResult(records=records)
 
     def run_clips(self, clips) -> List[PipelineResult]:
-        """Process a sequence of clips independently."""
+        """Process clips one after another on this pipeline instance.
+
+        Each clip is independent: executor and policy state reset at every
+        clip boundary, so results match running each clip alone. This is
+        the simple serial path — for multi-clip workloads prefer
+        :mod:`repro.runtime`, whose :class:`~repro.runtime.BatchedPipeline`
+        produces bit-identical results while batching the RFBME hot path
+        across clips, and whose :class:`~repro.runtime.ClipScheduler` fans
+        clips out over a worker pool.
+        """
         return [self.run_clip(clip) for clip in clips]

@@ -13,30 +13,58 @@ offset) pair by the *diff tile producer*, and the *diff tile consumer*
 assembles receptive-field differences from tile differences with rolling
 add/subtract updates.
 
-Two implementations are provided:
+Four host implementations ("backends") are provided, all reporting the
+same adder-operation counts for the hardware energy model:
 
-* a vectorized numpy one (default, fast), and
-* a hardware-faithful producer/consumer pipeline
-  (:func:`estimate_motion` with ``faithful=True``) that walks tiles and
-  receptive fields exactly as Fig. 8 describes — including the past-sum
-  memory, the rolling column updates, and the min-check register — and is
-  cross-checked against the vectorized path in the test suite.
+* ``"batched"`` — fully vectorized NumPy: the producer walks the search
+  offsets with strided tile views and a preallocated scratch block, the
+  consumer uses integral images over the tile axes with no per-field
+  Python loop.  Handles stacks of frame pairs in one call
+  (:func:`estimate_motion_batch`), which the runtime layer uses to run
+  many clips in lockstep.
+* ``"kernel"`` — the batched consumer fed by an optional compiled
+  producer (:mod:`repro.core.sad_kernel`) that fuses subtract/abs/reduce
+  into one pass.  Bit-identical to ``"batched"`` (enforced by a load-time
+  self-check) and used automatically when available.
+* ``"loop"`` — the reference implementation: one Python iteration per
+  search offset in the producer and per receptive field in the consumer.
+  The vectorized backends are regression-tested to match it *bit for
+  bit* — same match errors, fields, and op counts.
+* ``"faithful"`` (``faithful=True``) — the hardware producer/consumer
+  pipeline that walks tiles and receptive fields exactly as Fig. 8
+  describes — including the past-sum memory, the rolling column updates,
+  and the min-check register — with exact rather than analytic op counts.
 
-Both report the adder-operation counts the hardware would spend, which feed
-the energy model and the §IV-A first-order comparison.
+All tile sums share one canonical summation order (sequential per tile
+column, then numpy's pairwise combine of the column sums) so that backend
+choice never changes a single output bit.
 """
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass
-from typing import List, Optional, Tuple
+from typing import List, Optional, Sequence, Tuple
 
 import numpy as np
+from numpy.lib.stride_tricks import as_strided
 
 from ..motion.vector_field import VectorField
 from .receptive_field import ReceptiveField
+from .sad_kernel import get_kernel
 
-__all__ = ["RFBMEConfig", "OpCounts", "RFBMEResult", "estimate_motion"]
+__all__ = [
+    "RFBMEConfig",
+    "OpCounts",
+    "RFBMEResult",
+    "RFBMEEngine",
+    "estimate_motion",
+    "estimate_motion_batch",
+    "default_backend",
+]
+
+#: Non-faithful backend names, in preference order.
+BACKENDS = ("kernel", "batched", "loop")
 
 
 @dataclass(frozen=True)
@@ -98,17 +126,59 @@ class RFBMEResult:
         return float(self.match_errors.mean()) if self.match_errors.size else 0.0
 
 
-def _tile_diffs(
+def default_backend() -> str:
+    """The fastest backend available on this host."""
+    return "kernel" if get_kernel() is not None else "batched"
+
+
+# --------------------------------------------------------------------- #
+# Shared helpers
+# --------------------------------------------------------------------- #
+def _tile_sums(blocks: np.ndarray) -> np.ndarray:
+    """Canonical tile reduction: blocks (..., tile, tile) -> (...).
+
+    Sequential accumulation down each tile column, then numpy's pairwise
+    combine of the column sums.  Every backend — including the C kernel —
+    reproduces exactly this order, which is what makes backends
+    bit-interchangeable.
+    """
+    return blocks.sum(axis=-2).sum(axis=-1)
+
+
+def _valid_tiles(
+    height: int, width: int, tile: int, offsets: np.ndarray
+) -> np.ndarray:
+    """(n_off, n_off, n_ty, n_tx) mask: tile fully inside the overlap of
+    the shifted key frame, i.e. the comparison never reads out of bounds
+    (out-of-bounds candidates are skipped, §III-A1)."""
+    n_ty, n_tx = height // tile, width // tile
+
+    def axis_ok(extent: int, count: int) -> np.ndarray:
+        lo = np.maximum(0, -offsets)
+        hi = np.minimum(extent, extent - offsets)
+        first = -(-lo // tile)
+        last = hi // tile
+        index = np.arange(count)
+        return (index[None, :] >= first[:, None]) & (index[None, :] < last[:, None])
+
+    row_ok = axis_ok(height, n_ty)
+    col_ok = axis_ok(width, n_tx)
+    return row_ok[:, None, :, None] & col_ok[None, :, None, :]
+
+
+# --------------------------------------------------------------------- #
+# Producer backends
+# --------------------------------------------------------------------- #
+def _tile_diffs_loop(
     key: np.ndarray,
     new: np.ndarray,
     tile: int,
     offsets: np.ndarray,
 ) -> np.ndarray:
-    """Producer stage: absolute tile differences for every search offset.
+    """Reference producer: one Python iteration per search offset.
 
     Returns (n_ty, n_tx, n_off, n_off) with NaN marking (tile, offset)
-    pairs whose shifted window leaves the key frame (out-of-bounds
-    comparisons are skipped, §III-A1).
+    pairs whose shifted window leaves the key frame.
     """
     height, width = new.shape
     n_ty, n_tx = height // tile, width // tile
@@ -138,18 +208,127 @@ def _tile_diffs(
             region = absdiff[
                 ty0 * tile - y0 : ty1 * tile - y0, tx0 * tile - x0 : tx1 * tile - x0
             ]
-            sums = region.reshape(ty1 - ty0, tile, tx1 - tx0, tile).sum(axis=(1, 3))
-            diffs[ty0:ty1, tx0:tx1, oi, oj] = sums
+            blocks = np.ascontiguousarray(
+                region.reshape(ty1 - ty0, tile, tx1 - tx0, tile).transpose(0, 2, 1, 3)
+            )
+            diffs[ty0:ty1, tx0:tx1, oi, oj] = _tile_sums(blocks)
     return diffs
 
 
-def _consumer_vectorized(
+class _ProducerWorkspace:
+    """Preallocated buffers for the vectorized producers.
+
+    Reused across frames by :class:`RFBMEEngine` so the hot path never
+    touches the allocator; one workspace serves one (frame shape, config)
+    pair.
+    """
+
+    def __init__(self, shape: Tuple[int, int], tile: int, offsets: np.ndarray):
+        height, width = shape
+        self.shape = shape
+        self.tile = tile
+        self.offsets = offsets
+        self.radius = int(offsets[-1]) if len(offsets) else 0
+        self.n_ty, self.n_tx = height // tile, width // tile
+        self.pad = np.zeros((height + 2 * self.radius, width + 2 * self.radius))
+        self._scratch: Optional[np.ndarray] = None
+
+    @property
+    def scratch(self) -> np.ndarray:
+        """Scratch for one dy-row of absolute differences; sized to stay
+        cache-resident rather than streaming a full offset cube.
+
+        Allocated on first use: kernel-backend engines share this
+        workspace for its pad buffer but never run the NumPy producer.
+        """
+        if self._scratch is None:
+            n_off = len(self.offsets)
+            self._scratch = np.empty(
+                (n_off, self.n_ty * self.tile, self.n_tx * self.tile)
+            )
+        return self._scratch
+
+    def load_key(self, key: np.ndarray) -> None:
+        radius = self.radius
+        if radius:
+            self.pad[radius:-radius, radius:-radius] = key
+        else:
+            self.pad[:, :] = key
+
+
+def _tile_diffs_batched(
+    ws: _ProducerWorkspace, new: np.ndarray, out: np.ndarray
+) -> None:
+    """Vectorized producer: strided shift views + scratch-row reduction.
+
+    For each vertical offset ``dy`` a single strided view exposes the key
+    frame under every horizontal offset at once; one subtract/abs pass
+    into a cache-resident scratch block and a two-step reduction (rows
+    within a tile, then the canonical pairwise combine across tile
+    columns) produce that whole dy-row of tile differences.  Fills ``out``
+    (n_off, n_off, n_ty, n_tx); out-of-bounds entries hold padding junk
+    and are masked by the engine's precomputed validity.
+    """
+    tile, offsets, radius = ws.tile, ws.offsets, ws.radius
+    n_off = len(offsets)
+    crop_h, crop_w = ws.n_ty * tile, ws.n_tx * tile
+    pad = ws.pad
+    s0, s1 = pad.strides
+    crop = new[:crop_h, :crop_w]
+    step = int(offsets[1] - offsets[0]) if n_off > 1 else 1
+    for oi, dy in enumerate(offsets):
+        # key_rows[oj, y, x] = pad[radius+dy+y, radius+offsets[oj]+x]
+        key_rows = as_strided(
+            pad[radius + dy :, :],
+            shape=(n_off, crop_h, crop_w),
+            strides=(step * s1, s0, s1),
+        )
+        np.subtract(crop[None], key_rows, out=ws.scratch)
+        np.abs(ws.scratch, out=ws.scratch)
+        blocks = ws.scratch.reshape(n_off, ws.n_ty, tile, ws.n_tx, tile)
+        # sum rows within each tile (sequential), then the canonical
+        # pairwise combine across the tile's column sums — the same
+        # association as _tile_sums.
+        out[oi] = blocks.sum(axis=2).sum(axis=-1)
+
+
+def _tile_diffs_kernel(
+    ws: _ProducerWorkspace, new: np.ndarray, out: np.ndarray
+) -> None:
+    """Compiled producer: one fused C pass over all (tile, offset) pairs."""
+    kernel = get_kernel()
+    cur = np.ascontiguousarray(new)
+    kernel.tile_sads(ws.pad, cur, ws.tile, ws.offsets, ws.radius, out)
+
+
+def _producer_op_count(diffs: np.ndarray, tile: int) -> int:
+    """Adds spent by the producer: one |a-b| + accumulate per pixel of every
+    valid (tile, offset) comparison."""
+    valid_pairs = int((~np.isnan(diffs)).sum())
+    return valid_pairs * tile * tile
+
+
+# --------------------------------------------------------------------- #
+# Consumer backends
+# --------------------------------------------------------------------- #
+def _field_ranges(
+    rf: ReceptiveField, grid_shape: Tuple[int, int], n_ty: int, n_tx: int
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Per-output-coordinate half-open tile ranges, (out_h, 2) and (out_w, 2)."""
+    out_h, out_w = grid_shape
+    rows = np.array([rf.full_tiles(i, n_ty) for i in range(out_h)]).reshape(out_h, 2)
+    cols = np.array([rf.full_tiles(j, n_tx) for j in range(out_w)]).reshape(out_w, 2)
+    return rows, cols
+
+
+def _consumer_loop(
     diffs: np.ndarray,
     rf: ReceptiveField,
     grid_shape: Tuple[int, int],
     offsets: np.ndarray,
 ) -> Tuple[np.ndarray, np.ndarray]:
-    """Consumer stage, vectorized with integral images over tile axes.
+    """Reference consumer: integral images over tile axes, one Python
+    iteration per receptive field.
 
     Returns (field (H, W, 2), match_errors (H, W)). An offset is a valid
     candidate for a receptive field only when every constituent tile is
@@ -171,8 +350,7 @@ def _consumer_vectorized(
     errors = np.zeros((out_h, out_w))
     n_off = len(offsets)
 
-    row_ranges = [rf.full_tiles(i, n_ty) for i in range(out_h)]
-    col_ranges = [rf.full_tiles(j, n_tx) for j in range(out_w)]
+    row_ranges, col_ranges = _field_ranges(rf, grid_shape, n_ty, n_tx)
 
     for i in range(out_h):
         ty0, ty1 = row_ranges[i]
@@ -275,27 +453,269 @@ def _consumer_incremental(
     return field, errors, adds
 
 
-def _producer_op_count(
-    diffs: np.ndarray, tile: int
-) -> int:
-    """Adds spent by the producer: one |a-b| + accumulate per pixel of every
-    valid (tile, offset) comparison."""
-    valid_pairs = int((~np.isnan(diffs)).sum())
-    return valid_pairs * tile * tile
-
-
 def _consumer_op_estimate(
     rf: ReceptiveField, grid_shape: Tuple[int, int], n_offsets_sq: int
 ) -> int:
-    """Analytic consumer adds for the vectorized path (matches the paper's
-    second term plus rolling updates): ~ (R/S)^2 per field per offset for
-    the first field of a row, 2*(R/S) afterwards."""
+    """Analytic consumer adds for the non-faithful paths (matches the
+    paper's second term plus rolling updates): ~ (R/S)^2 per field per
+    offset for the first field of a row, 2*(R/S) afterwards."""
     out_h, out_w = grid_shape
     tiles = rf.tiles_per_field()
     if out_w == 0 or out_h == 0:
         return 0
     per_row = tiles * tiles + max(out_w - 1, 0) * (2 * tiles + 2)
     return n_offsets_sq * out_h * per_row
+
+
+# --------------------------------------------------------------------- #
+# Engine and public entry points
+# --------------------------------------------------------------------- #
+def _validate_pair(
+    key_frame: np.ndarray, new_frame: np.ndarray, tile: int
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Validate a frame pair and coerce it to float64.
+
+    All backends compute in float64 (the compiled kernel reinterprets raw
+    buffers, and bit-identity across backends is only defined for one
+    dtype), so other dtypes are converted up front — a no-op for the
+    video substrate's native float64 frames.
+    """
+    key_frame = np.asarray(key_frame)
+    new_frame = np.asarray(new_frame)
+    if key_frame.shape != new_frame.shape:
+        raise ValueError(
+            f"frame shape mismatch {key_frame.shape} vs {new_frame.shape}"
+        )
+    if key_frame.ndim != 2:
+        raise ValueError(f"frames must be 2D grayscale, got {key_frame.shape}")
+    if min(key_frame.shape) < tile:
+        raise ValueError(
+            f"frame {key_frame.shape} smaller than one tile ({tile})"
+        )
+    if key_frame.dtype != np.float64:
+        key_frame = key_frame.astype(np.float64)
+    if new_frame.dtype != np.float64:
+        new_frame = new_frame.astype(np.float64)
+    return key_frame, new_frame
+
+
+class RFBMEEngine:
+    """Reusable RFBME evaluator bound to one (frame shape, target, config).
+
+    Owns the preallocated producer workspace and every geometry-derived
+    constant of the consumer — validity masks, candidate sets, field tile
+    ranges, error denominators, op counts — none of which depend on frame
+    content.  Repeated calls, the per-frame hot path of
+    :class:`~repro.core.pipeline.EVA2Pipeline` and the lockstep batches of
+    :class:`~repro.runtime.BatchedPipeline`, therefore spend their time on
+    actual pixel math.  All backends produce bit-identical results;
+    ``backend`` mainly exists for benchmarking and regression tests.
+    """
+
+    def __init__(
+        self,
+        frame_shape: Tuple[int, int],
+        rf: ReceptiveField,
+        grid_shape: Tuple[int, int],
+        config: Optional[RFBMEConfig] = None,
+        backend: Optional[str] = None,
+    ):
+        self.config = config or RFBMEConfig()
+        self.rf = rf
+        self.grid_shape = grid_shape
+        self.frame_shape = tuple(frame_shape)
+        requested = backend
+        if backend is None:
+            backend = default_backend()
+        if backend not in BACKENDS:
+            raise ValueError(f"backend must be one of {BACKENDS}, got {backend!r}")
+        if backend == "kernel":
+            kernel = get_kernel()
+            if kernel is None or not kernel.supports(rf.stride):
+                backend = "batched"
+                if requested == "kernel":
+                    # Results are bit-identical either way, but anyone
+                    # explicitly benchmarking "kernel" should know they
+                    # are measuring the NumPy path.
+                    warnings.warn(
+                        "compiled SAD kernel unavailable for this "
+                        "configuration; falling back to the 'batched' "
+                        "backend (results are identical)",
+                        RuntimeWarning,
+                        stacklevel=2,
+                    )
+        self.backend = backend
+        self._offsets = self.config.offsets()
+        height, width = frame_shape
+        tile = rf.stride
+        self._n_ty, self._n_tx = height // tile, width // tile
+        self._workspace = (
+            _ProducerWorkspace(frame_shape, tile, self._offsets)
+            if backend != "loop"
+            else None
+        )
+        self._consumer_ops = _consumer_op_estimate(
+            rf, grid_shape, len(self._offsets) ** 2
+        )
+        if self.backend != "loop":
+            # The loop path derives validity from its NaN-marked diffs and
+            # never touches the precomputed consumer geometry.
+            self._precompute_geometry(height, width, tile)
+
+    def _precompute_geometry(self, height: int, width: int, tile: int) -> None:
+        """Constants of the consumer that depend only on geometry.
+
+        Mirrors exactly the per-frame arithmetic of :func:`_consumer_loop`
+        over the validity mask (the count integral image, candidate test,
+        and per-field tile counts), so the fast path can skip recomputing
+        them for every frame without changing a bit of output.
+        """
+        offsets = self._offsets
+        n_ty, n_tx, n_off = self._n_ty, self._n_tx, len(offsets)
+        out_h, out_w = self.grid_shape
+        valid = _valid_tiles(height, width, tile, offsets)
+        # (n_ty, n_tx, n_off, n_off), the consumer's native layout.
+        self._valid = np.moveaxis(valid, (0, 1), (2, 3)).copy()
+        self._producer_adds = int(valid.sum()) * tile * tile
+
+        count_int = np.zeros((n_ty + 1, n_tx + 1, n_off, n_off))
+        count_int[1:, 1:] = (
+            self._valid.astype(np.float64).cumsum(axis=0).cumsum(axis=1)
+        )
+        rows, cols = _field_ranges(self.rf, self.grid_shape, n_ty, n_tx)
+        ty0, ty1 = rows[:, 0], rows[:, 1]
+        tx0, tx1 = cols[:, 0], cols[:, 1]
+        self._ty0, self._ty1, self._tx0, self._tx1 = ty0, ty1, tx0, tx1
+        counts = (
+            count_int[ty1[:, None], tx1[None, :]]
+            - count_int[ty0[:, None], tx1[None, :]]
+            - count_int[ty1[:, None], tx0[None, :]]
+            + count_int[ty0[:, None], tx0[None, :]]
+        )
+        n_tiles = (ty1 - ty0)[:, None] * (tx1 - tx0)[None, :]  # (out_h, out_w)
+        #: offsets fully in-bounds for each receptive field.
+        self._candidate = counts == n_tiles[:, :, None, None]
+        cell_ok = (ty1 > ty0)[:, None] & (tx1 > tx0)[None, :]
+        #: fields with a nonempty tile range and at least one candidate.
+        self._ok = cell_ok & self._candidate.reshape(out_h, out_w, -1).any(axis=2)
+        denom = (n_tiles * tile * tile).astype(np.float64)
+        self._denom = np.where(self._ok, denom, 1.0)
+
+    # ------------------------------------------------------------------ #
+    def _compute_sums(
+        self, key: np.ndarray, new: np.ndarray, out: np.ndarray
+    ) -> None:
+        """Producer dispatch: tile SADs into ``out`` (n_off, n_off, ...)."""
+        self._workspace.load_key(key)
+        if self.backend == "kernel":
+            _tile_diffs_kernel(self._workspace, new, out)
+        else:
+            _tile_diffs_batched(self._workspace, new, out)
+
+    def _consumer_fast(
+        self, sums: np.ndarray
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        """Vectorized consumer over a stack of producer outputs.
+
+        ``sums`` is (B, n_off, n_off, n_ty, n_tx) raw tile SADs; returns
+        fields (B, out_h, out_w, 2) and errors (B, out_h, out_w).
+        Performs the same integral-image box sums, candidate masking, and
+        argmin as :func:`_consumer_loop`, elementwise across the whole
+        grid and batch at once — bit-identical results, no per-field
+        Python loop.
+        """
+        batch = sums.shape[0]
+        n_ty, n_tx = self._n_ty, self._n_tx
+        out_h, out_w = self.grid_shape
+        n_off = len(self._offsets)
+        ty0, ty1, tx0, tx1 = self._ty0, self._ty1, self._tx0, self._tx1
+
+        stack = sums.transpose(0, 3, 4, 1, 2)  # (B, n_ty, n_tx, n_off, n_off)
+        filled = np.where(self._valid[None], stack, 0.0)
+        cost_int = np.zeros((batch, n_ty + 1, n_tx + 1, n_off, n_off))
+        cost_int[:, 1:, 1:] = filled.cumsum(axis=1).cumsum(axis=2)
+        costs = (
+            cost_int[:, ty1[:, None], tx1[None, :]]
+            - cost_int[:, ty0[:, None], tx1[None, :]]
+            - cost_int[:, ty1[:, None], tx0[None, :]]
+            + cost_int[:, ty0[:, None], tx0[None, :]]
+        )  # (B, out_h, out_w, n_off, n_off)
+        masked = np.where(self._candidate[None], costs, np.inf)
+        flat = masked.reshape(batch, out_h, out_w, n_off * n_off)
+        best = flat.argmin(axis=3)
+        oi, oj = best // n_off, best % n_off
+        chosen = np.take_along_axis(flat, best[..., None], axis=3)[..., 0]
+
+        fields = np.empty((batch, out_h, out_w, 2))
+        fields[..., 0] = np.where(self._ok[None], self._offsets[oi], 0.0)
+        fields[..., 1] = np.where(self._ok[None], self._offsets[oj], 0.0)
+        errors = np.where(self._ok[None], chosen / self._denom[None], 0.0)
+        return fields, errors
+
+    def _package(self, field: np.ndarray, errors: np.ndarray) -> RFBMEResult:
+        return RFBMEResult(
+            field=VectorField(field),
+            match_errors=errors,
+            ops=OpCounts(
+                producer_adds=self._producer_adds,
+                consumer_adds=self._consumer_ops,
+            ),
+        )
+
+    def estimate(self, key: np.ndarray, new: np.ndarray) -> RFBMEResult:
+        """RFBME between one key frame and one new frame."""
+        return self.estimate_batch([(key, new)])[0]
+
+    def estimate_batch(
+        self, pairs: Sequence[Tuple[np.ndarray, np.ndarray]]
+    ) -> List[RFBMEResult]:
+        """RFBME for many (key, new) pairs in lockstep.
+
+        Bit-identical to calling :meth:`estimate` per pair; the producer
+        reuses one scratch workspace across items and the consumer handles
+        the whole stack in a single vectorized pass.
+        """
+        if not pairs:
+            return []
+        pairs = [
+            _validate_pair(key, new, self.rf.stride) for key, new in pairs
+        ]
+        for key, _ in pairs:
+            # Workspace buffers and precomputed geometry are bound to one
+            # frame shape; reject others identically on every backend.
+            if key.shape != self.frame_shape:
+                raise ValueError(
+                    f"engine is bound to frames of shape {self.frame_shape}, "
+                    f"got {key.shape}"
+                )
+        if self.backend == "loop":
+            results = []
+            for key, new in pairs:
+                diffs = _tile_diffs_loop(key, new, self.rf.stride, self._offsets)
+                field, errors = _consumer_loop(
+                    diffs, self.rf, self.grid_shape, self._offsets
+                )
+                results.append(
+                    RFBMEResult(
+                        field=VectorField(field),
+                        match_errors=errors,
+                        ops=OpCounts(
+                            producer_adds=_producer_op_count(
+                                diffs, self.rf.stride
+                            ),
+                            consumer_adds=self._consumer_ops,
+                        ),
+                    )
+                )
+            return results
+        n_off = len(self._offsets)
+        sums = np.empty((len(pairs), n_off, n_off, self._n_ty, self._n_tx))
+        for i, (key, new) in enumerate(pairs):
+            self._compute_sums(key, new, sums[i])
+        fields, errors = self._consumer_fast(sums)
+        return [
+            self._package(fields[i], errors[i]) for i in range(len(pairs))
+        ]
 
 
 def estimate_motion(
@@ -305,6 +725,7 @@ def estimate_motion(
     grid_shape: Tuple[int, int],
     config: Optional[RFBMEConfig] = None,
     faithful: bool = False,
+    backend: Optional[str] = None,
 ) -> RFBMEResult:
     """Run RFBME between ``key_frame`` and ``new_frame``.
 
@@ -312,35 +733,50 @@ def estimate_motion(
     spatial shape of the target activation (one output vector per
     coordinate). With ``faithful=True`` the incremental producer/consumer
     pipeline is used and op counts are exact rather than analytic.
+    ``backend`` picks one of :data:`BACKENDS` (default: fastest available);
+    all backends return bit-identical results.
     """
-    if key_frame.shape != new_frame.shape:
-        raise ValueError(
-            f"frame shape mismatch {key_frame.shape} vs {new_frame.shape}"
-        )
-    if key_frame.ndim != 2:
-        raise ValueError(f"frames must be 2D grayscale, got {key_frame.shape}")
     if config is None:
         config = RFBMEConfig()
-    tile = rf.stride
-    if min(key_frame.shape) < tile:
-        raise ValueError(
-            f"frame {key_frame.shape} smaller than one tile ({tile})"
-        )
-
-    offsets = config.offsets()
-    diffs = _tile_diffs(key_frame, new_frame, tile, offsets)
-    producer_adds = _producer_op_count(diffs, tile)
-
     if faithful:
+        if backend is not None:
+            raise ValueError(
+                "faithful=True runs the hardware pipeline; it cannot be "
+                f"combined with backend={backend!r}"
+            )
+        key_frame, new_frame = _validate_pair(key_frame, new_frame, rf.stride)
+        offsets = config.offsets()
+        diffs = _tile_diffs_loop(key_frame, new_frame, rf.stride, offsets)
         field, errors, consumer_adds = _consumer_incremental(
             diffs, rf, grid_shape, offsets
         )
-    else:
-        field, errors = _consumer_vectorized(diffs, rf, grid_shape, offsets)
-        consumer_adds = _consumer_op_estimate(rf, grid_shape, len(offsets) ** 2)
+        return RFBMEResult(
+            field=VectorField(field),
+            match_errors=errors,
+            ops=OpCounts(
+                producer_adds=_producer_op_count(diffs, rf.stride),
+                consumer_adds=consumer_adds,
+            ),
+        )
+    key_frame, new_frame = _validate_pair(key_frame, new_frame, rf.stride)
+    engine = RFBMEEngine(key_frame.shape, rf, grid_shape, config, backend)
+    return engine.estimate(key_frame, new_frame)
 
-    return RFBMEResult(
-        field=VectorField(field),
-        match_errors=errors,
-        ops=OpCounts(producer_adds=producer_adds, consumer_adds=consumer_adds),
-    )
+
+def estimate_motion_batch(
+    pairs: Sequence[Tuple[np.ndarray, np.ndarray]],
+    rf: ReceptiveField,
+    grid_shape: Tuple[int, int],
+    config: Optional[RFBMEConfig] = None,
+    backend: Optional[str] = None,
+) -> List[RFBMEResult]:
+    """RFBME over a batch of (key frame, new frame) pairs.
+
+    Convenience wrapper building a transient :class:`RFBMEEngine`; the
+    runtime layer holds a persistent engine instead so workspace buffers
+    survive across lockstep steps.
+    """
+    if not pairs:
+        return []
+    engine = RFBMEEngine(pairs[0][0].shape, rf, grid_shape, config, backend)
+    return engine.estimate_batch(pairs)

@@ -1,4 +1,19 @@
-"""Hardware cost models: Eyeriss + EIE + EVA2 vision processing unit."""
+"""Hardware cost models: Eyeriss + EIE + EVA2 vision processing unit.
+
+Models the paper's evaluation hardware (§IV-B): an Eyeriss-style conv
+accelerator and an EIE-style FC accelerator as the baseline VPU, extended
+with the EVA2 unit (§III).  Submodules reproduce specific artifacts:
+
+* :mod:`.eyeriss`, :mod:`.eie` — baseline accelerator costs (§IV-B);
+* :mod:`.eva2`     — the EVA2 block's area/energy/latency (Fig. 12, 13);
+* :mod:`.vpu`      — whole-VPU rollups (Fig. 5, Fig. 13, Table IV);
+* :mod:`.layer_stats` — AlexNet / FasterM / Faster16 layer tables (Table II);
+* :mod:`.rfbme_ops`   — §IV-A first-order motion-estimation op counts;
+* :mod:`.memory`      — CACTI-style eDRAM/SRAM constants (§IV-B);
+* :mod:`.fixed_point` — the 16-bit warp datapath (§III-B);
+* :mod:`.rle`         — run-length activation encoding (§III-B);
+* :mod:`.cost`        — the shared (latency, energy) accounting type.
+"""
 
 from .cost import Cost
 from .eie import EIEModel

@@ -1,4 +1,11 @@
-"""Shared cost accounting type for the hardware models."""
+"""Shared cost accounting type for the hardware models.
+
+Every block of the paper's VPU model (§IV-B) reports its contribution as
+a (latency, energy) pair; frame-level numbers like Fig. 13's energy bars
+and Table IV's latencies are sums of these.  ``Cost`` addition composes
+sequential work, which is how :mod:`repro.hardware.vpu` rolls layer and
+EVA2-stage costs into per-frame totals.
+"""
 
 from __future__ import annotations
 

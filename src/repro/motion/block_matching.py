@@ -13,6 +13,14 @@ Three search organisations are provided:
 
 All return backward vectors (see :mod:`repro.motion.vector_field`) on the
 block grid, with SAD statistics and comparison counts for cost analysis.
+
+The exhaustive search is executed as batched SAD: for each candidate
+offset, one vectorized pass computes every block's SAD at once against
+the shifted reference, using the same canonical summation order as the
+RFBME producer (sequential down block columns, pairwise across column
+sums) so results are bit-identical to the per-block scalar scan that
+``_sad`` implements.  The greedy searches keep the scalar path — their
+candidate sets are data-dependent and tiny.
 """
 
 from __future__ import annotations
@@ -64,17 +72,76 @@ def _sad(
     """SAD of ``block`` against the reference at (origin + offset).
 
     Returns inf when the candidate window leaves the reference frame.
+    Sums sequentially down columns, then pairwise across the column sums —
+    the library's canonical order, matching the batched implementation
+    bit for bit.
     """
     size_y, size_x = block.shape
     y0, x0 = origin_y + dy, origin_x + dx
     if y0 < 0 or x0 < 0 or y0 + size_y > reference.shape[0] or x0 + size_x > reference.shape[1]:
         return np.inf
-    return float(np.abs(block - reference[y0 : y0 + size_y, x0 : x0 + size_x]).sum())
+    diff = np.abs(block - reference[y0 : y0 + size_y, x0 : x0 + size_x])
+    return float(diff.sum(axis=0).sum())
 
 
 def _search_exhaustive(radius: int, stride: int) -> List[Tuple[int, int]]:
     offsets = range(-radius, radius + 1, stride)
     return [(dy, dx) for dy in offsets for dx in offsets]
+
+
+def _exhaustive_batched(
+    reference: np.ndarray,
+    current: np.ndarray,
+    block_size: int,
+    radius: int,
+    stride: int,
+) -> Tuple[np.ndarray, np.ndarray, int]:
+    """Batched SAD over all blocks and candidate offsets at once.
+
+    Evaluates candidates in the scalar scan's order — the zero offset
+    first, then :func:`_search_exhaustive` — and computes, per candidate,
+    every block's SAD in one vectorized pass against the zero-padded
+    shifted reference (out-of-bounds blocks masked to inf, matching the
+    scalar path's skip).  ``argmin`` over the candidate axis reproduces
+    the strict-improvement scan: first candidate wins ties.
+
+    Returns (field (n_by, n_bx, 2), per-pixel errors, comparisons).
+    """
+    height, width = current.shape
+    n_by, n_bx = height // block_size, width // block_size
+    crop_h, crop_w = n_by * block_size, n_bx * block_size
+    candidates = [(0, 0)] + _search_exhaustive(radius, stride)
+
+    pad = np.pad(reference, radius) if radius else reference
+    crop = current[:crop_h, :crop_w]
+    scratch = np.empty((crop_h, crop_w))
+    costs = np.empty((len(candidates), n_by, n_bx))
+    block_y = np.arange(n_by) * block_size
+    block_x = np.arange(n_bx) * block_size
+    for index, (dy, dx) in enumerate(candidates):
+        shifted = pad[
+            radius + dy : radius + dy + crop_h,
+            radius + dx : radius + dx + crop_w,
+        ]
+        np.subtract(crop, shifted, out=scratch)
+        np.abs(scratch, out=scratch)
+        blocks = scratch.reshape(n_by, block_size, n_bx, block_size)
+        # Canonical SAD order (see _sad): sequential down columns,
+        # pairwise across column sums.
+        sad = blocks.sum(axis=1).sum(axis=-1)
+        ok_y = (block_y + dy >= 0) & (block_y + dy + block_size <= height)
+        ok_x = (block_x + dx >= 0) & (block_x + dx + block_size <= width)
+        costs[index] = np.where(ok_y[:, None] & ok_x[None, :], sad, np.inf)
+
+    best = costs.argmin(axis=0)
+    chosen = np.take_along_axis(costs, best[None], axis=0)[0]
+    offsets = np.array(candidates, dtype=float)  # (n_cand, 2)
+    field = offsets[best]
+    errors = np.where(
+        np.isfinite(chosen), chosen / (block_size * block_size), 0.0
+    )
+    comparisons = len(candidates) * n_by * n_bx
+    return field, errors, comparisons
 
 
 def _refine(
@@ -129,6 +196,17 @@ def block_match(
     if n_by == 0 or n_bx == 0:
         raise ValueError(f"frame {current.shape} smaller than one block")
 
+    if method == "exhaustive":
+        field, errors, comparisons = _exhaustive_batched(
+            reference, current, block_size, search_radius, search_stride
+        )
+        return BlockMatchResult(
+            field=VectorField(field),
+            block_size=block_size,
+            errors=errors,
+            comparisons=comparisons,
+        )
+
     field = np.zeros((n_by, n_bx, 2))
     errors = np.zeros((n_by, n_bx))
     comparisons = 0
@@ -141,13 +219,7 @@ def block_match(
             comparisons += 1
             best_offset, best_cost = (0, 0), zero_cost
 
-            if method == "exhaustive":
-                for dy, dx in _search_exhaustive(search_radius, search_stride):
-                    cost = _sad(reference, block, oy, ox, dy, dx)
-                    comparisons += 1
-                    if cost < best_cost:
-                        best_cost, best_offset = cost, (dy, dx)
-            elif method == "three_step":
+            if method == "three_step":
                 step = max(search_radius // 2, 1)
                 while True:
                     pattern = [

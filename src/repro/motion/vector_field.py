@@ -1,11 +1,13 @@
-"""Motion vector fields.
+"""Motion vector fields — the δ vectors of paper §II-B.
 
 All motion estimators in this library produce a :class:`VectorField` in the
 *backward-warp* convention: ``data[y, x] = (dy, dx)`` means the content now
 at position (y, x) of the current frame came from position
 (y + dy, x + dx) of the reference (key) frame. This is exactly the lookup
 direction activation warping needs — for each predicted activation
-coordinate, where in the stored key activation to sample.
+coordinate, where in the stored key activation to sample (the pixel-space
+δ that §II-B scales to activation space, and the per-coordinate output of
+RFBME that Fig. 14's alternative estimators are swapped against).
 
 Fields can live at two granularities:
 

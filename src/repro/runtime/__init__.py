@@ -1,0 +1,36 @@
+"""Multi-clip serving runtime — throughput layer over the EVA2 pipeline.
+
+The paper evaluates EVA2 on single clips; a deployment serves many camera
+streams at once (§I's live-vision setting).  This package turns the
+per-clip :class:`~repro.core.EVA2Pipeline` into a workload runtime:
+
+* :class:`PipelineSpec` — picklable recipe for building identical
+  pipelines in any worker.
+* :class:`ClipScheduler` — fans clips over a serial / thread / process
+  pool, order-preserving.
+* :class:`BatchedPipeline` — lockstep execution that batches the RFBME
+  hot path across all active clips in one vectorized call.
+* :class:`WorkloadResult` — aggregate results plus throughput stats
+  (frames/sec, key fraction, total adder ops).
+* :func:`synthetic_workload` — deterministic mixed-scenario traffic.
+
+Every execution path produces bit-identical per-clip results; the choice
+is purely a throughput knob.  ``benchmarks/bench_runtime_throughput.py``
+measures the paths against the seed serial loop.
+"""
+
+from .batched import BatchedPipeline, WorkloadResult, run_workload
+from .scheduler import ClipScheduler, SchedulerConfig
+from .spec import PAPER_MODES, PipelineSpec
+from .workload import synthetic_workload
+
+__all__ = [
+    "BatchedPipeline",
+    "WorkloadResult",
+    "run_workload",
+    "ClipScheduler",
+    "SchedulerConfig",
+    "PAPER_MODES",
+    "PipelineSpec",
+    "synthetic_workload",
+]

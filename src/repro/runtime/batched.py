@@ -1,0 +1,193 @@
+"""Lockstep multi-clip execution and workload-level results.
+
+:class:`BatchedPipeline` advances every clip of a workload one frame at a
+time, in lockstep.  At each step the RFBME calls of all active clips —
+the host hot path, ~90% of serial runtime — collapse into one vectorized
+:meth:`~repro.core.rfbme.RFBMEEngine.estimate_batch` call over the whole
+batch, while CNN execution and key-frame decisions stay per clip.  Since
+the batched estimator is bit-identical to the per-pair one and clips
+share no state, a lockstep run reproduces the serial
+:meth:`~repro.core.EVA2Pipeline.run_clips` results exactly: same outputs,
+same key-frame decisions, same op counts.  Executor construction, policy
+setup, and RFBME workspace allocation happen once per workload instead of
+per clip.
+
+:class:`WorkloadResult` aggregates the per-clip
+:class:`~repro.core.pipeline.PipelineResult` records with the throughput
+statistics (frames/sec, key fraction, total adder ops) that the CLI and
+the runtime benchmarks report.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from ..core.pipeline import FrameRecord, PipelineResult
+from ..video.generator import VideoClip
+from .scheduler import ClipScheduler, SchedulerConfig
+from .spec import PipelineSpec
+
+__all__ = ["WorkloadResult", "BatchedPipeline", "run_workload"]
+
+
+@dataclass
+class WorkloadResult:
+    """All per-clip results of one workload plus throughput accounting."""
+
+    results: List[PipelineResult]
+    #: wall-clock seconds spent executing (excludes clip generation).
+    wall_seconds: float
+    #: which execution path produced this ("serial", "lockstep", ...).
+    path: str
+    #: worker count used (1 for serial and lockstep).
+    workers: int = 1
+
+    @property
+    def num_clips(self) -> int:
+        return len(self.results)
+
+    @property
+    def total_frames(self) -> int:
+        return sum(len(result) for result in self.results)
+
+    @property
+    def frames_per_second(self) -> float:
+        return self.total_frames / self.wall_seconds if self.wall_seconds else 0.0
+
+    @property
+    def num_key_frames(self) -> int:
+        return sum(result.num_key_frames for result in self.results)
+
+    @property
+    def key_fraction(self) -> float:
+        """Fraction of all frames executed precisely (the paper's 'keys')."""
+        return self.num_key_frames / max(self.total_frames, 1)
+
+    @property
+    def total_estimation_ops(self) -> int:
+        """Total RFBME adder ops across the workload (energy-model input)."""
+        return sum(
+            record.estimation_ops.total
+            for result in self.results
+            for record in result.records
+            if record.estimation_ops is not None
+        )
+
+    def outputs(self) -> np.ndarray:
+        """(total_frames, num_outputs) network outputs, clip-major order."""
+        if not self.results:
+            return np.empty((0, 0))
+        return np.concatenate([result.outputs() for result in self.results])
+
+    def key_mask(self) -> np.ndarray:
+        """(total_frames,) key-frame decisions, clip-major order."""
+        if not self.results:
+            return np.empty(0, dtype=bool)
+        return np.concatenate([result.key_mask() for result in self.results])
+
+    def matches(self, other: "WorkloadResult") -> bool:
+        """Whether two runs produced identical outputs, decisions, and ops.
+
+        The equivalence check the runtime benchmark enforces between the
+        serial and batched/vectorized paths.
+        """
+        return (
+            self.total_frames == other.total_frames
+            and np.array_equal(self.key_mask(), other.key_mask())
+            and np.array_equal(self.outputs(), other.outputs())
+            and self.total_estimation_ops == other.total_estimation_ops
+        )
+
+    def summary_rows(self) -> List[List[object]]:
+        """Rows for the CLI / bench summary table."""
+        return [
+            ["path", self.path],
+            ["clips", self.num_clips],
+            ["frames", self.total_frames],
+            ["wall s", round(self.wall_seconds, 3)],
+            ["frames/s", round(self.frames_per_second, 1)],
+            ["key fraction", round(self.key_fraction, 3)],
+            ["RFBME adds", self.total_estimation_ops],
+        ]
+
+
+class BatchedPipeline:
+    """Run a multi-clip workload in lockstep with batched RFBME."""
+
+    def __init__(self, spec: PipelineSpec):
+        self.spec = spec
+
+    def run_workload(self, clips: Sequence[VideoClip]) -> WorkloadResult:
+        """Process every clip; bit-identical to the serial path."""
+        start = time.perf_counter()
+        network = self.spec.shared_network()  # executors never mutate it
+        executors = [self.spec.build_executor(network) for _ in clips]
+        policies = [self.spec.build_policy() for _ in clips]
+        for executor, policy in zip(executors, policies):
+            executor.reset()
+            policy.reset()
+        # One shared engine: all executors have identical geometry, so its
+        # scratch workspace serves the whole batch.
+        engine = executors[0].rfbme_engine if executors else None
+
+        records: List[List[FrameRecord]] = [[] for _ in clips]
+        max_frames = max((len(clip) for clip in clips), default=0)
+        for index in range(max_frames):
+            active = [i for i in range(len(clips)) if index < len(clips[i])]
+            ready = [i for i in active if executors[i].has_key]
+            estimations = engine.estimate_batch(
+                [
+                    (executors[i].stored_pixels(), clips[i].frames[index])
+                    for i in ready
+                ]
+            )
+            by_clip = dict(zip(ready, estimations))
+            for i in active:
+                frame = clips[i].frames[index]
+                estimation = by_clip.get(i)
+                is_key = policies[i].decide(index, estimation)
+                if is_key:
+                    output = executors[i].process_key(frame)
+                else:
+                    output = executors[i].process_predicted(frame, estimation)
+                records[i].append(
+                    FrameRecord.from_step(index, is_key, output, estimation)
+                )
+        results = [PipelineResult(records=r) for r in records]
+        wall = time.perf_counter() - start
+        return WorkloadResult(results=results, wall_seconds=wall, path="lockstep")
+
+
+def run_workload(
+    spec: PipelineSpec,
+    clips: Sequence[VideoClip],
+    batch: bool = True,
+    scheduler: Optional[SchedulerConfig] = None,
+) -> WorkloadResult:
+    """Execute a workload on the path implied by the arguments.
+
+    ``scheduler`` with more than one worker selects the pooled
+    :class:`~repro.runtime.scheduler.ClipScheduler`; otherwise ``batch``
+    picks lockstep (default) or plain serial execution.  Every path
+    returns identical per-clip results.
+    """
+    if scheduler is not None and scheduler.workers > 1:
+        start = time.perf_counter()
+        results = ClipScheduler(spec, scheduler).run(clips)
+        wall = time.perf_counter() - start
+        return WorkloadResult(
+            results=results,
+            wall_seconds=wall,
+            path=scheduler.resolve(len(clips)),
+            workers=scheduler.workers,
+        )
+    if batch:
+        return BatchedPipeline(spec).run_workload(clips)
+    start = time.perf_counter()
+    results = spec.build().run_clips(clips)
+    wall = time.perf_counter() - start
+    return WorkloadResult(results=results, wall_seconds=wall, path="serial")

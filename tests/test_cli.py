@@ -39,6 +39,27 @@ class TestCLI:
         out = capsys.readouterr().out
         assert "key frames: 1/5" in out
 
+    def test_run_workload_summary(self, capsys):
+        assert main([
+            "run", "--clips", "2", "--batch", "--frames", "4",
+            "--scenario", "static",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "lockstep" in out
+        assert "frames/s" in out
+
+    def test_workload_flags_require_multiple_clips(self, capsys):
+        assert main(["run", "--batch"]) == 2
+        assert "--clips" in capsys.readouterr().err
+
+    def test_zero_clips_rejected(self, capsys):
+        assert main(["run", "--clips", "0"]) == 2
+        assert "--clips" in capsys.readouterr().err
+
+    def test_batch_and_workers_conflict(self, capsys):
+        assert main(["run", "--clips", "4", "--batch", "--workers", "2"]) == 2
+        assert "pick one" in capsys.readouterr().err
+
     def test_unknown_command_rejected(self):
         with pytest.raises(SystemExit):
             build_parser().parse_args(["teleport"])

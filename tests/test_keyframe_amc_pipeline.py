@@ -99,6 +99,20 @@ class TestAMCExecutor:
         with pytest.raises(RuntimeError):
             executor.estimate(linear_clip.frames[0])
 
+    def test_stored_pixels_view_is_read_only(self, trained_fasterm, linear_clip):
+        """The zero-copy view the runtime layer batches over must not let
+        callers corrupt the stored key frame."""
+        executor = AMCExecutor(trained_fasterm)
+        executor.process_key(linear_clip.frames[0])
+        pixels = executor.stored_pixels()
+        np.testing.assert_array_equal(pixels, linear_clip.frames[0])
+        with pytest.raises(ValueError):
+            pixels[0, 0] = 1.0
+
+    def test_bad_rfbme_backend_rejected(self):
+        with pytest.raises(ValueError):
+            AMCConfig(rfbme_backend="quantum")
+
     def test_prediction_on_same_frame_is_near_exact(self, trained_fasterm, linear_clip):
         """Zero motion -> warp is identity -> suffix sees the stored
         activation -> output matches the key frame output."""

@@ -117,6 +117,44 @@ class TestBlockMatching:
         assert three.comparisons < exhaustive.comparisons
         assert diamond.comparisons < exhaustive.comparisons
 
+    @pytest.mark.parametrize(
+        "block_size,radius,stride",
+        [(8, 6, 1), (8, 6, 2), (16, 4, 1), (4, 8, 4)],
+    )
+    def test_batched_exhaustive_bit_identical_to_scalar_scan(
+        self, rng, block_size, radius, stride
+    ):
+        """The batched SAD search must reproduce the per-block scalar scan
+        bit for bit: same fields, same errors, same comparison count."""
+        from repro.motion.block_matching import _sad, _search_exhaustive
+
+        ref = textured(rng, smoothness=3)
+        cur = shifted(ref, 3, -2) + rng.normal(0, 0.02, ref.shape)
+        result = block_match(ref, cur, block_size, radius, "exhaustive", stride)
+
+        n_by, n_bx = ref.shape[0] // block_size, ref.shape[1] // block_size
+        comparisons = 0
+        for by in range(n_by):
+            for bx in range(n_bx):
+                oy, ox = by * block_size, bx * block_size
+                block = cur[oy : oy + block_size, ox : ox + block_size]
+                best_cost = _sad(ref, block, oy, ox, 0, 0)
+                comparisons += 1
+                best = (0, 0)
+                for dy, dx in _search_exhaustive(radius, stride):
+                    cost = _sad(ref, block, oy, ox, dy, dx)
+                    comparisons += 1
+                    if cost < best_cost:
+                        best_cost, best = cost, (dy, dx)
+                assert tuple(result.field.data[by, bx]) == best
+                expected = (
+                    best_cost / (block_size * block_size)
+                    if np.isfinite(best_cost)
+                    else 0.0
+                )
+                assert result.errors[by, bx] == expected
+        assert result.comparisons == comparisons
+
     def test_dense_upsampling(self, rng):
         ref = textured(rng, 32, 32)
         result = block_match(ref, shifted(ref, 2, 0), block_size=8, search_radius=4)

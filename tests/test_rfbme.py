@@ -1,14 +1,24 @@
-"""RFBME tests: translation recovery, the faithful producer/consumer
+"""RFBME tests: translation recovery, bit-identity across host backends
+(loop / batched / compiled kernel), the faithful producer/consumer
 pipeline vs the vectorized implementation, op accounting, and config
 validation."""
+
+import warnings
 
 import numpy as np
 import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
+from repro.core import sad_kernel
 from repro.core.receptive_field import ReceptiveField
-from repro.core.rfbme import OpCounts, RFBMEConfig, estimate_motion
+from repro.core.rfbme import (
+    OpCounts,
+    RFBMEConfig,
+    RFBMEEngine,
+    estimate_motion,
+    estimate_motion_batch,
+)
 from repro.video import generate_clip, scenario
 
 
@@ -62,6 +72,126 @@ class TestTranslationRecovery:
         result = estimate_motion(key, new, RF, GRID, RFBMEConfig(8, 2))
         interior_dx = result.field.data[2:6, 2:6, 1]
         assert set(np.unique(interior_dx)) <= {-2.0, -4.0}
+
+
+def _assert_bit_identical(a, b):
+    np.testing.assert_array_equal(a.field.data, b.field.data)
+    assert np.array_equal(a.match_errors, b.match_errors), "match errors differ"
+    assert a.ops == b.ops
+
+
+class TestBackendEquivalence:
+    """The vectorized backends must match the loop implementation bit for
+    bit — match errors, fields, and op counts (the regression the runtime
+    layer's 'backend is only a throughput knob' contract rests on)."""
+
+    @pytest.mark.parametrize("scen", ["linear_motion", "camera_pan", "occlusion"])
+    def test_batched_bit_identical_on_seeded_clip(self, scen):
+        clip = generate_clip(scenario(scen), seed=20180602)
+        for frame in range(1, 6):
+            loop = estimate_motion(
+                clip.frames[0], clip.frames[frame], RF, GRID, backend="loop"
+            )
+            batched = estimate_motion(
+                clip.frames[0], clip.frames[frame], RF, GRID, backend="batched"
+            )
+            _assert_bit_identical(loop, batched)
+
+    @pytest.mark.skipif(
+        not sad_kernel.kernel_available(), reason="compiled SAD kernel unavailable"
+    )
+    def test_kernel_bit_identical_on_seeded_clip(self):
+        clip = generate_clip(scenario("camera_pan"), seed=20180602)
+        loop = estimate_motion(
+            clip.frames[0], clip.frames[4], RF, GRID, backend="loop"
+        )
+        kernel = estimate_motion(
+            clip.frames[0], clip.frames[4], RF, GRID, backend="kernel"
+        )
+        _assert_bit_identical(loop, kernel)
+
+    @pytest.mark.parametrize("backend", ["batched", "kernel"])
+    def test_odd_geometry_bit_identical(self, rng, backend):
+        """Non-tile-aligned frames and coarse search strides agree too."""
+        key = rng.random((61, 67))
+        new = np.roll(key, 3, axis=1)
+        config = RFBMEConfig(6, 3)
+        loop = estimate_motion(key, new, RF, (8, 8), config, backend="loop")
+        fast = estimate_motion(key, new, RF, (8, 8), config, backend=backend)
+        _assert_bit_identical(loop, fast)
+
+    def test_batch_matches_single(self, rng):
+        """estimate_motion_batch is bit-identical to per-pair calls —
+        the property lockstep multi-clip execution relies on."""
+        pairs = [
+            (rng.random((64, 64)), rng.random((64, 64))) for _ in range(5)
+        ]
+        batch = estimate_motion_batch(pairs, RF, GRID)
+        for pair, got in zip(pairs, batch):
+            _assert_bit_identical(estimate_motion(pair[0], pair[1], RF, GRID), got)
+
+    def test_engine_reuse_is_stable(self, rng):
+        """A reused engine (persistent scratch) returns identical results
+        call after call."""
+        engine = RFBMEEngine((64, 64), RF, GRID)
+        key, new = rng.random((64, 64)), rng.random((64, 64))
+        first = engine.estimate(key, new)
+        engine.estimate(rng.random((64, 64)), rng.random((64, 64)))
+        again = engine.estimate(key, new)
+        _assert_bit_identical(first, again)
+
+    def test_kernel_falls_back_when_unavailable(self, monkeypatch):
+        monkeypatch.setattr(sad_kernel, "_STATE", False)
+        with pytest.warns(RuntimeWarning, match="falling back"):
+            engine = RFBMEEngine((64, 64), RF, GRID, backend="kernel")
+        assert engine.backend == "batched"
+
+    def test_default_backend_falls_back_silently(self, monkeypatch):
+        """Auto selection may downgrade without noise — only an explicit
+        'kernel' request warns."""
+        monkeypatch.setattr(sad_kernel, "_STATE", False)
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            engine = RFBMEEngine((64, 64), RF, GRID)
+        assert engine.backend == "batched"
+
+    def test_unknown_backend_rejected(self, rng):
+        with pytest.raises(ValueError):
+            estimate_motion(
+                rng.random((64, 64)), rng.random((64, 64)), RF, GRID,
+                backend="quantum",
+            )
+
+    @pytest.mark.parametrize("backend", ["loop", "batched", "kernel"])
+    def test_engine_rejects_foreign_frame_shape(self, rng, backend):
+        """Every backend fails identically on frames that don't match the
+        engine's bound shape."""
+        engine = RFBMEEngine((64, 64), RF, GRID, backend=backend)
+        with pytest.raises(ValueError, match="bound to frames"):
+            engine.estimate(rng.random((128, 128)), rng.random((128, 128)))
+
+    def test_faithful_conflicts_with_backend(self, rng):
+        with pytest.raises(ValueError, match="faithful"):
+            estimate_motion(
+                rng.random((64, 64)), rng.random((64, 64)), RF, GRID,
+                faithful=True, backend="kernel",
+            )
+
+    @pytest.mark.parametrize("dtype", [np.float32, np.uint8])
+    def test_non_float64_inputs_coerced(self, rng, dtype):
+        """Frames in other dtypes are converted to float64 up front, so
+        every backend still agrees bit for bit (the compiled kernel reads
+        raw float64 buffers and would otherwise see garbage)."""
+        key = (rng.random((64, 64)) * 200).astype(dtype)
+        new = (rng.random((64, 64)) * 200).astype(dtype)
+        reference = estimate_motion(
+            key.astype(np.float64), new.astype(np.float64), RF, GRID,
+            backend="loop",
+        )
+        for backend in ("loop", "batched", "kernel"):
+            _assert_bit_identical(
+                reference, estimate_motion(key, new, RF, GRID, backend=backend)
+            )
 
 
 class TestFaithfulPipeline:

@@ -1,0 +1,203 @@
+"""Runtime-layer tests: spec building, workload construction, scheduler
+backends, and the lockstep BatchedPipeline — including the contract that
+every execution path produces results identical to the serial loop."""
+
+import numpy as np
+import pytest
+
+from repro.core import EVA2Pipeline, MatchErrorPolicy, StaticPolicy
+from repro.runtime import (
+    BatchedPipeline,
+    ClipScheduler,
+    PipelineSpec,
+    SchedulerConfig,
+    run_workload,
+    synthetic_workload,
+)
+
+NETWORK = "mini_fasterm"
+
+
+@pytest.fixture(scope="module")
+def spec():
+    spec = PipelineSpec(network=NETWORK)
+    spec.warm()
+    return spec
+
+
+@pytest.fixture(scope="module")
+def workload():
+    return synthetic_workload(4, num_frames=6, base_seed=7)
+
+
+@pytest.fixture(scope="module")
+def serial_result(spec, workload):
+    return run_workload(spec, workload, batch=False)
+
+
+class TestPipelineSpec:
+    def test_build_produces_pipeline(self, spec):
+        pipeline = spec.build()
+        assert isinstance(pipeline, EVA2Pipeline)
+        assert isinstance(pipeline.policy, MatchErrorPolicy)
+
+    def test_policy_selection(self):
+        assert isinstance(
+            PipelineSpec(policy="static", interval=3).build_policy(), StaticPolicy
+        )
+
+    def test_unknown_policy_rejected(self):
+        with pytest.raises(ValueError):
+            PipelineSpec(policy="oracle")
+
+    def test_bad_rfbme_backend_rejected_at_construction(self):
+        with pytest.raises(ValueError):
+            PipelineSpec(rfbme_backend="batch")
+
+    def test_bad_mode_rejected_at_construction(self):
+        with pytest.raises(ValueError):
+            PipelineSpec(mode="teleport")
+
+    def test_unknown_network_rejected_at_construction(self):
+        with pytest.raises(ValueError):
+            PipelineSpec(network="mini_fastrm")
+
+    def test_paper_mode_defaults(self):
+        assert PipelineSpec(network="mini_alexnet").amc_config().mode == "memoize"
+        assert PipelineSpec(network="mini_fasterm").amc_config().mode == "warp"
+
+    def test_picklable(self, spec):
+        import pickle
+
+        assert pickle.loads(pickle.dumps(spec)) == spec
+
+
+class TestSyntheticWorkload:
+    def test_deterministic(self):
+        a = synthetic_workload(3, num_frames=4, base_seed=5)
+        b = synthetic_workload(3, num_frames=4, base_seed=5)
+        for clip_a, clip_b in zip(a, b):
+            np.testing.assert_array_equal(clip_a.frames, clip_b.frames)
+
+    def test_mixes_scenarios(self):
+        clips = synthetic_workload(6, num_frames=4)
+        assert len({clip.scenario for clip in clips}) > 1
+
+    def test_scenario_restriction(self):
+        clips = synthetic_workload(3, num_frames=4, scenarios=["static"])
+        assert {clip.scenario for clip in clips} == {"static"}
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            synthetic_workload(0)
+
+
+def _assert_identical(result, reference):
+    assert result.matches(reference)
+    for got, want in zip(result.results, reference.results):
+        np.testing.assert_array_equal(got.outputs(), want.outputs())
+        np.testing.assert_array_equal(got.key_mask(), want.key_mask())
+
+
+class TestSchedulerBackends:
+    def test_serial(self, spec, workload, serial_result):
+        results = ClipScheduler(spec, SchedulerConfig(backend="serial")).run(workload)
+        for got, want in zip(results, serial_result.results):
+            np.testing.assert_array_equal(got.outputs(), want.outputs())
+
+    def test_threads_match_serial(self, spec, workload, serial_result):
+        threaded = run_workload(
+            spec, workload, scheduler=SchedulerConfig(workers=2, backend="thread")
+        )
+        _assert_identical(threaded, serial_result)
+        assert threaded.path == "thread"
+        assert threaded.workers == 2
+
+    def test_processes_match_serial(self, spec, workload, serial_result):
+        pooled = run_workload(
+            spec, workload, scheduler=SchedulerConfig(workers=2, backend="process")
+        )
+        _assert_identical(pooled, serial_result)
+        assert pooled.path == "process"
+
+    def test_auto_resolution(self):
+        assert SchedulerConfig(workers=0).resolve(8) == "serial"
+        assert SchedulerConfig(workers=4, backend="thread").resolve(8) == "thread"
+        assert SchedulerConfig(workers=4).resolve(1) == "serial"
+
+    def test_explicit_backend_with_no_workers_runs_serially(
+        self, spec, workload, serial_result
+    ):
+        """An explicit pool backend with workers <= 1 is the serial path,
+        not a zero-worker pool crash."""
+        config = SchedulerConfig(backend="thread")
+        assert config.resolve(len(workload)) == "serial"
+        results = ClipScheduler(spec, config).run(workload)
+        for got, want in zip(results, serial_result.results):
+            np.testing.assert_array_equal(got.outputs(), want.outputs())
+
+    def test_bad_backend_rejected(self):
+        with pytest.raises(ValueError):
+            SchedulerConfig(backend="quantum")
+
+    def test_negative_workers_rejected(self):
+        with pytest.raises(ValueError):
+            SchedulerConfig(workers=-1)
+
+
+class TestBatchedPipeline:
+    def test_lockstep_matches_serial(self, spec, workload, serial_result):
+        lockstep = BatchedPipeline(spec).run_workload(workload)
+        _assert_identical(lockstep, serial_result)
+        assert lockstep.path == "lockstep"
+
+    def test_ragged_clip_lengths(self, spec, serial_result):
+        """Clips of different lengths run in lockstep without padding."""
+        clips = synthetic_workload(2, num_frames=5, base_seed=1) + synthetic_workload(
+            2, num_frames=3, base_seed=9
+        )
+        lockstep = BatchedPipeline(spec).run_workload(clips)
+        serial = run_workload(spec, clips, batch=False)
+        assert [len(r) for r in lockstep.results] == [5, 5, 3, 3]
+        _assert_identical(lockstep, serial)
+
+    def test_loop_backend_matches_default(self, workload, serial_result):
+        """The seed loop implementation and the vectorized default agree
+        end to end: outputs, key decisions, and op counts."""
+        loop_spec = PipelineSpec(network=NETWORK, rfbme_backend="loop")
+        loop_result = run_workload(loop_spec, workload, batch=False)
+        _assert_identical(loop_result, serial_result)
+
+
+class TestWorkloadResult:
+    def test_throughput_stats(self, serial_result, workload):
+        assert serial_result.num_clips == len(workload)
+        assert serial_result.total_frames == sum(len(c) for c in workload)
+        assert serial_result.frames_per_second > 0
+        assert 0.0 < serial_result.key_fraction <= 1.0
+        assert serial_result.total_estimation_ops > 0
+
+    def test_outputs_shape(self, serial_result):
+        outputs = serial_result.outputs()
+        assert outputs.shape[0] == serial_result.total_frames
+        assert serial_result.key_mask().shape == (serial_result.total_frames,)
+
+    def test_summary_rows(self, serial_result):
+        rows = dict((row[0], row[1]) for row in serial_result.summary_rows())
+        assert rows["clips"] == serial_result.num_clips
+        assert rows["frames"] == serial_result.total_frames
+
+    def test_empty_workload_accessors(self):
+        from repro.runtime import WorkloadResult
+
+        empty = WorkloadResult(results=[], wall_seconds=0.0, path="serial")
+        assert empty.total_frames == 0
+        assert empty.outputs().shape[0] == 0
+        assert empty.key_mask().shape == (0,)
+        assert empty.matches(empty)
+
+    def test_matches_detects_difference(self, spec, workload, serial_result):
+        other = run_workload(
+            PipelineSpec(network=NETWORK, policy="always"), workload, batch=False
+        )
+        assert not serial_result.matches(other)
