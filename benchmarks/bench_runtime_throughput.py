@@ -1,24 +1,32 @@
-"""Runtime throughput: the batched multi-clip runtime vs the seed serial loop.
+"""Runtime throughput: the planned batched runtime vs its ancestors.
 
 A 16-clip mixed-scenario synthetic workload (the shape of multi-stream
-live-vision traffic, paper §I) runs through four execution paths:
+live-vision traffic, paper §I) runs through the execution paths this
+repo has accumulated, oldest to newest:
 
-* ``seed serial``  — the seed implementation: one clip at a time with the
-  loop RFBME backend (Python iteration per search offset and per
-  receptive field);
-* ``vec serial``   — same serial loop with the vectorized/compiled RFBME
-  hot path;
-* ``lockstep``     — :class:`repro.runtime.BatchedPipeline`, batching
-  RFBME across all active clips each frame step;
-* ``threads``      — :class:`repro.runtime.ClipScheduler` on a thread
+* ``seed serial``     — the seed implementation: one clip at a time, loop
+  RFBME backend, layer-by-layer CNN;
+* ``pr1 serial``      — serial loop with PR 1's vectorized RFBME hot path
+  (pr1 host profile) and the legacy CNN;
+* ``pr1 lockstep``    — PR 1's headline: lockstep RFBME batching across
+  clips, per-clip CNN, pr1 host profile;
+* ``planned serial``  — serial loop on this release's planned inference
+  engine and fast RFBME host profile;
+* ``planned lockstep``— this release's headline: one RFBME batch, one
+  batched CNN prefix for coincident key frames, one batched warp, one
+  CNN suffix call per lockstep step;
+* ``threads``         — :class:`repro.runtime.ClipScheduler` on a thread
   pool (informational; wins only on multi-core hosts).
 
 Every path must produce identical outputs, key-frame decisions, and op
 counts — the speedup comes purely from host execution strategy.  The
-headline assertion is >= 3x frames/sec over the seed serial loop; a
-looped-vs-vectorized RFBME microbenchmark is reported alongside.
+headline assertion is >= 3x frames/sec over the PR 1 lockstep runtime
+(and, transitively, well past the seed loop).  Results are also written
+to ``BENCH_runtime.json`` at the repo root so CI can track the perf
+trajectory per PR.
 """
 
+import json
 import os
 import time
 
@@ -32,10 +40,24 @@ from repro.runtime import PipelineSpec, SchedulerConfig, run_workload, synthetic
 NETWORK = "mini_fasterm"
 NUM_CLIPS = 16
 FRAMES_PER_CLIP = 16
-#: paths measured against the seed loop: label -> run kwargs.
-FAST_PATHS = {
-    "vec serial": dict(batch=False),
-    "lockstep": dict(batch=True),
+JSON_PATH = os.path.join(os.path.dirname(__file__), "..", "BENCH_runtime.json")
+
+#: measured paths: label -> (spec kwargs, run kwargs).
+PATHS = {
+    "seed serial": (
+        dict(cnn_engine="legacy", rfbme_profile="pr1", rfbme_backend="loop"),
+        dict(batch=False),
+    ),
+    "pr1 serial": (
+        dict(cnn_engine="legacy", rfbme_profile="pr1"),
+        dict(batch=False),
+    ),
+    "pr1 lockstep": (
+        dict(cnn_engine="legacy", rfbme_profile="pr1"),
+        dict(batch=True),
+    ),
+    "planned serial": (dict(), dict(batch=False)),
+    "planned lockstep": (dict(), dict(batch=True)),
 }
 
 
@@ -51,39 +73,43 @@ def _best_of(runs, spec, workload, **kwargs):
 
 
 def test_runtime_throughput(workload):
-    spec = PipelineSpec(network=NETWORK)
-    seed_spec = PipelineSpec(network=NETWORK, rfbme_backend="loop")
-    spec.warm()
-    # The backend the fast paths actually resolve to (the engine may
-    # downgrade "kernel" on hosts where it can't run).
-    resolved = spec.build_executor().rfbme_engine.backend
+    measured = {}
+    resolved = {}
+    for label, (spec_kwargs, run_kwargs) in PATHS.items():
+        spec = PipelineSpec(network=NETWORK, **spec_kwargs)
+        spec.warm()
+        resolved[label] = spec.build_executor().rfbme_engine.backend
+        runs = 1 if label == "seed serial" else 2  # the seed loop is slow
+        measured[label] = _best_of(runs, spec, workload, **run_kwargs)
 
-    seed = _best_of(2, seed_spec, workload, batch=False)
-    measured = {
-        label: _best_of(2, spec, workload, **kwargs)
-        for label, kwargs in FAST_PATHS.items()
-    }
     workers = min(4, os.cpu_count() or 1)
     if workers > 1:
+        spec = PipelineSpec(network=NETWORK)
         measured["threads"] = _best_of(
             1, spec, workload,
             scheduler=SchedulerConfig(workers=workers, backend="thread"),
         )
+        resolved["threads"] = resolved["planned lockstep"]
 
-    rows = [[
-        "seed serial", "loop", round(seed.frames_per_second, 1), "1.00x", "-",
-    ]]
+    seed = measured["seed serial"]
+    rows, trajectory = [], {}
     for label, result in measured.items():
         # Identical results are a hard requirement: outputs, key-frame
         # decisions, and RFBME op counts all match the seed loop.
         assert result.matches(seed), f"{label} diverged from the seed loop"
+        speedup = result.frames_per_second / seed.frames_per_second
         rows.append([
             label,
-            resolved,
+            resolved[label],
             round(result.frames_per_second, 1),
-            f"{result.frames_per_second / seed.frames_per_second:.2f}x",
+            f"{speedup:.2f}x",
             "yes",
         ])
+        trajectory[label] = {
+            "frames_per_second": round(result.frames_per_second, 2),
+            "speedup_vs_seed": round(speedup, 3),
+            "identical_to_seed": True,
+        }
     register_table(
         f"runtime throughput ({NUM_CLIPS} clips x {FRAMES_PER_CLIP} frames, "
         f"{NETWORK})",
@@ -91,14 +117,36 @@ def test_runtime_throughput(workload):
         rows,
     )
 
-    best = max(r.frames_per_second for r in measured.values())
-    speedup = best / seed.frames_per_second
+    pr1 = measured["pr1 lockstep"].frames_per_second
+    planned = measured["planned lockstep"].frames_per_second
+    headline = planned / pr1
+    trajectory["planned lockstep"]["speedup_vs_pr1_lockstep"] = round(headline, 3)
+    with open(JSON_PATH, "w") as handle:
+        json.dump(
+            {
+                "benchmark": "runtime_throughput",
+                "network": NETWORK,
+                "workload": {
+                    "clips": NUM_CLIPS,
+                    "frames_per_clip": FRAMES_PER_CLIP,
+                },
+                "kernel_available": kernel_available(),
+                "paths": trajectory,
+                "headline_speedup_vs_pr1_lockstep": round(headline, 3),
+            },
+            handle,
+            indent=2,
+        )
+        handle.write("\n")
+
     if not kernel_available():
         pytest.skip(
-            f"compiled SAD kernel unavailable; best speedup {speedup:.2f}x "
-            "with NumPy backends only"
+            f"compiled SAD kernel unavailable; planned lockstep is "
+            f"{headline:.2f}x pr1 lockstep with NumPy hot paths only"
         )
-    assert speedup >= 3.0, f"expected >= 3x over the seed serial loop, got {speedup:.2f}x"
+    assert headline >= 3.0, (
+        f"expected >= 3x over the PR 1 lockstep runtime, got {headline:.2f}x"
+    )
 
 
 def test_rfbme_looped_vs_vectorized(workload):

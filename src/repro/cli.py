@@ -67,7 +67,13 @@ def _cmd_run(args: argparse.Namespace) -> int:
 
     network = get_trained_network(args.network)
     executor = AMCExecutor(
-        network, AMCConfig(mode=mode, rfbme_backend=args.rfbme)
+        network,
+        AMCConfig(
+            mode=mode,
+            rfbme_backend=args.rfbme,
+            cnn_engine=args.cnn,
+            dtype=args.dtype,
+        ),
     )
     policy = (
         StaticPolicy(args.interval)
@@ -106,6 +112,8 @@ def _run_workload(args: argparse.Namespace, mode: str) -> int:
         threshold=args.threshold,
         interval=args.interval or 4,
         rfbme_backend=args.rfbme,
+        cnn_engine=args.cnn,
+        dtype=args.dtype,
     )
     clips = synthetic_workload(
         args.clips,
@@ -192,6 +200,14 @@ def build_parser() -> argparse.ArgumentParser:
     run.add_argument("--rfbme", default=None,
                      choices=["kernel", "batched", "loop"],
                      help="RFBME host backend (default: fastest available)")
+    run.add_argument("--cnn", default="planned",
+                     choices=["planned", "legacy"],
+                     help="CNN engine: compiled inference plan (default, "
+                          "bit-identical) or the layer-by-layer legacy path")
+    run.add_argument("--dtype", default="float64",
+                     choices=["float64", "float32"],
+                     help="CNN arithmetic; float32 trades bit-exactness "
+                          "for throughput (planned engine only)")
     run.set_defaults(func=_cmd_run)
 
     hw = sub.add_parser("hardware", help="VPU model numbers")

@@ -25,12 +25,14 @@ from ..hardware.fixed_point import QFormat
 from ..motion.vector_field import VectorField
 from ..nn.network import Network
 from .receptive_field import ReceptiveField, receptive_field_of
-from .rfbme import BACKENDS, RFBMEConfig, RFBMEEngine, RFBMEResult
+from .rfbme import BACKENDS, PROFILES, RFBMEConfig, RFBMEEngine, RFBMEResult
 from .warp import scale_to_activation, warp_activation
 
 __all__ = ["AMCConfig", "AMCExecutor", "PredictionStats"]
 
 _MODES = ("warp", "memoize")
+_CNN_ENGINES = ("planned", "legacy")
+_DTYPES = ("float64", "float32")
 
 
 @dataclass(frozen=True)
@@ -52,6 +54,16 @@ class AMCConfig:
     #: fastest available. All backends are bit-identical — this knob
     #: exists for benchmarking and regression testing.
     rfbme_backend: Optional[str] = None
+    #: RFBME host tuning ("fast"/"pr1"); bit-identical, wall-clock only.
+    rfbme_profile: str = "fast"
+    #: CNN execution engine: "planned" runs prefix/suffix through a
+    #: compiled :class:`~repro.nn.inference.InferencePlan` (bit-identical,
+    #: faster); "legacy" keeps the layer-by-layer training-path forward.
+    cnn_engine: str = "planned"
+    #: CNN arithmetic: "float64" (default, bit-identical contract) or
+    #: "float32" (planned engine only; a throughput/accuracy trade
+    #: verified by tolerance tests, not bit equality).
+    dtype: str = "float64"
 
     def __post_init__(self):
         if self.mode not in _MODES:
@@ -60,6 +72,24 @@ class AMCConfig:
             raise ValueError(
                 f"rfbme_backend must be None or one of {BACKENDS}, "
                 f"got {self.rfbme_backend!r}"
+            )
+        if self.rfbme_profile not in PROFILES:
+            raise ValueError(
+                f"rfbme_profile must be one of {PROFILES}, "
+                f"got {self.rfbme_profile!r}"
+            )
+        if self.cnn_engine not in _CNN_ENGINES:
+            raise ValueError(
+                f"cnn_engine must be one of {_CNN_ENGINES}, "
+                f"got {self.cnn_engine!r}"
+            )
+        if self.dtype not in _DTYPES:
+            raise ValueError(
+                f"dtype must be one of {_DTYPES}, got {self.dtype!r}"
+            )
+        if self.dtype == "float32" and self.cnn_engine != "planned":
+            raise ValueError(
+                "dtype='float32' requires the planned CNN engine"
             )
 
 
@@ -136,8 +166,52 @@ class AMCExecutor:
                 self.grid_shape,
                 config=self.config.rfbme,
                 backend=self.config.rfbme_backend,
+                profile=self.config.rfbme_profile,
             )
         return self._engine
+
+    @property
+    def plan(self):
+        """The compiled capacity-1 inference plan (planned engine only).
+
+        Resolved through the network's plan cache on every access (a dict
+        lookup) rather than held here, so ``Network.load_state_dict``'s
+        invalidation reaches executors too — a stale reference would
+        silently keep serving float32 snapshots of the old weights.
+        """
+        if self.config.cnn_engine != "planned":
+            raise RuntimeError("the legacy CNN engine has no inference plan")
+        return self.network.inference_plan(max_batch=1, dtype=self.config.dtype)
+
+    @property
+    def key_activation(self) -> np.ndarray:
+        """Read-only view of the stored target activation (C, H, W).
+
+        The runtime layer stacks these across clips to warp and run the
+        CNN suffix as one batch; the locked view keeps that zero-copy
+        without letting callers corrupt the stored key state.
+        """
+        if self._key_activation is None:
+            raise RuntimeError("no key frame stored")
+        view = self._key_activation.view()
+        view.flags.writeable = False
+        return view
+
+    def adopt_key(self, frame: np.ndarray, activation: np.ndarray) -> None:
+        """Store key-frame state computed externally.
+
+        The lockstep runtime runs coincident key frames through one
+        batched prefix call and hands each executor its row; state ends
+        up exactly as if :meth:`process_key` had run this clip alone.
+        """
+        self._check_frame(frame)
+        if activation.shape != (self.channels, self.grid_h, self.grid_w):
+            raise ValueError(
+                f"activation must be {(self.channels, self.grid_h, self.grid_w)}, "
+                f"got {activation.shape}"
+            )
+        self._key_pixels = frame.copy()
+        self._key_activation = activation.copy()
 
     # ------------------------------------------------------------------ #
     def process_key(self, frame: np.ndarray) -> np.ndarray:
@@ -145,8 +219,12 @@ class AMCExecutor:
         target activation; return the network output (1, ...)."""
         self._check_frame(frame)
         batch = frame[None, None, :, :]
-        activation = self.network.forward_prefix(batch, self.target)
-        output = self.network.forward_suffix(activation, self.target)
+        if self.config.cnn_engine == "planned":
+            activation = self.plan.run_prefix(batch, self.target)
+            output = self.plan.run_suffix(activation, self.target)
+        else:
+            activation = self.network.forward_prefix(batch, self.target)
+            output = self.network.forward_suffix(activation, self.target)
         self._key_pixels = frame.copy()
         self._key_activation = activation[0].copy()
         return output
@@ -207,6 +285,8 @@ class AMCExecutor:
         if self.config.mode == "warp" and estimation is None and pixel_field is None:
             estimation = self.estimate(frame)
         activation = self.predicted_activation(estimation, pixel_field)
+        if self.config.cnn_engine == "planned":
+            return self.plan.run_suffix(activation[None], self.target)
         return self.network.forward_suffix(activation[None], self.target)
 
     # ------------------------------------------------------------------ #

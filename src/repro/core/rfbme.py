@@ -51,7 +51,7 @@ from numpy.lib.stride_tricks import as_strided
 
 from ..motion.vector_field import VectorField
 from .receptive_field import ReceptiveField
-from .sad_kernel import get_kernel
+from .sad_kernel import get_kernel, producer_bounds
 
 __all__ = [
     "RFBMEConfig",
@@ -61,10 +61,19 @@ __all__ = [
     "estimate_motion",
     "estimate_motion_batch",
     "default_backend",
+    "PROFILES",
 ]
 
 #: Non-faithful backend names, in preference order.
 BACKENDS = ("kernel", "batched", "loop")
+
+#: Host-tuning profiles for the vectorized backends.  ``"fast"`` is the
+#: current hot path: grid-major producer output feeding a preallocated
+#: consumer workspace.  ``"pr1"`` preserves the previous release's host
+#: execution (offset-major producer, per-call consumer allocations) as a
+#: measurable baseline for the runtime benchmarks.  Results are
+#: bit-identical across profiles; only wall-clock time differs.
+PROFILES = ("fast", "pr1")
 
 
 @dataclass(frozen=True)
@@ -301,6 +310,88 @@ def _tile_diffs_kernel(
     kernel.tile_sads(ws.pad, cur, ws.tile, ws.offsets, ws.radius, out)
 
 
+def _tile_diffs_batched_grid(
+    ws: _ProducerWorkspace, new: np.ndarray, out: np.ndarray
+) -> None:
+    """Grid-major variant of :func:`_tile_diffs_batched`.
+
+    Fills ``out`` (n_ty, n_tx, n_off, n_off) — the consumer workspace's
+    native layout — with the same bit-exact tile sums; only the store
+    pattern differs.
+    """
+    tile, offsets, radius = ws.tile, ws.offsets, ws.radius
+    n_off = len(offsets)
+    crop_h, crop_w = ws.n_ty * tile, ws.n_tx * tile
+    pad = ws.pad
+    s0, s1 = pad.strides
+    crop = new[:crop_h, :crop_w]
+    step = int(offsets[1] - offsets[0]) if n_off > 1 else 1
+    for oi, dy in enumerate(offsets):
+        key_rows = as_strided(
+            pad[radius + dy :, :],
+            shape=(n_off, crop_h, crop_w),
+            strides=(step * s1, s0, s1),
+        )
+        np.subtract(crop[None], key_rows, out=ws.scratch)
+        np.abs(ws.scratch, out=ws.scratch)
+        blocks = ws.scratch.reshape(n_off, ws.n_ty, tile, ws.n_tx, tile)
+        # (n_off_j, n_ty, n_tx) -> out[ty, tx, oi, oj]
+        out[:, :, oi, :] = blocks.sum(axis=2).sum(axis=-1).transpose(1, 2, 0)
+
+
+class _ConsumerWorkspace:
+    """Preallocated buffers for the fast consumer path.
+
+    One workspace serves one engine; ``ensure`` grows it to the largest
+    lockstep batch seen so repeated :meth:`RFBMEEngine.estimate_batch`
+    calls never touch the allocator.  ``sums`` doubles as the producer's
+    output buffer (grid-major, so the consumer reads it without a
+    transpose) and is zeroed at invalid (tile, offset) entries in place.
+    """
+
+    def __init__(self):
+        self.capacity = 0
+
+    def ensure(
+        self,
+        batch: int,
+        n_ty: int,
+        n_tx: int,
+        n_off: int,
+        frame_shape: Tuple[int, int],
+        radius: int,
+    ) -> None:
+        if batch <= self.capacity:
+            return
+        self.capacity = batch
+        self._dims = (n_ty, n_tx, n_off)
+        height, width = frame_shape
+        # Stacked producer inputs for the one-call batched kernel; pad
+        # borders are written once and only interiors change per step.
+        self.pads = np.zeros(
+            (batch, height + 2 * radius, width + 2 * radius)
+        )
+        self.curs = np.empty((batch, height, width))
+        self.sums = np.zeros((batch, n_ty, n_tx, n_off, n_off))
+        # One integral-image plane, reused across the batch by the
+        # compiled consumer.
+        self.ci_scratch = np.empty((n_ty + 1) * (n_tx + 1) * n_off * n_off)
+        self._numpy_ready = 0
+
+    def ensure_numpy(self, batch: int, n_fields: int) -> None:
+        """Buffers only the NumPy fallback consumer needs."""
+        if batch <= self._numpy_ready:
+            return
+        self._numpy_ready = batch = max(batch, self.capacity)
+        n_ty, n_tx, n_off = self._dims
+        self.cost_int = np.zeros((batch, n_ty + 1, n_tx + 1, n_off, n_off))
+        self.costs = np.empty((batch, n_fields, n_off * n_off))
+        # Non-candidate entries must read +inf in the argmin; they are
+        # written once here and never touched again (the candidate set is
+        # pure geometry).
+        self.masked = np.full((batch, n_fields, n_off * n_off), np.inf)
+
+
 def _producer_op_count(diffs: np.ndarray, tile: int) -> int:
     """Adds spent by the producer: one |a-b| + accumulate per pixel of every
     valid (tile, offset) comparison."""
@@ -519,7 +610,13 @@ class RFBMEEngine:
         grid_shape: Tuple[int, int],
         config: Optional[RFBMEConfig] = None,
         backend: Optional[str] = None,
+        profile: str = "fast",
     ):
+        if profile not in PROFILES:
+            raise ValueError(
+                f"profile must be one of {PROFILES}, got {profile!r}"
+            )
+        self.profile = profile
         self.config = config or RFBMEConfig()
         self.rf = rf
         self.grid_shape = grid_shape
@@ -557,6 +654,7 @@ class RFBMEEngine:
         self._consumer_ops = _consumer_op_estimate(
             rf, grid_shape, len(self._offsets) ** 2
         )
+        self._cws = _ConsumerWorkspace()
         if self.backend != "loop":
             # The loop path derives validity from its NaN-marked diffs and
             # never touches the precomputed consumer geometry.
@@ -601,28 +699,119 @@ class RFBMEEngine:
         denom = (n_tiles * tile * tile).astype(np.float64)
         self._denom = np.where(self._ok, denom, 1.0)
 
+        # Fast-consumer constants: flat positions of the invalid producer
+        # entries (zeroed in place each call) and the four integral-image
+        # corners of every receptive field as flat gather indices into
+        # cost_int's (n_ty+1)*(n_tx+1) tile plane.
+        self._invalid_flat = np.flatnonzero(~self._valid)
+        corner = lambda ty, tx: (
+            ty[:, None] * (n_tx + 1) + tx[None, :]
+        ).ravel()
+        self._idx_corners = np.concatenate(
+            [corner(ty1, tx1), corner(ty0, tx1), corner(ty1, tx0), corner(ty0, tx0)]
+        )
+        self._cand_flat = np.ascontiguousarray(
+            self._candidate.reshape(out_h * out_w, n_off * n_off)
+        )
+        # Compiled-consumer constants (uint8 masks, int64 ranges) and the
+        # producer's valid offset windows.
+        self._valid_u8 = np.ascontiguousarray(self._valid, dtype=np.uint8)
+        self._cand_u8 = np.ascontiguousarray(self._cand_flat, dtype=np.uint8)
+        self._ok_u8 = np.ascontiguousarray(self._ok.reshape(-1), dtype=np.uint8)
+        self._denom_flat = np.ascontiguousarray(self._denom.reshape(-1))
+        as_i64 = lambda a: np.ascontiguousarray(a, dtype=np.int64)
+        self._row_ranges = (as_i64(ty0), as_i64(ty1))
+        self._col_ranges = (as_i64(tx0), as_i64(tx1))
+        self._prod_bounds = producer_bounds(
+            (height, width), tile, self._offsets
+        )
+
     # ------------------------------------------------------------------ #
     def _compute_sums(
         self, key: np.ndarray, new: np.ndarray, out: np.ndarray
     ) -> None:
-        """Producer dispatch: tile SADs into ``out`` (n_off, n_off, ...)."""
+        """PR1 producer dispatch: tile SADs into ``out`` (n_off, n_off, ...)."""
         self._workspace.load_key(key)
         if self.backend == "kernel":
             _tile_diffs_kernel(self._workspace, new, out)
         else:
             _tile_diffs_batched(self._workspace, new, out)
 
-    def _consumer_fast(
+    def _consumer_fast(self, batch: int) -> Tuple[np.ndarray, np.ndarray]:
+        """Workspace consumer over the producer outputs in ``_cws.sums``.
+
+        Performs the same integral-image box sums, candidate masking, and
+        argmin as :func:`_consumer_loop` — bit-identical results — but
+        against preallocated buffers: invalid entries are zeroed in place,
+        the integral images accumulate into a persistent block, box sums
+        gather through precomputed flat corner indices, and non-candidate
+        costs stay +inf from allocation time.  Returns fields
+        (B, out_h, out_w, 2) and errors (B, out_h, out_w).
+        """
+        ws = self._cws
+        n_ty, n_tx = self._n_ty, self._n_tx
+        out_h, out_w = self.grid_shape
+        n_off = len(self._offsets)
+
+        filled = ws.sums[:batch]
+        filled.reshape(batch, -1)[:, self._invalid_flat] = 0.0
+        ci = ws.cost_int[:batch]
+        interior = ci[:, 1:, 1:]
+        # Integral images as explicit slice adds: the same left-to-right
+        # accumulation np.cumsum performs (bit-identical), but each pass
+        # is one large vectorised add instead of cumsum's generic
+        # strided inner loop.
+        np.copyto(interior, filled)
+        for ty in range(1, n_ty):
+            np.add(interior[:, ty], interior[:, ty - 1], out=interior[:, ty])
+        for tx in range(1, n_tx):
+            np.add(
+                interior[:, :, tx], interior[:, :, tx - 1],
+                out=interior[:, :, tx],
+            )
+
+        flat_ci = ci.reshape(batch, (n_ty + 1) * (n_tx + 1), n_off * n_off)
+        costs = ws.costs[:batch]
+        # One fused gather of all four box corners, then
+        # ((A - B) - C) + D — the loop consumer's box-sum order.
+        g = flat_ci[:, self._idx_corners].reshape(
+            batch, 4, -1, n_off * n_off
+        )
+        np.subtract(g[:, 0], g[:, 1], out=costs)
+        np.subtract(costs, g[:, 2], out=costs)
+        np.add(costs, g[:, 3], out=costs)
+
+        masked = ws.masked[:batch]
+        np.copyto(masked, costs, where=self._cand_flat[None])
+        best = masked.argmin(axis=2)
+        chosen = np.take_along_axis(masked, best[:, :, None], axis=2)[..., 0]
+        oi, oj = best // n_off, best % n_off
+
+        ok = self._ok.reshape(-1)
+        fields = np.empty((batch, out_h, out_w, 2))
+        fields[..., 0] = np.where(ok, self._offsets[oi], 0.0).reshape(
+            batch, out_h, out_w
+        )
+        fields[..., 1] = np.where(ok, self._offsets[oj], 0.0).reshape(
+            batch, out_h, out_w
+        )
+        errors = np.where(ok, chosen / self._denom.reshape(-1), 0.0).reshape(
+            batch, out_h, out_w
+        )
+        return fields, errors
+
+    def _consumer_pr1(
         self, sums: np.ndarray
     ) -> Tuple[np.ndarray, np.ndarray]:
-        """Vectorized consumer over a stack of producer outputs.
+        """PR1 consumer over a stack of producer outputs.
 
         ``sums`` is (B, n_off, n_off, n_ty, n_tx) raw tile SADs; returns
         fields (B, out_h, out_w, 2) and errors (B, out_h, out_w).
         Performs the same integral-image box sums, candidate masking, and
         argmin as :func:`_consumer_loop`, elementwise across the whole
         grid and batch at once — bit-identical results, no per-field
-        Python loop.
+        Python loop.  Kept (with its per-call allocations) as the
+        measurable ``"pr1"`` host profile.
         """
         batch = sums.shape[0]
         n_ty, n_tx = self._n_ty, self._n_tx
@@ -709,10 +898,46 @@ class RFBMEEngine:
                 )
             return results
         n_off = len(self._offsets)
-        sums = np.empty((len(pairs), n_off, n_off, self._n_ty, self._n_tx))
-        for i, (key, new) in enumerate(pairs):
-            self._compute_sums(key, new, sums[i])
-        fields, errors = self._consumer_fast(sums)
+        if self.profile == "pr1":
+            sums = np.empty((len(pairs), n_off, n_off, self._n_ty, self._n_tx))
+            for i, (key, new) in enumerate(pairs):
+                self._compute_sums(key, new, sums[i])
+            fields, errors = self._consumer_pr1(sums)
+        else:
+            batch = len(pairs)
+            ws = self._cws
+            radius = self._workspace.radius
+            ws.ensure(
+                batch, self._n_ty, self._n_tx, n_off,
+                self.frame_shape, radius,
+            )
+            if self.backend == "kernel":
+                kernel = get_kernel()
+                height, width = self.frame_shape
+                for i, (key, new) in enumerate(pairs):
+                    ws.pads[i, radius : radius + height, radius : radius + width] = key
+                    ws.curs[i] = new
+                kernel.tile_sads_grid_batch(
+                    ws.pads[:batch], ws.curs[:batch], self._workspace.tile,
+                    self._offsets, radius, self._prod_bounds, ws.sums[:batch],
+                )
+                out_h, out_w = self.grid_shape
+                fields = np.empty((batch, out_h, out_w, 2))
+                errors = np.empty((batch, out_h, out_w))
+                kernel.consume(
+                    ws.sums[:batch], self._valid_u8, ws.ci_scratch,
+                    self._row_ranges, self._col_ranges,
+                    self._cand_u8, self._ok_u8, self._denom_flat,
+                    self._offsets, n_off, fields, errors,
+                )
+            else:
+                for i, (key, new) in enumerate(pairs):
+                    self._workspace.load_key(key)
+                    _tile_diffs_batched_grid(self._workspace, new, ws.sums[i])
+                ws.ensure_numpy(
+                    batch, self.grid_shape[0] * self.grid_shape[1]
+                )
+                fields, errors = self._consumer_fast(batch)
         return [
             self._package(fields[i], errors[i]) for i in range(len(pairs))
         ]

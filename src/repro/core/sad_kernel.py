@@ -3,17 +3,37 @@
 The RFBME producer's inner loop (one absolute tile difference per
 (tile, search offset) pair, Fig. 8 "diff tile producer") is pure
 element-wise arithmetic and dominates host runtime.  NumPy needs three
-memory passes (subtract, abs, reduce); a ~40-line C kernel fuses them into
-one.  This module compiles that kernel with the system C compiler on first
-use and loads it through :mod:`ctypes`.
+memory passes (subtract, abs, reduce); the C kernels here fuse them into
+one.  This module compiles the kernels with the system C compiler on first
+use and loads them through :mod:`ctypes`.
 
-The kernel is an *accelerator, not a semantics change*: it reproduces the
+The entry points share one shared object:
+
+* ``tile_sad_grid_batch`` — the fast producer over a whole lockstep
+  batch of frame pairs.  Keeps the current frame's tile rows in
+  registers across every search offset (8-wide AVX-512 column
+  accumulators where the ISA allows, the same scalar loop elsewhere),
+  computes only each tile's in-bounds offset window, and writes
+  *grid-major* output — ``out[ty][tx][oi][oj]`` — which is exactly the
+  layout the consumer reads, so no transpose pass sits between producer
+  and consumer.
+* ``rfbme_consume`` — the whole RFBME consumer (integral images, box
+  sums, candidate-masked argmin, match errors) over a producer-output
+  batch.
+* ``gather_rows`` — the flat im2col gather behind the planned CNN
+  inference engine.
+* ``tile_sad`` — the original scalar producer in offset-major layout
+  (``out[oi][oj][ty][tx]``), kept verbatim as the ``"pr1"`` host-profile
+  baseline that the runtime benchmarks measure speedups against.
+
+Both kernels are *accelerators, not semantics changes*: they reproduce the
 canonical summation order of the NumPy paths bit-for-bit (per tile: one
 sequential accumulator per column, then numpy's pairwise combine of the
-column sums).  A self-check at load time compares kernel output against
-the NumPy reference on random probes and refuses the kernel on any
-mismatch, so every caller can treat "kernel" and "batched" results as
-interchangeable.
+column sums — for the AVX-512 path each ZMM lane is one column
+accumulator, and the final combine is the same scalar tree).  A
+self-check at load time compares both kernels against the NumPy reference
+on random probes and refuses the library on any mismatch, so every caller
+can treat "kernel" and "batched" results as interchangeable.
 
 Gating: no compiler, any compile/load error, a failed self-check, or
 ``REPRO_SAD_KERNEL=0`` in the environment all make :func:`get_kernel`
@@ -28,28 +48,269 @@ import os
 import platform
 import subprocess
 import tempfile
-from typing import Optional
+from typing import Optional, Tuple
 
 import numpy as np
 
-__all__ = ["SADKernel", "get_kernel", "kernel_available"]
+__all__ = ["SADKernel", "get_kernel", "kernel_available", "producer_bounds"]
 
 #: Tiles wider than this fall back to NumPy (the C column buffer is fixed).
 MAX_TILE = 8
 
 _SOURCE = r"""
 #include <math.h>
+#if defined(__AVX512F__)
+#include <immintrin.h>
+#endif
 
 /* Tile SADs between a padded key frame and the current frame.
  *
- * out[oi][oj][ty][tx] = sum over the (tile x tile) block at (ty, tx) of
- * |cur - key shifted by (offs[oi], offs[oj])|.
- *
- * Summation order is chosen to be bit-identical to the NumPy reference
- * (see repro.core.rfbme._tile_sums): each column v accumulates
+ * Both kernels compute, for every tile (ty, tx) and search offset pair
+ * (offs[oi], offs[oj]), the sum over the (tile x tile) block of
+ * |cur - shifted key|.  Summation order is bit-identical to the NumPy
+ * reference (see repro.core.rfbme._tile_sums): each column v accumulates
  * sequentially over rows u; the `tile` column sums then combine with
  * numpy's pairwise order (a tree for tile == 8, sequential below 8).
  */
+
+/* Fast producer: grid-major output out[ty][tx][oi][oj].  The current
+ * frame's tile rows load once per tile and stay in registers across
+ * every offset; with AVX-512, one ZMM holds the eight column
+ * accumulators of a tile==8 block.  Only the in-bounds offset window of
+ * each tile is computed — oi in [row_lo[ty], row_hi[ty]) and oj in
+ * [col_lo[tx], col_hi[tx]); entries outside it are left untouched (the
+ * consumer masks them by the same validity geometry).  Full-range
+ * bounds reproduce the unbounded cube. */
+static void tile_sad_grid_bounded(const double *pad, long pad_w,
+                                  const double *cur, long cur_w,
+                                  long n_ty, long n_tx, long tile,
+                                  const long *offs, long n_off, long radius,
+                                  const long *row_lo, const long *row_hi,
+                                  const long *col_lo, const long *col_hi,
+                                  double *out)
+{
+#if defined(__AVX512F__)
+    if (tile == 8) {
+        const __m512d sign = _mm512_set1_pd(-0.0);
+        for (long ty = 0; ty < n_ty; ++ty) {
+            for (long tx = 0; tx < n_tx; ++tx) {
+                const double *a = cur + ty * 8 * cur_w + tx * 8;
+                __m512d a0 = _mm512_loadu_pd(a);
+                __m512d a1 = _mm512_loadu_pd(a + cur_w);
+                __m512d a2 = _mm512_loadu_pd(a + 2 * cur_w);
+                __m512d a3 = _mm512_loadu_pd(a + 3 * cur_w);
+                __m512d a4 = _mm512_loadu_pd(a + 4 * cur_w);
+                __m512d a5 = _mm512_loadu_pd(a + 5 * cur_w);
+                __m512d a6 = _mm512_loadu_pd(a + 6 * cur_w);
+                __m512d a7 = _mm512_loadu_pd(a + 7 * cur_w);
+                double *o = out + (ty * n_tx + tx) * n_off * n_off;
+                for (long oi = row_lo[ty]; oi < row_hi[ty]; ++oi) {
+                    const double *brow =
+                        pad + (radius + offs[oi] + ty * 8) * pad_w
+                            + radius + tx * 8;
+                    for (long oj = col_lo[tx]; oj < col_hi[tx]; ++oj) {
+                        const double *b = brow + offs[oj];
+                        __m512d acc, d;
+                        d = _mm512_sub_pd(a0, _mm512_loadu_pd(b));
+                        acc = _mm512_andnot_pd(sign, d);
+                        d = _mm512_sub_pd(a1, _mm512_loadu_pd(b + pad_w));
+                        acc = _mm512_add_pd(acc, _mm512_andnot_pd(sign, d));
+                        d = _mm512_sub_pd(a2, _mm512_loadu_pd(b + 2 * pad_w));
+                        acc = _mm512_add_pd(acc, _mm512_andnot_pd(sign, d));
+                        d = _mm512_sub_pd(a3, _mm512_loadu_pd(b + 3 * pad_w));
+                        acc = _mm512_add_pd(acc, _mm512_andnot_pd(sign, d));
+                        d = _mm512_sub_pd(a4, _mm512_loadu_pd(b + 4 * pad_w));
+                        acc = _mm512_add_pd(acc, _mm512_andnot_pd(sign, d));
+                        d = _mm512_sub_pd(a5, _mm512_loadu_pd(b + 5 * pad_w));
+                        acc = _mm512_add_pd(acc, _mm512_andnot_pd(sign, d));
+                        d = _mm512_sub_pd(a6, _mm512_loadu_pd(b + 6 * pad_w));
+                        acc = _mm512_add_pd(acc, _mm512_andnot_pd(sign, d));
+                        d = _mm512_sub_pd(a7, _mm512_loadu_pd(b + 7 * pad_w));
+                        acc = _mm512_add_pd(acc, _mm512_andnot_pd(sign, d));
+                        double col[8];
+                        _mm512_storeu_pd(col, acc);
+                        o[oi * n_off + oj] =
+                            ((col[0] + col[1]) + (col[2] + col[3]))
+                          + ((col[4] + col[5]) + (col[6] + col[7]));
+                    }
+                }
+            }
+        }
+        return;
+    }
+#endif
+    double col[8];
+    for (long ty = 0; ty < n_ty; ++ty) {
+        for (long tx = 0; tx < n_tx; ++tx) {
+            const double *a = cur + ty * tile * cur_w + tx * tile;
+            double *o = out + (ty * n_tx + tx) * n_off * n_off;
+            for (long oi = row_lo[ty]; oi < row_hi[ty]; ++oi) {
+                for (long oj = col_lo[tx]; oj < col_hi[tx]; ++oj) {
+                    const double *b =
+                        pad + (radius + offs[oi] + ty * tile) * pad_w
+                            + radius + offs[oj] + tx * tile;
+                    for (long v = 0; v < tile; ++v)
+                        col[v] = 0.0;
+                    for (long u = 0; u < tile; ++u) {
+                        const double *ar = a + u * cur_w;
+                        const double *br = b + u * pad_w;
+                        for (long v = 0; v < tile; ++v)
+                            col[v] += fabs(ar[v] - br[v]);
+                    }
+                    double total;
+                    if (tile == 8)
+                        total = ((col[0] + col[1]) + (col[2] + col[3]))
+                              + ((col[4] + col[5]) + (col[6] + col[7]));
+                    else {
+                        total = col[0];
+                        for (long v = 1; v < tile; ++v)
+                            total += col[v];
+                    }
+                    o[oi * n_off + oj] = total;
+                }
+            }
+        }
+    }
+}
+
+/* Lockstep batch: n_pairs (padded key, current) pairs in one call, so a
+ * whole runtime step pays one FFI crossing instead of one per clip.
+ * Only the valid offset window of each tile is computed. */
+void tile_sad_grid_batch(const double *pads, long pad_h, long pad_w,
+                         const double *curs, long cur_h, long cur_w,
+                         long n_pairs,
+                         long n_ty, long n_tx, long tile,
+                         const long *offs, long n_off, long radius,
+                         const long *row_lo, const long *row_hi,
+                         const long *col_lo, const long *col_hi,
+                         double *out)
+{
+    long out_stride = n_ty * n_tx * n_off * n_off;
+    for (long p = 0; p < n_pairs; ++p)
+        tile_sad_grid_bounded(pads + p * pad_h * pad_w, pad_w,
+                              curs + p * cur_h * cur_w, cur_w,
+                              n_ty, n_tx, tile, offs, n_off, radius,
+                              row_lo, row_hi, col_lo, col_hi,
+                              out + p * out_stride);
+}
+
+/* The RFBME consumer over a batch of grid-major producer outputs.
+ *
+ * Reproduces, add for add, the vectorized NumPy consumer (see
+ * repro.core.rfbme.RFBMEEngine._consumer_fast): a 2-D integral image per
+ * offset (row pass then column pass of sequential binary adds), box sums
+ * in ((A - B) - C) + D order, first-minimum argmin over the candidate
+ * offsets of each receptive field, and error = cost / denom.  Fields
+ * with no valid tile range write zeros, exactly like the NumPy path.
+ *
+ * sums:   (n_pairs, n_ty, n_tx, n_off*n_off) raw producer output
+ * valid:  (n_ty, n_tx, n_off*n_off) 0/1 tile validity
+ * ci:     scratch, (n_ty+1) * (n_tx+1) * n_off*n_off doubles
+ * ty0/ty1: (out_h) tile ranges per field row; tx0/tx1: (out_w)
+ * cand:   (out_h*out_w, n_off*n_off) 0/1 candidate offsets
+ * ok:     (out_h*out_w) 0/1 field has candidates
+ * denom:  (out_h*out_w) error denominators
+ * fields: (n_pairs, out_h, out_w, 2) out; errors: (n_pairs, out_h, out_w)
+ */
+void rfbme_consume(const double *sums,
+                   const unsigned char *valid,
+                   double *ci,
+                   const long *ty0, const long *ty1,
+                   const long *tx0, const long *tx1,
+                   const unsigned char *cand,
+                   const unsigned char *ok,
+                   const double *denom,
+                   const long *offs,
+                   long n_pairs, long n_ty, long n_tx, long n_off,
+                   long out_h, long out_w,
+                   double *fields, double *errors)
+{
+    long F = n_off * n_off;
+    long ci_w = (n_tx + 1) * F;
+    for (long p = 0; p < n_pairs; ++p) {
+        const double *s = sums + p * n_ty * n_tx * F;
+        /* zero the top row and left column margins */
+        for (long k = 0; k < ci_w; ++k)
+            ci[k] = 0.0;
+        for (long ty = 0; ty < n_ty; ++ty)
+            for (long k = 0; k < F; ++k)
+                ci[(ty + 1) * ci_w + k] = 0.0;
+        /* row pass: interior[ty] = filled[ty] + interior[ty-1] */
+        for (long ty = 0; ty < n_ty; ++ty) {
+            const double *prev = ci + ty * ci_w + F;
+            double *row = ci + (ty + 1) * ci_w + F;
+            for (long tx = 0; tx < n_tx; ++tx) {
+                const double *sv = s + (ty * n_tx + tx) * F;
+                const unsigned char *vv = valid + (ty * n_tx + tx) * F;
+                double *cell = row + tx * F;
+                const double *up = prev + tx * F;
+                for (long k = 0; k < F; ++k)
+                    cell[k] = (vv[k] ? sv[k] : 0.0) + up[k];
+            }
+        }
+        /* column pass: interior[:, tx] += interior[:, tx-1] */
+        for (long ty = 0; ty < n_ty; ++ty) {
+            double *row = ci + (ty + 1) * ci_w + F;
+            for (long tx = 1; tx < n_tx; ++tx) {
+                double *cell = row + tx * F;
+                const double *left = cell - F;
+                for (long k = 0; k < F; ++k)
+                    cell[k] += left[k];
+            }
+        }
+        /* box sums, candidate-masked first-minimum argmin, errors */
+        for (long i = 0; i < out_h; ++i) {
+            for (long j = 0; j < out_w; ++j) {
+                long f = i * out_w + j;
+                double *fv = fields + ((p * out_h + i) * out_w + j) * 2;
+                double *ev = errors + (p * out_h + i) * out_w + j;
+                if (!ok[f]) {
+                    fv[0] = 0.0;
+                    fv[1] = 0.0;
+                    *ev = 0.0;
+                    continue;
+                }
+                const double *r11 = ci + ty1[i] * ci_w + tx1[j] * F;
+                const double *r01 = ci + ty0[i] * ci_w + tx1[j] * F;
+                const double *r10 = ci + ty1[i] * ci_w + tx0[j] * F;
+                const double *r00 = ci + ty0[i] * ci_w + tx0[j] * F;
+                const unsigned char *cf = cand + f * F;
+                long best = -1;
+                double best_cost = 0.0;
+                for (long k = 0; k < F; ++k) {
+                    if (!cf[k])
+                        continue;
+                    double cost = ((r11[k] - r01[k]) - r10[k]) + r00[k];
+                    if (best < 0 || cost < best_cost) {
+                        best = k;
+                        best_cost = cost;
+                    }
+                }
+                fv[0] = (double) offs[best / n_off];
+                fv[1] = (double) offs[best % n_off];
+                *ev = best_cost / denom[f];
+            }
+        }
+    }
+}
+
+/* Row-wise gather: out[b][k] = src[b][idx[k]].  The im2col hot path of
+ * the planned inference engine (one flat gather materialises each
+ * convolution's column matrix); plain np.take spends most of its time in
+ * generic dispatch at these sizes. */
+void gather_rows(const double *src, long src_len,
+                 const long *idx, long n_idx,
+                 long batch, double *out)
+{
+    for (long b = 0; b < batch; ++b) {
+        const double *s = src + b * src_len;
+        double *o = out + b * n_idx;
+        for (long k = 0; k < n_idx; ++k)
+            o[k] = s[idx[k]];
+    }
+}
+
+/* PR 1 producer, kept verbatim: offset-major out[oi][oj][ty][tx]. */
 void tile_sad(const double *pad, long pad_w,
               const double *cur, long cur_w,
               long n_ty, long n_tx, long tile,
@@ -101,21 +362,76 @@ _STATE: Optional[object] = None
 
 
 class SADKernel:
-    """ctypes wrapper around the compiled ``tile_sad`` symbol."""
+    """ctypes wrapper around the compiled SAD producers."""
+
+    _ARGTYPES = [
+        ctypes.POINTER(ctypes.c_double), ctypes.c_long,
+        ctypes.POINTER(ctypes.c_double), ctypes.c_long,
+        ctypes.c_long, ctypes.c_long, ctypes.c_long,
+        ctypes.POINTER(ctypes.c_long), ctypes.c_long, ctypes.c_long,
+        ctypes.POINTER(ctypes.c_double),
+    ]
 
     def __init__(self, lib: ctypes.CDLL):
         self._fn = lib.tile_sad
         self._fn.restype = None
-        self._fn.argtypes = [
-            ctypes.POINTER(ctypes.c_double), ctypes.c_long,
-            ctypes.POINTER(ctypes.c_double), ctypes.c_long,
+        self._fn.argtypes = self._ARGTYPES
+        lptr = ctypes.POINTER(ctypes.c_long)
+        dptr = ctypes.POINTER(ctypes.c_double)
+        bptr = ctypes.POINTER(ctypes.c_ubyte)
+        self._fn_grid_batch = lib.tile_sad_grid_batch
+        self._fn_grid_batch.restype = None
+        self._fn_grid_batch.argtypes = [
+            dptr, ctypes.c_long, ctypes.c_long,
+            dptr, ctypes.c_long, ctypes.c_long,
+            ctypes.c_long,
             ctypes.c_long, ctypes.c_long, ctypes.c_long,
-            ctypes.POINTER(ctypes.c_long), ctypes.c_long, ctypes.c_long,
-            ctypes.POINTER(ctypes.c_double),
+            lptr, ctypes.c_long, ctypes.c_long,
+            lptr, lptr, lptr, lptr,
+            dptr,
+        ]
+        self._fn_gather = lib.gather_rows
+        self._fn_gather.restype = None
+        self._fn_gather.argtypes = [
+            dptr, ctypes.c_long, lptr, ctypes.c_long, ctypes.c_long, dptr,
+        ]
+        self._fn_consume = lib.rfbme_consume
+        self._fn_consume.restype = None
+        self._fn_consume.argtypes = [
+            dptr, bptr, dptr,
+            lptr, lptr, lptr, lptr,
+            bptr, bptr, dptr, lptr,
+            ctypes.c_long, ctypes.c_long, ctypes.c_long, ctypes.c_long,
+            ctypes.c_long, ctypes.c_long,
+            dptr, dptr,
         ]
 
     def supports(self, tile: int) -> bool:
         return 1 <= tile <= MAX_TILE
+
+    def _call(
+        self,
+        fn,
+        pad: np.ndarray,
+        cur: np.ndarray,
+        tile: int,
+        offsets: np.ndarray,
+        radius: int,
+        out: np.ndarray,
+        n_ty: int,
+        n_tx: int,
+    ) -> np.ndarray:
+        offs = np.ascontiguousarray(offsets, dtype=np.int64)
+        dptr = ctypes.POINTER(ctypes.c_double)
+        fn(
+            pad.ctypes.data_as(dptr), pad.shape[1],
+            cur.ctypes.data_as(dptr), cur.shape[1],
+            n_ty, n_tx, tile,
+            offs.ctypes.data_as(ctypes.POINTER(ctypes.c_long)),
+            len(offsets), radius,
+            out.ctypes.data_as(dptr),
+        )
+        return out
 
     def tile_sads(
         self,
@@ -126,29 +442,117 @@ class SADKernel:
         radius: int,
         out: np.ndarray,
     ) -> np.ndarray:
-        """Fill ``out`` (n_off, n_off, n_ty, n_tx) with tile SADs.
+        """PR 1 producer: fill ``out`` (n_off, n_off, n_ty, n_tx).
 
         ``pad`` is the key frame padded by ``radius`` on each side; ``cur``
         is the current frame.  Both must be C-contiguous float64.
         """
-        n_off = len(offsets)
-        n_ty, n_tx = out.shape[2], out.shape[3]
+        return self._call(
+            self._fn, pad, cur, tile, offsets, radius, out,
+            out.shape[2], out.shape[3],
+        )
+
+    def tile_sads_grid_batch(
+        self,
+        pads: np.ndarray,
+        curs: np.ndarray,
+        tile: int,
+        offsets: np.ndarray,
+        radius: int,
+        bounds: "Tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]",
+        out: np.ndarray,
+    ) -> np.ndarray:
+        """Batched fast producer for a lockstep step.
+
+        ``pads`` is (B, H + 2*radius, W + 2*radius) stacked padded key
+        frames, ``curs`` (B, H, W) stacked current frames, ``out``
+        (B, n_ty, n_tx, n_off, n_off); all C-contiguous float64.
+        ``bounds`` is (row_lo, row_hi, col_lo, col_hi) int64 arrays — the
+        in-bounds offset index window per tile row/column; entries outside
+        it are skipped (they are invalid by the same geometry the
+        consumer masks with).
+        """
         offs = np.ascontiguousarray(offsets, dtype=np.int64)
+        row_lo, row_hi, col_lo, col_hi = bounds
         dptr = ctypes.POINTER(ctypes.c_double)
-        self._fn(
-            pad.ctypes.data_as(dptr), pad.shape[1],
-            cur.ctypes.data_as(dptr), cur.shape[1],
-            n_ty, n_tx, tile,
-            offs.ctypes.data_as(ctypes.POINTER(ctypes.c_long)), n_off, radius,
+        lptr = ctypes.POINTER(ctypes.c_long)
+        self._fn_grid_batch(
+            pads.ctypes.data_as(dptr), pads.shape[1], pads.shape[2],
+            curs.ctypes.data_as(dptr), curs.shape[1], curs.shape[2],
+            out.shape[0],
+            out.shape[1], out.shape[2], tile,
+            offs.ctypes.data_as(lptr),
+            len(offsets), radius,
+            row_lo.ctypes.data_as(lptr), row_hi.ctypes.data_as(lptr),
+            col_lo.ctypes.data_as(lptr), col_hi.ctypes.data_as(lptr),
             out.ctypes.data_as(dptr),
         )
         return out
+
+    def gather_rows(
+        self, src: np.ndarray, idx: np.ndarray, out: np.ndarray
+    ) -> np.ndarray:
+        """out[b, k] = src[b, idx[k]] for C-contiguous float64 2-D arrays
+        (``idx`` int64).  Equivalent to ``np.take(src, idx, axis=1, out=out)``."""
+        dptr = ctypes.POINTER(ctypes.c_double)
+        self._fn_gather(
+            src.ctypes.data_as(dptr), src.shape[1],
+            idx.ctypes.data_as(ctypes.POINTER(ctypes.c_long)), idx.shape[0],
+            src.shape[0],
+            out.ctypes.data_as(dptr),
+        )
+        return out
+
+    def consume(
+        self,
+        sums: np.ndarray,
+        valid: np.ndarray,
+        scratch: np.ndarray,
+        row_ranges: "Tuple[np.ndarray, np.ndarray]",
+        col_ranges: "Tuple[np.ndarray, np.ndarray]",
+        cand: np.ndarray,
+        ok: np.ndarray,
+        denom: np.ndarray,
+        offsets: np.ndarray,
+        n_off: int,
+        fields: np.ndarray,
+        errors: np.ndarray,
+    ) -> None:
+        """Run the compiled RFBME consumer over a producer-output batch.
+
+        All arrays C-contiguous; ``valid``/``cand``/``ok`` uint8,
+        index/offset arrays int64, the rest float64.  See the C source
+        for shapes.  Bit-identical to the NumPy consumer.
+        """
+        n_pairs, n_ty, n_tx = sums.shape[0], sums.shape[1], sums.shape[2]
+        out_h, out_w = errors.shape[1], errors.shape[2]
+        ty0, ty1 = row_ranges
+        tx0, tx1 = col_ranges
+        offs = np.ascontiguousarray(offsets, dtype=np.int64)
+        dptr = ctypes.POINTER(ctypes.c_double)
+        lptr = ctypes.POINTER(ctypes.c_long)
+        bptr = ctypes.POINTER(ctypes.c_ubyte)
+        self._fn_consume(
+            sums.ctypes.data_as(dptr),
+            valid.ctypes.data_as(bptr),
+            scratch.ctypes.data_as(dptr),
+            ty0.ctypes.data_as(lptr), ty1.ctypes.data_as(lptr),
+            tx0.ctypes.data_as(lptr), tx1.ctypes.data_as(lptr),
+            cand.ctypes.data_as(bptr),
+            ok.ctypes.data_as(bptr),
+            denom.ctypes.data_as(dptr),
+            offs.ctypes.data_as(lptr),
+            n_pairs, n_ty, n_tx, n_off,
+            out_h, out_w,
+            fields.ctypes.data_as(dptr),
+            errors.ctypes.data_as(dptr),
+        )
 
 
 def _numpy_reference(
     pad: np.ndarray, cur: np.ndarray, tile: int, offsets: np.ndarray, radius: int
 ) -> np.ndarray:
-    """The canonical NumPy tile-sum the kernel must match bit-for-bit."""
+    """The canonical NumPy tile-sum the kernels must match bit-for-bit."""
     n_off = len(offsets)
     n_ty = cur.shape[0] // tile
     n_tx = cur.shape[1] // tile
@@ -172,8 +576,101 @@ def _numpy_reference(
     return out
 
 
+def producer_bounds(
+    shape: Tuple[int, int], tile: int, offsets: np.ndarray
+) -> Tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+    """(row_lo, row_hi, col_lo, col_hi) in-bounds offset index windows.
+
+    Tile ``t`` along an axis of extent ``ext`` is fully inside the
+    shifted key frame exactly for offsets in [-t*tile, ext-(t+1)*tile] —
+    the same predicate as the engine's validity mask, expressed as a
+    contiguous index interval so the producer can skip invalid work.
+    """
+    height, width = shape
+
+    def axis(ext: int) -> Tuple[np.ndarray, np.ndarray]:
+        count = ext // tile
+        lo = np.array(
+            [np.searchsorted(offsets, -t * tile, side="left") for t in range(count)],
+            dtype=np.int64,
+        )
+        hi = np.array(
+            [
+                np.searchsorted(offsets, ext - (t + 1) * tile, side="right")
+                for t in range(count)
+            ],
+            dtype=np.int64,
+        )
+        return lo, hi
+
+    row_lo, row_hi = axis(height)
+    col_lo, col_hi = axis(width)
+    return row_lo, row_hi, col_lo, col_hi
+
+
+def _consumer_reference(
+    sums, valid, ty0, ty1, tx0, tx1, cand, ok, denom, offsets, n_off
+):
+    """NumPy mirror of the C consumer, for the load-time self-check."""
+    b, n_ty, n_tx, n_flat = sums.shape
+    filled = np.where(valid[None].astype(bool), sums, 0.0)
+    ci = np.zeros((b, n_ty + 1, n_tx + 1, n_flat))
+    ci[:, 1:, 1:] = filled.cumsum(axis=1).cumsum(axis=2)
+    out_h, out_w = len(ty0), len(tx0)
+    fields = np.zeros((b, out_h, out_w, 2))
+    errors = np.zeros((b, out_h, out_w))
+    for i in range(out_h):
+        for j in range(out_w):
+            f = i * out_w + j
+            if not ok[f]:
+                continue
+            costs = (
+                (ci[:, ty1[i], tx1[j]] - ci[:, ty0[i], tx1[j]])
+                - ci[:, ty1[i], tx0[j]]
+            ) + ci[:, ty0[i], tx0[j]]
+            masked = np.where(cand[f].astype(bool), costs, np.inf)
+            best = masked.argmin(axis=1)
+            fields[:, i, j, 0] = offsets[best // n_off]
+            fields[:, i, j, 1] = offsets[best % n_off]
+            errors[:, i, j] = (
+                np.take_along_axis(masked, best[:, None], axis=1)[:, 0] / denom[f]
+            )
+    return fields, errors
+
+
+def _check_consumer(kernel: SADKernel, rng: np.random.Generator) -> bool:
+    """The compiled consumer must match the NumPy mirror bit for bit."""
+    n_ty = n_tx = 6
+    n_off = 5
+    out_h, out_w = 4, 4
+    n_flat = n_off * n_off
+    n_fields = out_h * out_w
+    offsets = np.arange(-4, 5, 2)
+    sums = np.ascontiguousarray(rng.random((3, n_ty, n_tx, n_flat)) * 100)
+    valid = np.ascontiguousarray((rng.random((n_ty, n_tx, n_flat)) > 0.3), np.uint8)
+    ty0 = rng.integers(0, n_ty - 1, out_h).astype(np.int64)
+    ty1 = (ty0 + rng.integers(1, 3, out_h)).clip(max=n_ty).astype(np.int64)
+    tx0 = rng.integers(0, n_tx - 1, out_w).astype(np.int64)
+    tx1 = (tx0 + rng.integers(1, 3, out_w)).clip(max=n_tx).astype(np.int64)
+    cand = np.ascontiguousarray(rng.random((n_fields, n_flat)) > 0.4, np.uint8)
+    cand[:, 0] = 1  # every field keeps at least one candidate
+    ok = np.ascontiguousarray(rng.random(n_fields) > 0.2, np.uint8)
+    denom = np.ascontiguousarray(rng.random(n_fields) * 50 + 1)
+    fields = np.empty((3, out_h, out_w, 2))
+    errors = np.empty((3, out_h, out_w))
+    scratch = np.empty((n_ty + 1) * (n_tx + 1) * n_flat)
+    kernel.consume(
+        sums, valid, scratch, (ty0, ty1), (tx0, tx1), cand, ok, denom,
+        offsets, n_off, fields, errors,
+    )
+    want_f, want_e = _consumer_reference(
+        sums, valid, ty0, ty1, tx0, tx1, cand, ok, denom, offsets, n_off
+    )
+    return np.array_equal(fields, want_f) and np.array_equal(errors, want_e)
+
+
 def _self_check(kernel: SADKernel) -> bool:
-    """Kernel output must be bit-identical to the NumPy reference."""
+    """Every compiled entry point must be bit-identical to NumPy."""
     rng = np.random.default_rng(20180601)
     for tile, radius, stride, shape in (
         (8, 12, 2, (64, 64)),
@@ -186,11 +683,52 @@ def _self_check(kernel: SADKernel) -> bool:
         offsets = np.arange(-radius, radius + 1, stride)
         pad = np.pad(key, radius)
         n_off = len(offsets)
-        out = np.empty((n_off, n_off, shape[0] // tile, shape[1] // tile))
+        n_ty, n_tx = shape[0] // tile, shape[1] // tile
+        want = _numpy_reference(pad, cur, tile, offsets, radius)
+        out = np.empty((n_off, n_off, n_ty, n_tx))
         kernel.tile_sads(pad, cur, tile, offsets, radius, out)
-        if not np.array_equal(out, _numpy_reference(pad, cur, tile, offsets, radius)):
+        if not np.array_equal(out, want):
             return False
-    return True
+        pads = np.ascontiguousarray(np.stack([pad, np.pad(cur, radius)]))
+        curs = np.ascontiguousarray(np.stack([cur, key]))
+        want2 = _numpy_reference(pads[1], curs[1], tile, offsets, radius)
+        # Full-range bounds must reproduce the whole reference cube (the
+        # zero padding makes out-of-frame comparisons well-defined).
+        full = (
+            np.zeros(n_ty, dtype=np.int64), np.full(n_ty, n_off, np.int64),
+            np.zeros(n_tx, dtype=np.int64), np.full(n_tx, n_off, np.int64),
+        )
+        batch = np.empty((2, n_ty, n_tx, n_off, n_off))
+        kernel.tile_sads_grid_batch(pads, curs, tile, offsets, radius, full, batch)
+        if not np.array_equal(batch[0].transpose(2, 3, 0, 1), want):
+            return False
+        if not np.array_equal(batch[1].transpose(2, 3, 0, 1), want2):
+            return False
+        # Real bounds: every in-window entry must match the reference.
+        bounds = producer_bounds(shape, tile, offsets)
+        row_lo, row_hi, col_lo, col_hi = bounds
+        batch = np.zeros((2, n_ty, n_tx, n_off, n_off))
+        kernel.tile_sads_grid_batch(pads, curs, tile, offsets, radius, bounds, batch)
+        for ty in range(n_ty):
+            for tx in range(n_tx):
+                oi = slice(row_lo[ty], row_hi[ty])
+                oj = slice(col_lo[tx], col_hi[tx])
+                if not np.array_equal(
+                    batch[0, ty, tx, oi, oj], want.transpose(2, 3, 0, 1)[ty, tx, oi, oj]
+                ):
+                    return False
+                if not np.array_equal(
+                    batch[1, ty, tx, oi, oj],
+                    want2.transpose(2, 3, 0, 1)[ty, tx, oi, oj],
+                ):
+                    return False
+    src = np.ascontiguousarray(rng.random((3, 500)))
+    idx = np.ascontiguousarray(rng.integers(0, 500, 200), dtype=np.int64)
+    got = np.empty((3, 200))
+    kernel.gather_rows(src, idx, got)
+    if not np.array_equal(got, np.take(src, idx, axis=1)):
+        return False
+    return _check_consumer(kernel, rng)
 
 
 def _cpu_identity() -> str:
@@ -214,7 +752,7 @@ def _cpu_identity() -> str:
 
 
 def _compile() -> Optional[str]:
-    """Compile the kernel into the on-disk cache; return the .so path."""
+    """Compile the kernels into the on-disk cache; return the .so path."""
     tag = hashlib.sha256(
         (_SOURCE + " ".join(_CFLAGS) + _cpu_identity()).encode()
     ).hexdigest()[:16]

@@ -10,6 +10,7 @@ from .models import (
     build_network,
     split_detection_output,
 )
+from .inference import InferencePlan
 from .network import Network
 from .optim import Adam, SGD
 from .train import (
@@ -27,6 +28,7 @@ __all__ = [
     "MaxPool2d",
     "ReLU",
     "Network",
+    "InferencePlan",
     "Adam",
     "SGD",
     "INPUT_SHAPE",

@@ -15,11 +15,13 @@ from __future__ import annotations
 from typing import Tuple
 
 import numpy as np
+from numpy.lib.stride_tricks import as_strided
 
 __all__ = [
     "conv_output_size",
     "im2col",
     "col2im",
+    "pool_windows",
     "conv2d_forward",
     "conv2d_backward",
     "maxpool2d_forward",
@@ -76,7 +78,14 @@ def im2col(
         for fx in range(field_w):
             x_max = fx + stride * out_w
             cols[:, :, fy, fx, :, :] = x[:, :, fy:y_max:stride, fx:x_max:stride]
-    return cols.transpose(0, 4, 5, 1, 2, 3).reshape(n * out_h * out_w, -1)
+    # Pin the result to one canonical memory layout.  For most geometries
+    # the reshape below copies (C-contiguous), but for some it can merge
+    # strides into a non-contiguous *view* — and BLAS results for strided
+    # operands are not bitwise identical to contiguous ones, which would
+    # make convolution output bits depend on numpy's stride heuristics.
+    return np.ascontiguousarray(
+        cols.transpose(0, 4, 5, 1, 2, 3).reshape(n * out_h * out_w, -1)
+    )
 
 
 def col2im(
@@ -148,15 +157,37 @@ def conv2d_backward(grad_out: np.ndarray, cache):
     return grad_x, grad_weight, grad_bias
 
 
+def pool_windows(x: np.ndarray, field: int, stride: int) -> np.ndarray:
+    """Zero-copy view of ``x`` (N, C, H, W) as pooling windows.
+
+    Returns (N, C, OH, OW, field, field) where ``[..., i, j, :, :]`` is the
+    window reduced into output position (i, j) — the shared geometry of
+    max and average pooling.  Pure stride arithmetic: no data moves, so
+    reductions over the last two axes read ``x`` directly instead of
+    round-tripping through a generic im2col copy.
+    """
+    n, c, h, w = x.shape
+    out_h = conv_output_size(h, field, stride, 0)
+    out_w = conv_output_size(w, field, stride, 0)
+    sn, sc, sh, sw = x.strides
+    return as_strided(
+        x,
+        shape=(n, c, out_h, out_w, field, field),
+        strides=(sn, sc, sh * stride, sw * stride, sh, sw),
+        writeable=False,
+    )
+
+
 def maxpool2d_forward(x: np.ndarray, field: int, stride: int):
     """Max pooling with square windows (no padding, as in the paper's nets)."""
     n, c, h, w = x.shape
     out_h = conv_output_size(h, field, stride, 0)
     out_w = conv_output_size(w, field, stride, 0)
 
-    cols = im2col(
-        x.reshape(n * c, 1, h, w), field, field, stride, 0
-    )  # (N*C*OH*OW, field*field)
+    # One copy (window flattening) instead of im2col's scratch + fold;
+    # row layout matches im2col's (N*C*OH*OW, field*field) exactly, so the
+    # cache stays interchangeable with earlier releases.
+    cols = pool_windows(x, field, stride).reshape(-1, field * field)
     arg = np.argmax(cols, axis=1)
     out = cols[np.arange(cols.shape[0]), arg]
     out = out.reshape(n, c, out_h, out_w)
@@ -179,21 +210,31 @@ def avgpool2d_forward(x: np.ndarray, field: int, stride: int):
     n, c, h, w = x.shape
     out_h = conv_output_size(h, field, stride, 0)
     out_w = conv_output_size(w, field, stride, 0)
-    cols = im2col(x.reshape(n * c, 1, h, w), field, field, stride, 0)
+    cols = pool_windows(x, field, stride).reshape(-1, field * field)
     out = cols.mean(axis=1).reshape(n, c, out_h, out_w)
     cache = (x.shape, field, stride, cols.shape)
     return out, cache
 
 
 def avgpool2d_backward(grad_out: np.ndarray, cache):
-    """Backward pass of average pooling: spread gradients uniformly."""
+    """Backward pass of average pooling: spread gradients uniformly.
+
+    Every input position inside a window receives grad/field² from that
+    window, so the fold is a direct strided scatter-add of the scaled
+    output gradient — no (N*C*OH*OW, field*field) repeat intermediate.
+    """
     x_shape, field, stride, cols_shape = cache
     n, c, h, w = x_shape
-    grad_cols = np.repeat(
-        grad_out.reshape(-1, 1) / (field * field), cols_shape[1], axis=1
-    )
-    grad_x = col2im(grad_cols, (n * c, 1, h, w), field, field, stride, 0)
-    return grad_x.reshape(x_shape)
+    out_h = conv_output_size(h, field, stride, 0)
+    out_w = conv_output_size(w, field, stride, 0)
+    g = grad_out.reshape(n, c, out_h, out_w) / (field * field)
+    grad_x = np.zeros(x_shape, dtype=grad_out.dtype)
+    for fy in range(field):
+        y_max = fy + stride * out_h
+        for fx in range(field):
+            x_max = fx + stride * out_w
+            grad_x[:, :, fy:y_max:stride, fx:x_max:stride] += g
+    return grad_x
 
 
 def relu_forward(x: np.ndarray):

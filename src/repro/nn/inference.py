@@ -1,0 +1,403 @@
+"""Planned CNN inference — the execution engine behind AMC's hot path.
+
+Training needs autograd caches and tolerates allocation churn; inference
+runs the same prefix/suffix every frame of every clip and should not.  An
+:class:`InferencePlan` is compiled once per (network, batch capacity,
+dtype) and then executes layer ranges against preallocated scratch:
+
+* **im2col as a gather** — each convolution's unfold geometry is compiled
+  to one flat index array; per call the input is staged into a persistent
+  padded buffer and a single ``np.take`` materialises the column matrix.
+  No 6-D scratch, no transpose copy, no per-frame allocation.
+* **per-sample GEMMs with a batched probe** — BLAS does not guarantee
+  that one matmul over ``B`` stacked samples is bitwise equal to ``B``
+  single-sample matmuls (it is not for this repo's FC shapes), and AMC's
+  contract is that batched execution reproduces the serial pipeline
+  exactly.  The plan therefore defaults to one GEMM per sample — the
+  serial shapes — and, on the first call at each batch size, probes
+  whether the fused batched GEMM is bitwise identical on this host;
+  if it is, later calls take the fused path.
+* **no training caches** — forward-only; pooling skips argmax entirely
+  (the strided-window max needs no unfold), ReLU reuses one mask buffer.
+* **opt-in float32** — ``dtype="float32"`` snapshots casted weights at
+  compile time for roughly half the memory traffic.  float64 remains the
+  default and is bit-identical to :meth:`repro.nn.network.Network.forward`.
+
+Plans are obtained through :meth:`Network.inference_plan`, which caches
+them per (capacity, dtype); calls with any batch size up to the capacity
+reuse the same scratch through leading-axis views.
+
+Ownership: arrays returned by ``run``/``run_prefix``/``run_suffix`` are
+fresh copies, safe to store (the executor stores key activations, the
+runtime stores per-frame outputs).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from . import functional as F
+from .layers import AvgPool2d, Conv2d, Flatten, Layer, Linear, MaxPool2d, ReLU
+
+__all__ = ["InferencePlan"]
+
+_DTYPES = {"float64": np.float64, "float32": np.float32}
+
+
+def _resolve_dtype(dtype) -> np.dtype:
+    if isinstance(dtype, str):
+        if dtype not in _DTYPES:
+            raise ValueError(
+                f"dtype must be one of {sorted(_DTYPES)}, got {dtype!r}"
+            )
+        return np.dtype(_DTYPES[dtype])
+    resolved = np.dtype(dtype)
+    if resolved not in (np.dtype(np.float64), np.dtype(np.float32)):
+        raise ValueError(f"unsupported inference dtype {resolved}")
+    return resolved
+
+
+class _Step:
+    """One compiled layer: preallocated scratch plus a forward method."""
+
+    def __init__(self, layer: Layer):
+        self.layer = layer
+
+    def run(self, x: np.ndarray, batch: int) -> np.ndarray:
+        raise NotImplementedError
+
+
+class _MatmulMixin:
+    """Shared per-sample-vs-fused GEMM dispatch.
+
+    ``_matmul_rows(a2d, w_t, out2d, rows_per_sample, batch)`` computes
+    ``a2d @ w_t`` into ``out2d``.  The default is one GEMM per sample —
+    exactly the shapes the serial pipeline issues, hence bitwise equal to
+    it by construction.  On first encountering a batch size, a probe on
+    synthetic full-range random data (never the live activations, which
+    could be degenerate — e.g. mostly zero after a ReLU — and pass by
+    coincidence) compares the fused single GEMM against the per-sample
+    loop: when BLAS produces identical bits for the stacked shape
+    (shape-dependent, so probed per host), the fused call — fewer kernel
+    launches and numpy round-trips — serves all later calls at that
+    batch size.
+    """
+
+    def _init_matmul(self):
+        self._fused_ok: Dict[int, bool] = {}
+
+    def _probe_fused(self, w_t: np.ndarray, rows: int, batch: int) -> bool:
+        rng = np.random.default_rng(0x5EED + batch)
+        a = rng.standard_normal((batch * rows, w_t.shape[0])).astype(
+            w_t.dtype, copy=False
+        )
+        fused = a @ w_t
+        looped = np.empty_like(fused)
+        for s in range(batch):
+            np.matmul(a[s * rows : (s + 1) * rows], w_t,
+                      out=looped[s * rows : (s + 1) * rows])
+        return bool(np.array_equal(fused, looped))
+
+    def _matmul_rows(
+        self,
+        a2d: np.ndarray,
+        w_t: np.ndarray,
+        out2d: np.ndarray,
+        rows: int,
+        batch: int,
+    ) -> None:
+        if batch == 1:
+            np.matmul(a2d, w_t, out=out2d)
+            return
+        fused = self._fused_ok.get(batch)
+        if fused is None:
+            fused = self._fused_ok[batch] = self._probe_fused(w_t, rows, batch)
+        if fused:
+            np.matmul(a2d, w_t, out=out2d)
+            return
+        for s in range(batch):
+            np.matmul(a2d[s * rows : (s + 1) * rows], w_t,
+                      out=out2d[s * rows : (s + 1) * rows])
+
+
+class _ConvStep(_Step, _MatmulMixin):
+    def __init__(self, layer: Conv2d, in_shape, capacity: int, dtype,
+                 weights: Optional[Tuple[np.ndarray, np.ndarray]]):
+        super().__init__(layer)
+        self._init_matmul()
+        c, h, w = in_shape
+        k, stride, pad = layer.kernel, layer.stride, layer.pad
+        self.out_h = F.conv_output_size(h, k, stride, pad)
+        self.out_w = F.conv_output_size(w, k, stride, pad)
+        self.out_c = layer.out_channels
+        self.rows = self.out_h * self.out_w
+        hp, wp = h + 2 * pad, w + 2 * pad
+        self._interior = (slice(None), slice(pad, pad + h), slice(pad, pad + w))
+        self.padded = np.zeros((capacity, c, hp, wp), dtype=dtype)
+        # Gather geometry: cols[b, (oy, ox), (c, ky, kx)] =
+        # padded[b, c, ky + stride*oy, kx + stride*ox] — im2col's exact
+        # column layout, compiled to flat indices once.
+        oy = np.arange(self.out_h) * stride
+        ox = np.arange(self.out_w) * stride
+        ci = np.arange(c)
+        ky = np.arange(k)
+        kx = np.arange(k)
+        idx = (
+            ci[None, None, :, None, None] * (hp * wp)
+            + (ky[None, None, None, :, None] + oy[:, None, None, None, None]) * wp
+            + (kx[None, None, None, None, :] + ox[None, :, None, None, None])
+        )
+        self.gather = np.ascontiguousarray(idx.reshape(-1), dtype=np.int64)
+        self.ckk = c * k * k
+        self.cols = np.empty((capacity, self.rows * self.ckk), dtype=dtype)
+        self.out2d = np.empty((capacity * self.rows, self.out_c), dtype=dtype)
+        self._weights = weights  # None = read live float64 params
+        # The compiled gather (when the optional kernel built) moves the
+        # column materialisation off np.take's generic path; float64 only.
+        self._ckernel = None
+        if dtype == np.float64:
+            from ..core.sad_kernel import get_kernel
+
+            self._ckernel = get_kernel()
+
+    def _operands(self):
+        if self._weights is not None:
+            return self._weights
+        w_mat = self.layer.params["weight"].reshape(self.out_c, -1)
+        return w_mat.T, self.layer.params["bias"]
+
+    def run(self, x: np.ndarray, batch: int) -> np.ndarray:
+        padded = self.padded[:batch]
+        padded[(slice(None),) + self._interior] = x
+        cols = self.cols[:batch]
+        if self._ckernel is not None:
+            self._ckernel.gather_rows(padded.reshape(batch, -1), self.gather, cols)
+        else:
+            np.take(padded.reshape(batch, -1), self.gather, axis=1, out=cols)
+        cols2d = cols.reshape(batch * self.rows, self.ckk)
+        out2d = self.out2d[: batch * self.rows]
+        w_t, bias = self._operands()
+        self._matmul_rows(cols2d, w_t, out2d, self.rows, batch)
+        np.add(out2d, bias, out=out2d)
+        return out2d.reshape(batch, self.out_h, self.out_w, self.out_c).transpose(
+            0, 3, 1, 2
+        )
+
+
+class _LinearStep(_Step, _MatmulMixin):
+    def __init__(self, layer: Linear, capacity: int, dtype,
+                 weights: Optional[Tuple[np.ndarray, np.ndarray]]):
+        super().__init__(layer)
+        self._init_matmul()
+        self.out = np.empty((capacity, layer.out_features), dtype=dtype)
+        self._weights = weights
+
+    def _operands(self):
+        if self._weights is not None:
+            return self._weights
+        return self.layer.params["weight"].T, self.layer.params["bias"]
+
+    def run(self, x: np.ndarray, batch: int) -> np.ndarray:
+        flat = x.reshape(batch, -1)
+        out = self.out[:batch]
+        w_t, bias = self._operands()
+        self._matmul_rows(flat, w_t, out, 1, batch)
+        np.add(out, bias, out=out)
+        return out
+
+
+class _ReLUStep(_Step):
+    def __init__(self, layer: ReLU, in_shape, capacity: int, dtype,
+                 nhwc: bool = False):
+        super().__init__(layer)
+        # A ReLU fed by a convolution sees an NHWC-contiguous transpose
+        # view (the conv GEMM's natural layout); computing in that layout
+        # keeps both ufunc passes on contiguous memory.  ReLU is
+        # elementwise, so the layout cannot change a single bit.
+        self.nhwc = nhwc and len(in_shape) == 3
+        if self.nhwc:
+            c, h, w = in_shape
+            shape = (capacity, h, w, c)
+        else:
+            shape = (capacity,) + tuple(in_shape)
+        self.mask = np.empty(shape, dtype=bool)
+        self.out = np.empty(shape, dtype=dtype)
+
+    def run(self, x: np.ndarray, batch: int) -> np.ndarray:
+        if self.nhwc:
+            base = x.transpose(0, 2, 3, 1)
+            if not base.flags["C_CONTIGUOUS"]:
+                # Unexpected layout (custom caller): stay correct.
+                return x * (x > 0)
+            mask, out = self.mask[:batch], self.out[:batch]
+            np.greater(base, 0, out=mask)
+            np.multiply(base, mask, out=out)
+            return out.transpose(0, 3, 1, 2)
+        mask, out = self.mask[:batch], self.out[:batch]
+        np.greater(x, 0, out=mask)
+        # x * mask, exactly as the training path computes it (bitwise
+        # including signed zeros), into reused scratch.
+        np.multiply(x, mask, out=out)
+        return out
+
+
+class _MaxPoolStep(_Step):
+    def __init__(self, layer: MaxPool2d, in_shape, capacity: int, dtype):
+        super().__init__(layer)
+        c, h, w = in_shape
+        self.field, self.stride = layer.field, layer.stride
+        self.out_h = F.conv_output_size(h, self.field, self.stride, 0)
+        self.out_w = F.conv_output_size(w, self.field, self.stride, 0)
+        self.out = np.empty((capacity, c, self.out_h, self.out_w), dtype=dtype)
+
+    def run(self, x: np.ndarray, batch: int) -> np.ndarray:
+        out = self.out[:batch]
+        # field² shifted strided slices folded with elementwise maximum —
+        # max is exact, so any fold order matches the unfold+argmax
+        # training path bit for bit, and each pass is a plain vectorised
+        # ufunc instead of a windowed gather.
+        first = True
+        for fy in range(self.field):
+            y_max = fy + self.stride * self.out_h
+            for fx in range(self.field):
+                x_max = fx + self.stride * self.out_w
+                window = x[:, :, fy:y_max:self.stride, fx:x_max:self.stride]
+                if first:
+                    np.copyto(out, window)
+                    first = False
+                else:
+                    np.maximum(out, window, out=out)
+        return out
+
+
+class _AvgPoolStep(_Step):
+    def __init__(self, layer: AvgPool2d, in_shape, capacity: int, dtype):
+        super().__init__(layer)
+        c, h, w = in_shape
+        self.field, self.stride = layer.field, layer.stride
+        out_h = F.conv_output_size(h, self.field, self.stride, 0)
+        out_w = F.conv_output_size(w, self.field, self.stride, 0)
+        self.flat = np.empty(
+            (capacity, c, out_h, out_w, self.field * self.field), dtype=dtype
+        )
+        self.out = np.empty((capacity, c, out_h, out_w), dtype=dtype)
+
+    def run(self, x: np.ndarray, batch: int) -> np.ndarray:
+        windows = F.pool_windows(x, self.field, self.stride)
+        flat = self.flat[:batch]
+        # Materialise windows once so the mean reduces a contiguous last
+        # axis — the same reduction order as the unfold-based layer path.
+        np.copyto(flat, windows.reshape(windows.shape[:4] + (-1,)))
+        out = self.out[:batch]
+        np.mean(flat, axis=-1, out=out)
+        return out
+
+
+class _FlattenStep(_Step):
+    def run(self, x: np.ndarray, batch: int) -> np.ndarray:
+        return x.reshape(batch, -1)
+
+
+class _GenericStep(_Step):
+    """Fallback for layer types the planner does not specialise."""
+
+    def run(self, x: np.ndarray, batch: int) -> np.ndarray:
+        return self.layer.forward(x, train=False)
+
+
+class InferencePlan:
+    """Forward-only executor for one network at one batch capacity.
+
+    ``max_batch`` is a capacity: any call with ``1 <= batch <= max_batch``
+    reuses the same scratch through leading-axis views.  With the default
+    float64 dtype the plan reads the live layer parameters on every call
+    (so in-place weight updates are picked up); ``float32`` snapshots
+    casted copies at compile time — recompile (or let
+    :meth:`Network.load_state_dict` invalidate the cache) after retraining.
+    """
+
+    def __init__(self, network, max_batch: int = 1, dtype="float64"):
+        if max_batch < 1:
+            raise ValueError(f"max_batch must be >= 1, got {max_batch}")
+        self.network = network
+        self.max_batch = int(max_batch)
+        self.dtype = _resolve_dtype(dtype)
+        self._steps: List[_Step] = []
+        prev: Optional[Layer] = None
+        for layer, in_shape in zip(network.layers, network.layer_input_shapes):
+            self._steps.append(self._compile(layer, in_shape, prev))
+            prev = layer
+
+    # ------------------------------------------------------------------ #
+    def _compile(self, layer: Layer, in_shape, prev: Optional[Layer]) -> _Step:
+        cap, dt = self.max_batch, self.dtype
+        snapshot = None
+        if dt == np.float32 and isinstance(layer, (Conv2d, Linear)):
+            out_features = (
+                layer.out_channels if isinstance(layer, Conv2d)
+                else layer.out_features
+            )
+            w_t = np.ascontiguousarray(
+                layer.params["weight"].reshape(out_features, -1).T, dtype=dt
+            )
+            snapshot = (w_t, layer.params["bias"].astype(dt))
+        if isinstance(layer, Conv2d):
+            return _ConvStep(layer, in_shape, cap, dt, snapshot)
+        if isinstance(layer, Linear):
+            return _LinearStep(layer, cap, dt, snapshot)
+        if isinstance(layer, ReLU):
+            return _ReLUStep(layer, in_shape, cap, dt, nhwc=isinstance(prev, Conv2d))
+        if isinstance(layer, MaxPool2d):
+            return _MaxPoolStep(layer, in_shape, cap, dt)
+        if isinstance(layer, AvgPool2d):
+            return _AvgPoolStep(layer, in_shape, cap, dt)
+        if isinstance(layer, Flatten):
+            return _FlattenStep(layer)
+        return _GenericStep(layer)
+
+    def _execute(self, x: np.ndarray, start: int, stop: int) -> np.ndarray:
+        x = np.asarray(x)
+        if x.ndim == 0 or x.shape[0] == 0:
+            raise ValueError("inference batch must contain at least one sample")
+        batch = x.shape[0]
+        if batch > self.max_batch:
+            raise ValueError(
+                f"batch {batch} exceeds plan capacity {self.max_batch}"
+            )
+        if start < len(self._steps):
+            expected = tuple(self.network.layer_input_shapes[start])
+            where = f"layer {self.network.layers[start].name!r}"
+        else:
+            expected = tuple(self.network.output_shape)
+            where = "the network output"
+        if tuple(x.shape[1:]) != expected:
+            raise ValueError(
+                f"expected input shape {expected} for {where}, "
+                f"got {tuple(x.shape[1:])}"
+            )
+        if x.dtype != self.dtype:
+            x = x.astype(self.dtype)
+        for step in self._steps[start:stop]:
+            x = step.run(x, batch)
+        # Hand back an owned copy: every scratch buffer is reused on the
+        # next call, and callers (executor, runtime) store results.  A
+        # view (ascontiguousarray of contiguous scratch is a no-op) would
+        # silently mutate previously returned frames.
+        return np.array(x, order="C")
+
+    # ------------------------------------------------------------------ #
+    def run(self, x: np.ndarray) -> np.ndarray:
+        """Whole-network forward pass for a (B, ...) batch."""
+        return self._execute(x, 0, len(self._steps))
+
+    def run_prefix(self, x: np.ndarray, target: str) -> np.ndarray:
+        """Input through ``target`` inclusive — the key-frame path."""
+        return self._execute(x, 0, self.network.index_of(target) + 1)
+
+    def run_suffix(self, activation: np.ndarray, target: str) -> np.ndarray:
+        """Layers after ``target`` — the every-frame path."""
+        return self._execute(
+            activation, self.network.index_of(target) + 1, len(self._steps)
+        )

@@ -33,6 +33,9 @@ class Network:
         # Validate shape propagation eagerly so bad architectures fail at
         # construction, not mid-experiment.
         self.layer_input_shapes = self._propagate_shapes()
+        #: compiled inference plans keyed by (capacity, dtype); see
+        #: :meth:`inference_plan`.
+        self._plans: Dict[Tuple[int, str], "InferencePlan"] = {}
 
     # ------------------------------------------------------------------ #
     # structure queries
@@ -125,6 +128,29 @@ class Network:
             x = layer.forward(x, train=train)
         return x
 
+    def inference_plan(self, max_batch: int = 1, dtype="float64"):
+        """The compiled forward-only executor for this network.
+
+        Plans are cached per (capacity, dtype) — scratch buffers and
+        gather geometry compile once and are reused by every caller with
+        the same capacity (the AMC executor at capacity 1, the lockstep
+        runtime at workload width).  See
+        :class:`repro.nn.inference.InferencePlan`.
+        """
+        from .inference import InferencePlan, _resolve_dtype
+
+        key = (int(max_batch), _resolve_dtype(dtype).name)
+        plan = self._plans.get(key)
+        if plan is None:
+            plan = InferencePlan(self, max_batch=max_batch, dtype=dtype)
+            self._plans[key] = plan
+        return plan
+
+    def invalidate_plans(self) -> None:
+        """Drop cached inference plans (needed after parameter rebinding;
+        float32 plans also snapshot weights at compile time)."""
+        self._plans.clear()
+
     def backward(self, grad_out: np.ndarray) -> np.ndarray:
         """Backprop through the whole network (after a train-mode forward)."""
         for layer in reversed(self.layers):
@@ -199,6 +225,9 @@ class Network:
                         f"{state[full].shape} vs {layer.params[key].shape}"
                     )
                 layer.params[key] = state[full].copy()
+        # Parameter arrays were rebound (and float32 plans snapshot
+        # weights), so compiled plans must not serve stale tensors.
+        self.invalidate_plans()
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"Network({self.name}, {len(self.layers)} layers)"

@@ -1,16 +1,34 @@
 """Lockstep multi-clip execution and workload-level results.
 
 :class:`BatchedPipeline` advances every clip of a workload one frame at a
-time, in lockstep.  At each step the RFBME calls of all active clips —
-the host hot path, ~90% of serial runtime — collapse into one vectorized
-:meth:`~repro.core.rfbme.RFBMEEngine.estimate_batch` call over the whole
-batch, while CNN execution and key-frame decisions stay per clip.  Since
-the batched estimator is bit-identical to the per-pair one and clips
-share no state, a lockstep run reproduces the serial
-:meth:`~repro.core.EVA2Pipeline.run_clips` results exactly: same outputs,
-same key-frame decisions, same op counts.  Executor construction, policy
-setup, and RFBME workspace allocation happen once per workload instead of
-per clip.
+time, in lockstep, collapsing per-clip work into whole-batch calls at
+every stage of the frame lifecycle:
+
+* **RFBME** — the motion estimations of all ready clips run as one
+  :meth:`~repro.core.rfbme.RFBMEEngine.estimate_batch` call (one compiled
+  producer pass over the stacked pairs, one vectorized consumer).
+* **Key frames** — clips whose policy chose precise execution run the
+  CNN prefix as one batched
+  :class:`~repro.nn.inference.InferencePlan` call instead of B
+  batch-of-1 forwards.
+* **Predicted frames** — stored activations are stacked and warped by
+  one :func:`~repro.core.warp.warp_activation_batch` call (cached
+  coordinate grids, four gathers for the whole batch).
+* **Suffix** — the per-frame CNN tail runs once over the concatenated
+  key and predicted activations.
+
+Key-frame decisions stay per clip, and every batched stage is bitwise
+equal to its per-clip form (the inference plan keeps BLAS calls at
+serial shapes unless fusing is proven bit-identical on the host), so a
+lockstep run reproduces the serial
+:meth:`~repro.core.EVA2Pipeline.run_clips` results exactly: same
+outputs, same key-frame decisions, same op counts.  Executor
+construction, policy setup, and all workspace allocation happen once per
+workload instead of per clip (or per frame).
+
+``cnn_batching=False`` (or a spec with ``cnn_engine="legacy"``) keeps
+the PR 1 behaviour — batched RFBME, per-clip CNN — which the runtime
+benchmark measures speedups against.
 
 :class:`WorkloadResult` aggregates the per-clip
 :class:`~repro.core.pipeline.PipelineResult` records with the throughput
@@ -27,6 +45,7 @@ from typing import List, Optional, Sequence
 import numpy as np
 
 from ..core.pipeline import FrameRecord, PipelineResult
+from ..core.warp import scale_to_activation, warp_activation_batch
 from ..video.generator import VideoClip
 from .scheduler import ClipScheduler, SchedulerConfig
 from .spec import PipelineSpec
@@ -116,10 +135,24 @@ class WorkloadResult:
 
 
 class BatchedPipeline:
-    """Run a multi-clip workload in lockstep with batched RFBME."""
+    """Run a multi-clip workload in lockstep with batched hot paths.
 
-    def __init__(self, spec: PipelineSpec):
+    ``cnn_batching`` selects whether CNN execution (prefix, warp, suffix)
+    also runs as whole-batch calls (requires the planned CNN engine);
+    ``None`` enables it exactly when the spec uses the planned engine.
+    ``False`` reproduces the PR 1 lockstep: batched RFBME, per-clip CNN.
+    """
+
+    def __init__(self, spec: PipelineSpec, cnn_batching: Optional[bool] = None):
+        if cnn_batching is None:
+            cnn_batching = spec.cnn_engine == "planned"
+        if cnn_batching and spec.cnn_engine != "planned":
+            raise ValueError(
+                "cross-clip CNN batching requires cnn_engine='planned', "
+                f"got {spec.cnn_engine!r}"
+            )
         self.spec = spec
+        self.cnn_batching = cnn_batching
 
     def run_workload(self, clips: Sequence[VideoClip]) -> WorkloadResult:
         """Process every clip; bit-identical to the serial path."""
@@ -133,6 +166,11 @@ class BatchedPipeline:
         # One shared engine: all executors have identical geometry, so its
         # scratch workspace serves the whole batch.
         engine = executors[0].rfbme_engine if executors else None
+        plan = None
+        if self.cnn_batching and clips:
+            plan = network.inference_plan(
+                max_batch=len(clips), dtype=self.spec.dtype
+            )
 
         records: List[List[FrameRecord]] = [[] for _ in clips]
         max_frames = max((len(clip) for clip in clips), default=0)
@@ -146,6 +184,12 @@ class BatchedPipeline:
                 ]
             )
             by_clip = dict(zip(ready, estimations))
+            if plan is not None:
+                self._step_batched(
+                    plan, executors, policies, clips, records, index,
+                    active, by_clip,
+                )
+                continue
             for i in active:
                 frame = clips[i].frames[index]
                 estimation = by_clip.get(i)
@@ -161,18 +205,83 @@ class BatchedPipeline:
         wall = time.perf_counter() - start
         return WorkloadResult(results=results, wall_seconds=wall, path="lockstep")
 
+    def _step_batched(
+        self, plan, executors, policies, clips, records, index, active, by_clip
+    ) -> None:
+        """One lockstep step with whole-batch CNN execution.
+
+        Decisions are taken per clip first; then coincident key frames
+        run the prefix as one batch, predicted clips warp (or memoize)
+        their stored activations as one batch, and a single suffix call
+        covers everything.  Each stage is bitwise equal to the per-clip
+        path, so the records written here match serial execution.
+        """
+        executor0 = executors[active[0]]
+        target = executor0.target
+        mode = executor0.config.mode
+        keys: List[int] = []
+        preds: List[int] = []
+        for i in active:
+            is_key = policies[i].decide(index, by_clip.get(i))
+            (keys if is_key else preds).append(i)
+
+        key_acts = None
+        if keys:
+            frames = np.stack([clips[i].frames[index] for i in keys])[:, None]
+            key_acts = plan.run_prefix(frames, target)
+            for pos, i in enumerate(keys):
+                executors[i].adopt_key(clips[i].frames[index], key_acts[pos])
+
+        pred_acts = None
+        if preds:
+            stored = np.stack([executors[i].key_activation for i in preds])
+            if mode == "memoize":
+                pred_acts = stored
+            else:
+                fields = [
+                    scale_to_activation(by_clip[i].field, executors[i].rf)
+                    for i in preds
+                ]
+                pred_acts = warp_activation_batch(
+                    stored,
+                    fields,
+                    interpolation=executor0.config.interpolation,
+                    fixed_point=executor0.config.fixed_point,
+                )
+
+        if key_acts is not None and pred_acts is not None:
+            suffix_in = np.concatenate(
+                [key_acts, pred_acts.astype(key_acts.dtype, copy=False)]
+            )
+        elif key_acts is not None:
+            suffix_in = key_acts
+        else:
+            suffix_in = pred_acts
+        outputs = plan.run_suffix(suffix_in, target)
+
+        key_set = set(keys)
+        for pos, i in enumerate(keys + preds):
+            records[i].append(
+                FrameRecord.from_step(
+                    index, i in key_set, outputs[pos : pos + 1], by_clip.get(i)
+                )
+            )
+
 
 def run_workload(
     spec: PipelineSpec,
     clips: Sequence[VideoClip],
     batch: bool = True,
     scheduler: Optional[SchedulerConfig] = None,
+    cnn_batching: Optional[bool] = None,
 ) -> WorkloadResult:
     """Execute a workload on the path implied by the arguments.
 
     ``scheduler`` with more than one worker selects the pooled
     :class:`~repro.runtime.scheduler.ClipScheduler`; otherwise ``batch``
-    picks lockstep (default) or plain serial execution.  Every path
+    picks lockstep (default) or plain serial execution.
+    ``cnn_batching`` forwards to :class:`BatchedPipeline` (None = batch
+    the CNN whenever the spec's planned engine allows it).  Every path
     returns identical per-clip results.
     """
     if scheduler is not None and scheduler.workers > 1:
@@ -186,7 +295,7 @@ def run_workload(
             workers=scheduler.workers,
         )
     if batch:
-        return BatchedPipeline(spec).run_workload(clips)
+        return BatchedPipeline(spec, cnn_batching=cnn_batching).run_workload(clips)
     start = time.perf_counter()
     results = spec.build().run_clips(clips)
     wall = time.perf_counter() - start

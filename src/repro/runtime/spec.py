@@ -62,6 +62,15 @@ class PipelineSpec:
     search_stride: int = 2
     #: RFBME host backend; None = fastest available (see repro.core.rfbme).
     rfbme_backend: Optional[str] = None
+    #: RFBME host tuning profile ("fast"/"pr1"); results are identical,
+    #: "pr1" reproduces the previous release's wall-clock behaviour.
+    rfbme_profile: str = "fast"
+    #: CNN execution engine ("planned"/"legacy"); see
+    #: :class:`repro.core.amc.AMCConfig`.
+    cnn_engine: str = "planned"
+    #: CNN arithmetic ("float64"/"float32"); float32 needs the planned
+    #: engine and trades bit-identity for throughput.
+    dtype: str = "float64"
 
     def __post_init__(self):
         if self.policy not in _POLICIES:
@@ -84,6 +93,9 @@ class PipelineSpec:
             mode=mode,
             rfbme=RFBMEConfig(self.search_radius, self.search_stride),
             rfbme_backend=self.rfbme_backend,
+            rfbme_profile=self.rfbme_profile,
+            cnn_engine=self.cnn_engine,
+            dtype=self.dtype,
         )
 
     def build_policy(self) -> KeyFramePolicy:

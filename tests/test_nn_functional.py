@@ -274,3 +274,68 @@ def test_conv_linearity_property(seed):
     fx, _ = F.conv2d_forward(x, w, zero_b, 1, 1)
     fy, _ = F.conv2d_forward(y, w, zero_b, 1, 1)
     np.testing.assert_allclose(lhs, a * fx + b * fy, atol=1e-10)
+
+
+class TestPoolWindows:
+    """The shared strided-window helper behind both pooling forwards."""
+
+    def test_is_a_view_with_window_content(self):
+        rng = np.random.default_rng(0)
+        x = rng.normal(size=(2, 3, 8, 6))
+        windows = F.pool_windows(x, 2, 2)
+        assert windows.shape == (2, 3, 4, 3, 2, 2)
+        assert windows.base is not None  # no copy
+        np.testing.assert_array_equal(windows[1, 2, 1, 0], x[1, 2, 2:4, 0:2])
+
+    def test_overlapping_stride(self):
+        rng = np.random.default_rng(1)
+        x = rng.normal(size=(1, 1, 5, 5))
+        windows = F.pool_windows(x, 3, 1)
+        assert windows.shape == (1, 1, 3, 3, 3, 3)
+        np.testing.assert_array_equal(windows[0, 0, 1, 2], x[0, 0, 1:4, 2:5])
+
+    def test_pool_forwards_accept_noncontiguous_input(self):
+        """Conv outputs arrive as transpose views; pooling must handle
+        arbitrary strides without an up-front copy."""
+        rng = np.random.default_rng(2)
+        base = rng.normal(size=(2, 6, 6, 3))
+        x = base.transpose(0, 3, 1, 2)  # NCHW view of NHWC data
+        want_max, _ = F.maxpool2d_forward(np.ascontiguousarray(x), 2, 2)
+        got_max, _ = F.maxpool2d_forward(x, 2, 2)
+        np.testing.assert_array_equal(got_max, want_max)
+        want_avg, _ = F.avgpool2d_forward(np.ascontiguousarray(x), 2, 2)
+        got_avg, _ = F.avgpool2d_forward(x, 2, 2)
+        np.testing.assert_array_equal(got_avg, want_avg)
+
+
+class TestAvgPoolBackwardRegression:
+    def test_matches_numerical_gradient(self):
+        """The broadcast fold must implement the true gradient of the
+        average-pooling forward (satellite regression for the np.repeat
+        removal)."""
+        rng = np.random.default_rng(3)
+        x = rng.normal(size=(1, 2, 6, 6))
+        field, stride = 2, 2
+        out, cache = F.avgpool2d_forward(x, field, stride)
+        grad_out = rng.normal(size=out.shape)
+        grad_x = F.avgpool2d_backward(grad_out, cache)
+
+        eps = 1e-6
+        numeric = np.zeros_like(x)
+        for idx in np.ndindex(x.shape):
+            bumped = x.copy()
+            bumped[idx] += eps
+            plus, _ = F.avgpool2d_forward(bumped, field, stride)
+            bumped[idx] -= 2 * eps
+            minus, _ = F.avgpool2d_forward(bumped, field, stride)
+            numeric[idx] = ((plus - minus) * grad_out).sum() / (2 * eps)
+        np.testing.assert_allclose(grad_x, numeric, atol=1e-6)
+
+    def test_overlapping_windows_accumulate(self):
+        """Overlapping windows (stride < field) must sum contributions."""
+        x = np.ones((1, 1, 4, 4))
+        out, cache = F.avgpool2d_forward(x, 2, 1)
+        grad_x = F.avgpool2d_backward(np.ones_like(out), cache)
+        # the centre pixels belong to four 2x2 windows, corners to one
+        assert grad_x[0, 0, 0, 0] == pytest.approx(0.25)
+        assert grad_x[0, 0, 1, 1] == pytest.approx(1.0)

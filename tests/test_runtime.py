@@ -147,9 +147,72 @@ class TestSchedulerBackends:
 
 class TestBatchedPipeline:
     def test_lockstep_matches_serial(self, spec, workload, serial_result):
+        """Default lockstep (batched RFBME + batched CNN) is bit-identical
+        to the serial loop: outputs, key decisions, op counts."""
         lockstep = BatchedPipeline(spec).run_workload(workload)
         _assert_identical(lockstep, serial_result)
         assert lockstep.path == "lockstep"
+
+    def test_lockstep_without_cnn_batching_matches_serial(
+        self, spec, workload, serial_result
+    ):
+        """The PR 1 execution shape (batched RFBME, per-clip CNN) still
+        produces identical results."""
+        lockstep = BatchedPipeline(spec, cnn_batching=False).run_workload(workload)
+        _assert_identical(lockstep, serial_result)
+
+    def test_legacy_engine_and_pr1_profile_match(self, workload, serial_result):
+        """The legacy CNN engine + pr1 RFBME host profile — the runtime
+        benchmark's baseline — reproduces the same results bit for bit."""
+        legacy = PipelineSpec(
+            network=NETWORK, cnn_engine="legacy", rfbme_profile="pr1"
+        )
+        for batch in (False, True):
+            result = run_workload(legacy, workload, batch=batch)
+            _assert_identical(result, serial_result)
+
+    def test_memoize_network_lockstep_matches_serial(self):
+        """Cross-clip CNN batching with memoization (classification
+        networks) is bit-identical too."""
+        spec = PipelineSpec(network="mini_alexnet")
+        spec.warm()
+        clips = synthetic_workload(4, num_frames=6, base_seed=3)
+        serial = run_workload(spec, clips, batch=False)
+        lockstep = run_workload(spec, clips, batch=True)
+        _assert_identical(lockstep, serial)
+
+    def test_float32_same_decisions_bounded_outputs(self, spec, workload):
+        """float32 mode: RFBME stays float64, so key decisions and op
+        counts are identical; CNN outputs drift within float32 bounds."""
+        f32 = PipelineSpec(network=NETWORK, dtype="float32")
+        want = run_workload(spec, workload, batch=True)
+        got = run_workload(f32, workload, batch=True)
+        np.testing.assert_array_equal(got.key_mask(), want.key_mask())
+        assert got.total_estimation_ops == want.total_estimation_ops
+        np.testing.assert_allclose(
+            got.outputs(), want.outputs(), rtol=2e-4, atol=2e-4
+        )
+
+    def test_float32_batched_matches_float32_serial(self, workload):
+        """Within float32 mode, lockstep batching is still bit-identical
+        to the float32 serial loop."""
+        f32 = PipelineSpec(network=NETWORK, dtype="float32")
+        serial = run_workload(f32, workload, batch=False)
+        lockstep = run_workload(f32, workload, batch=True)
+        _assert_identical(lockstep, serial)
+
+    def test_cnn_batching_requires_planned_engine(self):
+        legacy = PipelineSpec(network=NETWORK, cnn_engine="legacy")
+        with pytest.raises(ValueError):
+            BatchedPipeline(legacy, cnn_batching=True)
+
+    def test_float32_requires_planned_engine(self):
+        with pytest.raises(ValueError):
+            PipelineSpec(network=NETWORK, cnn_engine="legacy", dtype="float32")
+
+    def test_bad_profile_rejected(self):
+        with pytest.raises(ValueError):
+            PipelineSpec(network=NETWORK, rfbme_profile="pr2")
 
     def test_ragged_clip_lengths(self, spec, serial_result):
         """Clips of different lengths run in lockstep without padding."""

@@ -154,3 +154,53 @@ def test_warp_preserves_value_range(dy, dx):
     out = warp_activation(act, uniform_field(8, 8, dy, dx))
     assert out.max() <= act.max() + 1e-12
     assert out.min() >= act.min() - 1e-12
+
+
+class TestWarpBatch:
+    """warp_activation_batch must equal per-clip warps bit for bit — the
+    contract that lets the lockstep runtime warp all clips in one call."""
+
+    @pytest.fixture()
+    def stack(self, rng):
+        acts = rng.uniform(-2, 4, size=(5, 6, 8, 8))
+        fields = [
+            VectorField(rng.uniform(-2.5, 2.5, (8, 8, 2))) for _ in range(5)
+        ]
+        return acts, fields
+
+    @pytest.mark.parametrize("interpolation", ["bilinear", "nearest"])
+    def test_rows_match_single_warp(self, stack, interpolation):
+        from repro.core.warp import warp_activation_batch
+
+        acts, fields = stack
+        got = warp_activation_batch(acts, fields, interpolation=interpolation)
+        for b in range(len(fields)):
+            want = warp_activation(acts[b], fields[b], interpolation=interpolation)
+            np.testing.assert_array_equal(got[b], want)
+
+    def test_fixed_point_rows_match(self, stack):
+        from repro.core.warp import warp_activation_batch
+
+        acts, fields = stack
+        got = warp_activation_batch(acts, fields, fixed_point=Q8_8)
+        for b in range(len(fields)):
+            want = warp_activation(acts[b], fields[b], fixed_point=Q8_8)
+            np.testing.assert_array_equal(got[b], want)
+
+    def test_shape_validation(self, stack):
+        from repro.core.warp import warp_activation_batch
+
+        acts, fields = stack
+        with pytest.raises(ValueError):
+            warp_activation_batch(acts[0], fields)  # not 4-D
+        with pytest.raises(ValueError):
+            warp_activation_batch(acts, fields[:-1])  # count mismatch
+        with pytest.raises(ValueError):
+            warp_activation_batch(acts, [zero_field(4, 4)] * 5)  # grid mismatch
+
+    def test_float32_follows_activation_dtype(self, stack):
+        from repro.core.warp import warp_activation_batch
+
+        acts, fields = stack
+        out = warp_activation_batch(acts.astype(np.float32), fields)
+        assert out.dtype == np.float32
