@@ -51,7 +51,9 @@ def test_fig13_energy_latency(benchmark, fig13_rows):
         assert pred.energy_mj < avg.energy_mj < orig.energy_mj
         assert pred.latency_ms < avg.latency_ms < orig.latency_ms
     # AlexNet's average saving is the largest (lowest key-frame rate).
-    ratio = lambda row: row[4].energy_mj / row[2].energy_mj
+    def ratio(row):
+        return row[4].energy_mj / row[2].energy_mj
+
     assert ratio(by_name["AlexNet"]) < ratio(by_name["Faster16"])
     assert ratio(by_name["AlexNet"]) < ratio(by_name["FasterM"])
 

@@ -14,7 +14,6 @@ gaps, all methods sit between the two bounds, and the spread widens at the
 longer gap.
 """
 
-import numpy as np
 import pytest
 
 from common import eval_clips
@@ -110,7 +109,8 @@ def test_fig14_motion_estimation(benchmark, fig14_results):
 
     for mini in ("mini_fasterm", "mini_faster16"):
         for gap_label in GAPS:
-            score = lambda m: fig14_results[(mini, gap_label, m)]
+            def score(m, key=(mini, gap_label)):
+                return fig14_results[key + (m,)]
             # Bounds: precise execution is the ceiling; every compensation
             # method beats or matches stale reuse at the long gap.
             assert score("new key frame") >= score("RFBME") - 0.02

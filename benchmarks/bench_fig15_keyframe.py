@@ -10,7 +10,7 @@ error because it is free.
 
 import pytest
 
-from common import NETWORK_MAP, threshold_sweep
+from common import threshold_sweep
 from conftest import register_table
 
 NETWORKS = ("mini_alexnet", "mini_fasterm", "mini_faster16")

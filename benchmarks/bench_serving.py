@@ -1,0 +1,169 @@
+"""Streaming serving under Poisson load vs the static lockstep runtime.
+
+The continuous-batching :class:`~repro.runtime.ServingRuntime` gives up
+the static runtime's luxury of a full, synchronized batch: clips arrive
+on a Poisson process, join mid-flight, and depart whenever they finish,
+so occupancy fluctuates and the batch composition changes every few
+steps.  The price of that flexibility is the headline question here:
+
+* **throughput** — steady-state frames/sec of a max-batch-16 server
+  under oversubscribed Poisson arrivals must hold **>= 80%** of the
+  static 16-clip lockstep number (the ``planned lockstep`` path of
+  ``bench_runtime_throughput.py``, measured fresh on this host);
+* **correctness** — every served clip's outputs, key-frame decisions,
+  and op counts are asserted bit-identical to its serial run, regardless
+  of which batch-mates shared its steps.
+
+Latency percentiles (enqueue wait, time to first frame) are reported for
+the trajectory record.  Results land in ``BENCH_serving.json`` at the
+repo root next to ``BENCH_runtime.json``.
+"""
+
+import json
+import os
+
+import numpy as np
+import pytest
+
+from conftest import register_table
+from repro.core.sad_kernel import kernel_available
+from repro.runtime import (
+    ClipRequest,
+    PipelineSpec,
+    ServingRuntime,
+    poisson_arrival_times,
+    run_workload,
+    synthetic_workload,
+)
+
+NETWORK = "mini_fasterm"
+MAX_BATCH = 16
+NUM_REQUESTS = 48
+FRAMES_PER_CLIP = 16
+#: steady-state bar: serving throughput as a fraction of static lockstep.
+THROUGHPUT_FLOOR = 0.80
+JSON_PATH = os.path.join(os.path.dirname(__file__), "..", "BENCH_serving.json")
+
+
+@pytest.fixture(scope="module")
+def spec():
+    spec = PipelineSpec(network=NETWORK)
+    spec.warm()
+    return spec
+
+
+@pytest.fixture(scope="module")
+def traffic():
+    return synthetic_workload(
+        NUM_REQUESTS, num_frames=FRAMES_PER_CLIP, base_seed=0
+    )
+
+
+def _static_lockstep_fps(spec, traffic):
+    """The static 16-clip lockstep number, measured fresh on this host."""
+    clips = traffic[:MAX_BATCH]
+    best = max(
+        (run_workload(spec, clips, batch=True) for _ in range(3)),
+        key=lambda result: result.frames_per_second,
+    )
+    return best.frames_per_second
+
+
+def test_serving_throughput_and_identity(spec, traffic):
+    static_fps = _static_lockstep_fps(spec, traffic)
+
+    # Oversubscribe: offered load ~2x the server's capacity, so the
+    # admission queue stays non-empty and occupancy sits at max_batch —
+    # the steady state the 80% bar is defined over.
+    clip_rate = 2.0 * static_fps / FRAMES_PER_CLIP
+    arrivals = poisson_arrival_times(NUM_REQUESTS, rate=clip_rate, seed=7)
+    requests = [
+        ClipRequest(request_id=i, clip=clip, arrival_time=arrival)
+        for i, (clip, arrival) in enumerate(zip(traffic, arrivals))
+    ]
+
+    runtime = ServingRuntime(spec, max_batch=MAX_BATCH)
+    report = max(
+        (runtime.serve(requests) for _ in range(2)),
+        key=lambda r: r.frames_per_second,
+    )
+
+    # Correctness first: every served clip bit-identical to its serial
+    # run — outputs, key decisions, and op counts.
+    serial = run_workload(spec, traffic, batch=False)
+    served = report.workload_result()
+    assert served.matches(serial), "serving diverged from serial execution"
+    for record, want in zip(served.results, serial.results):
+        np.testing.assert_array_equal(record.outputs(), want.outputs())
+        np.testing.assert_array_equal(record.key_mask(), want.key_mask())
+
+    ratio = report.frames_per_second / static_fps
+    enqueue = report.enqueue_latencies()
+    ttff = report.times_to_first_frame()
+    register_table(
+        f"serving vs static lockstep ({NUM_REQUESTS} Poisson requests, "
+        f"max_batch={MAX_BATCH}, {NETWORK})",
+        ["quantity", "value"],
+        [
+            ["static lockstep f/s", round(static_fps, 1)],
+            ["serving f/s", round(report.frames_per_second, 1)],
+            ["serving/static", f"{ratio:.2f}x"],
+            ["mean occupancy", round(report.mean_occupancy, 2)],
+            ["enqueue p50 ms", round(float(np.percentile(enqueue, 50)) * 1e3, 2)],
+            ["enqueue p95 ms", round(float(np.percentile(enqueue, 95)) * 1e3, 2)],
+            ["ttff p50 ms", round(float(np.percentile(ttff, 50)) * 1e3, 2)],
+            ["ttff p95 ms", round(float(np.percentile(ttff, 95)) * 1e3, 2)],
+            ["identical to serial", "yes"],
+        ],
+    )
+
+    with open(JSON_PATH, "w") as handle:
+        json.dump(
+            {
+                "benchmark": "serving",
+                "network": NETWORK,
+                "workload": {
+                    "requests": NUM_REQUESTS,
+                    "frames_per_clip": FRAMES_PER_CLIP,
+                    "max_batch": MAX_BATCH,
+                    "arrival_rate_clips_per_s": round(clip_rate, 2),
+                },
+                "kernel_available": kernel_available(),
+                "static_lockstep_fps": round(static_fps, 2),
+                "serving_fps": round(report.frames_per_second, 2),
+                "serving_vs_static": round(ratio, 3),
+                "mean_occupancy": round(report.mean_occupancy, 2),
+                "enqueue_p95_ms": round(float(np.percentile(enqueue, 95)) * 1e3, 3),
+                "ttff_p95_ms": round(float(np.percentile(ttff, 95)) * 1e3, 3),
+                "identical_to_serial": True,
+            },
+            handle,
+            indent=2,
+        )
+        handle.write("\n")
+
+    assert ratio >= THROUGHPUT_FLOOR, (
+        f"serving throughput is {ratio:.2f}x static lockstep; "
+        f"the continuous-batching bar is {THROUGHPUT_FLOOR:.2f}x"
+    )
+
+
+def test_serving_latency_tracks_load(spec):
+    """Sanity on the accounting: an undersubscribed server admits almost
+    immediately; an oversubscribed one queues."""
+    clips = synthetic_workload(12, num_frames=8, base_seed=3)
+    light_arrivals = poisson_arrival_times(len(clips), rate=5.0, seed=1)
+    light = ServingRuntime(spec, max_batch=MAX_BATCH).serve(
+        [
+            ClipRequest(i, clip, arrival_time=t)
+            for i, (clip, t) in enumerate(zip(clips, light_arrivals))
+        ]
+    )
+    heavy = ServingRuntime(spec, max_batch=2).serve(
+        [ClipRequest(i, clip) for i, clip in enumerate(clips)]
+    )
+    assert float(np.percentile(light.enqueue_latencies(), 95)) < 0.05
+    assert float(light.idle_seconds) > 0.0
+    assert float(np.percentile(heavy.enqueue_latencies(), 95)) > float(
+        np.percentile(light.enqueue_latencies(), 95)
+    )

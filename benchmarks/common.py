@@ -12,12 +12,7 @@ from typing import Dict, List, Tuple
 
 import numpy as np
 
-from repro.analysis import (
-    run_policy,
-    score_pipeline_results,
-    select_configs,
-    sweep_thresholds,
-)
+from repro.analysis import run_policy, select_configs, sweep_thresholds
 from repro.core import AMCConfig, AMCExecutor, AlwaysKeyPolicy
 from repro.nn.train import get_trained_network
 from repro.video import build_clipset

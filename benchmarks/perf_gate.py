@@ -1,0 +1,124 @@
+"""CI perf gate: compare a fresh benchmark JSON against the committed one.
+
+Usage::
+
+    python benchmarks/perf_gate.py BASELINE.json FRESH.json \
+        [--threshold 0.30] [--summary $GITHUB_STEP_SUMMARY] [--label NAME]
+
+Absolute frames/sec are machine-dependent (a laptop baseline vs a shared
+CI runner), so the gate compares *normalized* metrics that survive a
+hardware change:
+
+* ``BENCH_runtime.json`` — each path's ``speedup_vs_seed`` (the shape of
+  the perf curve relative to the seed loop on the same host);
+* ``BENCH_serving.json`` — ``serving_vs_static`` (continuous batching
+  relative to static lockstep on the same host).
+
+A markdown speedup table is written to ``--summary`` (the
+``$GITHUB_STEP_SUMMARY`` file in CI) and echoed to stdout.  Any metric
+more than ``--threshold`` (default 30%) below its committed value exits
+non-zero and emits a ``::warning`` annotation; the CI step runs with
+``continue-on-error`` so the job turns amber — visibly degraded, never
+silently green.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import Dict, List, Tuple
+
+
+def _metrics(data: dict) -> Dict[str, float]:
+    """Normalized metric name -> value, for either benchmark format."""
+    if "paths" in data:  # BENCH_runtime.json
+        metrics = {
+            f"{label} (x seed)": path["speedup_vs_seed"]
+            for label, path in data["paths"].items()
+        }
+        headline = data.get("headline_speedup_vs_pr1_lockstep")
+        if headline is not None:
+            metrics["planned lockstep (x pr1 lockstep)"] = headline
+        return metrics
+    if "serving_vs_static" in data:  # BENCH_serving.json
+        return {"serving (x static lockstep)": data["serving_vs_static"]}
+    raise SystemExit(f"unrecognized benchmark JSON: {sorted(data)[:5]}")
+
+
+def compare(
+    baseline: Dict[str, float], fresh: Dict[str, float], threshold: float
+) -> Tuple[List[List[str]], List[str]]:
+    """Markdown table rows plus the list of regressed metric names."""
+    rows: List[List[str]] = []
+    regressions: List[str] = []
+    for name in baseline:
+        if name not in fresh:
+            rows.append([name, f"{baseline[name]:.2f}", "missing", "-", "⚠️ gone"])
+            regressions.append(name)
+            continue
+        ratio = fresh[name] / baseline[name] if baseline[name] else 1.0
+        regressed = ratio < 1.0 - threshold
+        status = "⚠️ regression" if regressed else "ok"
+        rows.append(
+            [
+                name,
+                f"{baseline[name]:.2f}",
+                f"{fresh[name]:.2f}",
+                f"{ratio:.2f}x",
+                status,
+            ]
+        )
+        if regressed:
+            regressions.append(name)
+    for name in fresh:
+        if name not in baseline:
+            rows.append([name, "-", f"{fresh[name]:.2f}", "-", "new"])
+    return rows, regressions
+
+
+def render(label: str, rows: List[List[str]]) -> str:
+    header = "| metric | committed | fresh | ratio | status |"
+    rule = "|---|---|---|---|---|"
+    body = "\n".join("| " + " | ".join(row) + " |" for row in rows)
+    return f"### Perf gate: {label}\n\n{header}\n{rule}\n{body}\n"
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("baseline", help="committed benchmark JSON")
+    parser.add_argument("fresh", help="freshly measured benchmark JSON")
+    parser.add_argument("--threshold", type=float, default=0.30,
+                        help="fractional regression that trips the gate")
+    parser.add_argument("--summary", default=None,
+                        help="markdown file to append the table to "
+                             "(e.g. $GITHUB_STEP_SUMMARY)")
+    parser.add_argument("--label", default=None,
+                        help="table heading (default: fresh file name)")
+    args = parser.parse_args(argv)
+
+    with open(args.baseline) as handle:
+        baseline = _metrics(json.load(handle))
+    with open(args.fresh) as handle:
+        fresh = _metrics(json.load(handle))
+
+    rows, regressions = compare(baseline, fresh, args.threshold)
+    table = render(args.label or args.fresh, rows)
+    print(table)
+    if args.summary:
+        with open(args.summary, "a") as handle:
+            handle.write(table + "\n")
+
+    if regressions:
+        # GitHub annotation: visible on the workflow run and the PR.
+        print(
+            f"::warning title=Perf gate::{len(regressions)} metric(s) "
+            f"regressed >{args.threshold:.0%} vs the committed baseline: "
+            + ", ".join(regressions)
+        )
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

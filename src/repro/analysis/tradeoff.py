@@ -12,11 +12,8 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Callable, Dict, List, Optional, Sequence
 
-import numpy as np
-
 from ..core.amc import AMCExecutor
 from ..core.keyframe import (
-    AlwaysKeyPolicy,
     KeyFramePolicy,
     MatchErrorPolicy,
     MotionMagnitudePolicy,

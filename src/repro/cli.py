@@ -9,6 +9,11 @@ Commands:
                   layer (``--batch`` for lockstep RFBME batching,
                   ``--workers N`` for a worker pool) and prints
                   throughput statistics.
+* ``serve``     — streaming serving simulation: Poisson clip arrivals
+                  admitted into a continuously batched server
+                  (``--arrival-rate``, ``--max-batch``), with per-request
+                  latency accounting and optional ``--verify`` against
+                  the serial pipeline.
 * ``hardware``  — the Fig. 12 / Fig. 13 numbers for a real network.
 * ``firstorder``— the §IV-A op-count comparison.
 """
@@ -96,14 +101,13 @@ def _cmd_run(args: argparse.Namespace) -> int:
     return 0
 
 
-def _run_workload(args: argparse.Namespace, mode: str) -> int:
-    """Multi-clip path of ``run``: the runtime layer plus a summary table."""
-    from .runtime import (
-        PipelineSpec,
-        SchedulerConfig,
-        run_workload,
-        synthetic_workload,
-    )
+def _spec_and_clips(args: argparse.Namespace):
+    """The (warmed spec, workload clips) a multi-clip command describes.
+
+    Shared by ``run --clips N`` and ``serve`` so both execution paths —
+    and ``serve --verify``'s serial rerun — are built from one recipe.
+    """
+    from .runtime import PipelineSpec, synthetic_workload
 
     spec = PipelineSpec(
         network=args.network,
@@ -118,10 +122,18 @@ def _run_workload(args: argparse.Namespace, mode: str) -> int:
     clips = synthetic_workload(
         args.clips,
         num_frames=args.frames,
-        scenarios=[args.scenario],
+        scenarios=[args.scenario] if args.scenario else None,
         base_seed=args.seed,
     )
     spec.warm()  # train/load once, outside the timed region
+    return spec, clips
+
+
+def _run_workload(args: argparse.Namespace, mode: str) -> int:
+    """Multi-clip path of ``run``: the runtime layer plus a summary table."""
+    from .runtime import SchedulerConfig, run_workload
+
+    spec, clips = _spec_and_clips(args)
     scheduler = (
         SchedulerConfig(workers=args.workers) if args.workers > 1 else None
     )
@@ -130,6 +142,43 @@ def _run_workload(args: argparse.Namespace, mode: str) -> int:
     if mode == "warp":
         score = detection_score(result.results, clips)
         print(f"\nworkload mAP: {100 * score:.1f}%")
+    return 0
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    """Streaming serving simulation: Poisson arrivals, continuous batching."""
+    from .runtime import (
+        ClipRequest,
+        ServingRuntime,
+        poisson_arrival_times,
+        run_workload,
+    )
+
+    if args.clips < 1:
+        print("error: --clips must be >= 1", file=sys.stderr)
+        return 2
+    if args.max_batch < 1:
+        print("error: --max-batch must be >= 1", file=sys.stderr)
+        return 2
+    if args.arrival_rate <= 0:
+        print("error: --arrival-rate must be > 0 clips/s", file=sys.stderr)
+        return 2
+    spec, clips = _spec_and_clips(args)
+    arrivals = poisson_arrival_times(args.clips, args.arrival_rate, seed=args.seed)
+    requests = [
+        ClipRequest(request_id=i, clip=clip, arrival_time=arrival)
+        for i, (clip, arrival) in enumerate(zip(clips, arrivals))
+    ]
+    runtime = ServingRuntime(spec, max_batch=args.max_batch)
+    report = runtime.serve(requests)
+    print(format_table(["quantity", "value"], report.summary_rows()))
+    if args.verify:
+        serial = run_workload(spec, clips, batch=False)
+        if report.workload_result().matches(serial):
+            print("\nevery served clip bit-identical to its serial run: yes")
+        else:
+            print("\nERROR: served results diverged from serial", file=sys.stderr)
+            return 1
     return 0
 
 
@@ -209,6 +258,38 @@ def build_parser() -> argparse.ArgumentParser:
                      help="CNN arithmetic; float32 trades bit-exactness "
                           "for throughput (planned engine only)")
     run.set_defaults(func=_cmd_run)
+
+    serve = sub.add_parser(
+        "serve",
+        help="streaming serving simulation with continuous batching",
+    )
+    serve.add_argument("--network", default="mini_fasterm",
+                       choices=["mini_alexnet", "mini_fasterm", "mini_faster16"])
+    serve.add_argument("--clips", type=int, default=32,
+                       help="requests in the simulated traffic")
+    serve.add_argument("--frames", type=int, default=16)
+    serve.add_argument("--scenario", default=None,
+                       help="restrict traffic to one scenario (default: mix)")
+    serve.add_argument("--seed", type=int, default=0)
+    serve.add_argument("--arrival-rate", type=float, default=200.0,
+                       help="Poisson arrival rate, clips/s")
+    serve.add_argument("--max-batch", type=int, default=8,
+                       help="serving slots per lane (continuous batch width)")
+    serve.add_argument("--threshold", type=float, default=2.0,
+                       help="adaptive match-error threshold")
+    serve.add_argument("--interval", type=int, default=0,
+                       help="use a static key-frame interval instead")
+    serve.add_argument("--rfbme", default=None,
+                       choices=["kernel", "batched", "loop"],
+                       help="RFBME host backend (default: fastest available)")
+    serve.add_argument("--cnn", default="planned",
+                       choices=["planned", "legacy"])
+    serve.add_argument("--dtype", default="float64",
+                       choices=["float64", "float32"])
+    serve.add_argument("--verify", action="store_true",
+                       help="re-run every clip serially and assert served "
+                            "results are bit-identical")
+    serve.set_defaults(func=_cmd_serve)
 
     hw = sub.add_parser("hardware", help="VPU model numbers")
     hw.add_argument("--network", default="faster16",

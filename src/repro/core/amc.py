@@ -137,6 +137,17 @@ class AMCExecutor:
         self._key_pixels = None
         self._key_activation = None
 
+    def release(self) -> None:
+        """Return this executor to the free pool (serving slot recycling).
+
+        The serving runtime keeps a fixed set of executors alive as batch
+        slots; when a clip departs mid-flight its slot is released — key
+        state dropped so the next admitted clip starts exactly as a fresh
+        executor would — while the engine and scratch buffers stay warm
+        for the clip that takes the slot over.
+        """
+        self.reset()
+
     def stored_activation(self) -> np.ndarray:
         """Copy of the stored target activation (C, H, W)."""
         if self._key_activation is None:

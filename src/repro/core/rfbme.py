@@ -351,20 +351,28 @@ class _ConsumerWorkspace:
 
     def __init__(self):
         self.capacity = 0
+        self._kernel_ready = 0
+        self._numpy_ready = 0
 
-    def ensure(
-        self,
-        batch: int,
-        n_ty: int,
-        n_tx: int,
-        n_off: int,
-        frame_shape: Tuple[int, int],
-        radius: int,
-    ) -> None:
+    def ensure(self, batch: int, n_ty: int, n_tx: int, n_off: int) -> None:
         if batch <= self.capacity:
             return
         self.capacity = batch
         self._dims = (n_ty, n_tx, n_off)
+        self.sums = np.zeros((batch, n_ty, n_tx, n_off, n_off))
+
+    def ensure_kernel(
+        self, batch: int, frame_shape: Tuple[int, int], radius: int
+    ) -> None:
+        """Staging only the compiled producer/consumer touch.
+
+        Allocated lazily so the NumPy 'batched' backend never pays for
+        the kernel's stacked frame copies or integral-image plane.
+        """
+        if batch <= self._kernel_ready:
+            return
+        self._kernel_ready = batch = max(batch, self.capacity)
+        n_ty, n_tx, n_off = self._dims
         height, width = frame_shape
         # Stacked producer inputs for the one-call batched kernel; pad
         # borders are written once and only interiors change per step.
@@ -372,11 +380,9 @@ class _ConsumerWorkspace:
             (batch, height + 2 * radius, width + 2 * radius)
         )
         self.curs = np.empty((batch, height, width))
-        self.sums = np.zeros((batch, n_ty, n_tx, n_off, n_off))
         # One integral-image plane, reused across the batch by the
         # compiled consumer.
         self.ci_scratch = np.empty((n_ty + 1) * (n_tx + 1) * n_off * n_off)
-        self._numpy_ready = 0
 
     def ensure_numpy(self, batch: int, n_fields: int) -> None:
         """Buffers only the NumPy fallback consumer needs."""
@@ -451,12 +457,13 @@ def _consumer_loop(
             tx0, tx1 = col_ranges[j]
             if tx1 <= tx0:
                 continue
-            box = lambda integral: (
-                integral[ty1, tx1]
-                - integral[ty0, tx1]
-                - integral[ty1, tx0]
-                + integral[ty0, tx0]
-            )
+            def box(integral, ty0=ty0, ty1=ty1, tx0=tx0, tx1=tx1):
+                return (
+                    integral[ty1, tx1]
+                    - integral[ty0, tx1]
+                    - integral[ty1, tx0]
+                    + integral[ty0, tx0]
+                )
             costs = box(cost_int)
             counts = box(count_int)
             n_tiles = (ty1 - ty0) * (tx1 - tx0)
@@ -704,9 +711,9 @@ class RFBMEEngine:
         # corners of every receptive field as flat gather indices into
         # cost_int's (n_ty+1)*(n_tx+1) tile plane.
         self._invalid_flat = np.flatnonzero(~self._valid)
-        corner = lambda ty, tx: (
-            ty[:, None] * (n_tx + 1) + tx[None, :]
-        ).ravel()
+        def corner(ty, tx):
+            return (ty[:, None] * (n_tx + 1) + tx[None, :]).ravel()
+
         self._idx_corners = np.concatenate(
             [corner(ty1, tx1), corner(ty0, tx1), corner(ty1, tx0), corner(ty0, tx0)]
         )
@@ -719,7 +726,9 @@ class RFBMEEngine:
         self._cand_u8 = np.ascontiguousarray(self._cand_flat, dtype=np.uint8)
         self._ok_u8 = np.ascontiguousarray(self._ok.reshape(-1), dtype=np.uint8)
         self._denom_flat = np.ascontiguousarray(self._denom.reshape(-1))
-        as_i64 = lambda a: np.ascontiguousarray(a, dtype=np.int64)
+        def as_i64(a):
+            return np.ascontiguousarray(a, dtype=np.int64)
+
         self._row_ranges = (as_i64(ty0), as_i64(ty1))
         self._col_ranges = (as_i64(tx0), as_i64(tx1))
         self._prod_bounds = producer_bounds(
@@ -907,13 +916,11 @@ class RFBMEEngine:
             batch = len(pairs)
             ws = self._cws
             radius = self._workspace.radius
-            ws.ensure(
-                batch, self._n_ty, self._n_tx, n_off,
-                self.frame_shape, radius,
-            )
+            ws.ensure(batch, self._n_ty, self._n_tx, n_off)
             if self.backend == "kernel":
                 kernel = get_kernel()
                 height, width = self.frame_shape
+                ws.ensure_kernel(batch, self.frame_shape, radius)
                 for i, (key, new) in enumerate(pairs):
                     ws.pads[i, radius : radius + height, radius : radius + width] = key
                     ws.curs[i] = new

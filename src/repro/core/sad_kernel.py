@@ -38,6 +38,10 @@ can treat "kernel" and "batched" results as interchangeable.
 Gating: no compiler, any compile/load error, a failed self-check, or
 ``REPRO_SAD_KERNEL=0`` in the environment all make :func:`get_kernel`
 return ``None`` and callers silently fall back to the NumPy path.
+``REPRO_FORCE_NUMPY=1`` does the same without even attempting a compile —
+the knob CI's NumPy lane uses to prove the pure-NumPy paths stay green
+(the kernel lane conversely asserts :func:`kernel_available`, so a silent
+fallback can never masquerade as kernel coverage).
 """
 
 from __future__ import annotations
@@ -784,7 +788,11 @@ def get_kernel() -> Optional[SADKernel]:
     global _STATE
     if _STATE is None:
         _STATE = False
-        if os.environ.get("REPRO_SAD_KERNEL", "1") != "0":
+        disabled = (
+            os.environ.get("REPRO_SAD_KERNEL", "1") == "0"
+            or os.environ.get("REPRO_FORCE_NUMPY", "0") == "1"
+        )
+        if not disabled:
             lib_path = _compile()
             if lib_path is not None:
                 try:

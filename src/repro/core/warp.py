@@ -211,7 +211,8 @@ def warp_activation_batch(
     v01 = gather(y0c, x1c)
     v10 = gather(y1c, x0c)
     v11 = gather(y1c, x1c)
-    plane = lambda w: w.reshape(batch, 1, height * width)
+    def plane(w):
+        return w.reshape(batch, 1, height * width)
 
     if fixed_point is None:
         out = (

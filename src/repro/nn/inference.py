@@ -24,8 +24,11 @@ dtype) and then executes layer ranges against preallocated scratch:
   default and is bit-identical to :meth:`repro.nn.network.Network.forward`.
 
 Plans are obtained through :meth:`Network.inference_plan`, which caches
-them per (capacity, dtype); calls with any batch size up to the capacity
-reuse the same scratch through leading-axis views.
+one plan per dtype and grows its capacity on demand; calls with any batch
+size up to the capacity reuse the same scratch through leading-axis
+views, and :meth:`InferencePlan.reserve` / :meth:`InferencePlan.shrink`
+resize the scratch without recompiling geometry — the mechanism the
+serving runtime uses to track occupancy without ever rebuilding a plan.
 
 Ownership: arrays returned by ``run``/``run_prefix``/``run_suffix`` are
 fresh copies, safe to store (the executor stores key activations, the
@@ -67,6 +70,14 @@ class _Step:
 
     def run(self, x: np.ndarray, batch: int) -> np.ndarray:
         raise NotImplementedError
+
+    def resize(self, capacity: int) -> None:
+        """Reallocate scratch for a new batch capacity.
+
+        Only leading-axis scratch changes; compiled geometry (gather
+        indices, weight snapshots, fused-GEMM probe results) is
+        capacity-independent and survives every resize.
+        """
 
 
 class _MatmulMixin:
@@ -151,6 +162,8 @@ class _ConvStep(_Step, _MatmulMixin):
         )
         self.gather = np.ascontiguousarray(idx.reshape(-1), dtype=np.int64)
         self.ckk = c * k * k
+        self._dtype = dtype
+        self._padded_shape = (c, hp, wp)
         self.cols = np.empty((capacity, self.rows * self.ckk), dtype=dtype)
         self.out2d = np.empty((capacity * self.rows, self.out_c), dtype=dtype)
         self._weights = weights  # None = read live float64 params
@@ -161,6 +174,14 @@ class _ConvStep(_Step, _MatmulMixin):
             from ..core.sad_kernel import get_kernel
 
             self._ckernel = get_kernel()
+
+    def resize(self, capacity: int) -> None:
+        # The padded buffer's border must stay zero — np.zeros, not empty.
+        self.padded = np.zeros((capacity,) + self._padded_shape, dtype=self._dtype)
+        self.cols = np.empty((capacity, self.rows * self.ckk), dtype=self._dtype)
+        self.out2d = np.empty(
+            (capacity * self.rows, self.out_c), dtype=self._dtype
+        )
 
     def _operands(self):
         if self._weights is not None:
@@ -194,6 +215,9 @@ class _LinearStep(_Step, _MatmulMixin):
         self.out = np.empty((capacity, layer.out_features), dtype=dtype)
         self._weights = weights
 
+    def resize(self, capacity: int) -> None:
+        self.out = np.empty((capacity,) + self.out.shape[1:], dtype=self.out.dtype)
+
     def _operands(self):
         if self._weights is not None:
             return self._weights
@@ -225,6 +249,11 @@ class _ReLUStep(_Step):
         self.mask = np.empty(shape, dtype=bool)
         self.out = np.empty(shape, dtype=dtype)
 
+    def resize(self, capacity: int) -> None:
+        shape = (capacity,) + self.out.shape[1:]
+        self.mask = np.empty(shape, dtype=bool)
+        self.out = np.empty(shape, dtype=self.out.dtype)
+
     def run(self, x: np.ndarray, batch: int) -> np.ndarray:
         if self.nhwc:
             base = x.transpose(0, 2, 3, 1)
@@ -251,6 +280,9 @@ class _MaxPoolStep(_Step):
         self.out_h = F.conv_output_size(h, self.field, self.stride, 0)
         self.out_w = F.conv_output_size(w, self.field, self.stride, 0)
         self.out = np.empty((capacity, c, self.out_h, self.out_w), dtype=dtype)
+
+    def resize(self, capacity: int) -> None:
+        self.out = np.empty((capacity,) + self.out.shape[1:], dtype=self.out.dtype)
 
     def run(self, x: np.ndarray, batch: int) -> np.ndarray:
         out = self.out[:batch]
@@ -283,6 +315,12 @@ class _AvgPoolStep(_Step):
             (capacity, c, out_h, out_w, self.field * self.field), dtype=dtype
         )
         self.out = np.empty((capacity, c, out_h, out_w), dtype=dtype)
+
+    def resize(self, capacity: int) -> None:
+        self.flat = np.empty(
+            (capacity,) + self.flat.shape[1:], dtype=self.flat.dtype
+        )
+        self.out = np.empty((capacity,) + self.out.shape[1:], dtype=self.out.dtype)
 
     def run(self, x: np.ndarray, batch: int) -> np.ndarray:
         windows = F.pool_windows(x, self.field, self.stride)
@@ -386,6 +424,43 @@ class InferencePlan:
         # view (ascontiguousarray of contiguous scratch is a no-op) would
         # silently mutate previously returned frames.
         return np.array(x, order="C")
+
+    # ------------------------------------------------------------------ #
+    def reserve(self, capacity: int) -> "InferencePlan":
+        """Grow batch capacity to at least ``capacity`` without recompiling.
+
+        Only the leading-axis scratch buffers reallocate; gather geometry,
+        weight snapshots, and fused-GEMM probe results are untouched, so a
+        grown plan stays bit-identical at every occupancy it already
+        served.  The serving runtime uses this to widen a lane when
+        traffic exceeds the capacity the plan was first compiled for.
+        No-op when the plan is already large enough.
+        """
+        capacity = int(capacity)
+        if capacity < 1:
+            raise ValueError(f"capacity must be >= 1, got {capacity}")
+        if capacity > self.max_batch:
+            self._resize(capacity)
+        return self
+
+    def shrink(self, capacity: int = 1) -> "InferencePlan":
+        """Release scratch down to ``capacity`` (grows back on demand).
+
+        The reverse of :meth:`reserve`, for long-lived deployments whose
+        peak occupancy has passed; numerics are unaffected because batch
+        semantics depend on occupancy, never on capacity.
+        """
+        capacity = int(capacity)
+        if capacity < 1:
+            raise ValueError(f"capacity must be >= 1, got {capacity}")
+        if capacity < self.max_batch:
+            self._resize(capacity)
+        return self
+
+    def _resize(self, capacity: int) -> None:
+        for step in self._steps:
+            step.resize(capacity)
+        self.max_batch = capacity
 
     # ------------------------------------------------------------------ #
     def run(self, x: np.ndarray) -> np.ndarray:

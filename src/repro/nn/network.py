@@ -10,7 +10,7 @@ after the first pooling layer").
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, List, Sequence, Tuple
 
 import numpy as np
 
@@ -33,9 +33,9 @@ class Network:
         # Validate shape propagation eagerly so bad architectures fail at
         # construction, not mid-experiment.
         self.layer_input_shapes = self._propagate_shapes()
-        #: compiled inference plans keyed by (capacity, dtype); see
-        #: :meth:`inference_plan`.
-        self._plans: Dict[Tuple[int, str], "InferencePlan"] = {}
+        #: compiled inference plans keyed by dtype name (capacity grows in
+        #: place); see :meth:`inference_plan`.
+        self._plans: Dict[str, "InferencePlan"] = {}
 
     # ------------------------------------------------------------------ #
     # structure queries
@@ -131,19 +131,23 @@ class Network:
     def inference_plan(self, max_batch: int = 1, dtype="float64"):
         """The compiled forward-only executor for this network.
 
-        Plans are cached per (capacity, dtype) — scratch buffers and
-        gather geometry compile once and are reused by every caller with
-        the same capacity (the AMC executor at capacity 1, the lockstep
-        runtime at workload width).  See
-        :class:`repro.nn.inference.InferencePlan`.
+        One plan is cached per dtype; geometry compiles once and the
+        scratch capacity grows on demand (never shrinks here — callers
+        that want memory back use :meth:`InferencePlan.shrink` and the
+        cache regrows it when needed).  The AMC executor at occupancy 1,
+        the lockstep runtime at workload width, and the serving runtime
+        at fluctuating occupancy therefore all share one plan per
+        network.  See :class:`repro.nn.inference.InferencePlan`.
         """
         from .inference import InferencePlan, _resolve_dtype
 
-        key = (int(max_batch), _resolve_dtype(dtype).name)
+        key = _resolve_dtype(dtype).name
         plan = self._plans.get(key)
         if plan is None:
             plan = InferencePlan(self, max_batch=max_batch, dtype=dtype)
             self._plans[key] = plan
+        elif plan.max_batch < max_batch:
+            plan.reserve(max_batch)
         return plan
 
     def invalidate_plans(self) -> None:

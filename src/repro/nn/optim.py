@@ -7,7 +7,7 @@ steps with it, keeping the benches fast.
 
 from __future__ import annotations
 
-from typing import Dict, Optional, Sequence
+from typing import Dict, Sequence
 
 import numpy as np
 

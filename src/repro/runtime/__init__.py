@@ -10,27 +10,46 @@ per-clip :class:`~repro.core.EVA2Pipeline` into a workload runtime:
   pool, order-preserving.
 * :class:`BatchedPipeline` — lockstep execution that batches the RFBME
   hot path across all active clips in one vectorized call.
+* :class:`ServingRuntime` — streaming serving with continuous batching:
+  requests join the running batch at step boundaries, evict on
+  completion, and refill freed slots without draining; heterogeneous
+  traffic buckets into shape-compatible lanes; :class:`ServingReport`
+  carries per-request latency/throughput accounting.
 * :class:`WorkloadResult` — aggregate results plus throughput stats
   (frames/sec, key fraction, total adder ops).
-* :func:`synthetic_workload` — deterministic mixed-scenario traffic.
+* :func:`synthetic_workload` / :func:`poisson_arrival_times` —
+  deterministic mixed-scenario traffic and arrival processes.
 
 Every execution path produces bit-identical per-clip results; the choice
 is purely a throughput knob.  ``benchmarks/bench_runtime_throughput.py``
-measures the paths against the seed serial loop.
+and ``benchmarks/bench_serving.py`` measure the paths against the seed
+serial loop.
 """
 
-from .batched import BatchedPipeline, WorkloadResult, run_workload
+from .batched import (
+    BatchedPipeline,
+    WorkloadResult,
+    execute_batched_step,
+    run_workload,
+)
 from .scheduler import ClipScheduler, SchedulerConfig
+from .serving import ClipRequest, RequestRecord, ServingReport, ServingRuntime
 from .spec import PAPER_MODES, PipelineSpec
-from .workload import synthetic_workload
+from .workload import poisson_arrival_times, synthetic_workload
 
 __all__ = [
     "BatchedPipeline",
     "WorkloadResult",
     "run_workload",
+    "execute_batched_step",
     "ClipScheduler",
     "SchedulerConfig",
+    "ClipRequest",
+    "RequestRecord",
+    "ServingReport",
+    "ServingRuntime",
     "PAPER_MODES",
     "PipelineSpec",
     "synthetic_workload",
+    "poisson_arrival_times",
 ]

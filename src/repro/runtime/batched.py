@@ -50,7 +50,86 @@ from ..video.generator import VideoClip
 from .scheduler import ClipScheduler, SchedulerConfig
 from .spec import PipelineSpec
 
-__all__ = ["WorkloadResult", "BatchedPipeline", "run_workload"]
+__all__ = [
+    "WorkloadResult",
+    "BatchedPipeline",
+    "run_workload",
+    "execute_batched_step",
+]
+
+
+def execute_batched_step(plan, entries) -> List[FrameRecord]:
+    """One lockstep step with whole-batch CNN execution.
+
+    ``entries`` is a sequence of ``(executor, policy, frame, frame_index,
+    estimation)`` tuples — one per clip taking part in this step, where
+    ``frame_index`` is the clip-local frame number (policies see the same
+    index they would in a serial run) and ``estimation`` is the clip's
+    RFBME result for this frame (None before its first key frame).  All
+    executors must share one network, target, and AMC config, and
+    ``plan`` must have capacity for ``len(entries)``.
+
+    Decisions are taken per clip first; then coincident key frames run
+    the prefix as one batch, predicted clips warp (or memoize) their
+    stored activations as one batch, and a single suffix call covers
+    everything.  Each stage is bitwise equal to the per-clip path, so
+    the returned records — aligned with ``entries`` — match serial
+    execution exactly.  Shared by :class:`BatchedPipeline` (all clips on
+    frame t together) and the serving runtime
+    (:class:`~repro.runtime.serving.ServingRuntime`, clips at arbitrary
+    per-clip cursors).
+    """
+    executor0 = entries[0][0]
+    target = executor0.target
+    mode = executor0.config.mode
+    keys: List[int] = []
+    preds: List[int] = []
+    decisions: List[bool] = []
+    for pos, (executor, policy, frame, index, estimation) in enumerate(entries):
+        is_key = policy.decide(index, estimation)
+        decisions.append(is_key)
+        (keys if is_key else preds).append(pos)
+
+    key_acts = None
+    if keys:
+        frames = np.stack([entries[p][2] for p in keys])[:, None]
+        key_acts = plan.run_prefix(frames, target)
+        for row, p in enumerate(keys):
+            entries[p][0].adopt_key(entries[p][2], key_acts[row])
+
+    pred_acts = None
+    if preds:
+        stored = np.stack([entries[p][0].key_activation for p in preds])
+        if mode == "memoize":
+            pred_acts = stored
+        else:
+            fields = [
+                scale_to_activation(entries[p][4].field, entries[p][0].rf)
+                for p in preds
+            ]
+            pred_acts = warp_activation_batch(
+                stored,
+                fields,
+                interpolation=executor0.config.interpolation,
+                fixed_point=executor0.config.fixed_point,
+            )
+
+    if key_acts is not None and pred_acts is not None:
+        suffix_in = np.concatenate(
+            [key_acts, pred_acts.astype(key_acts.dtype, copy=False)]
+        )
+    elif key_acts is not None:
+        suffix_in = key_acts
+    else:
+        suffix_in = pred_acts
+    outputs = plan.run_suffix(suffix_in, target)
+
+    records: List[Optional[FrameRecord]] = [None] * len(entries)
+    for row, p in enumerate(keys + preds):
+        records[p] = FrameRecord.from_step(
+            entries[p][3], decisions[p], outputs[row : row + 1], entries[p][4]
+        )
+    return records
 
 
 @dataclass
@@ -208,64 +287,14 @@ class BatchedPipeline:
     def _step_batched(
         self, plan, executors, policies, clips, records, index, active, by_clip
     ) -> None:
-        """One lockstep step with whole-batch CNN execution.
-
-        Decisions are taken per clip first; then coincident key frames
-        run the prefix as one batch, predicted clips warp (or memoize)
-        their stored activations as one batch, and a single suffix call
-        covers everything.  Each stage is bitwise equal to the per-clip
-        path, so the records written here match serial execution.
-        """
-        executor0 = executors[active[0]]
-        target = executor0.target
-        mode = executor0.config.mode
-        keys: List[int] = []
-        preds: List[int] = []
-        for i in active:
-            is_key = policies[i].decide(index, by_clip.get(i))
-            (keys if is_key else preds).append(i)
-
-        key_acts = None
-        if keys:
-            frames = np.stack([clips[i].frames[index] for i in keys])[:, None]
-            key_acts = plan.run_prefix(frames, target)
-            for pos, i in enumerate(keys):
-                executors[i].adopt_key(clips[i].frames[index], key_acts[pos])
-
-        pred_acts = None
-        if preds:
-            stored = np.stack([executors[i].key_activation for i in preds])
-            if mode == "memoize":
-                pred_acts = stored
-            else:
-                fields = [
-                    scale_to_activation(by_clip[i].field, executors[i].rf)
-                    for i in preds
-                ]
-                pred_acts = warp_activation_batch(
-                    stored,
-                    fields,
-                    interpolation=executor0.config.interpolation,
-                    fixed_point=executor0.config.fixed_point,
-                )
-
-        if key_acts is not None and pred_acts is not None:
-            suffix_in = np.concatenate(
-                [key_acts, pred_acts.astype(key_acts.dtype, copy=False)]
-            )
-        elif key_acts is not None:
-            suffix_in = key_acts
-        else:
-            suffix_in = pred_acts
-        outputs = plan.run_suffix(suffix_in, target)
-
-        key_set = set(keys)
-        for pos, i in enumerate(keys + preds):
-            records[i].append(
-                FrameRecord.from_step(
-                    index, i in key_set, outputs[pos : pos + 1], by_clip.get(i)
-                )
-            )
+        """One lockstep step, delegated to :func:`execute_batched_step`."""
+        entries = [
+            (executors[i], policies[i], clips[i].frames[index], index,
+             by_clip.get(i))
+            for i in active
+        ]
+        for i, record in zip(active, execute_batched_step(plan, entries)):
+            records[i].append(record)
 
 
 def run_workload(

@@ -1,0 +1,482 @@
+"""Streaming serving runtime — continuous batching over the lockstep core.
+
+The lockstep :class:`~repro.runtime.batched.BatchedPipeline` batches a
+*fixed* set of clips that start and finish together; a deployment sees
+clips arrive and depart continuously.  :class:`ServingRuntime` closes
+that gap with the continuous-batching discipline of modern serving
+systems, applied to the EVA2 frame lifecycle:
+
+* **Admission** — requests wait in per-lane FIFO queues and join the
+  running batch at the next step boundary; nothing drains, nothing
+  restarts.
+* **Lanes** — heterogeneous traffic is bucketed into shape-compatible
+  lanes (one per registered :class:`~repro.runtime.spec.PipelineSpec`):
+  every clip in a lane shares frame resolution, network, and AMC config,
+  which is exactly the compatibility the batched RFBME/CNN calls need.
+  Requests route by frame shape, or explicitly by lane name when shapes
+  alone are ambiguous.
+* **Eviction** — a clip's slot is released the moment its last frame is
+  served (:meth:`~repro.core.amc.AMCExecutor.release`); the next queued
+  request takes the slot over at the following step, so batch occupancy
+  tracks offered load.
+* **Occupancy-flexible execution** — each lane holds one
+  :class:`~repro.nn.inference.InferencePlan` at lane capacity; any
+  occupancy up to capacity runs against the same compiled geometry
+  (plans grow with :meth:`~repro.nn.inference.InferencePlan.reserve`
+  and can hand scratch back with ``shrink`` when a deployment scales
+  down).
+
+The correctness contract is inherited unchanged from the lockstep core:
+every served clip's outputs, key-frame decisions, and op counts are
+bit-identical to running that clip alone through the serial pipeline,
+regardless of which batch-mates shared its steps.  Decisions are per
+clip at clip-local frame indices, and every batched stage
+(:func:`~repro.runtime.batched.execute_batched_step`) is bitwise equal
+to its per-clip form.
+
+Time is virtual: arrival times are honoured against a monotonic clock,
+and stretches where the server is idle with no arrival due are *skipped*
+rather than slept, so a simulation runs at full speed while latency
+accounting (enqueue wait, time to first frame) still reflects the
+arrival process.  ``wall_seconds`` counts only busy time, which is what
+the steady-state throughput metric divides by.
+"""
+
+from __future__ import annotations
+
+import time
+from collections import deque
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Mapping, Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+from ..core.pipeline import FrameRecord, PipelineResult
+from ..video.generator import VideoClip
+from .batched import WorkloadResult, execute_batched_step
+from .spec import PipelineSpec
+
+__all__ = ["ClipRequest", "RequestRecord", "ServingReport", "ServingRuntime"]
+
+
+@dataclass(frozen=True)
+class ClipRequest:
+    """One clip submitted to the serving runtime."""
+
+    request_id: object
+    clip: VideoClip
+    #: when the request becomes visible to the server, in seconds on the
+    #: runtime's (virtual) clock.
+    arrival_time: float = 0.0
+    #: explicit lane name; None routes by frame shape.
+    lane: Optional[str] = None
+
+    def __post_init__(self):
+        if len(self.clip) < 1:
+            raise ValueError(f"request {self.request_id!r} has an empty clip")
+        if self.arrival_time < 0:
+            raise ValueError(
+                f"arrival_time must be >= 0, got {self.arrival_time}"
+            )
+
+
+@dataclass
+class RequestRecord:
+    """Full accounting for one served request."""
+
+    request_id: object
+    lane: str
+    arrival_time: float
+    #: when the clip joined the running batch (a step boundary).
+    admit_time: float
+    #: when its first frame's output existed.
+    first_output_time: float
+    #: when its last frame's output existed and the slot was released.
+    finish_time: float
+    result: PipelineResult
+
+    @property
+    def num_frames(self) -> int:
+        return len(self.result)
+
+    @property
+    def enqueue_latency(self) -> float:
+        """Seconds spent queued before joining the batch."""
+        return self.admit_time - self.arrival_time
+
+    @property
+    def time_to_first_frame(self) -> float:
+        """Seconds from arrival to the first served output."""
+        return self.first_output_time - self.arrival_time
+
+    @property
+    def service_seconds(self) -> float:
+        return self.finish_time - self.admit_time
+
+    @property
+    def frames_per_second(self) -> float:
+        """This clip's service rate while resident in the batch."""
+        return (
+            self.num_frames / self.service_seconds
+            if self.service_seconds > 0
+            else 0.0
+        )
+
+
+@dataclass
+class ServingReport:
+    """What one serving run did, per request and in aggregate."""
+
+    #: per-request accounting, in submission order.
+    records: List[RequestRecord]
+    #: busy wall-clock seconds (idle gaps with no arrival due are skipped,
+    #: not counted).
+    wall_seconds: float
+    #: virtual seconds skipped while idle.
+    idle_seconds: float
+    #: lockstep steps executed across all lanes.
+    steps: int
+    #: per-lane slot capacity the runtime was configured with.
+    max_batch: int
+
+    @property
+    def num_requests(self) -> int:
+        return len(self.records)
+
+    @property
+    def total_frames(self) -> int:
+        return sum(record.num_frames for record in self.records)
+
+    @property
+    def frames_per_second(self) -> float:
+        """Steady-state throughput: frames served per busy second."""
+        return self.total_frames / self.wall_seconds if self.wall_seconds else 0.0
+
+    @property
+    def mean_occupancy(self) -> float:
+        """Average clips resident per step (frames served per step)."""
+        return self.total_frames / self.steps if self.steps else 0.0
+
+    def enqueue_latencies(self) -> np.ndarray:
+        return np.array([record.enqueue_latency for record in self.records])
+
+    def times_to_first_frame(self) -> np.ndarray:
+        return np.array([record.time_to_first_frame for record in self.records])
+
+    def workload_result(self) -> WorkloadResult:
+        """The per-clip results as a :class:`WorkloadResult`.
+
+        Request order is submission order, so this compares directly
+        (``matches``) against a serial/lockstep run of the same clips.
+        """
+        return WorkloadResult(
+            results=[record.result for record in self.records],
+            wall_seconds=self.wall_seconds,
+            path="serving",
+        )
+
+    def summary_rows(self) -> List[List[object]]:
+        """Rows for the CLI / bench summary table."""
+        enqueue = self.enqueue_latencies()
+        ttff = self.times_to_first_frame()
+        rows: List[List[object]] = [
+            ["path", "serving"],
+            ["requests", self.num_requests],
+            ["frames", self.total_frames],
+            ["busy s", round(self.wall_seconds, 3)],
+            ["idle s (skipped)", round(self.idle_seconds, 3)],
+            ["frames/s", round(self.frames_per_second, 1)],
+            ["steps", self.steps],
+            ["mean occupancy", round(self.mean_occupancy, 2)],
+        ]
+        if self.num_requests:
+            rows += [
+                ["enqueue p50 ms", round(float(np.percentile(enqueue, 50)) * 1e3, 2)],
+                ["enqueue p95 ms", round(float(np.percentile(enqueue, 95)) * 1e3, 2)],
+                ["ttff p50 ms", round(float(np.percentile(ttff, 50)) * 1e3, 2)],
+                ["ttff p95 ms", round(float(np.percentile(ttff, 95)) * 1e3, 2)],
+            ]
+        return rows
+
+
+class _Slot:
+    """One resident clip: its executor/policy pair plus progress state."""
+
+    __slots__ = (
+        "seq", "request", "executor", "policy", "cursor", "records",
+        "admit_time", "first_output_time",
+    )
+
+    def __init__(self, seq, request, executor, policy, admit_time):
+        self.seq = seq
+        self.request = request
+        self.executor = executor
+        self.policy = policy
+        self.cursor = 0  # clip-local index of the next frame to serve
+        self.records: List[FrameRecord] = []
+        self.admit_time = admit_time
+        self.first_output_time: Optional[float] = None
+
+    def frame(self) -> np.ndarray:
+        return self.request.clip.frames[self.cursor]
+
+    def done(self) -> bool:
+        return self.cursor >= len(self.request.clip)
+
+
+class _Lane:
+    """One shape-compatible batch: shared network, engine, plan, slots."""
+
+    def __init__(self, name: str, spec: PipelineSpec, capacity: int):
+        self.name = name
+        self.spec = spec
+        self.network = spec.shared_network()
+        self.frame_shape: Tuple[int, int] = tuple(self.network.input_shape[1:])
+        self.capacity = capacity
+        # Slots hold warm executors for the lane's lifetime; admitted
+        # clips borrow one and release it on departure.
+        self.executors = [spec.build_executor(self.network) for _ in range(capacity)]
+        for executor in self.executors:
+            executor.reset()
+        self.engine = self.executors[0].rfbme_engine
+        self.plan = None
+        if spec.cnn_engine == "planned":
+            self.plan = self.network.inference_plan(
+                max_batch=capacity, dtype=spec.dtype
+            )
+        self.slots: List[Optional[_Slot]] = [None] * capacity
+        self.queue: "deque[Tuple[int, ClipRequest]]" = deque()
+
+    # -------------------------------------------------------------- #
+    def has_free_slot(self) -> bool:
+        return any(slot is None for slot in self.slots)
+
+    def has_active(self) -> bool:
+        return any(slot is not None for slot in self.slots)
+
+    def admit(self, seq: int, request: ClipRequest, now: float) -> None:
+        index = self.slots.index(None)
+        executor = self.executors[index]
+        executor.reset()  # identical start state to a fresh serial run
+        slot = _Slot(seq, request, executor, self.spec.build_policy(), now)
+        slot.policy.reset()
+        self.slots[index] = slot
+
+    def step(self) -> List[_Slot]:
+        """Serve one frame of every resident clip; return departures.
+
+        The step is the lockstep core at the lane's current occupancy:
+        one RFBME batch over the clips that have a stored key, per-clip
+        decisions at clip-local indices, then the batched CNN stages
+        (planned engine) or the per-clip serial path (legacy engine).
+        """
+        active = [slot for slot in self.slots if slot is not None]
+        ready = [slot for slot in active if slot.executor.has_key]
+        estimations = self.engine.estimate_batch(
+            [(slot.executor.stored_pixels(), slot.frame()) for slot in ready]
+        )
+        by_slot = {id(slot): est for slot, est in zip(ready, estimations)}
+
+        if self.plan is not None:
+            # No-op at steady state; regrows scratch after a shrink (e.g.
+            # a close() between serve calls).
+            self.plan.reserve(len(active))
+            entries = [
+                (slot.executor, slot.policy, slot.frame(), slot.cursor,
+                 by_slot.get(id(slot)))
+                for slot in active
+            ]
+            for slot, record in zip(
+                active, execute_batched_step(self.plan, entries)
+            ):
+                slot.records.append(record)
+        else:
+            for slot in active:
+                estimation = by_slot.get(id(slot))
+                is_key = slot.policy.decide(slot.cursor, estimation)
+                if is_key:
+                    output = slot.executor.process_key(slot.frame())
+                else:
+                    output = slot.executor.process_predicted(
+                        slot.frame(), estimation
+                    )
+                slot.records.append(
+                    FrameRecord.from_step(
+                        slot.cursor, is_key, output, estimation
+                    )
+                )
+
+        finished: List[_Slot] = []
+        for index, slot in enumerate(self.slots):
+            if slot is None:
+                continue
+            slot.cursor += 1
+            if slot.done():
+                slot.executor.release()
+                self.slots[index] = None
+                finished.append(slot)
+        return finished
+
+    def release(self) -> None:
+        """Drop resident state and hand plan scratch back."""
+        for index, slot in enumerate(self.slots):
+            if slot is not None:
+                slot.executor.release()
+                self.slots[index] = None
+        self.queue.clear()
+        if self.plan is not None:
+            self.plan.shrink(1)
+
+
+class ServingRuntime:
+    """Serve clip requests with continuous batching.
+
+    ``spec`` is a single :class:`PipelineSpec` (one lane named
+    ``"default"``) or a mapping of lane name to spec for heterogeneous
+    deployments.  ``max_batch`` is the per-lane slot capacity: a lane
+    never holds more than ``max_batch`` resident clips, and its
+    inference plan is compiled once at that capacity.
+
+    ``clock`` is injectable (monotonic seconds) for deterministic tests;
+    the default is :func:`time.perf_counter`.
+    """
+
+    def __init__(
+        self,
+        spec: Union[PipelineSpec, Mapping[str, PipelineSpec]],
+        max_batch: int = 8,
+        clock: Optional[Callable[[], float]] = None,
+    ):
+        if isinstance(spec, PipelineSpec):
+            specs: Dict[str, PipelineSpec] = {"default": spec}
+        else:
+            specs = dict(spec)
+        if not specs:
+            raise ValueError("at least one lane spec is required")
+        if max_batch < 1:
+            raise ValueError(f"max_batch must be >= 1, got {max_batch}")
+        self.max_batch = int(max_batch)
+        self.clock = clock or time.perf_counter
+        self.lanes: Dict[str, _Lane] = {
+            name: _Lane(name, lane_spec, self.max_batch)
+            for name, lane_spec in specs.items()
+        }
+        self._by_shape: Dict[Tuple[int, int], List[_Lane]] = {}
+        for lane in self.lanes.values():
+            self._by_shape.setdefault(lane.frame_shape, []).append(lane)
+
+    # -------------------------------------------------------------- #
+    def lane_for(self, request: ClipRequest) -> _Lane:
+        """The lane that will serve ``request`` (shape bucketing)."""
+        shape = tuple(request.clip.frames.shape[1:])
+        if request.lane is not None:
+            lane = self.lanes.get(request.lane)
+            if lane is None:
+                raise KeyError(
+                    f"unknown lane {request.lane!r}; have {sorted(self.lanes)}"
+                )
+            if shape != lane.frame_shape:
+                raise ValueError(
+                    f"request {request.request_id!r} has {shape} frames; "
+                    f"lane {lane.name!r} serves {lane.frame_shape}"
+                )
+            return lane
+        lanes = self._by_shape.get(shape, [])
+        if not lanes:
+            raise ValueError(
+                f"no lane serves frame shape {shape}; lanes: "
+                + ", ".join(
+                    f"{lane.name}={lane.frame_shape}"
+                    for lane in self.lanes.values()
+                )
+            )
+        if len(lanes) > 1:
+            raise ValueError(
+                f"frame shape {shape} matches lanes "
+                f"{[lane.name for lane in lanes]}; set ClipRequest.lane"
+            )
+        return lanes[0]
+
+    def serve(self, requests: Sequence[ClipRequest]) -> ServingReport:
+        """Serve every request; returns per-request accounting.
+
+        Requests become visible at their ``arrival_time``; admission and
+        eviction happen at step boundaries.  When the server is idle and
+        no arrival is due, virtual time jumps to the next arrival so a
+        simulation runs at full speed.
+        """
+        # Arrival order, stable on submission order for ties.
+        pending: "deque[Tuple[int, ClipRequest]]" = deque(
+            sorted(
+                enumerate(requests), key=lambda item: (item[1].arrival_time, item[0])
+            )
+        )
+        for _, request in pending:
+            self.lane_for(request)  # route (and fail) before serving starts
+
+        done: Dict[int, RequestRecord] = {}
+        steps = 0
+        skipped = 0.0
+        start = self.clock()
+
+        def now() -> float:
+            return (self.clock() - start) + skipped
+
+        while pending or any(
+            lane.queue or lane.has_active() for lane in self.lanes.values()
+        ):
+            current = now()
+            while pending and pending[0][1].arrival_time <= current:
+                seq, request = pending.popleft()
+                self.lane_for(request).queue.append((seq, request))
+            for lane in self.lanes.values():
+                while lane.queue and lane.has_free_slot():
+                    seq, request = lane.queue.popleft()
+                    lane.admit(seq, request, current)
+            if not any(lane.has_active() for lane in self.lanes.values()):
+                # Idle with work still to come: skip ahead to the next
+                # arrival instead of spinning.
+                if pending:
+                    gap = pending[0][1].arrival_time - current
+                    if gap > 0:
+                        skipped += gap
+                continue
+            for lane in self.lanes.values():
+                if not lane.has_active():
+                    continue
+                finished = lane.step()
+                steps += 1
+                current = now()
+                for slot in self._active_slots(lane):
+                    if slot.first_output_time is None:
+                        slot.first_output_time = current
+                for slot in finished:
+                    if slot.first_output_time is None:
+                        slot.first_output_time = current
+                    done[slot.seq] = RequestRecord(
+                        request_id=slot.request.request_id,
+                        lane=lane.name,
+                        arrival_time=slot.request.arrival_time,
+                        admit_time=slot.admit_time,
+                        first_output_time=slot.first_output_time,
+                        finish_time=current,
+                        result=PipelineResult(records=slot.records),
+                    )
+
+        wall = self.clock() - start
+        return ServingReport(
+            records=[done[seq] for seq in sorted(done)],
+            wall_seconds=wall,
+            idle_seconds=skipped,
+            steps=steps,
+            max_batch=self.max_batch,
+        )
+
+    def close(self) -> None:
+        """Evict all residents and shrink lane plans to capacity 1."""
+        for lane in self.lanes.values():
+            lane.release()
+
+    @staticmethod
+    def _active_slots(lane: _Lane) -> List[_Slot]:
+        return [slot for slot in lane.slots if slot is not None]

@@ -12,10 +12,12 @@ from __future__ import annotations
 
 from typing import List, Optional, Sequence
 
+import numpy as np
+
 from ..video import generate_clip, scenario, scenario_names
 from ..video.generator import VideoClip
 
-__all__ = ["synthetic_workload"]
+__all__ = ["synthetic_workload", "poisson_arrival_times"]
 
 
 def synthetic_workload(
@@ -43,3 +45,21 @@ def synthetic_workload(
         )
         for i in range(num_clips)
     ]
+
+
+def poisson_arrival_times(
+    num_arrivals: int, rate: float, seed: int = 0
+) -> List[float]:
+    """Arrival instants (seconds) of a Poisson process with ``rate`` /s.
+
+    Deterministic given ``seed``; the serving benchmark and ``repro
+    serve`` both draw their traffic timing from here so runs are
+    comparable.
+    """
+    if num_arrivals < 0:
+        raise ValueError(f"num_arrivals must be >= 0, got {num_arrivals}")
+    if rate <= 0:
+        raise ValueError(f"rate must be > 0 arrivals/s, got {rate}")
+    rng = np.random.default_rng(seed)
+    gaps = rng.exponential(1.0 / rate, size=num_arrivals)
+    return [float(t) for t in np.cumsum(gaps)]

@@ -14,7 +14,7 @@ from typing import Dict, List, Optional, Sequence, Tuple
 import numpy as np
 
 from .generator import VideoClip, generate_clip
-from .scenes import SCENARIOS, SceneConfig, scenario
+from .scenes import SCENARIOS, scenario
 from .sprites import NUM_CLASSES
 
 __all__ = ["ClipSet", "build_clipset", "frames_and_labels", "training_arrays"]

@@ -48,6 +48,24 @@ class TestCLI:
         assert "lockstep" in out
         assert "frames/s" in out
 
+    def test_serve_summary_and_verify(self, capsys):
+        assert main([
+            "serve", "--clips", "4", "--frames", "4", "--max-batch", "2",
+            "--arrival-rate", "500", "--scenario", "static", "--verify",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "serving" in out
+        assert "mean occupancy" in out
+        assert "bit-identical to its serial run: yes" in out
+
+    def test_serve_bad_arrival_rate_rejected(self, capsys):
+        assert main(["serve", "--arrival-rate", "0"]) == 2
+        assert "--arrival-rate" in capsys.readouterr().err
+
+    def test_serve_bad_max_batch_rejected(self, capsys):
+        assert main(["serve", "--max-batch", "0"]) == 2
+        assert "--max-batch" in capsys.readouterr().err
+
     def test_workload_flags_require_multiple_clips(self, capsys):
         assert main(["run", "--batch"]) == 2
         assert "--clips" in capsys.readouterr().err

@@ -121,9 +121,15 @@ class TestFloat32:
 
 
 class TestPlanCache:
-    def test_cached_per_capacity(self, net):
-        assert net.inference_plan(max_batch=3) is net.inference_plan(max_batch=3)
-        assert net.inference_plan(max_batch=3) is not net.inference_plan(max_batch=4)
+    def test_one_plan_per_dtype_grows_in_place(self, net):
+        plan = net.inference_plan(max_batch=3)
+        assert net.inference_plan(max_batch=3) is plan
+        # A larger request grows the same plan instead of compiling a new
+        # one; a smaller request reuses it at its grown capacity.
+        assert net.inference_plan(max_batch=4) is plan
+        assert plan.max_batch >= 4
+        assert net.inference_plan(max_batch=2) is plan
+        assert plan.max_batch >= 4
 
     def test_load_state_dict_invalidates(self, net):
         plan = net.inference_plan(max_batch=1)
@@ -147,9 +153,67 @@ class TestPlanCache:
             layer.params["weight"] -= 0.01
 
 
+class TestCapacityChanges:
+    """reserve()/shrink(): occupancy flexibility without recompilation."""
+
+    def test_reserve_bit_identical_at_every_occupancy(self, net, frames):
+        plan = InferencePlan(net, max_batch=2)
+        serial = [net.forward(frames[s : s + 1])[0] for s in range(8)]
+        plan.reserve(8)
+        assert plan.max_batch == 8
+        for occupancy in range(1, 9):
+            out = plan.run(frames[:occupancy])
+            for s in range(occupancy):
+                np.testing.assert_array_equal(out[s], serial[s])
+
+    def test_prefix_suffix_bit_identical_after_growth(self, net, frames):
+        plan = InferencePlan(net, max_batch=1).reserve(6)
+        target = net.last_spatial_layer()
+        for occupancy in range(1, 7):
+            act = plan.run_prefix(frames[:occupancy], target)
+            out = plan.run_suffix(act, target)
+            for s in range(occupancy):
+                act_want = net.forward_prefix(frames[s : s + 1], target)
+                np.testing.assert_array_equal(act[s], act_want[0])
+                np.testing.assert_array_equal(
+                    out[s], net.forward_suffix(act_want, target)[0]
+                )
+
+    def test_shrink_releases_then_regrows(self, net, frames):
+        plan = InferencePlan(net, max_batch=6)
+        want = plan.run(frames[:6]).copy()
+        plan.shrink(2)
+        assert plan.max_batch == 2
+        with pytest.raises(ValueError):
+            plan.run(frames[:3])
+        np.testing.assert_array_equal(plan.run(frames[:2]), want[:2])
+        plan.reserve(6)
+        np.testing.assert_array_equal(plan.run(frames[:6]), want)
+
+    def test_float32_snapshots_survive_resize(self, net, frames):
+        plan = InferencePlan(net, max_batch=2, dtype="float32")
+        want = plan.run(frames[:2]).copy()
+        plan.reserve(5).shrink(2)
+        np.testing.assert_array_equal(plan.run(frames[:2]), want)
+
+    def test_reserve_noop_when_large_enough(self, net):
+        plan = InferencePlan(net, max_batch=4)
+        convs = [id(s.cols) for s in plan._steps if hasattr(s, "cols")]
+        plan.reserve(3)
+        assert plan.max_batch == 4
+        assert [id(s.cols) for s in plan._steps if hasattr(s, "cols")] == convs
+
+    def test_bad_capacity_rejected(self, net):
+        plan = InferencePlan(net, max_batch=1)
+        with pytest.raises(ValueError):
+            plan.reserve(0)
+        with pytest.raises(ValueError):
+            plan.shrink(0)
+
+
 class TestValidation:
     def test_batch_over_capacity_rejected(self, net, frames):
-        plan = net.inference_plan(max_batch=2)
+        plan = InferencePlan(net, max_batch=2)
         with pytest.raises(ValueError):
             plan.run(frames[:3])
 

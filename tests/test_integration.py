@@ -5,7 +5,7 @@ in the loop — the flows a downstream user would actually wire up."""
 import numpy as np
 import pytest
 
-from repro.analysis import detection_score, run_policy
+from repro.analysis import run_policy
 from repro.core import (
     AMCConfig,
     AMCExecutor,
@@ -14,7 +14,7 @@ from repro.core import (
     MatchErrorPolicy,
     StaticPolicy,
 )
-from repro.hardware import Q8_8, VPUConfig, VPUModel
+from repro.hardware import Q8_8, VPUModel
 from repro.hardware.rle import decode, encode
 from repro.video import generate_clip, scenario
 

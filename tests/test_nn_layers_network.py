@@ -73,7 +73,6 @@ class TestLayerBasics:
 
 class TestNetworkStructure:
     def test_duplicate_names_rejected(self):
-        rng = np.random.default_rng(0)
         with pytest.raises(ValueError):
             Network(
                 "dup",
@@ -114,8 +113,10 @@ class TestNetworkStructure:
         net = tiny_network()
         prefix = net.prefix_layers("pool1")
         suffix = net.suffix_layers("pool1")
-        assert [l.name for l in prefix] == ["conv1", "relu1", "pool1"]
-        assert [l.name for l in suffix] == ["conv2", "relu2", "flatten", "fc"]
+        assert [layer.name for layer in prefix] == ["conv1", "relu1", "pool1"]
+        assert [layer.name for layer in suffix] == [
+            "conv2", "relu2", "flatten", "fc",
+        ]
 
     def test_prefix_plus_suffix_macs_equals_total(self):
         net = tiny_network()
@@ -193,7 +194,11 @@ class TestModelBuilders:
     def test_faster16_deeper_than_fasterm(self):
         fasterm = build_mini_fasterm()
         faster16 = build_mini_faster16()
-        convs = lambda net: sum(1 for l in net.layers if isinstance(l, Conv2d))
+        def convs(net):
+            return sum(
+                1 for layer in net.layers if isinstance(layer, Conv2d)
+            )
+
         assert convs(faster16) > convs(fasterm)
 
     def test_faster16_prefix_costs_more(self):

@@ -13,7 +13,6 @@ from repro.nn import (
     Network,
     ReLU,
     SGD,
-    build_mini_alexnet,
     classification_accuracy,
     train_classifier,
     train_detector,
@@ -79,9 +78,9 @@ class TestOptimizers:
             logits = net.forward(frames, train=True)
             net.backward(F.cross_entropy_grad(logits, labels))
             opt.step()
-        norm = lambda net: sum(
-            float((p**2).sum()) for _, _, p in net.parameters()
-        )
+        def norm(net):
+            return sum(float((p**2).sum()) for _, _, p in net.parameters())
+
         assert norm(net_b) < norm(net_a)
 
     def test_invalid_lr(self):

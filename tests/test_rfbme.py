@@ -155,6 +155,16 @@ class TestBackendEquivalence:
             engine = RFBMEEngine((64, 64), RF, GRID)
         assert engine.backend == "batched"
 
+    def test_force_numpy_env_knob_disables_kernel(self, monkeypatch):
+        """REPRO_FORCE_NUMPY=1 keeps every compiled path off — the CI
+        NumPy lane's guarantee that pure-NumPy execution stays covered."""
+        monkeypatch.setenv("REPRO_FORCE_NUMPY", "1")
+        monkeypatch.setattr(sad_kernel, "_STATE", None)
+        assert sad_kernel.get_kernel() is None
+        assert not sad_kernel.kernel_available()
+        engine = RFBMEEngine((64, 64), RF, GRID)
+        assert engine.backend == "batched"
+
     def test_unknown_backend_rejected(self, rng):
         with pytest.raises(ValueError):
             estimate_motion(

@@ -120,6 +120,33 @@ class TestSchedulerBackends:
         _assert_identical(pooled, serial_result)
         assert pooled.path == "process"
 
+    def test_process_backend_mid_run_completion(self, spec):
+        """Ragged-length clips finish at different times mid-run; workers
+        are recycled onto the remaining clips and per-clip results stay
+        identical and input-ordered."""
+        mixed = (
+            synthetic_workload(2, num_frames=8, base_seed=2)
+            + synthetic_workload(3, num_frames=3, base_seed=21)
+            + synthetic_workload(2, num_frames=5, base_seed=33)
+        )
+        serial = run_workload(spec, mixed, batch=False)
+        pooled = run_workload(
+            spec, mixed, scheduler=SchedulerConfig(workers=2, backend="process")
+        )
+        assert [len(r) for r in pooled.results] == [8, 8, 3, 3, 3, 5, 5]
+        _assert_identical(pooled, serial)
+
+    def test_process_backend_more_workers_than_clips(self, spec, workload,
+                                                     serial_result):
+        """A pool wider than the workload leaves workers idle, not wrong."""
+        pooled = run_workload(
+            spec,
+            workload,
+            scheduler=SchedulerConfig(workers=len(workload) + 2,
+                                      backend="process"),
+        )
+        _assert_identical(pooled, serial_result)
+
     def test_auto_resolution(self):
         assert SchedulerConfig(workers=0).resolve(8) == "serial"
         assert SchedulerConfig(workers=4, backend="thread").resolve(8) == "thread"

@@ -1,0 +1,327 @@
+"""Serving-runtime tests: continuous batching, lanes, accounting.
+
+The central contract mirrors the lockstep one, but is strictly harder:
+clips join and leave the batch at arbitrary step boundaries, so every
+clip must be bit-identical to its serial run *regardless of which
+batch-mates shared its steps* — admission order, occupancy changes, and
+evictions must never leak into results.
+"""
+
+import itertools
+
+import numpy as np
+import pytest
+
+from repro.runtime import (
+    ClipRequest,
+    PipelineSpec,
+    ServingRuntime,
+    poisson_arrival_times,
+    run_workload,
+    synthetic_workload,
+)
+
+NETWORK = "mini_fasterm"
+
+
+class FakeClock:
+    """A manually advanced clock; each reading moves time forward a tick.
+
+    The tick stands in for step execution time so admission interleaves
+    with service deterministically, without real sleeps.
+    """
+
+    def __init__(self, tick: float = 0.001):
+        self.now = 0.0
+        self.tick = tick
+
+    def __call__(self) -> float:
+        self.now += self.tick
+        return self.now
+
+
+@pytest.fixture(scope="module")
+def spec():
+    spec = PipelineSpec(network=NETWORK)
+    spec.warm()
+    return spec
+
+
+@pytest.fixture(scope="module")
+def clips():
+    return synthetic_workload(8, num_frames=6, base_seed=11)
+
+
+@pytest.fixture(scope="module")
+def serial_result(spec, clips):
+    return run_workload(spec, clips, batch=False)
+
+
+def _requests(clips, arrivals=None, **kwargs):
+    arrivals = arrivals if arrivals is not None else itertools.repeat(0.0)
+    return [
+        ClipRequest(request_id=i, clip=clip, arrival_time=t, **kwargs)
+        for i, (clip, t) in enumerate(zip(clips, arrivals))
+    ]
+
+
+def _assert_identical(report, reference):
+    got = report.workload_result()
+    assert got.matches(reference)
+    for served, want in zip(got.results, reference.results):
+        np.testing.assert_array_equal(served.outputs(), want.outputs())
+        np.testing.assert_array_equal(served.key_mask(), want.key_mask())
+
+
+class TestBitIdentity:
+    def test_oversubscribed_server_matches_serial(self, spec, clips, serial_result):
+        """More requests than slots: continuous refill, identical bits."""
+        report = ServingRuntime(spec, max_batch=3).serve(_requests(clips))
+        _assert_identical(report, serial_result)
+
+    def test_single_slot_server_matches_serial(self, spec, clips, serial_result):
+        """max_batch=1 degenerates to serial service, one clip at a time."""
+        report = ServingRuntime(spec, max_batch=1).serve(_requests(clips))
+        _assert_identical(report, serial_result)
+        assert report.mean_occupancy == 1.0
+
+    def test_staggered_arrivals_match_serial(self, spec, clips, serial_result):
+        """Clips joining mid-flight (slots partially busy) change nothing."""
+        arrivals = poisson_arrival_times(len(clips), rate=2000.0, seed=3)
+        report = ServingRuntime(spec, max_batch=4).serve(
+            _requests(clips, arrivals)
+        )
+        _assert_identical(report, serial_result)
+
+    def test_ragged_lengths_evict_mid_flight(self, spec):
+        """Short clips evict while long ones continue; refills join the
+        surviving residents; every clip still bit-identical."""
+        mixed = (
+            synthetic_workload(2, num_frames=9, base_seed=1)
+            + synthetic_workload(3, num_frames=3, base_seed=5)
+            + synthetic_workload(2, num_frames=6, base_seed=8)
+        )
+        serial = run_workload(spec, mixed, batch=False)
+        report = ServingRuntime(spec, max_batch=3).serve(_requests(mixed))
+        _assert_identical(report, serial)
+
+    def test_memoize_network_serving(self):
+        """Classification (memoize mode) serves bit-identically too."""
+        spec = PipelineSpec(network="mini_alexnet")
+        spec.warm()
+        clips = synthetic_workload(5, num_frames=5, base_seed=2)
+        serial = run_workload(spec, clips, batch=False)
+        report = ServingRuntime(spec, max_batch=2).serve(_requests(clips))
+        _assert_identical(report, serial)
+
+    def test_legacy_engine_serving(self, clips):
+        """The legacy CNN engine serves per-clip inside the shared RFBME
+        batch and stays bit-identical."""
+        legacy = PipelineSpec(network=NETWORK, cnn_engine="legacy")
+        serial = run_workload(legacy, clips, batch=False)
+        report = ServingRuntime(legacy, max_batch=3).serve(_requests(clips))
+        _assert_identical(report, serial)
+
+    def test_full_width_server_matches_serial(self, spec):
+        """The serving benchmark's max-batch-16 shape is covered by the
+        gating suite too — large-occupancy identity must block a merge,
+        not just turn a benchmark job amber."""
+        clips = synthetic_workload(20, num_frames=4, base_seed=17)
+        serial = run_workload(spec, clips, batch=False)
+        report = ServingRuntime(spec, max_batch=16).serve(_requests(clips))
+        _assert_identical(report, serial)
+
+    def test_batch_mates_do_not_change_results(self, spec, clips):
+        """The same clip served alone and served amid shuffled traffic
+        produces the same bits — the serving invariant stated directly."""
+        target = clips[0]
+        alone = ServingRuntime(spec, max_batch=4).serve(_requests([target]))
+        shuffled = list(clips[1:]) + [target]
+        crowded = ServingRuntime(spec, max_batch=4).serve(_requests(shuffled))
+        want = alone.records[0].result
+        got = crowded.records[len(shuffled) - 1].result
+        np.testing.assert_array_equal(got.outputs(), want.outputs())
+        np.testing.assert_array_equal(got.key_mask(), want.key_mask())
+
+
+class TestAdmission:
+    def test_fifo_admission_within_lane(self, spec, clips):
+        """With one slot, service order is arrival order."""
+        runtime = ServingRuntime(spec, max_batch=1, clock=FakeClock())
+        arrivals = [0.0, 0.0, 0.0, 0.0]
+        report = runtime.serve(_requests(clips[:4], arrivals))
+        finishes = [record.finish_time for record in report.records]
+        assert finishes == sorted(finishes)
+        admits = [record.admit_time for record in report.records]
+        assert admits == sorted(admits)
+
+    def test_arrival_times_respected(self, spec, clips):
+        """A request is never admitted before it arrives."""
+        arrivals = [0.0, 5.0, 10.0]
+        report = ServingRuntime(spec, max_batch=4, clock=FakeClock()).serve(
+            _requests(clips[:3], arrivals)
+        )
+        for record in report.records:
+            assert record.admit_time >= record.arrival_time
+            assert record.enqueue_latency >= 0.0
+
+    def test_idle_gaps_are_skipped_not_slept(self, spec, clips):
+        """Widely spaced arrivals: virtual time jumps, busy time stays
+        small, and the gap lands in idle_seconds."""
+        arrivals = [0.0, 100.0]
+        report = ServingRuntime(spec, max_batch=2, clock=FakeClock()).serve(
+            _requests(clips[:2], arrivals)
+        )
+        assert report.idle_seconds >= 99.0
+        assert report.wall_seconds < 50.0
+        _ = report.summary_rows()  # accounting renders
+
+    def test_queue_wait_appears_in_enqueue_latency(self, spec, clips):
+        """With one slot and simultaneous arrivals, later requests wait
+        at least one full service time."""
+        report = ServingRuntime(spec, max_batch=1, clock=FakeClock()).serve(
+            _requests(clips[:3])
+        )
+        latencies = report.enqueue_latencies()
+        assert latencies[0] < latencies[1] < latencies[2]
+
+    def test_records_in_submission_order(self, spec, clips):
+        arrivals = [3.0, 0.0, 1.0]
+        report = ServingRuntime(spec, max_batch=1, clock=FakeClock()).serve(
+            _requests(clips[:3], arrivals)
+        )
+        assert [record.request_id for record in report.records] == [0, 1, 2]
+
+
+class TestLanes:
+    def test_two_named_lanes_serve_their_traffic(self, clips):
+        """Heterogeneous deployments: each lane batches only its own
+        shape/network-compatible clips, results still serial-identical."""
+        warp = PipelineSpec(network=NETWORK)
+        memo = PipelineSpec(network="mini_alexnet")
+        for lane_spec in (warp, memo):
+            lane_spec.warm()
+        runtime = ServingRuntime({"warp": warp, "memo": memo}, max_batch=2)
+        requests = [
+            ClipRequest(i, clip, lane="warp" if i % 2 else "memo")
+            for i, clip in enumerate(clips[:6])
+        ]
+        report = runtime.serve(requests)
+        assert {record.lane for record in report.records} == {"warp", "memo"}
+        for record, request in zip(report.records, requests):
+            serial = run_workload(
+                warp if request.lane == "warp" else memo,
+                [request.clip],
+                batch=False,
+            )
+            np.testing.assert_array_equal(
+                record.result.outputs(), serial.results[0].outputs()
+            )
+            np.testing.assert_array_equal(
+                record.result.key_mask(), serial.results[0].key_mask()
+            )
+
+    def test_shape_mismatch_rejected(self, spec, clips):
+        runtime = ServingRuntime(spec, max_batch=2)
+        bad = ClipRequest(0, _shrunk(clips[0]), lane="default")
+        with pytest.raises(ValueError, match="serves"):
+            runtime.serve([bad])
+
+    def test_unrouteable_shape_rejected(self, spec, clips):
+        runtime = ServingRuntime(spec, max_batch=2)
+        with pytest.raises(ValueError, match="no lane serves"):
+            runtime.serve([ClipRequest(0, _shrunk(clips[0]))])
+
+    def test_ambiguous_shape_needs_explicit_lane(self, clips):
+        """Two lanes with the same frame shape: routing by shape alone is
+        refused, explicit lane names work."""
+        specs = {
+            "a": PipelineSpec(network=NETWORK),
+            "b": PipelineSpec(network="mini_alexnet"),
+        }
+        runtime = ServingRuntime(specs, max_batch=2)
+        with pytest.raises(ValueError, match="set ClipRequest.lane"):
+            runtime.serve([ClipRequest(0, clips[0])])
+        report = runtime.serve([ClipRequest(0, clips[0], lane="a")])
+        assert report.records[0].lane == "a"
+
+    def test_unknown_lane_rejected(self, spec, clips):
+        runtime = ServingRuntime(spec, max_batch=2)
+        with pytest.raises(KeyError):
+            runtime.serve([ClipRequest(0, clips[0], lane="express")])
+
+
+class TestLifecycle:
+    def test_close_shrinks_plan_and_clears_slots(self, spec, clips):
+        runtime = ServingRuntime(spec, max_batch=4)
+        runtime.serve(_requests(clips[:4]))
+        lane = runtime.lanes["default"]
+        assert lane.plan.max_batch >= 4
+        runtime.close()
+        assert lane.plan.max_batch == 1
+        assert not lane.has_active()
+        # The runtime still serves correctly after a close (plan regrows).
+        report = runtime.serve(_requests(clips[:2]))
+        assert report.num_requests == 2
+
+    def test_runtime_reusable_across_serve_calls(self, spec, clips, serial_result):
+        runtime = ServingRuntime(spec, max_batch=3)
+        first = runtime.serve(_requests(clips))
+        second = runtime.serve(_requests(clips))
+        _assert_identical(first, serial_result)
+        _assert_identical(second, serial_result)
+
+    def test_empty_request_list(self, spec):
+        report = ServingRuntime(spec, max_batch=2).serve([])
+        assert report.num_requests == 0
+        assert report.total_frames == 0
+        assert report.steps == 0
+
+    def test_occupancy_tracks_load(self, spec, clips):
+        """All-at-once traffic onto ample slots runs near-full occupancy."""
+        report = ServingRuntime(spec, max_batch=4).serve(_requests(clips[:4]))
+        assert report.mean_occupancy == pytest.approx(4.0)
+
+    def test_report_stats_consistent(self, spec, clips):
+        report = ServingRuntime(spec, max_batch=3).serve(_requests(clips))
+        assert report.total_frames == sum(len(clip) for clip in clips)
+        assert report.frames_per_second > 0
+        assert report.max_batch == 3
+        for record in report.records:
+            assert record.finish_time >= record.first_output_time
+            assert record.first_output_time >= record.admit_time
+            assert record.frames_per_second > 0
+
+
+class TestValidation:
+    def test_empty_clip_rejected(self, clips):
+        empty = clips[0].frames[:0]
+        with pytest.raises(ValueError, match="empty clip"):
+            ClipRequest(0, _clip_with(clips[0], empty))
+
+    def test_negative_arrival_rejected(self, clips):
+        with pytest.raises(ValueError, match="arrival_time"):
+            ClipRequest(0, clips[0], arrival_time=-1.0)
+
+    def test_bad_max_batch_rejected(self, spec):
+        with pytest.raises(ValueError):
+            ServingRuntime(spec, max_batch=0)
+
+    def test_no_lanes_rejected(self):
+        with pytest.raises(ValueError):
+            ServingRuntime({})
+
+
+def _shrunk(clip):
+    """The same clip at a smaller resolution (no lane can serve it)."""
+    return _clip_with(clip, clip.frames[:, :32, :32])
+
+
+def _clip_with(clip, frames):
+    from repro.video.generator import VideoClip
+
+    return VideoClip(
+        frames=frames,
+        annotations=clip.annotations[: frames.shape[0]],
+        scenario=clip.scenario,
+    )
