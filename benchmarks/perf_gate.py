@@ -12,7 +12,9 @@ hardware change:
 * ``BENCH_runtime.json`` — each path's ``speedup_vs_seed`` (the shape of
   the perf curve relative to the seed loop on the same host);
 * ``BENCH_serving.json`` — ``serving_vs_static`` (continuous batching
-  relative to static lockstep on the same host).
+  relative to static lockstep on the same host) and ``shard_scaling_2x``
+  (2-shard aggregate throughput relative to the single-process run —
+  serving's sharding headline must not silently regress either).
 
 A markdown speedup table is written to ``--summary`` (the
 ``$GITHUB_STEP_SUMMARY`` file in CI) and echoed to stdout.  Any metric
@@ -42,7 +44,10 @@ def _metrics(data: dict) -> Dict[str, float]:
             metrics["planned lockstep (x pr1 lockstep)"] = headline
         return metrics
     if "serving_vs_static" in data:  # BENCH_serving.json
-        return {"serving (x static lockstep)": data["serving_vs_static"]}
+        metrics = {"serving (x static lockstep)": data["serving_vs_static"]}
+        if "shard_scaling_2x" in data:
+            metrics["2-shard serving (x 1 worker)"] = data["shard_scaling_2x"]
+        return metrics
     raise SystemExit(f"unrecognized benchmark JSON: {sorted(data)[:5]}")
 
 

@@ -12,8 +12,9 @@ Commands:
 * ``serve``     — streaming serving simulation: Poisson clip arrivals
                   admitted into a continuously batched server
                   (``--arrival-rate``, ``--max-batch``), with per-request
-                  latency accounting and optional ``--verify`` against
-                  the serial pipeline.
+                  latency percentiles, optional sharding across worker
+                  processes (``--serve-workers N``), and optional
+                  ``--verify`` against the serial pipeline.
 * ``hardware``  — the Fig. 12 / Fig. 13 numbers for a real network.
 * ``firstorder``— the §IV-A op-count comparison.
 """
@@ -163,13 +164,21 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     if args.arrival_rate <= 0:
         print("error: --arrival-rate must be > 0 clips/s", file=sys.stderr)
         return 2
+    if args.serve_workers < 1:
+        print("error: --serve-workers must be >= 1", file=sys.stderr)
+        return 2
     spec, clips = _spec_and_clips(args)
     arrivals = poisson_arrival_times(args.clips, args.arrival_rate, seed=args.seed)
     requests = [
         ClipRequest(request_id=i, clip=clip, arrival_time=arrival)
         for i, (clip, arrival) in enumerate(zip(clips, arrivals))
     ]
-    runtime = ServingRuntime(spec, max_batch=args.max_batch)
+    runtime = ServingRuntime(
+        spec,
+        max_batch=args.max_batch,
+        serve_workers=args.serve_workers,
+        shard_backend=args.shard_backend,
+    )
     report = runtime.serve(requests)
     print(format_table(["quantity", "value"], report.summary_rows()))
     if args.verify:
@@ -275,6 +284,14 @@ def build_parser() -> argparse.ArgumentParser:
                        help="Poisson arrival rate, clips/s")
     serve.add_argument("--max-batch", type=int, default=8,
                        help="serving slots per lane (continuous batch width)")
+    serve.add_argument("--serve-workers", type=int, default=1,
+                       help="shard lanes across N worker processes "
+                            "(1 = in-process serving)")
+    serve.add_argument("--shard-backend", default="auto",
+                       choices=["auto", "serial", "process"],
+                       help="worker pool for sharded serving (auto picks "
+                            "process on multi-core hosts; threads are "
+                            "refused — shards would share plan scratch)")
     serve.add_argument("--threshold", type=float, default=2.0,
                        help="adaptive match-error threshold")
     serve.add_argument("--interval", type=int, default=0,

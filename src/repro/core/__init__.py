@@ -20,6 +20,7 @@ from .rfbme import (
     estimate_motion,
     estimate_motion_batch,
 )
+from .stages import LaneSlot, LaneState, PlanHandle, StepBatch
 from .warp import scale_to_activation, warp_activation
 
 __all__ = [
@@ -46,6 +47,10 @@ __all__ = [
     "RFBMEResult",
     "estimate_motion",
     "estimate_motion_batch",
+    "LaneSlot",
+    "LaneState",
+    "PlanHandle",
+    "StepBatch",
     "scale_to_activation",
     "warp_activation",
 ]

@@ -122,6 +122,18 @@ class AMCExecutor:
         self._key_activation: Optional[np.ndarray] = None
         self._engine: Optional[RFBMEEngine] = None
 
+    def __getstate__(self):
+        """Pickle without the RFBME engine (kernel scratch, workspaces).
+
+        The engine is rebuilt lazily on first use, so an executor shipped
+        to a worker process — e.g. inside a
+        :class:`~repro.core.stages.LaneState` — resumes bit-identically
+        without dragging compiled-kernel staging buffers through pickle.
+        """
+        state = self.__dict__.copy()
+        state["_engine"] = None
+        return state
+
     # ------------------------------------------------------------------ #
     @property
     def has_key(self) -> bool:

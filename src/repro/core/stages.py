@@ -1,0 +1,304 @@
+"""The frame lifecycle as pure stage functions over explicit lane state.
+
+The paper's pipeline (Fig. 6) is a sequence of distinct phases — RFBME
+motion estimation, the key-frame decision, the CNN prefix for key
+frames, activation warping for predicted frames, the CNN suffix for
+everyone.  Earlier releases executed that lifecycle as one opaque
+function whose state lived in closures; this module makes each phase a
+*pure stage function* over an explicit, picklable :class:`LaneState`, so
+the runtime layer can schedule the phases (a
+:class:`~repro.runtime.stage_graph.StageGraph`), ship lane state to
+worker processes (sharded serving), and later double-buffer RFBME
+against the CNN stages.
+
+Contracts:
+
+* **Explicit state.**  A stage reads and writes only its arguments: the
+  :class:`StepBatch` working set (which slots take part in this step,
+  their frames, the resolved inference plan) and the values produced by
+  earlier stages.  The only state mutation is the one the lifecycle
+  defines — a key frame's pixels/activation being adopted by its
+  executor in :func:`stage_cnn_prefix` (and, on the legacy engine, the
+  equivalent inside :func:`stage_legacy_cnn`).
+* **Bit identity.**  Each stage performs exactly the array operations of
+  the monolithic lockstep step it was extracted from, in the same order,
+  so running the stages in sequence reproduces the previous
+  ``execute_batched_step`` — and therefore the serial per-clip pipeline
+  — bit for bit.  ``tests/test_stages.py`` asserts the slice-by-slice
+  equivalence.
+* **Picklability.**  :class:`LaneState` round-trips through ``pickle``:
+  executors drop their lazily rebuilt RFBME engines, networks drop their
+  compiled inference plans, and :class:`PlanHandle` re-resolves the plan
+  from the network's cache on the other side.  Shipping a lane to a
+  worker process preserves behaviour exactly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from .amc import AMCExecutor
+from .keyframe import KeyFramePolicy
+from .pipeline import FrameRecord
+from .rfbme import RFBMEEngine, RFBMEResult
+from .warp import scale_to_activation, warp_activation_batch
+
+__all__ = [
+    "PlanHandle",
+    "LaneSlot",
+    "LaneState",
+    "StepBatch",
+    "stage_rfbme",
+    "stage_decide",
+    "stage_cnn_prefix",
+    "stage_warp",
+    "stage_cnn_suffix",
+    "stage_legacy_cnn",
+    "stage_record",
+]
+
+
+@dataclass
+class PlanHandle:
+    """Picklable reference to a network's cached inference plan.
+
+    Holding a live :class:`~repro.nn.inference.InferencePlan` inside lane
+    state would pin megabytes of scratch into every pickle and bypass
+    :meth:`~repro.nn.network.Network.load_state_dict` invalidation, so
+    lane state stores this handle instead and re-resolves per step — a
+    dict lookup through :meth:`~repro.nn.network.Network.inference_plan`,
+    which grows capacity in place when the step needs more rows.
+    """
+
+    network: object
+    dtype: str = "float64"
+
+    def resolve(self, min_batch: int = 1):
+        """The live plan, grown to at least ``min_batch`` capacity."""
+        return self.network.inference_plan(max_batch=min_batch, dtype=self.dtype)
+
+
+@dataclass
+class LaneSlot:
+    """One executor slot of a lane: warm executor, policy, clip cursor.
+
+    ``policy`` is ``None`` while the slot is free (serving keeps
+    executors warm across occupants); ``cursor`` is the clip-local index
+    of the next frame to serve, which is what policies must see for
+    results to match a serial run.
+    """
+
+    executor: AMCExecutor
+    policy: Optional[KeyFramePolicy] = None
+    cursor: int = 0
+
+
+@dataclass
+class LaneState:
+    """Picklable execution state of one lane: slots plus the plan handle.
+
+    This is everything the stage functions need that outlives a single
+    step — the warm executor slots (with their stored key pixels and
+    activations), the per-slot policies and cursors, and the handle to
+    the lane's compiled inference plan.  Clips and request bookkeeping
+    stay with the caller; pickling a ``LaneState`` mid-stream and
+    resuming on the other side continues bit-identically.
+    """
+
+    slots: List[LaneSlot] = field(default_factory=list)
+    plan: Optional[PlanHandle] = None
+
+    @property
+    def engine(self) -> RFBMEEngine:
+        """The lane's shared RFBME engine (slot 0's, by convention).
+
+        All slots share one geometry, so one engine's scratch workspace
+        serves the whole lane — the same sharing the serving and lockstep
+        runtimes have always used.
+        """
+        return self.slots[0].executor.rfbme_engine
+
+    def occupied(self) -> List[int]:
+        """Slot positions currently holding a clip (policy attached)."""
+        return [i for i, slot in enumerate(self.slots) if slot.policy is not None]
+
+
+@dataclass
+class StepBatch:
+    """The working set of one lifecycle step.
+
+    ``positions`` index into ``state.slots`` (the slots taking part in
+    this step, in slot order); ``frames`` holds each position's frame at
+    its current cursor; ``plan`` is the resolved inference plan for the
+    planned CNN engine (``None`` selects the legacy per-clip path).
+    """
+
+    state: LaneState
+    positions: Sequence[int]
+    frames: Sequence[np.ndarray]
+    plan: Optional[object] = None
+
+    def __len__(self) -> int:
+        return len(self.positions)
+
+    def slot(self, k: int) -> LaneSlot:
+        return self.state.slots[self.positions[k]]
+
+
+# --------------------------------------------------------------------- #
+# stage functions
+# --------------------------------------------------------------------- #
+def stage_rfbme(batch: StepBatch) -> List[Optional[RFBMEResult]]:
+    """Batched RFBME for every slot with a stored key frame.
+
+    Returns estimations aligned with ``batch.positions`` (``None`` for
+    slots still waiting on their first key frame).  One
+    :meth:`~repro.core.rfbme.RFBMEEngine.estimate_batch` call covers the
+    whole step, exactly as the monolithic lockstep step did.
+    """
+    ready = [
+        k for k in range(len(batch)) if batch.slot(k).executor.has_key
+    ]
+    results = batch.state.engine.estimate_batch(
+        [
+            (batch.slot(k).executor.stored_pixels(), batch.frames[k])
+            for k in ready
+        ]
+    )
+    estimations: List[Optional[RFBMEResult]] = [None] * len(batch)
+    for k, estimation in zip(ready, results):
+        estimations[k] = estimation
+    return estimations
+
+
+def stage_decide(
+    batch: StepBatch, estimations: Sequence[Optional[RFBMEResult]]
+) -> List[bool]:
+    """Per-clip key-frame decisions at clip-local cursors."""
+    return [
+        batch.slot(k).policy.decide(batch.slot(k).cursor, estimations[k])
+        for k in range(len(batch))
+    ]
+
+
+def stage_cnn_prefix(
+    batch: StepBatch, decisions: Sequence[bool]
+) -> Optional[np.ndarray]:
+    """One batched CNN-prefix call for this step's key frames.
+
+    Each key slot adopts its row (pixels + target activation) — the
+    state mutation the lifecycle defines for a key frame.  Returns the
+    stacked key activations, or ``None`` when no slot chose a key.
+    """
+    keys = [k for k, is_key in enumerate(decisions) if is_key]
+    if not keys:
+        return None
+    target = batch.slot(keys[0]).executor.target
+    frames = np.stack([batch.frames[k] for k in keys])[:, None]
+    key_acts = batch.plan.run_prefix(frames, target)
+    for row, k in enumerate(keys):
+        batch.slot(k).executor.adopt_key(batch.frames[k], key_acts[row])
+    return key_acts
+
+
+def stage_warp(
+    batch: StepBatch,
+    decisions: Sequence[bool],
+    estimations: Sequence[Optional[RFBMEResult]],
+) -> Optional[np.ndarray]:
+    """Stacked predicted activations: warped (or memoized) key state.
+
+    One :func:`~repro.core.warp.warp_activation_batch` call covers every
+    predicted slot; memoize mode reuses the stacked stored activations
+    untouched (§IV-E1).  Returns ``None`` when every slot chose a key.
+    """
+    preds = [k for k, is_key in enumerate(decisions) if not is_key]
+    if not preds:
+        return None
+    executor0 = batch.slot(preds[0]).executor
+    stored = np.stack([batch.slot(k).executor.key_activation for k in preds])
+    if executor0.config.mode == "memoize":
+        return stored
+    fields = [
+        scale_to_activation(estimations[k].field, batch.slot(k).executor.rf)
+        for k in preds
+    ]
+    return warp_activation_batch(
+        stored,
+        fields,
+        interpolation=executor0.config.interpolation,
+        fixed_point=executor0.config.fixed_point,
+    )
+
+
+def stage_cnn_suffix(
+    batch: StepBatch,
+    decisions: Sequence[bool],
+    key_acts: Optional[np.ndarray],
+    pred_acts: Optional[np.ndarray],
+) -> np.ndarray:
+    """One CNN-suffix call over the concatenated key/predicted rows.
+
+    Returns outputs aligned with ``batch.positions`` (rows copied back
+    from the key-then-predicted execution order, bitwise unchanged).
+    """
+    if key_acts is not None and pred_acts is not None:
+        suffix_in = np.concatenate(
+            [key_acts, pred_acts.astype(key_acts.dtype, copy=False)]
+        )
+    elif key_acts is not None:
+        suffix_in = key_acts
+    else:
+        suffix_in = pred_acts
+    target = batch.slot(0).executor.target
+    outputs = batch.plan.run_suffix(suffix_in, target)
+
+    keys = [k for k, is_key in enumerate(decisions) if is_key]
+    preds = [k for k, is_key in enumerate(decisions) if not is_key]
+    aligned = np.empty((len(batch),) + outputs.shape[1:], dtype=outputs.dtype)
+    for row, k in enumerate(keys + preds):
+        aligned[k] = outputs[row]
+    return aligned
+
+
+def stage_legacy_cnn(
+    batch: StepBatch,
+    decisions: Sequence[bool],
+    estimations: Sequence[Optional[RFBMEResult]],
+) -> np.ndarray:
+    """Per-clip CNN execution for the legacy engine (no whole-batch CNN).
+
+    RFBME is still batched by :func:`stage_rfbme`; this stage runs each
+    clip's prefix/warp/suffix through its executor exactly as the serial
+    pipeline would, in slot order.
+    """
+    outputs = [
+        batch.slot(k).executor.process_key(batch.frames[k])
+        if decisions[k]
+        else batch.slot(k).executor.process_predicted(
+            batch.frames[k], estimations[k]
+        )
+        for k in range(len(batch))
+    ]
+    return np.concatenate(outputs)
+
+
+def stage_record(
+    batch: StepBatch,
+    decisions: Sequence[bool],
+    estimations: Sequence[Optional[RFBMEResult]],
+    outputs: np.ndarray,
+) -> List[FrameRecord]:
+    """Per-frame trace records, aligned with ``batch.positions``."""
+    return [
+        FrameRecord.from_step(
+            batch.slot(k).cursor,
+            decisions[k],
+            outputs[k : k + 1],
+            estimations[k],
+        )
+        for k in range(len(batch))
+    ]

@@ -150,6 +150,17 @@ class Network:
             plan.reserve(max_batch)
         return plan
 
+    def __getstate__(self):
+        """Pickle without compiled inference plans (scratch, snapshots).
+
+        Plans rebuild on demand from :meth:`inference_plan`, so a network
+        shipped to a worker process arrives light and compiles its own —
+        the plan-per-worker ownership rule of the sharded serving layer.
+        """
+        state = self.__dict__.copy()
+        state["_plans"] = {}
+        return state
+
     def invalidate_plans(self) -> None:
         """Drop cached inference plans (needed after parameter rebinding;
         float32 plans also snapshot weights at compile time)."""

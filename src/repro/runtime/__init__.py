@@ -6,15 +6,21 @@ per-clip :class:`~repro.core.EVA2Pipeline` into a workload runtime:
 
 * :class:`PipelineSpec` — picklable recipe for building identical
   pipelines in any worker.
-* :class:`ClipScheduler` — fans clips over a serial / thread / process
-  pool, order-preserving.
+* :class:`ClipScheduler` / :class:`ShardPool` — fan clips (or lane
+  shards) over a serial / thread / process pool, order-preserving.
+* :class:`StageGraph` — the frame lifecycle as declared stages with
+  typed inputs/outputs (:func:`frame_lifecycle_graph`), run over the
+  picklable :class:`~repro.core.stages.LaneState`; the one definition
+  of the step that lockstep and serving both execute.
 * :class:`BatchedPipeline` — lockstep execution that batches the RFBME
   hot path across all active clips in one vectorized call.
-* :class:`ServingRuntime` — streaming serving with continuous batching:
-  requests join the running batch at step boundaries, evict on
-  completion, and refill freed slots without draining; heterogeneous
-  traffic buckets into shape-compatible lanes; :class:`ServingReport`
-  carries per-request latency/throughput accounting.
+* :class:`ServingRuntime` — streaming serving with continuous batching,
+  split into a :class:`Router` front end (admission, shape bucketing,
+  :class:`LaneRoutingError` rejections) and :class:`LaneWorker` back
+  ends that run the stage graph — in-process, or sharded across worker
+  processes with ``serve_workers=N`` (plan-per-worker ownership);
+  :class:`ServingReport` carries per-request latency/throughput
+  accounting with p50/p95/p99 tails and per-shard breakdowns.
 * :class:`WorkloadResult` — aggregate results plus throughput stats
   (frames/sec, key fraction, total adder ops).
 * :func:`synthetic_workload` / :func:`poisson_arrival_times` —
@@ -32,9 +38,19 @@ from .batched import (
     execute_batched_step,
     run_workload,
 )
-from .scheduler import ClipScheduler, SchedulerConfig
-from .serving import ClipRequest, RequestRecord, ServingReport, ServingRuntime
+from .scheduler import ClipScheduler, SchedulerConfig, ShardPool
+from .serving import (
+    ClipRequest,
+    LaneRoutingError,
+    LaneWorker,
+    RequestRecord,
+    Router,
+    ServingReport,
+    ServingRuntime,
+    ShardInfo,
+)
 from .spec import PAPER_MODES, PipelineSpec
+from .stage_graph import Stage, StageGraph, frame_lifecycle_graph
 from .workload import poisson_arrival_times, synthetic_workload
 
 __all__ = [
@@ -44,10 +60,18 @@ __all__ = [
     "execute_batched_step",
     "ClipScheduler",
     "SchedulerConfig",
+    "ShardPool",
     "ClipRequest",
+    "LaneRoutingError",
+    "LaneWorker",
     "RequestRecord",
+    "Router",
     "ServingReport",
     "ServingRuntime",
+    "ShardInfo",
+    "Stage",
+    "StageGraph",
+    "frame_lifecycle_graph",
     "PAPER_MODES",
     "PipelineSpec",
     "synthetic_workload",

@@ -17,10 +17,13 @@ every stage of the frame lifecycle:
 * **Suffix** — the per-frame CNN tail runs once over the concatenated
   key and predicted activations.
 
-Key-frame decisions stay per clip, and every batched stage is bitwise
-equal to its per-clip form (the inference plan keeps BLAS calls at
-serial shapes unless fusing is proven bit-identical on the host), so a
-lockstep run reproduces the serial
+Each step executes as the declared stage graph of
+:func:`~repro.runtime.stage_graph.frame_lifecycle_graph` over a
+:class:`~repro.core.stages.LaneState` — the same graph the serving
+workers run.  Key-frame decisions stay per clip, and every batched
+stage is bitwise equal to its per-clip form (the inference plan keeps
+BLAS calls at serial shapes unless fusing is proven bit-identical on
+the host), so a lockstep run reproduces the serial
 :meth:`~repro.core.EVA2Pipeline.run_clips` results exactly: same
 outputs, same key-frame decisions, same op counts.  Executor
 construction, policy setup, and all workspace allocation happen once per
@@ -45,10 +48,11 @@ from typing import List, Optional, Sequence
 import numpy as np
 
 from ..core.pipeline import FrameRecord, PipelineResult
-from ..core.warp import scale_to_activation, warp_activation_batch
+from ..core.stages import LaneSlot, LaneState, PlanHandle, StepBatch
 from ..video.generator import VideoClip
 from .scheduler import ClipScheduler, SchedulerConfig
 from .spec import PipelineSpec
+from .stage_graph import frame_lifecycle_graph
 
 __all__ = [
     "WorkloadResult",
@@ -56,7 +60,6 @@ __all__ = [
     "run_workload",
     "execute_batched_step",
 ]
-
 
 def execute_batched_step(plan, entries) -> List[FrameRecord]:
     """One lockstep step with whole-batch CNN execution.
@@ -69,67 +72,30 @@ def execute_batched_step(plan, entries) -> List[FrameRecord]:
     executors must share one network, target, and AMC config, and
     ``plan`` must have capacity for ``len(entries)``.
 
-    Decisions are taken per clip first; then coincident key frames run
-    the prefix as one batch, predicted clips warp (or memoize) their
-    stored activations as one batch, and a single suffix call covers
-    everything.  Each stage is bitwise equal to the per-clip path, so
-    the returned records — aligned with ``entries`` — match serial
-    execution exactly.  Shared by :class:`BatchedPipeline` (all clips on
-    frame t together) and the serving runtime
-    (:class:`~repro.runtime.serving.ServingRuntime`, clips at arbitrary
-    per-clip cursors).
+    This is now a thin compatibility wrapper over the stage graph
+    (:func:`~repro.runtime.stage_graph.frame_lifecycle_graph`): it builds
+    a transient :class:`~repro.core.stages.LaneState` from the entries,
+    seeds the precomputed estimations (so the ``rfbme`` stage is
+    skipped), and runs the remaining stages.  Every stage is bitwise
+    equal to the per-clip path, so the returned records — aligned with
+    ``entries`` — match serial execution exactly.
     """
-    executor0 = entries[0][0]
-    target = executor0.target
-    mode = executor0.config.mode
-    keys: List[int] = []
-    preds: List[int] = []
-    decisions: List[bool] = []
-    for pos, (executor, policy, frame, index, estimation) in enumerate(entries):
-        is_key = policy.decide(index, estimation)
-        decisions.append(is_key)
-        (keys if is_key else preds).append(pos)
-
-    key_acts = None
-    if keys:
-        frames = np.stack([entries[p][2] for p in keys])[:, None]
-        key_acts = plan.run_prefix(frames, target)
-        for row, p in enumerate(keys):
-            entries[p][0].adopt_key(entries[p][2], key_acts[row])
-
-    pred_acts = None
-    if preds:
-        stored = np.stack([entries[p][0].key_activation for p in preds])
-        if mode == "memoize":
-            pred_acts = stored
-        else:
-            fields = [
-                scale_to_activation(entries[p][4].field, entries[p][0].rf)
-                for p in preds
-            ]
-            pred_acts = warp_activation_batch(
-                stored,
-                fields,
-                interpolation=executor0.config.interpolation,
-                fixed_point=executor0.config.fixed_point,
-            )
-
-    if key_acts is not None and pred_acts is not None:
-        suffix_in = np.concatenate(
-            [key_acts, pred_acts.astype(key_acts.dtype, copy=False)]
-        )
-    elif key_acts is not None:
-        suffix_in = key_acts
-    else:
-        suffix_in = pred_acts
-    outputs = plan.run_suffix(suffix_in, target)
-
-    records: List[Optional[FrameRecord]] = [None] * len(entries)
-    for row, p in enumerate(keys + preds):
-        records[p] = FrameRecord.from_step(
-            entries[p][3], decisions[p], outputs[row : row + 1], entries[p][4]
-        )
-    return records
+    state = LaneState(
+        slots=[
+            LaneSlot(executor=executor, policy=policy, cursor=index)
+            for executor, policy, _, index, _ in entries
+        ]
+    )
+    batch = StepBatch(
+        state=state,
+        positions=range(len(entries)),
+        frames=[frame for _, _, frame, _, _ in entries],
+        plan=plan,
+    )
+    env = frame_lifecycle_graph(planned=True).run(
+        batch, seed={"estimations": [entry[4] for entry in entries]}
+    )
+    return env["records"]
 
 
 @dataclass
@@ -237,64 +203,46 @@ class BatchedPipeline:
         """Process every clip; bit-identical to the serial path."""
         start = time.perf_counter()
         network = self.spec.shared_network()  # executors never mutate it
-        executors = [self.spec.build_executor(network) for _ in clips]
-        policies = [self.spec.build_policy() for _ in clips]
-        for executor, policy in zip(executors, policies):
-            executor.reset()
-            policy.reset()
-        # One shared engine: all executors have identical geometry, so its
-        # scratch workspace serves the whole batch.
-        engine = executors[0].rfbme_engine if executors else None
-        plan = None
-        if self.cnn_batching and clips:
-            plan = network.inference_plan(
-                max_batch=len(clips), dtype=self.spec.dtype
-            )
+        # One slot per clip.  Slot 0's executor lends its RFBME engine to
+        # the whole lane (identical geometry, shared scratch workspace).
+        state = LaneState(
+            slots=[
+                LaneSlot(
+                    executor=self.spec.build_executor(network),
+                    policy=self.spec.build_policy(),
+                )
+                for _ in clips
+            ],
+            plan=(
+                PlanHandle(network, self.spec.dtype)
+                if self.cnn_batching
+                else None
+            ),
+        )
+        for slot in state.slots:
+            slot.executor.reset()
+            slot.policy.reset()
+        graph = frame_lifecycle_graph(planned=self.cnn_batching)
+        plan = state.plan.resolve(len(clips)) if state.plan and clips else None
 
         records: List[List[FrameRecord]] = [[] for _ in clips]
         max_frames = max((len(clip) for clip in clips), default=0)
         for index in range(max_frames):
-            active = [i for i in range(len(clips)) if index < len(clips[i])]
-            ready = [i for i in active if executors[i].has_key]
-            estimations = engine.estimate_batch(
-                [
-                    (executors[i].stored_pixels(), clips[i].frames[index])
-                    for i in ready
-                ]
+            positions = [i for i in range(len(clips)) if index < len(clips[i])]
+            env = graph.run(
+                StepBatch(
+                    state=state,
+                    positions=positions,
+                    frames=[clips[i].frames[index] for i in positions],
+                    plan=plan,
+                )
             )
-            by_clip = dict(zip(ready, estimations))
-            if plan is not None:
-                self._step_batched(
-                    plan, executors, policies, clips, records, index,
-                    active, by_clip,
-                )
-                continue
-            for i in active:
-                frame = clips[i].frames[index]
-                estimation = by_clip.get(i)
-                is_key = policies[i].decide(index, estimation)
-                if is_key:
-                    output = executors[i].process_key(frame)
-                else:
-                    output = executors[i].process_predicted(frame, estimation)
-                records[i].append(
-                    FrameRecord.from_step(index, is_key, output, estimation)
-                )
+            for k, i in enumerate(positions):
+                records[i].append(env["records"][k])
+                state.slots[i].cursor += 1
         results = [PipelineResult(records=r) for r in records]
         wall = time.perf_counter() - start
         return WorkloadResult(results=results, wall_seconds=wall, path="lockstep")
-
-    def _step_batched(
-        self, plan, executors, policies, clips, records, index, active, by_clip
-    ) -> None:
-        """One lockstep step, delegated to :func:`execute_batched_step`."""
-        entries = [
-            (executors[i], policies[i], clips[i].frames[index], index,
-             by_clip.get(i))
-            for i in active
-        ]
-        for i, record in zip(active, execute_batched_step(plan, entries)):
-            records[i].append(record)
 
 
 def run_workload(

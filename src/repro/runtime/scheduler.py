@@ -26,7 +26,7 @@ from ..core.pipeline import PipelineResult
 from ..video.generator import VideoClip
 from .spec import PipelineSpec
 
-__all__ = ["SchedulerConfig", "ClipScheduler"]
+__all__ = ["SchedulerConfig", "ClipScheduler", "ShardPool"]
 
 _BACKENDS = ("auto", "serial", "thread", "process")
 
@@ -68,6 +68,44 @@ class SchedulerConfig:
         if self.backend != "auto":
             return self.backend
         return "process" if (os.cpu_count() or 1) > 1 else "serial"
+
+
+class ShardPool:
+    """Order-preserving map of picklable shard tasks over a worker pool.
+
+    The scheduler/serving hybrid the serving layer shards lanes with:
+    each task describes one lane shard (spec, capacity, assigned
+    requests), the mapped function builds a warm
+    :class:`~repro.runtime.serving.LaneWorker` inside the worker — its
+    own network and inference plan, never a pickled live one — and runs
+    the shard's serve loop.  ``backend`` resolution reuses
+    :class:`SchedulerConfig`: ``process`` realizes shard concurrency on
+    separate cores, ``serial`` runs shards inline (single-core hosts,
+    deterministic debugging), ``auto`` picks between them by core count.
+    """
+
+    def __init__(self, config: Optional[SchedulerConfig] = None):
+        self.config = config or SchedulerConfig()
+
+    def map(self, fn, tasks: Sequence) -> List:
+        """``[fn(task) for task in tasks]``, possibly across processes.
+
+        ``fn`` must be a module-level function and every task picklable
+        when the process backend resolves.  Results keep task order.
+        """
+        tasks = list(tasks)
+        backend = self.config.resolve(len(tasks))
+        if backend == "process":
+            with ProcessPoolExecutor(
+                max_workers=min(self.config.workers, len(tasks))
+            ) as pool:
+                return list(pool.map(fn, tasks))
+        if backend == "thread":
+            with ThreadPoolExecutor(
+                max_workers=min(self.config.workers, len(tasks))
+            ) as pool:
+                return list(pool.map(fn, tasks))
+        return [fn(task) for task in tasks]
 
 
 class ClipScheduler:

@@ -1,62 +1,103 @@
-"""Streaming serving runtime — continuous batching over the lockstep core.
+"""Streaming serving — a routing front end over sharded lane workers.
 
-The lockstep :class:`~repro.runtime.batched.BatchedPipeline` batches a
-*fixed* set of clips that start and finish together; a deployment sees
-clips arrive and depart continuously.  :class:`ServingRuntime` closes
-that gap with the continuous-batching discipline of modern serving
-systems, applied to the EVA2 frame lifecycle:
+The serving layer is split along the line a deployment would draw:
 
-* **Admission** — requests wait in per-lane FIFO queues and join the
-  running batch at the next step boundary; nothing drains, nothing
-  restarts.
-* **Lanes** — heterogeneous traffic is bucketed into shape-compatible
-  lanes (one per registered :class:`~repro.runtime.spec.PipelineSpec`):
-  every clip in a lane shares frame resolution, network, and AMC config,
-  which is exactly the compatibility the batched RFBME/CNN calls need.
-  Requests route by frame shape, or explicitly by lane name when shapes
-  alone are ambiguous.
-* **Eviction** — a clip's slot is released the moment its last frame is
-  served (:meth:`~repro.core.amc.AMCExecutor.release`); the next queued
-  request takes the slot over at the following step, so batch occupancy
-  tracks offered load.
-* **Occupancy-flexible execution** — each lane holds one
-  :class:`~repro.nn.inference.InferencePlan` at lane capacity; any
-  occupancy up to capacity runs against the same compiled geometry
-  (plans grow with :meth:`~repro.nn.inference.InferencePlan.reserve`
-  and can hand scratch back with ``shrink`` when a deployment scales
-  down).
+* :class:`Router` — the front end.  Owns the lane registry (one
+  :class:`~repro.runtime.spec.PipelineSpec` per lane), buckets incoming
+  requests into shape-compatible lanes (by frame shape, or lane name
+  when shapes are ambiguous), and rejects unrouteable traffic with a
+  :class:`LaneRoutingError` that names every registered lane.  Pure
+  bookkeeping — it never touches an executor.
+* :class:`LaneWorker` — the back end.  One *shard* of one lane: warm
+  executor slots, the lane's compiled inference plan, and the admission
+  queue, all driving the declared stage graph
+  (:func:`~repro.runtime.stage_graph.frame_lifecycle_graph`) one step at
+  a time.  A worker runs in-process, or — because its execution state is
+  the picklable :class:`~repro.core.stages.LaneState` recipe away from a
+  spec — inside a worker process, where it builds **its own** network
+  and plan (plan-per-worker ownership: live plans never cross a process
+  boundary; see :meth:`~repro.nn.network.Network.__getstate__`).
+* :class:`ServingRuntime` — the facade that composes them.
+  ``serve_workers=1`` (default) runs every lane's worker in-process
+  under one virtual clock — the continuous-batching behaviour of PR 3,
+  bit-identical and within its throughput envelope.  ``serve_workers=N``
+  shards lanes across a process pool
+  (:class:`~repro.runtime.scheduler.ShardPool`): each lane gets
+  ``ceil(N / num_lanes)`` shards, its requests split round-robin in
+  arrival order, and every shard serves its slice with the same
+  admission/eviction discipline on its own clock.
 
-The correctness contract is inherited unchanged from the lockstep core:
-every served clip's outputs, key-frame decisions, and op counts are
-bit-identical to running that clip alone through the serial pipeline,
-regardless of which batch-mates shared its steps.  Decisions are per
-clip at clip-local frame indices, and every batched stage
-(:func:`~repro.runtime.batched.execute_batched_step`) is bitwise equal
-to its per-clip form.
+Continuous batching semantics are unchanged from PR 3: requests wait in
+per-lane FIFO queues and join the running batch at step boundaries; a
+clip's slot is released the moment its last frame is served and the next
+queued request takes it over; any occupancy up to capacity runs against
+the same compiled plan geometry.  The correctness contract is also
+unchanged — and is what makes sharding safe: every served clip's
+outputs, key-frame decisions, and op counts are bit-identical to running
+that clip alone through the serial pipeline, regardless of which
+batch-mates (or which shard) shared its steps.
 
-Time is virtual: arrival times are honoured against a monotonic clock,
-and stretches where the server is idle with no arrival due are *skipped*
-rather than slept, so a simulation runs at full speed while latency
-accounting (enqueue wait, time to first frame) still reflects the
-arrival process.  ``wall_seconds`` counts only busy time, which is what
-the steady-state throughput metric divides by.
+Time is virtual per serve loop: arrivals are honoured against a
+monotonic clock, idle stretches with no arrival due are skipped rather
+than slept, and ``wall_seconds`` counts busy time only.  A sharded
+report aggregates under the concurrent-deployment model — shards run
+side by side, so the aggregate busy/idle time is the *slowest shard's*
+and throughput divides total frames by it; with the process backend on
+enough cores that is also the elapsed time you observe.
 """
 
 from __future__ import annotations
 
 import time
 from collections import deque
-from dataclasses import dataclass
-from typing import Callable, Dict, List, Mapping, Optional, Sequence, Tuple, Union
+from dataclasses import dataclass, field
+from typing import (
+    Callable,
+    Dict,
+    List,
+    Mapping,
+    Optional,
+    Sequence,
+    Tuple,
+    Union,
+)
 
 import numpy as np
 
 from ..core.pipeline import FrameRecord, PipelineResult
+from ..core.stages import LaneSlot, LaneState, PlanHandle, StepBatch
 from ..video.generator import VideoClip
-from .batched import WorkloadResult, execute_batched_step
+from .batched import WorkloadResult
+from .scheduler import SchedulerConfig, ShardPool
 from .spec import PipelineSpec
+from .stage_graph import frame_lifecycle_graph
 
-__all__ = ["ClipRequest", "RequestRecord", "ServingReport", "ServingRuntime"]
+__all__ = [
+    "ClipRequest",
+    "RequestRecord",
+    "ServingReport",
+    "ServingRuntime",
+    "Router",
+    "LaneWorker",
+    "LaneRoutingError",
+    "ShardInfo",
+]
+
+#: latency percentiles the report surfaces (tails matter under load).
+PERCENTILES = (50, 95, 99)
+
+
+class LaneRoutingError(KeyError, ValueError):
+    """A request could not be routed to any registered lane.
+
+    Subclasses both :class:`KeyError` (unknown lane names are lookup
+    failures) and :class:`ValueError` (shape mismatches are value
+    failures), so existing callers catching either keep working; the
+    message always names every registered lane and its frame shape.
+    """
+
+    def __str__(self) -> str:  # KeyError would repr-quote the message
+        return self.args[0] if self.args else ""
 
 
 @dataclass(frozen=True)
@@ -94,6 +135,8 @@ class RequestRecord:
     #: when its last frame's output existed and the slot was released.
     finish_time: float
     result: PipelineResult
+    #: which shard of the lane served it (0 when unsharded).
+    shard: int = 0
 
     @property
     def num_frames(self) -> int:
@@ -124,20 +167,43 @@ class RequestRecord:
 
 
 @dataclass
+class ShardInfo:
+    """What one lane shard did during a sharded serve."""
+
+    lane: str
+    shard: int
+    requests: int
+    frames: int
+    #: busy seconds of this shard's serve loop (its own clock).
+    wall_seconds: float
+    idle_seconds: float
+    steps: int
+
+    @property
+    def frames_per_second(self) -> float:
+        return self.frames / self.wall_seconds if self.wall_seconds else 0.0
+
+
+@dataclass
 class ServingReport:
     """What one serving run did, per request and in aggregate."""
 
     #: per-request accounting, in submission order.
     records: List[RequestRecord]
     #: busy wall-clock seconds (idle gaps with no arrival due are skipped,
-    #: not counted).
+    #: not counted).  For a sharded run this is the slowest shard's busy
+    #: time — shards run concurrently, so it is the aggregate's divisor.
     wall_seconds: float
-    #: virtual seconds skipped while idle.
+    #: virtual seconds skipped while idle (slowest shard's, when sharded).
     idle_seconds: float
-    #: lockstep steps executed across all lanes.
+    #: lockstep steps executed across all lanes and shards.
     steps: int
     #: per-lane slot capacity the runtime was configured with.
     max_batch: int
+    #: worker processes the run was sharded over (1 = in-process).
+    serve_workers: int = 1
+    #: per-shard accounting (empty for in-process runs).
+    shards: List[ShardInfo] = field(default_factory=list)
 
     @property
     def num_requests(self) -> int:
@@ -149,7 +215,11 @@ class ServingReport:
 
     @property
     def frames_per_second(self) -> float:
-        """Steady-state throughput: frames served per busy second."""
+        """Steady-state throughput: frames served per busy second.
+
+        Sharded runs divide by the slowest shard's busy time (the
+        concurrent-deployment model the process backend realizes).
+        """
         return self.total_frames / self.wall_seconds if self.wall_seconds else 0.0
 
     @property
@@ -163,22 +233,41 @@ class ServingReport:
     def times_to_first_frame(self) -> np.ndarray:
         return np.array([record.time_to_first_frame for record in self.records])
 
+    def latency_percentiles(self) -> Dict[str, float]:
+        """p50/p95/p99 of enqueue latency and time-to-first-frame (s).
+
+        Keys are ``enqueue_p50`` … ``ttff_p99``.  Means alone hide tail
+        latency under load; these are what the CLI and the serving
+        benchmark surface.
+        """
+        out: Dict[str, float] = {}
+        if not self.records:
+            return out
+        series = {
+            "enqueue": self.enqueue_latencies(),
+            "ttff": self.times_to_first_frame(),
+        }
+        for prefix, values in series.items():
+            for p in PERCENTILES:
+                out[f"{prefix}_p{p}"] = float(np.percentile(values, p))
+        return out
+
     def workload_result(self) -> WorkloadResult:
         """The per-clip results as a :class:`WorkloadResult`.
 
         Request order is submission order, so this compares directly
-        (``matches``) against a serial/lockstep run of the same clips.
+        (``matches``) against a serial/lockstep run of the same clips —
+        sharded or not.
         """
         return WorkloadResult(
             results=[record.result for record in self.records],
             wall_seconds=self.wall_seconds,
             path="serving",
+            workers=self.serve_workers,
         )
 
     def summary_rows(self) -> List[List[object]]:
         """Rows for the CLI / bench summary table."""
-        enqueue = self.enqueue_latencies()
-        ttff = self.times_to_first_frame()
         rows: List[List[object]] = [
             ["path", "serving"],
             ["requests", self.num_requests],
@@ -188,157 +277,387 @@ class ServingReport:
             ["frames/s", round(self.frames_per_second, 1)],
             ["steps", self.steps],
             ["mean occupancy", round(self.mean_occupancy, 2)],
+            ["serve workers", self.serve_workers],
         ]
-        if self.num_requests:
-            rows += [
-                ["enqueue p50 ms", round(float(np.percentile(enqueue, 50)) * 1e3, 2)],
-                ["enqueue p95 ms", round(float(np.percentile(enqueue, 95)) * 1e3, 2)],
-                ["ttff p50 ms", round(float(np.percentile(ttff, 50)) * 1e3, 2)],
-                ["ttff p95 ms", round(float(np.percentile(ttff, 95)) * 1e3, 2)],
-            ]
+        for key, value in self.latency_percentiles().items():
+            prefix, pct = key.split("_")
+            rows.append([f"{prefix} {pct} ms", round(value * 1e3, 2)])
+        for shard in self.shards:
+            rows.append(
+                [
+                    f"shard {shard.lane}/{shard.shard}",
+                    f"{shard.requests} req, {shard.frames} frames, "
+                    f"{round(shard.frames_per_second, 1)} f/s",
+                ]
+            )
         return rows
 
 
-class _Slot:
-    """One resident clip: its executor/policy pair plus progress state."""
+@dataclass
+class _Resident:
+    """Request bookkeeping for one occupied slot.
 
-    __slots__ = (
-        "seq", "request", "executor", "policy", "cursor", "records",
-        "admit_time", "first_output_time",
-    )
+    Execution state (executor, policy, cursor) lives in the worker's
+    :class:`~repro.core.stages.LaneState`; this is the serving-side
+    record of who occupies the slot and when.
+    """
 
-    def __init__(self, seq, request, executor, policy, admit_time):
-        self.seq = seq
-        self.request = request
-        self.executor = executor
-        self.policy = policy
-        self.cursor = 0  # clip-local index of the next frame to serve
-        self.records: List[FrameRecord] = []
-        self.admit_time = admit_time
-        self.first_output_time: Optional[float] = None
-
-    def frame(self) -> np.ndarray:
-        return self.request.clip.frames[self.cursor]
-
-    def done(self) -> bool:
-        return self.cursor >= len(self.request.clip)
+    seq: int
+    request: ClipRequest
+    admit_time: float
+    first_output_time: Optional[float] = None
+    records: List[FrameRecord] = field(default_factory=list)
 
 
-class _Lane:
-    """One shape-compatible batch: shared network, engine, plan, slots."""
+class LaneWorker:
+    """One shard of one lane: slots, plan, queue, and the stage graph.
 
-    def __init__(self, name: str, spec: PipelineSpec, capacity: int):
+    Holds the lane's picklable execution state
+    (:class:`~repro.core.stages.LaneState`: warm executor slots, plan
+    handle, per-clip cursors) plus the serving bookkeeping (admission
+    queue, per-slot residents), and advances everything one lifecycle
+    step at a time by running the declared stage graph at the current
+    occupancy.
+
+    A worker is cheap to build from its spec, which is how the sharded
+    path works: the parent ships ``(lane, spec, capacity, requests)`` to
+    a worker process and the process builds its own worker — its own
+    network, its own compiled plan.
+    """
+
+    def __init__(self, name: str, spec: PipelineSpec, capacity: int,
+                 shard: int = 0):
         self.name = name
         self.spec = spec
-        self.network = spec.shared_network()
-        self.frame_shape: Tuple[int, int] = tuple(self.network.input_shape[1:])
         self.capacity = capacity
-        # Slots hold warm executors for the lane's lifetime; admitted
+        self.shard = shard
+        network = spec.shared_network()
+        self.frame_shape: Tuple[int, int] = tuple(network.input_shape[1:])
+        # Slots hold warm executors for the worker's lifetime; admitted
         # clips borrow one and release it on departure.
-        self.executors = [spec.build_executor(self.network) for _ in range(capacity)]
-        for executor in self.executors:
+        slots = []
+        for _ in range(capacity):
+            executor = spec.build_executor(network)
             executor.reset()
-        self.engine = self.executors[0].rfbme_engine
-        self.plan = None
-        if spec.cnn_engine == "planned":
-            self.plan = self.network.inference_plan(
-                max_batch=capacity, dtype=spec.dtype
-            )
-        self.slots: List[Optional[_Slot]] = [None] * capacity
+            slots.append(LaneSlot(executor=executor))
+        plan_handle = (
+            PlanHandle(network, spec.dtype)
+            if spec.cnn_engine == "planned"
+            else None
+        )
+        if plan_handle is not None:
+            plan_handle.resolve(capacity)  # compile at capacity up front
+        self.state = LaneState(slots=slots, plan=plan_handle)
+        self.graph = frame_lifecycle_graph(planned=plan_handle is not None)
+        self.residents: List[Optional[_Resident]] = [None] * capacity
         self.queue: "deque[Tuple[int, ClipRequest]]" = deque()
 
     # -------------------------------------------------------------- #
+    @property
+    def plan(self):
+        """The lane's live inference plan (None on the legacy engine)."""
+        return self.state.plan.resolve() if self.state.plan else None
+
     def has_free_slot(self) -> bool:
-        return any(slot is None for slot in self.slots)
+        return any(resident is None for resident in self.residents)
 
     def has_active(self) -> bool:
-        return any(slot is not None for slot in self.slots)
+        return any(resident is not None for resident in self.residents)
+
+    def active_residents(self) -> List[_Resident]:
+        return [resident for resident in self.residents if resident is not None]
 
     def admit(self, seq: int, request: ClipRequest, now: float) -> None:
-        index = self.slots.index(None)
-        executor = self.executors[index]
-        executor.reset()  # identical start state to a fresh serial run
-        slot = _Slot(seq, request, executor, self.spec.build_policy(), now)
+        """Seat ``request`` in a free slot, fresh-executor state."""
+        index = self.residents.index(None)
+        slot = self.state.slots[index]
+        slot.executor.reset()  # identical start state to a fresh serial run
+        slot.policy = self.spec.build_policy()
         slot.policy.reset()
-        self.slots[index] = slot
+        slot.cursor = 0
+        self.residents[index] = _Resident(seq, request, now)
 
-    def step(self) -> List[_Slot]:
+    def step(self) -> List[_Resident]:
         """Serve one frame of every resident clip; return departures.
 
-        The step is the lockstep core at the lane's current occupancy:
-        one RFBME batch over the clips that have a stored key, per-clip
-        decisions at clip-local indices, then the batched CNN stages
-        (planned engine) or the per-clip serial path (legacy engine).
+        One pass of the stage graph at current occupancy: batched RFBME
+        over the slots with a stored key, per-clip decisions at
+        clip-local cursors, then the batched (or legacy per-clip) CNN
+        stages.  Slots whose clip finished release their executor and
+        free up for the next admission.
         """
-        active = [slot for slot in self.slots if slot is not None]
-        ready = [slot for slot in active if slot.executor.has_key]
-        estimations = self.engine.estimate_batch(
-            [(slot.executor.stored_pixels(), slot.frame()) for slot in ready]
+        positions = [
+            i for i, resident in enumerate(self.residents) if resident is not None
+        ]
+        plan = (
+            self.state.plan.resolve(len(positions)) if self.state.plan else None
         )
-        by_slot = {id(slot): est for slot, est in zip(ready, estimations)}
-
-        if self.plan is not None:
-            # No-op at steady state; regrows scratch after a shrink (e.g.
-            # a close() between serve calls).
-            self.plan.reserve(len(active))
-            entries = [
-                (slot.executor, slot.policy, slot.frame(), slot.cursor,
-                 by_slot.get(id(slot)))
-                for slot in active
-            ]
-            for slot, record in zip(
-                active, execute_batched_step(self.plan, entries)
-            ):
-                slot.records.append(record)
-        else:
-            for slot in active:
-                estimation = by_slot.get(id(slot))
-                is_key = slot.policy.decide(slot.cursor, estimation)
-                if is_key:
-                    output = slot.executor.process_key(slot.frame())
-                else:
-                    output = slot.executor.process_predicted(
-                        slot.frame(), estimation
-                    )
-                slot.records.append(
-                    FrameRecord.from_step(
-                        slot.cursor, is_key, output, estimation
-                    )
-                )
-
-        finished: List[_Slot] = []
-        for index, slot in enumerate(self.slots):
-            if slot is None:
-                continue
+        env = self.graph.run(
+            StepBatch(
+                state=self.state,
+                positions=positions,
+                frames=[
+                    self.residents[i].request.clip.frames[self.state.slots[i].cursor]
+                    for i in positions
+                ],
+                plan=plan,
+            )
+        )
+        finished: List[_Resident] = []
+        for k, i in enumerate(positions):
+            resident = self.residents[i]
+            resident.records.append(env["records"][k])
+            slot = self.state.slots[i]
             slot.cursor += 1
-            if slot.done():
+            if slot.cursor >= len(resident.request.clip):
                 slot.executor.release()
-                self.slots[index] = None
-                finished.append(slot)
+                slot.policy = None
+                self.residents[i] = None
+                finished.append(resident)
         return finished
+
+    def serve_shard(
+        self,
+        assigned: Sequence[Tuple[int, ClipRequest]],
+        clock: Optional[Callable[[], float]] = None,
+    ) -> "_ShardOutcome":
+        """Run the full serve loop for this shard's slice of traffic.
+
+        The single-worker form of the loop :class:`ServingRuntime` runs
+        across all in-process workers: same admission discipline, same
+        virtual-time idle skipping, on this shard's own clock.
+        """
+        clock = clock or time.perf_counter
+        pending: "deque[Tuple[int, ClipRequest]]" = deque(
+            sorted(assigned, key=lambda item: (item[1].arrival_time, item[0]))
+        )
+        done, wall, idle, steps = _serve_loop(
+            [self], lambda request: self, pending, clock
+        )
+        return _ShardOutcome(
+            lane=self.name,
+            shard=self.shard,
+            records=done,
+            wall_seconds=wall,
+            idle_seconds=idle,
+            steps=steps,
+        )
 
     def release(self) -> None:
         """Drop resident state and hand plan scratch back."""
-        for index, slot in enumerate(self.slots):
-            if slot is not None:
-                slot.executor.release()
-                self.slots[index] = None
+        for index, resident in enumerate(self.residents):
+            if resident is not None:
+                self.state.slots[index].executor.release()
+                self.state.slots[index].policy = None
+                self.residents[index] = None
         self.queue.clear()
-        if self.plan is not None:
-            self.plan.shrink(1)
+        if self.state.plan is not None:
+            self.state.plan.resolve().shrink(1)
+
+
+class Router:
+    """Serving front end: lane registry, shape bucketing, shard assignment.
+
+    Pure routing — admission timing and execution belong to the workers.
+    A request routes by explicit lane name, or by frame shape when the
+    shape identifies exactly one lane; anything else raises
+    :class:`LaneRoutingError` naming every registered lane.
+    """
+
+    def __init__(self, specs: Mapping[str, PipelineSpec]):
+        if not specs:
+            raise ValueError("at least one lane spec is required")
+        self.specs: Dict[str, PipelineSpec] = dict(specs)
+        self.frame_shapes: Dict[str, Tuple[int, int]] = {
+            name: tuple(spec.shared_network().input_shape[1:])
+            for name, spec in self.specs.items()
+        }
+        self._by_shape: Dict[Tuple[int, int], List[str]] = {}
+        for name, shape in self.frame_shapes.items():
+            self._by_shape.setdefault(shape, []).append(name)
+
+    def describe_lanes(self) -> str:
+        """``name=shape`` for every registered lane (error messages)."""
+        return ", ".join(
+            f"{name}={self.frame_shapes[name]}" for name in self.specs
+        )
+
+    def lane_for(self, request: ClipRequest) -> str:
+        """The lane name that will serve ``request`` (shape bucketing)."""
+        shape = tuple(request.clip.frames.shape[1:])
+        if request.lane is not None:
+            if request.lane not in self.specs:
+                raise LaneRoutingError(
+                    f"unknown lane {request.lane!r}; registered lanes: "
+                    f"{self.describe_lanes()}"
+                )
+            if shape != self.frame_shapes[request.lane]:
+                raise LaneRoutingError(
+                    f"request {request.request_id!r} has {shape} frames; "
+                    f"lane {request.lane!r} serves "
+                    f"{self.frame_shapes[request.lane]} (registered lanes: "
+                    f"{self.describe_lanes()})"
+                )
+            return request.lane
+        names = self._by_shape.get(shape, [])
+        if not names:
+            raise LaneRoutingError(
+                f"no lane serves frame shape {shape}; registered lanes: "
+                f"{self.describe_lanes()}"
+            )
+        if len(names) > 1:
+            raise LaneRoutingError(
+                f"frame shape {shape} matches lanes {names}; set "
+                f"ClipRequest.lane (registered lanes: {self.describe_lanes()})"
+            )
+        return names[0]
+
+    def partition(
+        self, requests: Sequence[ClipRequest]
+    ) -> Dict[str, List[Tuple[int, ClipRequest]]]:
+        """Requests per lane, ``(submission seq, request)`` in arrival
+        order (stable on submission order for ties)."""
+        ordered = sorted(
+            enumerate(requests),
+            key=lambda item: (item[1].arrival_time, item[0]),
+        )
+        per_lane: Dict[str, List[Tuple[int, ClipRequest]]] = {
+            name: [] for name in self.specs
+        }
+        for seq, request in ordered:
+            per_lane[self.lane_for(request)].append((seq, request))
+        return per_lane
+
+
+@dataclass
+class _ShardOutcome:
+    """What one shard's serve loop returned (picklable)."""
+
+    lane: str
+    shard: int
+    records: Dict[int, RequestRecord]
+    wall_seconds: float
+    idle_seconds: float
+    steps: int
+
+
+@dataclass(frozen=True)
+class _ShardTask:
+    """Everything a worker process needs to serve one lane shard."""
+
+    lane: str
+    shard: int
+    spec: PipelineSpec
+    capacity: int
+    assigned: Tuple[Tuple[int, ClipRequest], ...]
+
+
+def _run_shard(task: _ShardTask) -> _ShardOutcome:
+    """Build a warm worker for the shard and serve its slice.
+
+    Module-level so :class:`~repro.runtime.scheduler.ShardPool` can ship
+    it to worker processes; construction (network load, plan compile at
+    capacity) happens before the shard's clock starts, so shard busy
+    time measures serving, not setup.
+    """
+    worker = LaneWorker(task.lane, task.spec, task.capacity, shard=task.shard)
+    return worker.serve_shard(task.assigned)
+
+
+def _serve_loop(
+    workers: Sequence[LaneWorker],
+    route: Callable[[ClipRequest], LaneWorker],
+    pending: "deque[Tuple[int, ClipRequest]]",
+    clock: Callable[[], float],
+) -> Tuple[Dict[int, RequestRecord], float, float, int]:
+    """The continuous-batching serve loop over a set of lane workers.
+
+    ``pending`` must already be in arrival order.  Requests become
+    visible at their ``arrival_time``; admission and eviction happen at
+    step boundaries; when no worker has a resident and no arrival is
+    due, virtual time jumps to the next arrival instead of spinning.
+    Returns ``(records by seq, busy seconds, idle seconds, steps)``.
+    """
+    done: Dict[int, RequestRecord] = {}
+    steps = 0
+    skipped = 0.0
+    start = clock()
+
+    def now() -> float:
+        return (clock() - start) + skipped
+
+    while pending or any(
+        worker.queue or worker.has_active() for worker in workers
+    ):
+        current = now()
+        while pending and pending[0][1].arrival_time <= current:
+            seq, request = pending.popleft()
+            route(request).queue.append((seq, request))
+        for worker in workers:
+            while worker.queue and worker.has_free_slot():
+                seq, request = worker.queue.popleft()
+                worker.admit(seq, request, current)
+        if not any(worker.has_active() for worker in workers):
+            # Idle with work still to come: skip ahead to the next
+            # arrival instead of spinning.
+            if pending:
+                gap = pending[0][1].arrival_time - current
+                if gap > 0:
+                    skipped += gap
+            continue
+        for worker in workers:
+            if not worker.has_active():
+                continue
+            finished = worker.step()
+            steps += 1
+            current = now()
+            for resident in worker.active_residents():
+                if resident.first_output_time is None:
+                    resident.first_output_time = current
+            for resident in finished:
+                if resident.first_output_time is None:
+                    resident.first_output_time = current
+                done[resident.seq] = RequestRecord(
+                    request_id=resident.request.request_id,
+                    lane=worker.name,
+                    arrival_time=resident.request.arrival_time,
+                    admit_time=resident.admit_time,
+                    first_output_time=resident.first_output_time,
+                    finish_time=current,
+                    result=PipelineResult(records=resident.records),
+                    shard=worker.shard,
+                )
+    wall = clock() - start
+    return done, wall, skipped, steps
 
 
 class ServingRuntime:
-    """Serve clip requests with continuous batching.
+    """Serve clip requests with continuous batching, optionally sharded.
 
     ``spec`` is a single :class:`PipelineSpec` (one lane named
     ``"default"``) or a mapping of lane name to spec for heterogeneous
-    deployments.  ``max_batch`` is the per-lane slot capacity: a lane
+    deployments.  ``max_batch`` is the per-shard slot capacity: a shard
     never holds more than ``max_batch`` resident clips, and its
     inference plan is compiled once at that capacity.
 
-    ``clock`` is injectable (monotonic seconds) for deterministic tests;
-    the default is :func:`time.perf_counter`.
+    ``serve_workers`` selects the execution shape: ``1`` (default) runs
+    every lane in-process under one virtual clock; ``N > 1`` shards
+    lanes across a worker pool — each lane split into ``ceil(N /
+    num_lanes)`` shards, requests assigned round-robin in arrival order,
+    results aggregated into one :class:`ServingReport`.  Results are
+    bit-identical either way; sharding only changes wall-clock time and
+    latency accounting (each shard keeps its own clock).
+    ``shard_backend`` resolves like
+    :class:`~repro.runtime.scheduler.SchedulerConfig` backends: ``process``
+    realizes shard concurrency, ``serial`` runs shards inline — useful on
+    single-core hosts, where the report still aggregates under the
+    concurrent model (slowest shard's busy time); ``auto`` picks between
+    them by core count.  ``thread`` is refused: concurrent thread shards
+    would share one plan's scratch and break bit identity.
+
+    ``clock`` is injectable (monotonic seconds) for deterministic tests
+    and applies to unsharded and inline-shard serving; process shards
+    always use :func:`time.perf_counter`.
     """
 
     def __init__(
@@ -346,137 +665,158 @@ class ServingRuntime:
         spec: Union[PipelineSpec, Mapping[str, PipelineSpec]],
         max_batch: int = 8,
         clock: Optional[Callable[[], float]] = None,
+        serve_workers: int = 1,
+        shard_backend: str = "auto",
     ):
         if isinstance(spec, PipelineSpec):
             specs: Dict[str, PipelineSpec] = {"default": spec}
         else:
             specs = dict(spec)
-        if not specs:
-            raise ValueError("at least one lane spec is required")
         if max_batch < 1:
             raise ValueError(f"max_batch must be >= 1, got {max_batch}")
+        if serve_workers < 1:
+            raise ValueError(
+                f"serve_workers must be >= 1, got {serve_workers}"
+            )
+        if shard_backend == "thread":
+            # Thread shards of one lane would share the process-global
+            # cached network — and therefore one InferencePlan whose
+            # scratch buffers they'd mutate concurrently, breaking the
+            # bit-identity contract (and the GIL voids the throughput
+            # win anyway).  Refuse rather than serve wrong bits.
+            raise ValueError(
+                "shard_backend='thread' cannot shard serving: concurrent "
+                "thread shards would share one inference plan's scratch; "
+                "use 'process', 'serial', or 'auto'"
+            )
         self.max_batch = int(max_batch)
+        self.serve_workers = int(serve_workers)
+        # Validates the backend name and centralizes pool resolution.
+        self.shard_config = SchedulerConfig(
+            workers=self.serve_workers, backend=shard_backend
+        )
         self.clock = clock or time.perf_counter
-        self.lanes: Dict[str, _Lane] = {
-            name: _Lane(name, lane_spec, self.max_batch)
-            for name, lane_spec in specs.items()
-        }
-        self._by_shape: Dict[Tuple[int, int], List[_Lane]] = {}
-        for lane in self.lanes.values():
-            self._by_shape.setdefault(lane.frame_shape, []).append(lane)
+        self.router = Router(specs)
+        self._workers: Optional[Dict[str, LaneWorker]] = None
 
     # -------------------------------------------------------------- #
-    def lane_for(self, request: ClipRequest) -> _Lane:
-        """The lane that will serve ``request`` (shape bucketing)."""
-        shape = tuple(request.clip.frames.shape[1:])
-        if request.lane is not None:
-            lane = self.lanes.get(request.lane)
-            if lane is None:
-                raise KeyError(
-                    f"unknown lane {request.lane!r}; have {sorted(self.lanes)}"
-                )
-            if shape != lane.frame_shape:
-                raise ValueError(
-                    f"request {request.request_id!r} has {shape} frames; "
-                    f"lane {lane.name!r} serves {lane.frame_shape}"
-                )
-            return lane
-        lanes = self._by_shape.get(shape, [])
-        if not lanes:
-            raise ValueError(
-                f"no lane serves frame shape {shape}; lanes: "
-                + ", ".join(
-                    f"{lane.name}={lane.frame_shape}"
-                    for lane in self.lanes.values()
-                )
-            )
-        if len(lanes) > 1:
-            raise ValueError(
-                f"frame shape {shape} matches lanes "
-                f"{[lane.name for lane in lanes]}; set ClipRequest.lane"
-            )
-        return lanes[0]
+    @property
+    def lanes(self) -> Dict[str, LaneWorker]:
+        """In-process lane workers, built on first use.
+
+        Sharded serves never touch these (worker processes build their
+        own); in-process serves reuse them across calls so executors and
+        plans stay warm.
+        """
+        if self._workers is None:
+            self._workers = {
+                name: LaneWorker(name, lane_spec, self.max_batch)
+                for name, lane_spec in self.router.specs.items()
+            }
+        return self._workers
+
+    def lane_for(self, request: ClipRequest) -> LaneWorker:
+        """The in-process worker that would serve ``request``."""
+        return self.lanes[self.router.lane_for(request)]
 
     def serve(self, requests: Sequence[ClipRequest]) -> ServingReport:
         """Serve every request; returns per-request accounting.
 
-        Requests become visible at their ``arrival_time``; admission and
-        eviction happen at step boundaries.  When the server is idle and
-        no arrival is due, virtual time jumps to the next arrival so a
-        simulation runs at full speed.
+        Routing failures surface before any serving starts.  With
+        ``serve_workers > 1`` the requests are partitioned across lane
+        shards and served by the worker pool; otherwise the in-process
+        loop runs all lanes under one clock.
         """
-        # Arrival order, stable on submission order for ties.
+        for request in requests:
+            self.router.lane_for(request)  # fail fast, before serving
+        if self.serve_workers > 1:
+            return self._serve_sharded(requests)
+        return self._serve_in_process(requests)
+
+    # -------------------------------------------------------------- #
+    def _serve_in_process(
+        self, requests: Sequence[ClipRequest]
+    ) -> ServingReport:
         pending: "deque[Tuple[int, ClipRequest]]" = deque(
             sorted(
-                enumerate(requests), key=lambda item: (item[1].arrival_time, item[0])
+                enumerate(requests),
+                key=lambda item: (item[1].arrival_time, item[0]),
             )
         )
-        for _, request in pending:
-            self.lane_for(request)  # route (and fail) before serving starts
-
-        done: Dict[int, RequestRecord] = {}
-        steps = 0
-        skipped = 0.0
-        start = self.clock()
-
-        def now() -> float:
-            return (self.clock() - start) + skipped
-
-        while pending or any(
-            lane.queue or lane.has_active() for lane in self.lanes.values()
-        ):
-            current = now()
-            while pending and pending[0][1].arrival_time <= current:
-                seq, request = pending.popleft()
-                self.lane_for(request).queue.append((seq, request))
-            for lane in self.lanes.values():
-                while lane.queue and lane.has_free_slot():
-                    seq, request = lane.queue.popleft()
-                    lane.admit(seq, request, current)
-            if not any(lane.has_active() for lane in self.lanes.values()):
-                # Idle with work still to come: skip ahead to the next
-                # arrival instead of spinning.
-                if pending:
-                    gap = pending[0][1].arrival_time - current
-                    if gap > 0:
-                        skipped += gap
-                continue
-            for lane in self.lanes.values():
-                if not lane.has_active():
-                    continue
-                finished = lane.step()
-                steps += 1
-                current = now()
-                for slot in self._active_slots(lane):
-                    if slot.first_output_time is None:
-                        slot.first_output_time = current
-                for slot in finished:
-                    if slot.first_output_time is None:
-                        slot.first_output_time = current
-                    done[slot.seq] = RequestRecord(
-                        request_id=slot.request.request_id,
-                        lane=lane.name,
-                        arrival_time=slot.request.arrival_time,
-                        admit_time=slot.admit_time,
-                        first_output_time=slot.first_output_time,
-                        finish_time=current,
-                        result=PipelineResult(records=slot.records),
-                    )
-
-        wall = self.clock() - start
+        workers = list(self.lanes.values())
+        done, wall, idle, steps = _serve_loop(
+            workers, self.lane_for, pending, self.clock
+        )
         return ServingReport(
             records=[done[seq] for seq in sorted(done)],
             wall_seconds=wall,
-            idle_seconds=skipped,
+            idle_seconds=idle,
             steps=steps,
             max_batch=self.max_batch,
+            serve_workers=1,
+        )
+
+    def _serve_sharded(self, requests: Sequence[ClipRequest]) -> ServingReport:
+        """Partition across lane shards and serve on the worker pool."""
+        per_lane = self.router.partition(requests)
+        shards_per_lane = -(-self.serve_workers // len(self.router.specs))
+        tasks: List[_ShardTask] = []
+        for name, lane_spec in self.router.specs.items():
+            lane_spec.warm()  # workers load the cache, never race to train
+            lane_requests = per_lane[name]
+            for shard in range(shards_per_lane):
+                assigned = tuple(lane_requests[shard::shards_per_lane])
+                if not assigned:
+                    continue  # an empty shard has nothing to build
+                tasks.append(
+                    _ShardTask(name, shard, lane_spec, self.max_batch, assigned)
+                )
+        if self.shard_config.resolve(len(tasks)) == "serial":
+            # Inline shards run in this process, so the injected clock
+            # (deterministic tests) is honoured; each shard still gets
+            # its own serve loop and its own busy/idle accounting.
+            outcomes = [
+                LaneWorker(
+                    task.lane, task.spec, task.capacity, shard=task.shard
+                ).serve_shard(task.assigned, clock=self.clock)
+                for task in tasks
+            ]
+        else:
+            outcomes = ShardPool(self.shard_config).map(_run_shard, tasks)
+
+        done: Dict[int, RequestRecord] = {}
+        shards: List[ShardInfo] = []
+        for outcome in outcomes:
+            done.update(outcome.records)
+            shards.append(
+                ShardInfo(
+                    lane=outcome.lane,
+                    shard=outcome.shard,
+                    requests=len(outcome.records),
+                    frames=sum(
+                        record.num_frames for record in outcome.records.values()
+                    ),
+                    wall_seconds=outcome.wall_seconds,
+                    idle_seconds=outcome.idle_seconds,
+                    steps=outcome.steps,
+                )
+            )
+        # Shards are concurrent: the slowest one bounds the run, and its
+        # idle time is the one paired with that wall (mixing fields from
+        # different shards would describe a timeline no shard had).
+        slowest = max(shards, key=lambda s: s.wall_seconds, default=None)
+        return ServingReport(
+            records=[done[seq] for seq in sorted(done)],
+            wall_seconds=slowest.wall_seconds if slowest else 0.0,
+            idle_seconds=slowest.idle_seconds if slowest else 0.0,
+            steps=sum(s.steps for s in shards),
+            max_batch=self.max_batch,
+            serve_workers=self.serve_workers,
+            shards=shards,
         )
 
     def close(self) -> None:
         """Evict all residents and shrink lane plans to capacity 1."""
-        for lane in self.lanes.values():
-            lane.release()
-
-    @staticmethod
-    def _active_slots(lane: _Lane) -> List[_Slot]:
-        return [slot for slot in lane.slots if slot is not None]
+        if self._workers:
+            for worker in self._workers.values():
+                worker.release()

@@ -1,0 +1,153 @@
+"""Declared stage graphs over the frame lifecycle.
+
+:class:`StageGraph` turns the lockstep step from an inlined call
+sequence into a *schedulable object*: an ordered set of named
+:class:`Stage`\\ s with typed inputs and outputs, validated at
+construction (every input must be produced by an earlier stage or seeded
+by the caller) and executed over a shared value environment.  The stage
+bodies are the pure functions of :mod:`repro.core.stages`; this module
+only declares how they wire together.
+
+Two graphs cover the two CNN engines:
+
+* **planned** — ``rfbme → decide → cnn_prefix → warp → cnn_suffix →
+  record``: the key-frame branch runs the batched CNN prefix, the
+  predicted branch warps stored activations, and one suffix call covers
+  both (the whole-batch lifecycle of PR 2/3).
+* **legacy** — ``rfbme → decide → legacy_cnn → record``: batched RFBME
+  with per-clip CNN execution (the PR 1 shape).
+
+Both the lockstep :class:`~repro.runtime.batched.BatchedPipeline` and
+the serving :class:`~repro.runtime.serving.LaneWorker` execute these
+graphs, so there is exactly one definition of the frame lifecycle to
+keep bit-identical — and one place to later schedule stages differently
+(sharding today; double-buffering RFBME against the CNN next).
+
+Seeding: :meth:`StageGraph.run` accepts precomputed values; a stage
+whose outputs are all seeded is skipped.  That is how callers that
+already ran RFBME (e.g. :func:`~repro.runtime.batched.
+execute_batched_step`'s entries) reuse the rest of the graph.
+"""
+
+from __future__ import annotations
+
+import functools
+from dataclasses import dataclass
+from typing import Callable, Dict, Mapping, Optional, Sequence, Tuple
+
+from ..core import stages as _stages
+from ..core.stages import StepBatch
+
+__all__ = ["Stage", "StageGraph", "frame_lifecycle_graph"]
+
+#: the seed value every graph starts from (the step's working set).
+_SEED = "batch"
+
+
+@dataclass(frozen=True)
+class Stage:
+    """One declared stage: a pure function with named inputs/outputs."""
+
+    name: str
+    fn: Callable
+    #: environment names passed positionally to ``fn``.
+    inputs: Tuple[str, ...]
+    #: environment names bound to ``fn``'s return value (one name binds
+    #: the value itself; several unpack it).
+    outputs: Tuple[str, ...]
+
+    def __post_init__(self):
+        if not self.outputs:
+            raise ValueError(f"stage {self.name!r} declares no outputs")
+
+
+class StageGraph:
+    """An ordered, validated set of stages executed over one environment.
+
+    Declaration order is execution order; construction validates that
+    every stage's inputs are either the ``batch`` seed or an output of
+    an earlier stage, and that no two stages produce the same value —
+    the properties that make the graph safe to reschedule.
+    """
+
+    def __init__(self, graph_stages: Sequence[Stage]):
+        available = {_SEED}
+        for stage in graph_stages:
+            missing = [name for name in stage.inputs if name not in available]
+            if missing:
+                raise ValueError(
+                    f"stage {stage.name!r} consumes {missing} before any "
+                    f"stage produces it (have: {sorted(available)})"
+                )
+            clashes = [name for name in stage.outputs if name in available]
+            if clashes:
+                raise ValueError(
+                    f"stage {stage.name!r} would redefine {clashes}"
+                )
+            available.update(stage.outputs)
+        self.stages: Tuple[Stage, ...] = tuple(graph_stages)
+        self.produces = frozenset(available - {_SEED})
+
+    def __iter__(self):
+        return iter(self.stages)
+
+    def run(
+        self,
+        batch: StepBatch,
+        seed: Optional[Mapping[str, object]] = None,
+    ) -> Dict[str, object]:
+        """Execute the graph for one step; returns the full environment.
+
+        ``seed`` supplies precomputed values; stages whose outputs are
+        all present (seeded) are skipped, which keeps re-running work the
+        caller already did impossible by construction.
+        """
+        env: Dict[str, object] = {_SEED: batch}
+        if seed:
+            env.update(seed)
+        for stage in self.stages:
+            if all(name in env for name in stage.outputs):
+                continue
+            result = stage.fn(*[env[name] for name in stage.inputs])
+            if len(stage.outputs) == 1:
+                env[stage.outputs[0]] = result
+            else:
+                env.update(zip(stage.outputs, result))
+        return env
+
+
+@functools.lru_cache(maxsize=None)
+def frame_lifecycle_graph(planned: bool = True) -> StageGraph:
+    """The EVA2 frame lifecycle as a stage graph.
+
+    ``planned`` selects whole-batch CNN execution (prefix for coincident
+    key frames, one warp batch, one suffix call); ``False`` gives the
+    legacy per-clip CNN path behind the shared RFBME batch.  Graphs are
+    stateless declarations, so each shape is built once and shared by
+    every caller (lockstep and serving run the same objects).
+    """
+    head = [
+        Stage("rfbme", _stages.stage_rfbme, ("batch",), ("estimations",)),
+        Stage("decide", _stages.stage_decide, ("batch", "estimations"),
+              ("decisions",)),
+    ]
+    if planned:
+        body = [
+            Stage("cnn_prefix", _stages.stage_cnn_prefix,
+                  ("batch", "decisions"), ("key_acts",)),
+            Stage("warp", _stages.stage_warp,
+                  ("batch", "decisions", "estimations"), ("pred_acts",)),
+            Stage("cnn_suffix", _stages.stage_cnn_suffix,
+                  ("batch", "decisions", "key_acts", "pred_acts"),
+                  ("outputs",)),
+        ]
+    else:
+        body = [
+            Stage("legacy_cnn", _stages.stage_legacy_cnn,
+                  ("batch", "decisions", "estimations"), ("outputs",)),
+        ]
+    tail = [
+        Stage("record", _stages.stage_record,
+              ("batch", "decisions", "estimations", "outputs"), ("records",)),
+    ]
+    return StageGraph(head + body + tail)

@@ -58,6 +58,22 @@ class TestCLI:
         assert "mean occupancy" in out
         assert "bit-identical to its serial run: yes" in out
 
+    def test_serve_sharded_verify(self, capsys):
+        assert main([
+            "serve", "--clips", "4", "--frames", "4", "--max-batch", "2",
+            "--arrival-rate", "500", "--scenario", "static",
+            "--serve-workers", "2", "--shard-backend", "serial", "--verify",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "serve workers" in out
+        assert "shard default/" in out
+        assert "enqueue p99 ms" in out
+        assert "bit-identical to its serial run: yes" in out
+
+    def test_serve_bad_serve_workers_rejected(self, capsys):
+        assert main(["serve", "--serve-workers", "0"]) == 2
+        assert "--serve-workers" in capsys.readouterr().err
+
     def test_serve_bad_arrival_rate_rejected(self, capsys):
         assert main(["serve", "--arrival-rate", "0"]) == 2
         assert "--arrival-rate" in capsys.readouterr().err

@@ -14,6 +14,7 @@ import pytest
 
 from repro.runtime import (
     ClipRequest,
+    LaneRoutingError,
     PipelineSpec,
     ServingRuntime,
     poisson_arrival_times,
@@ -144,6 +145,144 @@ class TestBitIdentity:
         np.testing.assert_array_equal(got.key_mask(), want.key_mask())
 
 
+class TestSharded:
+    """serve_workers >= 2: lanes shard across a worker pool, and every
+    served clip stays bit-identical to its serial single-clip run."""
+
+    def test_single_lane_two_shards_match_serial(self, spec, clips,
+                                                 serial_result):
+        """One lane replicated into two shards (requests round-robin)."""
+        runtime = ServingRuntime(
+            spec, max_batch=3, serve_workers=2, shard_backend="serial"
+        )
+        report = runtime.serve(_requests(clips))
+        _assert_identical(report, serial_result)
+        assert report.serve_workers == 2
+        assert len(report.shards) == 2
+        assert sum(shard.requests for shard in report.shards) == len(clips)
+
+    def test_two_lanes_one_shard_each_match_serial(self, spec, clips,
+                                                   serial_result):
+        """Two lanes, two workers: each lane becomes exactly one shard."""
+        runtime = ServingRuntime(
+            {"cam0": spec, "cam1": spec},
+            max_batch=3,
+            serve_workers=2,
+            shard_backend="serial",
+        )
+        requests = [
+            ClipRequest(i, clip, lane=f"cam{i % 2}")
+            for i, clip in enumerate(clips)
+        ]
+        report = runtime.serve(requests)
+        _assert_identical(report, serial_result)
+        assert {shard.lane for shard in report.shards} == {"cam0", "cam1"}
+        assert all(shard.shard == 0 for shard in report.shards)
+
+    def test_process_pool_shards_match_serial(self, spec):
+        """The real multiprocess path: workers build their own network
+        and plan (plan-per-worker), results aggregate bit-identically."""
+        clips = synthetic_workload(4, num_frames=4, base_seed=23)
+        serial = run_workload(spec, clips, batch=False)
+        runtime = ServingRuntime(
+            spec, max_batch=2, serve_workers=2, shard_backend="process"
+        )
+        report = runtime.serve(_requests(clips))
+        _assert_identical(report, serial)
+        assert report.serve_workers == 2
+
+    def test_sharded_ragged_and_staggered_match_serial(self, spec):
+        """The PR 3 identity gauntlet on the sharded path: ragged clip
+        lengths, staggered arrivals, mid-flight evictions per shard."""
+        mixed = (
+            synthetic_workload(2, num_frames=9, base_seed=1)
+            + synthetic_workload(3, num_frames=3, base_seed=5)
+            + synthetic_workload(2, num_frames=6, base_seed=8)
+        )
+        serial = run_workload(spec, mixed, batch=False)
+        arrivals = poisson_arrival_times(len(mixed), rate=2000.0, seed=3)
+        report = ServingRuntime(
+            spec, max_batch=2, serve_workers=2, shard_backend="serial"
+        ).serve(_requests(mixed, arrivals))
+        _assert_identical(report, serial)
+
+    def test_sharded_records_in_submission_order(self, spec, clips):
+        report = ServingRuntime(
+            spec, max_batch=2, serve_workers=2, shard_backend="serial"
+        ).serve(_requests(clips))
+        assert [record.request_id for record in report.records] == list(
+            range(len(clips))
+        )
+
+    def test_shard_accounting_aggregates(self, spec, clips):
+        report = ServingRuntime(
+            spec, max_batch=2, serve_workers=2, shard_backend="serial"
+        ).serve(_requests(clips))
+        assert report.total_frames == sum(len(clip) for clip in clips)
+        assert report.steps == sum(shard.steps for shard in report.shards)
+        # Concurrent model: the slowest shard bounds the run.
+        assert report.wall_seconds == max(
+            shard.wall_seconds for shard in report.shards
+        )
+        assert report.frames_per_second > 0
+        rows = dict((row[0], row[1]) for row in report.summary_rows())
+        assert rows["serve workers"] == 2
+
+    def test_bad_serve_workers_rejected(self, spec):
+        with pytest.raises(ValueError, match="serve_workers"):
+            ServingRuntime(spec, max_batch=2, serve_workers=0)
+
+    def test_bad_shard_backend_rejected(self, spec):
+        with pytest.raises(ValueError, match="backend"):
+            ServingRuntime(spec, max_batch=2, serve_workers=2,
+                           shard_backend="gpu")
+
+    def test_thread_backend_refused(self, spec):
+        """Thread shards would share one plan's scratch (the cached
+        network is process-global) and break bit identity — refused at
+        construction, not discovered as wrong bits."""
+        with pytest.raises(ValueError, match="thread"):
+            ServingRuntime(spec, max_batch=2, serve_workers=2,
+                           shard_backend="thread")
+
+    def test_injected_clock_reaches_inline_shards(self, spec, clips):
+        """shard_backend='serial' honours the injected clock, so sharded
+        latency accounting is deterministic in tests."""
+        clock = FakeClock()
+        report = ServingRuntime(
+            spec, max_batch=2, clock=clock, serve_workers=2,
+            shard_backend="serial",
+        ).serve(_requests(clips[:4]))
+        # FakeClock ticks 1ms per reading; real clocks would be ~µs.
+        assert report.wall_seconds >= 0.001
+        assert clock.now > 0.0
+        for record in report.records:
+            assert record.finish_time >= record.admit_time
+
+
+class TestPercentiles:
+    def test_latency_percentiles_keys_and_order(self, spec, clips):
+        report = ServingRuntime(spec, max_batch=2).serve(_requests(clips))
+        percentiles = report.latency_percentiles()
+        assert sorted(percentiles) == [
+            "enqueue_p50", "enqueue_p95", "enqueue_p99",
+            "ttff_p50", "ttff_p95", "ttff_p99",
+        ]
+        assert percentiles["enqueue_p50"] <= percentiles["enqueue_p95"]
+        assert percentiles["enqueue_p95"] <= percentiles["enqueue_p99"]
+        assert percentiles["ttff_p50"] <= percentiles["ttff_p99"]
+
+    def test_percentiles_surface_in_summary(self, spec, clips):
+        report = ServingRuntime(spec, max_batch=2).serve(_requests(clips))
+        labels = {row[0] for row in report.summary_rows()}
+        for label in ("enqueue p50 ms", "enqueue p99 ms", "ttff p99 ms"):
+            assert label in labels
+
+    def test_empty_report_has_no_percentiles(self, spec):
+        report = ServingRuntime(spec, max_batch=2).serve([])
+        assert report.latency_percentiles() == {}
+
+
 class TestAdmission:
     def test_fifo_admission_within_lane(self, spec, clips):
         """With one slot, service order is arrival order."""
@@ -249,6 +388,45 @@ class TestLanes:
         runtime = ServingRuntime(spec, max_batch=2)
         with pytest.raises(KeyError):
             runtime.serve([ClipRequest(0, clips[0], lane="express")])
+
+    def test_routing_errors_name_registered_lanes(self, clips):
+        """Every routing failure is a LaneRoutingError whose message
+        names each registered lane and its frame shape — never a bare
+        KeyError a caller has to decode."""
+        specs = {
+            "warp": PipelineSpec(network=NETWORK),
+            "memo": PipelineSpec(network="mini_alexnet"),
+        }
+        runtime = ServingRuntime(specs, max_batch=2)
+        shape = str(tuple(clips[0].frames.shape[1:]))
+
+        with pytest.raises(LaneRoutingError) as unknown:
+            runtime.serve([ClipRequest(0, clips[0], lane="express")])
+        message = str(unknown.value)
+        assert "unknown lane 'express'" in message
+        assert "registered lanes" in message
+        assert f"warp={shape}" in message and f"memo={shape}" in message
+
+        with pytest.raises(LaneRoutingError) as unrouteable:
+            runtime.serve([ClipRequest(0, _shrunk(clips[0]))])
+        message = str(unrouteable.value)
+        assert "no lane serves frame shape (32, 32)" in message
+        assert f"warp={shape}" in message and f"memo={shape}" in message
+
+        with pytest.raises(LaneRoutingError) as mismatch:
+            runtime.serve([ClipRequest(7, _shrunk(clips[0]), lane="warp")])
+        message = str(mismatch.value)
+        assert "request 7 has (32, 32) frames" in message
+        assert f"lane 'warp' serves {shape}" in message
+
+    def test_routing_error_catchable_as_keyerror_and_valueerror(self, spec,
+                                                                clips):
+        """Back-compat: the old error types still catch the new one."""
+        runtime = ServingRuntime(spec, max_batch=2)
+        bad = [ClipRequest(0, clips[0], lane="express")]
+        for exc_type in (KeyError, ValueError, LaneRoutingError):
+            with pytest.raises(exc_type):
+                runtime.serve(bad)
 
 
 class TestLifecycle:

@@ -1,0 +1,260 @@
+"""Stage-graph seam tests.
+
+The lockstep step used to be one monolithic function; it is now a
+declared graph of pure stage functions over a picklable
+:class:`~repro.core.stages.LaneState`.  Two seams must hold for that
+refactor to be safe:
+
+* each stage, invoked standalone on a lane state, reproduces the
+  corresponding slice of the monolithic step bit for bit (same
+  estimations, decisions, activations, outputs, records, and the same
+  post-step executor state);
+* lane state round-trips through pickle with identity preserved — a
+  shipped-to-a-worker lane continues exactly where the original would.
+"""
+
+import pickle
+
+import numpy as np
+import pytest
+
+from repro.core.stages import (
+    LaneState,
+    StepBatch,
+    stage_cnn_prefix,
+    stage_cnn_suffix,
+    stage_decide,
+    stage_record,
+    stage_rfbme,
+    stage_warp,
+)
+from repro.runtime import (
+    ClipRequest,
+    LaneWorker,
+    PipelineSpec,
+    Stage,
+    StageGraph,
+    execute_batched_step,
+    frame_lifecycle_graph,
+    synthetic_workload,
+)
+
+NETWORK = "mini_fasterm"
+
+
+@pytest.fixture(scope="module")
+def spec():
+    # A static interval makes the key/pred mix at any step a pure
+    # function of the staggered cursors below — deterministically mixed.
+    spec = PipelineSpec(network=NETWORK, policy="static", interval=2)
+    spec.warm()
+    return spec
+
+
+@pytest.fixture(scope="module")
+def clips():
+    return synthetic_workload(4, num_frames=8, base_seed=9)
+
+
+def _mid_stream_worker(spec, clips) -> LaneWorker:
+    """A lane mid-flight: clips admitted on consecutive steps.
+
+    After the warm-up the four slots sit at cursors 4, 3, 2, 1 — so with
+    a static interval of 2 the next step mixes key and predicted
+    decisions across slots, exercising every stage at once.
+    """
+    worker = LaneWorker("default", spec, capacity=len(clips))
+    for i, clip in enumerate(clips):
+        worker.admit(i, ClipRequest(request_id=i, clip=clip), now=0.0)
+        worker.step()
+    return worker
+
+
+def _clone(state: LaneState) -> LaneState:
+    """Pickle round-trip — the clone mechanism sharded serving uses."""
+    return pickle.loads(pickle.dumps(state))
+
+
+def _next_batch(state: LaneState, clips) -> StepBatch:
+    positions = state.occupied()
+    return StepBatch(
+        state=state,
+        positions=positions,
+        frames=[clips[i].frames[state.slots[i].cursor] for i in positions],
+        plan=state.plan.resolve(len(positions)),
+    )
+
+
+def _assert_estimations_equal(got, want):
+    assert len(got) == len(want)
+    for a, b in zip(got, want):
+        if b is None:
+            assert a is None
+            continue
+        np.testing.assert_array_equal(a.field.data, b.field.data)
+        assert a.total_match_error == b.total_match_error
+        assert a.ops == b.ops
+
+
+class TestStageSlices:
+    """Each stage standalone == its slice of the monolithic step."""
+
+    def test_stages_reproduce_monolithic_step(self, spec, clips):
+        worker = _mid_stream_worker(spec, clips)
+        cursors = [slot.cursor for slot in worker.state.slots]
+        assert cursors == [4, 3, 2, 1]  # staggered → mixed decisions
+
+        mono_state = _clone(worker.state)
+        stage_state = _clone(worker.state)
+
+        # Monolithic reference: execute_batched_step over the same
+        # entries (it takes estimations precomputed, exactly as the
+        # serving loop used to hand them over).
+        mono_batch = _next_batch(mono_state, clips)
+        mono_est = stage_rfbme(mono_batch)
+        entries = [
+            (
+                mono_batch.slot(k).executor,
+                mono_batch.slot(k).policy,
+                mono_batch.frames[k],
+                mono_batch.slot(k).cursor,
+                mono_est[k],
+            )
+            for k in range(len(mono_batch))
+        ]
+        mono_records = execute_batched_step(mono_batch.plan, entries)
+
+        # Stage-by-stage on an independent clone.
+        batch = _next_batch(stage_state, clips)
+        estimations = stage_rfbme(batch)
+        _assert_estimations_equal(estimations, mono_est)
+
+        decisions = stage_decide(batch, estimations)
+        assert decisions == [r.is_key for r in mono_records]
+        assert True in decisions and False in decisions  # genuinely mixed
+
+        key_acts = stage_cnn_prefix(batch, decisions)
+        pred_acts = stage_warp(batch, decisions, estimations)
+        assert key_acts is not None and pred_acts is not None
+        outputs = stage_cnn_suffix(batch, decisions, key_acts, pred_acts)
+        records = stage_record(batch, decisions, estimations, outputs)
+
+        for got, want in zip(records, mono_records):
+            assert got.index == want.index
+            assert got.is_key == want.is_key
+            np.testing.assert_array_equal(got.output, want.output)
+            assert got.estimation_ops == want.estimation_ops
+            assert got.match_error == want.match_error
+
+        # Post-step executor state matches too: key slots adopted the
+        # same pixels/activations in both shapes.
+        for k in range(len(batch)):
+            if not decisions[k]:
+                continue
+            np.testing.assert_array_equal(
+                batch.slot(k).executor.stored_pixels(),
+                mono_batch.slot(k).executor.stored_pixels(),
+            )
+            np.testing.assert_array_equal(
+                batch.slot(k).executor.key_activation,
+                mono_batch.slot(k).executor.key_activation,
+            )
+
+    def test_prefix_and_warp_are_optional_stages(self, spec, clips):
+        """All-key and all-pred steps skip the other branch cleanly."""
+        worker = _mid_stream_worker(spec, clips)
+        state = _clone(worker.state)
+        batch = _next_batch(state, clips)
+        estimations = stage_rfbme(batch)
+        assert stage_cnn_prefix(batch, [False] * len(batch)) is None
+        assert stage_warp(batch, [True] * len(batch), estimations) is None
+
+
+class TestLaneStatePickle:
+    def test_round_trip_preserves_identity(self, spec, clips):
+        """Continuing a pickled lane equals continuing the original."""
+        worker = _mid_stream_worker(spec, clips)
+        original = worker.state
+        restored = _clone(original)
+
+        graph = frame_lifecycle_graph(planned=True)
+        for _ in range(3):
+            batches = [_next_batch(s, clips) for s in (original, restored)]
+            envs = [graph.run(b) for b in batches]
+            for got, want in zip(envs[1]["records"], envs[0]["records"]):
+                assert got.is_key == want.is_key
+                np.testing.assert_array_equal(got.output, want.output)
+                assert got.estimation_ops == want.estimation_ops
+            for state in (original, restored):
+                for i in state.occupied():
+                    state.slots[i].cursor += 1
+
+    def test_round_trip_drops_heavy_state_and_shares_network(self, spec, clips):
+        worker = _mid_stream_worker(spec, clips)
+        restored = _clone(worker.state)
+        # Engines and compiled plans are rebuilt lazily, never pickled.
+        assert all(
+            slot.executor._engine is None for slot in restored.slots
+        )
+        networks = {id(slot.executor.network) for slot in restored.slots}
+        assert len(networks) == 1  # one shared network, not N copies
+        assert id(restored.plan.network) in networks
+        assert restored.plan.network._plans == {}
+        # The restored plan handle resolves and serves.
+        assert restored.plan.resolve(2).max_batch >= 2
+
+    def test_cursors_and_stored_keys_survive(self, spec, clips):
+        worker = _mid_stream_worker(spec, clips)
+        restored = _clone(worker.state)
+        for got, want in zip(restored.slots, worker.state.slots):
+            assert got.cursor == want.cursor
+            np.testing.assert_array_equal(
+                got.executor.stored_pixels(), want.executor.stored_pixels()
+            )
+
+
+class TestStageGraphValidation:
+    def test_declaration_order_is_execution_order(self):
+        graph = frame_lifecycle_graph(planned=True)
+        names = [stage.name for stage in graph]
+        assert names == [
+            "rfbme", "decide", "cnn_prefix", "warp", "cnn_suffix", "record",
+        ]
+        assert "outputs" in graph.produces
+
+    def test_legacy_graph_shape(self):
+        names = [stage.name for stage in frame_lifecycle_graph(planned=False)]
+        assert names == ["rfbme", "decide", "legacy_cnn", "record"]
+
+    def test_unproduced_input_rejected(self):
+        with pytest.raises(ValueError, match="consumes"):
+            StageGraph(
+                [Stage("a", lambda batch, x: x, ("batch", "missing"), ("y",))]
+            )
+
+    def test_redefined_output_rejected(self):
+        ok = Stage("a", lambda batch: 1, ("batch",), ("x",))
+        dup = Stage("b", lambda batch: 2, ("batch",), ("x",))
+        with pytest.raises(ValueError, match="redefine"):
+            StageGraph([ok, dup])
+
+    def test_no_outputs_rejected(self):
+        with pytest.raises(ValueError, match="no outputs"):
+            Stage("a", lambda batch: 1, ("batch",), ())
+
+    def test_seeded_stage_is_skipped(self):
+        calls = []
+
+        def produce(batch):
+            calls.append("produce")
+            return 1
+
+        graph = StageGraph(
+            [
+                Stage("produce", produce, ("batch",), ("x",)),
+                Stage("consume", lambda batch, x: x + 1, ("batch", "x"), ("y",)),
+            ]
+        )
+        env = graph.run(batch=None, seed={"x": 41})
+        assert env["y"] == 42
+        assert calls == []  # the seeded stage never ran
