@@ -26,12 +26,12 @@ to ``BENCH_runtime.json`` at the repo root so CI can track the perf
 trajectory per PR.
 """
 
-import json
 import os
 import time
 
 import pytest
 
+from _common import bench_json_path, write_bench_json
 from conftest import register_table
 from repro.core.rfbme import RFBMEEngine
 from repro.core.sad_kernel import kernel_available
@@ -40,7 +40,7 @@ from repro.runtime import PipelineSpec, SchedulerConfig, run_workload, synthetic
 NETWORK = "mini_fasterm"
 NUM_CLIPS = 16
 FRAMES_PER_CLIP = 16
-JSON_PATH = os.path.join(os.path.dirname(__file__), "..", "BENCH_runtime.json")
+JSON_PATH = bench_json_path("runtime")
 
 #: measured paths: label -> (spec kwargs, run kwargs).
 PATHS = {
@@ -121,23 +121,19 @@ def test_runtime_throughput(workload):
     planned = measured["planned lockstep"].frames_per_second
     headline = planned / pr1
     trajectory["planned lockstep"]["speedup_vs_pr1_lockstep"] = round(headline, 3)
-    with open(JSON_PATH, "w") as handle:
-        json.dump(
-            {
-                "benchmark": "runtime_throughput",
-                "network": NETWORK,
-                "workload": {
-                    "clips": NUM_CLIPS,
-                    "frames_per_clip": FRAMES_PER_CLIP,
-                },
-                "kernel_available": kernel_available(),
-                "paths": trajectory,
-                "headline_speedup_vs_pr1_lockstep": round(headline, 3),
+    write_bench_json(
+        JSON_PATH,
+        header={"benchmark": "runtime_throughput", "network": NETWORK},
+        results={
+            "workload": {
+                "clips": NUM_CLIPS,
+                "frames_per_clip": FRAMES_PER_CLIP,
             },
-            handle,
-            indent=2,
-        )
-        handle.write("\n")
+            "kernel_available": kernel_available(),
+            "paths": trajectory,
+            "headline_speedup_vs_pr1_lockstep": round(headline, 3),
+        },
+    )
 
     if not kernel_available():
         pytest.skip(

@@ -12,9 +12,12 @@ hardware change:
 * ``BENCH_runtime.json`` — each path's ``speedup_vs_seed`` (the shape of
   the perf curve relative to the seed loop on the same host);
 * ``BENCH_serving.json`` — ``serving_vs_static`` (continuous batching
-  relative to static lockstep on the same host) and ``shard_scaling_2x``
-  (2-shard aggregate throughput relative to the single-process run —
-  serving's sharding headline must not silently regress either).
+  relative to static lockstep on the same host), ``shard_scaling_2x``
+  (2-shard aggregate throughput relative to the single-process run),
+  ``pipelined_vs_sequential`` (the depth-2 stage executor relative to
+  sequential lockstep), and ``admission_p99_speedup`` (static p99
+  time-to-first-frame divided by shared-admission p99 under skewed
+  traffic — the work-stealing headline; >= 1 means stealing is no worse).
 
 A markdown speedup table is written to ``--summary`` (the
 ``$GITHUB_STEP_SUMMARY`` file in CI) and echoed to stdout.  Any metric
@@ -22,64 +25,19 @@ more than ``--threshold`` (default 30%) below its committed value exits
 non-zero and emits a ``::warning`` annotation; the CI step runs with
 ``continue-on-error`` so the job turns amber — visibly degraded, never
 silently green.
+
+The JSON load/merge discipline and the metric extraction/comparison live
+in ``benchmarks/_common.py``, shared with the benchmarks that write the
+files.
 """
 
 from __future__ import annotations
 
 import argparse
-import json
 import sys
-from typing import Dict, List, Tuple
+from typing import List
 
-
-def _metrics(data: dict) -> Dict[str, float]:
-    """Normalized metric name -> value, for either benchmark format."""
-    if "paths" in data:  # BENCH_runtime.json
-        metrics = {
-            f"{label} (x seed)": path["speedup_vs_seed"]
-            for label, path in data["paths"].items()
-        }
-        headline = data.get("headline_speedup_vs_pr1_lockstep")
-        if headline is not None:
-            metrics["planned lockstep (x pr1 lockstep)"] = headline
-        return metrics
-    if "serving_vs_static" in data:  # BENCH_serving.json
-        metrics = {"serving (x static lockstep)": data["serving_vs_static"]}
-        if "shard_scaling_2x" in data:
-            metrics["2-shard serving (x 1 worker)"] = data["shard_scaling_2x"]
-        return metrics
-    raise SystemExit(f"unrecognized benchmark JSON: {sorted(data)[:5]}")
-
-
-def compare(
-    baseline: Dict[str, float], fresh: Dict[str, float], threshold: float
-) -> Tuple[List[List[str]], List[str]]:
-    """Markdown table rows plus the list of regressed metric names."""
-    rows: List[List[str]] = []
-    regressions: List[str] = []
-    for name in baseline:
-        if name not in fresh:
-            rows.append([name, f"{baseline[name]:.2f}", "missing", "-", "⚠️ gone"])
-            regressions.append(name)
-            continue
-        ratio = fresh[name] / baseline[name] if baseline[name] else 1.0
-        regressed = ratio < 1.0 - threshold
-        status = "⚠️ regression" if regressed else "ok"
-        rows.append(
-            [
-                name,
-                f"{baseline[name]:.2f}",
-                f"{fresh[name]:.2f}",
-                f"{ratio:.2f}x",
-                status,
-            ]
-        )
-        if regressed:
-            regressions.append(name)
-    for name in fresh:
-        if name not in baseline:
-            rows.append([name, "-", f"{fresh[name]:.2f}", "-", "new"])
-    return rows, regressions
+from _common import compare_metrics, load_bench_json, normalized_metrics
 
 
 def render(label: str, rows: List[List[str]]) -> str:
@@ -102,12 +60,10 @@ def main(argv=None) -> int:
                         help="table heading (default: fresh file name)")
     args = parser.parse_args(argv)
 
-    with open(args.baseline) as handle:
-        baseline = _metrics(json.load(handle))
-    with open(args.fresh) as handle:
-        fresh = _metrics(json.load(handle))
+    baseline = normalized_metrics(load_bench_json(args.baseline))
+    fresh = normalized_metrics(load_bench_json(args.fresh))
 
-    rows, regressions = compare(baseline, fresh, args.threshold)
+    rows, regressions = compare_metrics(baseline, fresh, args.threshold)
     table = render(args.label or args.fresh, rows)
     print(table)
     if args.summary:

@@ -54,6 +54,9 @@ def _cmd_run(args: argparse.Namespace) -> int:
     if args.clips < 1:
         print("error: --clips must be >= 1", file=sys.stderr)
         return 2
+    if args.pipeline_depth < 1:
+        print("error: --pipeline-depth must be >= 1", file=sys.stderr)
+        return 2
     if args.clips > 1:
         if args.batch and args.workers > 1:
             print(
@@ -119,6 +122,7 @@ def _spec_and_clips(args: argparse.Namespace):
         rfbme_backend=args.rfbme,
         cnn_engine=args.cnn,
         dtype=args.dtype,
+        pipeline_depth=args.pipeline_depth,
     )
     clips = synthetic_workload(
         args.clips,
@@ -167,6 +171,9 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     if args.serve_workers < 1:
         print("error: --serve-workers must be >= 1", file=sys.stderr)
         return 2
+    if args.pipeline_depth < 1:
+        print("error: --pipeline-depth must be >= 1", file=sys.stderr)
+        return 2
     spec, clips = _spec_and_clips(args)
     arrivals = poisson_arrival_times(args.clips, args.arrival_rate, seed=args.seed)
     requests = [
@@ -178,6 +185,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         max_batch=args.max_batch,
         serve_workers=args.serve_workers,
         shard_backend=args.shard_backend,
+        admission=args.admission,
     )
     report = runtime.serve(requests)
     print(format_table(["quantity", "value"], report.summary_rows()))
@@ -266,6 +274,10 @@ def build_parser() -> argparse.ArgumentParser:
                      choices=["float64", "float32"],
                      help="CNN arithmetic; float32 trades bit-exactness "
                           "for throughput (planned engine only)")
+    run.add_argument("--pipeline-depth", type=int, default=1,
+                     help="software-pipeline depth for lockstep steps: 2 "
+                          "overlaps step t+1's RFBME/decision with step "
+                          "t's CNN stages (bit-identical; default 1)")
     run.set_defaults(func=_cmd_run)
 
     serve = sub.add_parser(
@@ -292,6 +304,16 @@ def build_parser() -> argparse.ArgumentParser:
                        help="worker pool for sharded serving (auto picks "
                             "process on multi-core hosts; threads are "
                             "refused — shards would share plan scratch)")
+    serve.add_argument("--admission", default="static",
+                       choices=["static", "shared"],
+                       help="sharded request assignment: static "
+                            "round-robin slices, or one shared admission "
+                            "queue per lane so idle shards steal pending "
+                            "requests (better tail latency under skew)")
+    serve.add_argument("--pipeline-depth", type=int, default=1,
+                       help="software-pipeline depth for serving steps "
+                            "(2 overlaps RFBME with the CNN stages at "
+                            "full occupancy; bit-identical; default 1)")
     serve.add_argument("--threshold", type=float, default=2.0,
                        help="adaptive match-error threshold")
     serve.add_argument("--interval", type=int, default=0,

@@ -64,6 +64,12 @@ class AMCConfig:
     #: "float32" (planned engine only; a throughput/accuracy trade
     #: verified by tolerance tests, not bit equality).
     dtype: str = "float64"
+    #: runtime step pipelining: 1 executes the frame lifecycle
+    #: sequentially per step; 2 lets the stage executor software-pipeline
+    #: step t+1's RFBME/decision against step t's CNN stages
+    #: (double-buffered scratch, bit-identical results).  Depths beyond 2
+    #: behave as 2 — the lifecycle has one overlap window.
+    pipeline_depth: int = 1
 
     def __post_init__(self):
         if self.mode not in _MODES:
@@ -90,6 +96,10 @@ class AMCConfig:
         if self.dtype == "float32" and self.cnn_engine != "planned":
             raise ValueError(
                 "dtype='float32' requires the planned CNN engine"
+            )
+        if self.pipeline_depth < 1:
+            raise ValueError(
+                f"pipeline_depth must be >= 1, got {self.pipeline_depth}"
             )
 
 

@@ -20,6 +20,16 @@ Contracts:
   defines — a key frame's pixels/activation being adopted by its
   executor in :func:`stage_cnn_prefix` (and, on the legacy engine, the
   equivalent inside :func:`stage_legacy_cnn`).
+* **Declared effects.**  Besides its dataflow inputs/outputs, every
+  stage declares which :class:`LaneState` *resources* it reads and
+  writes (:data:`KEY_STATE`, :data:`POLICY_STATE`,
+  :data:`ENGINE_SCRATCH`, :data:`PLAN_SCRATCH`).  Dataflow orders
+  stages *within* a step; the resource sets are what lets the
+  pipelined executor (:class:`~repro.runtime.stage_graph.StageExecutor`)
+  prove that two stages of *consecutive* steps are conflict-free and
+  may overlap — e.g. step ``t+1``'s ``rfbme`` only reads key state and
+  writes its (double-buffered) engine scratch, so it can run against
+  step ``t``'s ``warp``/``cnn_suffix``/``record``.
 * **Bit identity.**  Each stage performs exactly the array operations of
   the monolithic lockstep step it was extracted from, in the same order,
   so running the stages in sequence reproduces the previous
@@ -51,6 +61,13 @@ __all__ = [
     "LaneSlot",
     "LaneState",
     "StepBatch",
+    "KEY_STATE",
+    "POLICY_STATE",
+    "ENGINE_SCRATCH",
+    "PLAN_SCRATCH",
+    "RESOURCES",
+    "CHECKED_RESOURCES",
+    "fingerprint_resource",
     "stage_rfbme",
     "stage_decide",
     "stage_cnn_prefix",
@@ -59,6 +76,79 @@ __all__ = [
     "stage_legacy_cnn",
     "stage_record",
 ]
+
+# --------------------------------------------------------------------- #
+# LaneState resources (conflict analysis)
+# --------------------------------------------------------------------- #
+#: the executors' stored key pixels and target activations.
+KEY_STATE = "key_state"
+#: the per-slot key-frame policies' inter-frame state.
+POLICY_STATE = "policy_state"
+#: the RFBME engine's producer/consumer workspaces.  Scratch: contents
+#: never outlive one stage invocation, and the pipelined executor
+#: double-buffers it (one engine per in-flight step context), so writes
+#: from overlapped steps can never collide.
+ENGINE_SCRATCH = "engine_scratch"
+#: the compiled inference plan's im2col/GEMM scratch.  Scratch, same as
+#: above — only ever touched by stages of the step that owns the plan
+#: resolution, all of which run on the executor's main thread.
+PLAN_SCRATCH = "plan_scratch"
+
+#: every declared resource, in a stable order.
+RESOURCES = (KEY_STATE, POLICY_STATE, ENGINE_SCRATCH, PLAN_SCRATCH)
+
+#: resources with *persistent* content, cheap enough to fingerprint —
+#: what ``StageGraph.run(enforce_writes=True)`` verifies a stage left
+#: untouched unless declared in its write set.  The scratch resources
+#: are exempt by definition (their contents are dead between stages).
+CHECKED_RESOURCES = (KEY_STATE, POLICY_STATE)
+
+
+def _effects(reads=(), writes=()):
+    """Attach declared LaneState read/write sets to a stage function."""
+
+    def mark(fn):
+        fn.reads = frozenset(reads)
+        fn.writes = frozenset(writes)
+        return fn
+
+    return mark
+
+
+def fingerprint_resource(batch: "StepBatch", resource: str):
+    """A cheap equality token for one checked resource of one step batch.
+
+    Used by the write-set enforcement mode of
+    :meth:`~repro.runtime.stage_graph.StageGraph.run`: two fingerprints
+    differ iff the resource's observable content changed.  Returns
+    ``None`` for scratch resources (exempt) and non-``StepBatch`` seeds.
+    """
+    import zlib
+
+    if not isinstance(batch, StepBatch):
+        return None
+    if resource == KEY_STATE:
+        tokens = []
+        for k in range(len(batch)):
+            executor = batch.slot(k).executor
+            if executor.has_key:
+                tokens.append(
+                    (
+                        zlib.crc32(executor.stored_pixels().tobytes()),
+                        zlib.crc32(executor.key_activation.tobytes()),
+                    )
+                )
+            else:
+                tokens.append(None)
+        return tuple(tokens)
+    if resource == POLICY_STATE:
+        return tuple(
+            repr(vars(batch.slot(k).policy))
+            if batch.slot(k).policy is not None
+            else None
+            for k in range(len(batch))
+        )
+    return None
 
 
 @dataclass
@@ -125,6 +215,30 @@ class LaneState:
         """Slot positions currently holding a clip (policy attached)."""
         return [i for i, slot in enumerate(self.slots) if slot.policy is not None]
 
+    def build_pipeline_engine(self) -> RFBMEEngine:
+        """A second RFBME engine with the lane's exact geometry and config.
+
+        The double buffer of the pipelined executor: step ``t+1``'s
+        ``rfbme`` runs against its own producer/consumer workspaces while
+        step ``t``'s tail stages are still in flight, so the two steps'
+        :data:`ENGINE_SCRATCH` can never collide.  Same frame shape,
+        receptive field, search config, backend, and profile as
+        :attr:`engine` — and therefore bit-identical results (backend
+        choice and workspace identity never change an output bit).
+        Callers cache the returned engine; it is intentionally not stored
+        here so :class:`LaneState` pickles stay lean.
+        """
+        executor = self.slots[0].executor
+        config = executor.config
+        return RFBMEEngine(
+            executor.network.input_shape[1:],
+            executor.rf,
+            executor.grid_shape,
+            config=config.rfbme,
+            backend=config.rfbme_backend,
+            profile=config.rfbme_profile,
+        )
+
 
 @dataclass
 class StepBatch:
@@ -134,12 +248,25 @@ class StepBatch:
     this step, in slot order); ``frames`` holds each position's frame at
     its current cursor; ``plan`` is the resolved inference plan for the
     planned CNN engine (``None`` selects the legacy per-clip path).
+
+    ``cursors`` snapshots each position's clip-local frame index at batch
+    construction.  With one step in flight at a time the snapshot equals
+    ``slot.cursor`` (the fallback); under the pipelined executor two
+    step contexts coexist — step ``t+1``'s ``decide`` needs cursor
+    ``c+1`` while step ``t``'s ``record`` still needs ``c`` — so each
+    context carries its own values instead of reading mutable slot state.
+
+    ``engine`` overrides the lane engine for this step's ``rfbme`` (the
+    pipelined executor's scratch double buffer); ``None`` uses
+    ``state.engine``.
     """
 
     state: LaneState
     positions: Sequence[int]
     frames: Sequence[np.ndarray]
     plan: Optional[object] = None
+    cursors: Optional[Sequence[int]] = None
+    engine: Optional[RFBMEEngine] = None
 
     def __len__(self) -> int:
         return len(self.positions)
@@ -147,22 +274,36 @@ class StepBatch:
     def slot(self, k: int) -> LaneSlot:
         return self.state.slots[self.positions[k]]
 
+    def cursor(self, k: int) -> int:
+        """Position ``k``'s clip-local frame index for this step."""
+        if self.cursors is not None:
+            return self.cursors[k]
+        return self.slot(k).cursor
+
+    @property
+    def rfbme_engine(self) -> RFBMEEngine:
+        """The engine this step's ``rfbme`` runs on (see ``engine``)."""
+        return self.engine if self.engine is not None else self.state.engine
+
 
 # --------------------------------------------------------------------- #
 # stage functions
 # --------------------------------------------------------------------- #
+@_effects(reads={KEY_STATE}, writes={ENGINE_SCRATCH})
 def stage_rfbme(batch: StepBatch) -> List[Optional[RFBMEResult]]:
     """Batched RFBME for every slot with a stored key frame.
 
     Returns estimations aligned with ``batch.positions`` (``None`` for
     slots still waiting on their first key frame).  One
     :meth:`~repro.core.rfbme.RFBMEEngine.estimate_batch` call covers the
-    whole step, exactly as the monolithic lockstep step did.
+    whole step, exactly as the monolithic lockstep step did — on the
+    lane engine, or on the step's double-buffer override
+    (``batch.rfbme_engine``) when the executor pipelines.
     """
     ready = [
         k for k in range(len(batch)) if batch.slot(k).executor.has_key
     ]
-    results = batch.state.engine.estimate_batch(
+    results = batch.rfbme_engine.estimate_batch(
         [
             (batch.slot(k).executor.stored_pixels(), batch.frames[k])
             for k in ready
@@ -174,16 +315,18 @@ def stage_rfbme(batch: StepBatch) -> List[Optional[RFBMEResult]]:
     return estimations
 
 
+@_effects(reads={POLICY_STATE}, writes={POLICY_STATE})
 def stage_decide(
     batch: StepBatch, estimations: Sequence[Optional[RFBMEResult]]
 ) -> List[bool]:
     """Per-clip key-frame decisions at clip-local cursors."""
     return [
-        batch.slot(k).policy.decide(batch.slot(k).cursor, estimations[k])
+        batch.slot(k).policy.decide(batch.cursor(k), estimations[k])
         for k in range(len(batch))
     ]
 
 
+@_effects(reads={KEY_STATE, PLAN_SCRATCH}, writes={KEY_STATE, PLAN_SCRATCH})
 def stage_cnn_prefix(
     batch: StepBatch, decisions: Sequence[bool]
 ) -> Optional[np.ndarray]:
@@ -204,6 +347,7 @@ def stage_cnn_prefix(
     return key_acts
 
 
+@_effects(reads={KEY_STATE})
 def stage_warp(
     batch: StepBatch,
     decisions: Sequence[bool],
@@ -234,6 +378,7 @@ def stage_warp(
     )
 
 
+@_effects(reads={PLAN_SCRATCH}, writes={PLAN_SCRATCH})
 def stage_cnn_suffix(
     batch: StepBatch,
     decisions: Sequence[bool],
@@ -264,6 +409,9 @@ def stage_cnn_suffix(
     return aligned
 
 
+@_effects(
+    reads={KEY_STATE, PLAN_SCRATCH}, writes={KEY_STATE, PLAN_SCRATCH}
+)
 def stage_legacy_cnn(
     batch: StepBatch,
     decisions: Sequence[bool],
@@ -286,6 +434,7 @@ def stage_legacy_cnn(
     return np.concatenate(outputs)
 
 
+@_effects()
 def stage_record(
     batch: StepBatch,
     decisions: Sequence[bool],
@@ -295,7 +444,7 @@ def stage_record(
     """Per-frame trace records, aligned with ``batch.positions``."""
     return [
         FrameRecord.from_step(
-            batch.slot(k).cursor,
+            batch.cursor(k),
             decisions[k],
             outputs[k : k + 1],
             estimations[k],

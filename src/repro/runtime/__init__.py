@@ -8,10 +8,14 @@ per-clip :class:`~repro.core.EVA2Pipeline` into a workload runtime:
   pipelines in any worker.
 * :class:`ClipScheduler` / :class:`ShardPool` — fan clips (or lane
   shards) over a serial / thread / process pool, order-preserving.
-* :class:`StageGraph` — the frame lifecycle as declared stages with
-  typed inputs/outputs (:func:`frame_lifecycle_graph`), run over the
-  picklable :class:`~repro.core.stages.LaneState`; the one definition
-  of the step that lockstep and serving both execute.
+* :class:`StageGraph` / :class:`StageExecutor` — the frame lifecycle as
+  declared stages with typed inputs/outputs and resource read/write
+  sets (:func:`frame_lifecycle_graph`), topologically scheduled, run
+  over the picklable :class:`~repro.core.stages.LaneState`; the one
+  definition of the step that lockstep and serving both execute.  At
+  ``pipeline_depth=2`` the executor software-pipelines step t+1's
+  RFBME/decisions against step t's CNN stages (double-buffered engine
+  scratch, bit-identical).
 * :class:`BatchedPipeline` — lockstep execution that batches the RFBME
   hot path across all active clips in one vectorized call.
 * :class:`ServingRuntime` — streaming serving with continuous batching,
@@ -50,7 +54,18 @@ from .serving import (
     ShardInfo,
 )
 from .spec import PAPER_MODES, PipelineSpec
-from .stage_graph import Stage, StageGraph, frame_lifecycle_graph
+from .stage_graph import (
+    DuplicateOutputError,
+    PipelineContractError,
+    Stage,
+    StageCycleError,
+    StageExecutor,
+    StageGraph,
+    StageGraphError,
+    UndeclaredInputError,
+    WriteSetViolationError,
+    frame_lifecycle_graph,
+)
 from .workload import poisson_arrival_times, synthetic_workload
 
 __all__ = [
@@ -71,6 +86,13 @@ __all__ = [
     "ShardInfo",
     "Stage",
     "StageGraph",
+    "StageExecutor",
+    "StageGraphError",
+    "StageCycleError",
+    "UndeclaredInputError",
+    "DuplicateOutputError",
+    "WriteSetViolationError",
+    "PipelineContractError",
     "frame_lifecycle_graph",
     "PAPER_MODES",
     "PipelineSpec",

@@ -52,7 +52,7 @@ from ..core.stages import LaneSlot, LaneState, PlanHandle, StepBatch
 from ..video.generator import VideoClip
 from .scheduler import ClipScheduler, SchedulerConfig
 from .spec import PipelineSpec
-from .stage_graph import frame_lifecycle_graph
+from .stage_graph import StageExecutor, frame_lifecycle_graph
 
 __all__ = [
     "WorkloadResult",
@@ -186,9 +186,21 @@ class BatchedPipeline:
     also runs as whole-batch calls (requires the planned CNN engine);
     ``None`` enables it exactly when the spec uses the planned engine.
     ``False`` reproduces the PR 1 lockstep: batched RFBME, per-clip CNN.
+
+    ``pipeline_depth`` (default: the spec's) selects sequential step
+    execution (1) or the software-pipelined
+    :class:`~repro.runtime.stage_graph.StageExecutor` (2): step
+    ``t+1``'s RFBME/decisions overlap step ``t``'s warp/suffix/record on
+    a double-buffered engine.  Lockstep batches are static, so every
+    step pipelines; results are bit-identical at any depth.
     """
 
-    def __init__(self, spec: PipelineSpec, cnn_batching: Optional[bool] = None):
+    def __init__(
+        self,
+        spec: PipelineSpec,
+        cnn_batching: Optional[bool] = None,
+        pipeline_depth: Optional[int] = None,
+    ):
         if cnn_batching is None:
             cnn_batching = spec.cnn_engine == "planned"
         if cnn_batching and spec.cnn_engine != "planned":
@@ -198,6 +210,13 @@ class BatchedPipeline:
             )
         self.spec = spec
         self.cnn_batching = cnn_batching
+        self.pipeline_depth = (
+            spec.pipeline_depth if pipeline_depth is None else pipeline_depth
+        )
+        if self.pipeline_depth < 1:
+            raise ValueError(
+                f"pipeline_depth must be >= 1, got {self.pipeline_depth}"
+            )
 
     def run_workload(self, clips: Sequence[VideoClip]) -> WorkloadResult:
         """Process every clip; bit-identical to the serial path."""
@@ -223,23 +242,44 @@ class BatchedPipeline:
             slot.executor.reset()
             slot.policy.reset()
         graph = frame_lifecycle_graph(planned=self.cnn_batching)
+        executor = StageExecutor(graph, pipeline_depth=self.pipeline_depth)
         plan = state.plan.resolve(len(clips)) if state.plan and clips else None
 
-        records: List[List[FrameRecord]] = [[] for _ in clips]
+        # The whole step stream is known statically (clip lengths fix the
+        # positions, frame index == cursor), so batches are built up
+        # front and every step can pipeline into the next.  Odd steps run
+        # their RFBME on the double-buffer engine so the two in-flight
+        # contexts never share scratch.
         max_frames = max((len(clip) for clip in clips), default=0)
+        shadow = (
+            state.build_pipeline_engine()
+            if executor.pipelined and max_frames > 1
+            else None
+        )
+        batches: List[StepBatch] = []
         for index in range(max_frames):
             positions = [i for i in range(len(clips)) if index < len(clips[i])]
-            env = graph.run(
+            batches.append(
                 StepBatch(
                     state=state,
                     positions=positions,
                     frames=[clips[i].frames[index] for i in positions],
                     plan=plan,
+                    cursors=[index] * len(positions),
+                    engine=shadow if index % 2 else None,
                 )
             )
-            for k, i in enumerate(positions):
-                records[i].append(env["records"][k])
-                state.slots[i].cursor += 1
+
+        records: List[List[FrameRecord]] = [[] for _ in clips]
+        try:
+            for t, batch in enumerate(batches):
+                next_batch = batches[t + 1] if t + 1 < len(batches) else None
+                env = executor.step(batch, next_batch=next_batch)
+                for k, i in enumerate(batch.positions):
+                    records[i].append(env["records"][k])
+                    state.slots[i].cursor += 1
+        finally:
+            executor.close()
         results = [PipelineResult(records=r) for r in records]
         wall = time.perf_counter() - start
         return WorkloadResult(results=results, wall_seconds=wall, path="lockstep")

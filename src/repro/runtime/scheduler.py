@@ -107,6 +107,42 @@ class ShardPool:
                 return list(pool.map(fn, tasks))
         return [fn(task) for task in tasks]
 
+    def map_with_feeder(self, fn, tasks: Sequence, feeder) -> List:
+        """Process-pool map with a parent-side ``feeder`` running alongside.
+
+        The work-stealing admission shape: each task carries a proxy to
+        a *shared per-lane admission queue*, and ``feeder()`` releases
+        requests into those queues (honouring arrival times) while the
+        shard workers pull — so an idle shard steals the next pending
+        request instead of waiting for a statically assigned slice.  All
+        tasks are submitted first, the feeder runs concurrently in the
+        parent, and results keep task order.
+
+        Unlike :meth:`map`'s batch jobs, these tasks are *long-lived
+        concurrent consumers* — every shard must be resident to pull
+        from its queue (and to reach the readiness barrier the caller
+        may gate the feeder on) — so the pool is sized to the task
+        count, not the configured worker count.
+
+        Process backend only: stealing over a shared queue in a single
+        thread would degenerate (the first inline shard would drain the
+        whole queue before the second ever ran), so callers whose
+        backend resolves ``serial`` must use their own inline loop —
+        serving's discrete-event simulation — instead of this map.
+        """
+        tasks = list(tasks)
+        backend = self.config.resolve(len(tasks))
+        if backend != "process":
+            raise ValueError(
+                f"map_with_feeder needs the process backend, resolved "
+                f"{backend!r} for {len(tasks)} task(s); run inline "
+                f"work-stealing through the caller's own loop instead"
+            )
+        with ProcessPoolExecutor(max_workers=len(tasks)) as pool:
+            futures = [pool.submit(fn, task) for task in tasks]
+            feeder()
+            return [future.result() for future in futures]
+
 
 class ClipScheduler:
     """Order-preserving map of a pipeline over many clips."""

@@ -12,8 +12,13 @@ The serving layer is split along the line a deployment would draw:
   executor slots, the lane's compiled inference plan, and the admission
   queue, all driving the declared stage graph
   (:func:`~repro.runtime.stage_graph.frame_lifecycle_graph`) one step at
-  a time.  A worker runs in-process, or — because its execution state is
-  the picklable :class:`~repro.core.stages.LaneState` recipe away from a
+  a time through a :class:`~repro.runtime.stage_graph.StageExecutor`.
+  With a ``pipeline_depth=2`` spec the worker software-pipelines: at
+  full occupancy with no departure due (membership provably stable) the
+  next step's RFBME/decisions run overlapped with the current step's
+  CNN stages, double-buffered and bit-identical.  A worker runs
+  in-process, or — because its execution state is the picklable
+  :class:`~repro.core.stages.LaneState` recipe away from a
   spec — inside a worker process, where it builds **its own** network
   and plan (plan-per-worker ownership: live plans never cross a process
   boundary; see :meth:`~repro.nn.network.Network.__getstate__`).
@@ -23,9 +28,12 @@ The serving layer is split along the line a deployment would draw:
   bit-identical and within its throughput envelope.  ``serve_workers=N``
   shards lanes across a process pool
   (:class:`~repro.runtime.scheduler.ShardPool`): each lane gets
-  ``ceil(N / num_lanes)`` shards, its requests split round-robin in
-  arrival order, and every shard serves its slice with the same
-  admission/eviction discipline on its own clock.
+  ``ceil(N / num_lanes)`` shards.  ``admission="static"`` splits each
+  lane's requests round-robin in arrival order and every shard serves
+  its slice independently; ``admission="shared"`` keeps one admission
+  queue per lane that all of the lane's shards pull from, so an idle
+  shard *steals* the next pending request — the tail-latency fix for
+  skewed traffic.
 
 Continuous batching semantics are unchanged from PR 3: requests wait in
 per-lane FIFO queues and join the running batch at step boundaries; a
@@ -70,7 +78,7 @@ from ..video.generator import VideoClip
 from .batched import WorkloadResult
 from .scheduler import SchedulerConfig, ShardPool
 from .spec import PipelineSpec
-from .stage_graph import frame_lifecycle_graph
+from .stage_graph import StageExecutor, frame_lifecycle_graph
 
 __all__ = [
     "ClipRequest",
@@ -204,6 +212,9 @@ class ServingReport:
     serve_workers: int = 1
     #: per-shard accounting (empty for in-process runs).
     shards: List[ShardInfo] = field(default_factory=list)
+    #: how sharded requests were assigned: "static" round-robin slices
+    #: or a "shared" per-lane admission queue (work stealing).
+    admission: str = "static"
 
     @property
     def num_requests(self) -> int:
@@ -239,6 +250,11 @@ class ServingReport:
         Keys are ``enqueue_p50`` … ``ttff_p99``.  Means alone hide tail
         latency under load; these are what the CLI and the serving
         benchmark surface.
+
+        A report with zero completed requests has no tails: the result
+        is explicitly the **empty dict** (``np.percentile`` over empty
+        samples would raise) — callers must treat a missing key as "no
+        data", never as zero latency.
         """
         out: Dict[str, float] = {}
         if not self.records:
@@ -279,6 +295,8 @@ class ServingReport:
             ["mean occupancy", round(self.mean_occupancy, 2)],
             ["serve workers", self.serve_workers],
         ]
+        if self.serve_workers > 1:
+            rows.append(["admission", self.admission])
         for key, value in self.latency_percentiles().items():
             prefix, pct = key.split("_")
             rows.append([f"{prefix} {pct} ms", round(value * 1e3, 2)])
@@ -349,6 +367,13 @@ class LaneWorker:
             plan_handle.resolve(capacity)  # compile at capacity up front
         self.state = LaneState(slots=slots, plan=plan_handle)
         self.graph = frame_lifecycle_graph(planned=plan_handle is not None)
+        self.executor = StageExecutor(
+            self.graph, pipeline_depth=spec.pipeline_depth
+        )
+        #: the pipelined next-step batch (its head stages already ran).
+        self._pending: Optional[StepBatch] = None
+        #: lazy double-buffer engine for pipelined RFBME.
+        self._shadow_engine = None
         self.residents: List[Optional[_Resident]] = [None] * capacity
         self.queue: "deque[Tuple[int, ClipRequest]]" = deque()
 
@@ -377,32 +402,77 @@ class LaneWorker:
         slot.cursor = 0
         self.residents[index] = _Resident(seq, request, now)
 
+    def _build_batch(self, positions: List[int], advance: int = 0,
+                     engine=None) -> StepBatch:
+        """The step batch ``advance`` frames ahead of the slot cursors."""
+        return StepBatch(
+            state=self.state,
+            positions=positions,
+            frames=[
+                self.residents[i].request.clip.frames[
+                    self.state.slots[i].cursor + advance
+                ]
+                for i in positions
+            ],
+            plan=(
+                self.state.plan.resolve(len(positions))
+                if self.state.plan
+                else None
+            ),
+            cursors=[self.state.slots[i].cursor + advance for i in positions],
+            engine=engine,
+        )
+
+    def _membership_stable(self, positions: List[int]) -> bool:
+        """Whether the next step is *guaranteed* to run these same slots.
+
+        True only when every slot is occupied (a free slot could admit a
+        queued request at the next boundary) and no resident serves its
+        last frame this step (no departure frees a slot).  This is the
+        full-occupancy steady state — exactly where pipelining pays —
+        and it makes the pipelined next batch definite, never
+        speculative (the executor's contract: head stages are
+        irreversible).
+        """
+        return len(positions) == self.capacity and all(
+            self.state.slots[i].cursor + 1 < len(self.residents[i].request.clip)
+            for i in positions
+        )
+
     def step(self) -> List[_Resident]:
         """Serve one frame of every resident clip; return departures.
 
-        One pass of the stage graph at current occupancy: batched RFBME
-        over the slots with a stored key, per-clip decisions at
+        One pass of the stage executor at current occupancy: batched
+        RFBME over the slots with a stored key, per-clip decisions at
         clip-local cursors, then the batched (or legacy per-clip) CNN
         stages.  Slots whose clip finished release their executor and
         free up for the next admission.
+
+        With a pipelined spec (``pipeline_depth >= 2``) and provably
+        stable membership, the next step's RFBME/decisions are launched
+        against this step's CNN tail (double-buffered engine) and picked
+        up by the next :meth:`step` call.
         """
         positions = [
             i for i, resident in enumerate(self.residents) if resident is not None
         ]
-        plan = (
-            self.state.plan.resolve(len(positions)) if self.state.plan else None
-        )
-        env = self.graph.run(
-            StepBatch(
-                state=self.state,
-                positions=positions,
-                frames=[
-                    self.residents[i].request.clip.frames[self.state.slots[i].cursor]
-                    for i in positions
-                ],
-                plan=plan,
+        if self._pending is not None:
+            batch = self._pending
+            self._pending = None
+        else:
+            batch = self._build_batch(positions)
+        next_batch = None
+        if self.executor.pipelined and self._membership_stable(positions):
+            if self._shadow_engine is None:
+                self._shadow_engine = self.state.build_pipeline_engine()
+            # Alternate engines between the two in-flight contexts.
+            alternate = (
+                self._shadow_engine if batch.engine is None else None
             )
-        )
+            next_batch = self._build_batch(positions, advance=1,
+                                           engine=alternate)
+            self._pending = next_batch
+        env = self.executor.step(batch, next_batch=next_batch)
         finished: List[_Resident] = []
         for k, i in enumerate(positions):
             resident = self.residents[i]
@@ -445,6 +515,8 @@ class LaneWorker:
 
     def release(self) -> None:
         """Drop resident state and hand plan scratch back."""
+        self._pending = None
+        self.executor.close()
         for index, resident in enumerate(self.residents):
             if resident is not None:
                 self.state.slots[index].executor.release()
@@ -540,6 +612,20 @@ class _ShardOutcome:
     idle_seconds: float
     steps: int
 
+    def info(self) -> ShardInfo:
+        """This outcome's report row — the one place it is derived."""
+        return ShardInfo(
+            lane=self.lane,
+            shard=self.shard,
+            requests=len(self.records),
+            frames=sum(
+                record.num_frames for record in self.records.values()
+            ),
+            wall_seconds=self.wall_seconds,
+            idle_seconds=self.idle_seconds,
+            steps=self.steps,
+        )
+
 
 @dataclass(frozen=True)
 class _ShardTask:
@@ -562,6 +648,219 @@ def _run_shard(task: _ShardTask) -> _ShardOutcome:
     """
     worker = LaneWorker(task.lane, task.spec, task.capacity, shard=task.shard)
     return worker.serve_shard(task.assigned)
+
+
+@dataclass(frozen=True)
+class _StealShardTask:
+    """One shard of a shared-admission (work-stealing) sharded serve.
+
+    ``queue`` is a proxy to the lane's shared admission queue and
+    ``barrier`` a manager barrier with one party per shard plus the
+    parent's feeder (both proxies are picklable into worker processes).
+    Every shard builds its worker — network load, plan compile at
+    capacity — *before* meeting the barrier, and zeroes its clock right
+    after release; the feeder does the same before releasing the first
+    arrival.  That keeps startup cost out of the latency accounting,
+    exactly as the static path's per-shard clocks do (``serve_shard``
+    starts timing after construction), so static and shared latencies
+    stay comparable.  ``CLOCK_MONOTONIC`` is system-wide, so the
+    post-barrier readings agree across processes up to release skew.
+    """
+
+    lane: str
+    shard: int
+    spec: PipelineSpec
+    capacity: int
+    queue: object
+    barrier: object
+
+
+def _finalize_step(
+    worker: "LaneWorker",
+    finished: Sequence[_Resident],
+    current: float,
+    done: Dict[int, RequestRecord],
+) -> None:
+    """Post-step accounting shared by every serve loop.
+
+    Stamps first-output times (for residents and departures alike) at
+    ``current`` on the loop's clock and turns each departure into its
+    :class:`RequestRecord`.  One definition, so the static, stealing,
+    and discrete-event loops can never drift apart in how they account
+    a step.
+    """
+    for resident in worker.active_residents():
+        if resident.first_output_time is None:
+            resident.first_output_time = current
+    for resident in finished:
+        if resident.first_output_time is None:
+            resident.first_output_time = current
+        done[resident.seq] = RequestRecord(
+            request_id=resident.request.request_id,
+            lane=worker.name,
+            arrival_time=resident.request.arrival_time,
+            admit_time=resident.admit_time,
+            first_output_time=resident.first_output_time,
+            finish_time=current,
+            result=PipelineResult(records=resident.records),
+            shard=worker.shard,
+        )
+
+
+def _run_stealing_shard(task: _StealShardTask) -> _ShardOutcome:
+    """Serve whatever the lane's shared queue hands this shard.
+
+    The real-clock work-stealing loop: whenever a slot is free the shard
+    pulls the next pending request (non-blocking), steps its residents,
+    and blocks briefly only when fully idle.  The queue carries one
+    ``None`` sentinel per shard of the lane, enqueued after the last
+    request — FIFO order guarantees a shard that sees its sentinel will
+    find no request behind it, so it drains its residents and returns.
+    Which shard serves which request is decided by queue order at pull
+    time (that is the stealing); per-clip bit identity makes the
+    assignment invisible in the results.
+    """
+    import queue as queue_module
+
+    worker = LaneWorker(task.lane, task.spec, task.capacity, shard=task.shard)
+    shared = task.queue
+    try:
+        # Warm and ready; wait for the siblings (and the feeder) so no
+        # shard's records carry another's build time.  A broken barrier
+        # (a sibling died building) degrades to a skewed clock base
+        # rather than a hang — identity is unaffected either way.
+        task.barrier.wait(timeout=120)
+    except Exception:
+        pass
+    start = time.perf_counter()
+
+    def now() -> float:
+        return time.perf_counter() - start
+
+    done: Dict[int, RequestRecord] = {}
+    busy = 0.0
+    idle = 0.0
+    steps = 0
+    draining = False
+    while True:
+        while not draining and worker.has_free_slot():
+            try:
+                item = shared.get_nowait()
+            except queue_module.Empty:
+                break
+            if item is None:
+                draining = True
+                break
+            seq, request = item
+            worker.admit(seq, request, now())
+        if worker.has_active():
+            step_start = time.perf_counter()
+            finished = worker.step()
+            busy += time.perf_counter() - step_start
+            steps += 1
+            _finalize_step(worker, finished, now(), done)
+        elif draining:
+            break
+        else:
+            wait_start = time.perf_counter()
+            try:
+                item = shared.get(timeout=0.02)
+            except queue_module.Empty:
+                idle += time.perf_counter() - wait_start
+                continue
+            idle += time.perf_counter() - wait_start
+            if item is None:
+                draining = True
+            else:
+                seq, request = item
+                worker.admit(seq, request, now())
+    return _ShardOutcome(
+        lane=task.lane,
+        shard=task.shard,
+        records=done,
+        wall_seconds=busy,
+        idle_seconds=idle,
+        steps=steps,
+    )
+
+
+def _serve_work_stealing(
+    workers: Sequence[LaneWorker],
+    pending_by_lane: Mapping[str, "deque[Tuple[int, ClipRequest]]"],
+    clock: Callable[[], float],
+) -> List[_ShardOutcome]:
+    """Discrete-event serve loop: concurrent shards, shared lane queues.
+
+    Simulates N shards running side by side in one thread: each shard
+    keeps its own virtual clock (the sum of its real step durations plus
+    idle skips), and at every event the shard with the earliest
+    actionable time acts — admitting due requests from its *lane's*
+    shared queue while it has free slots, then stepping its residents.
+    A request is therefore admitted by whichever shard reaches a free
+    slot earliest in virtual time: work stealing under the same
+    concurrent-shard model the static path's per-shard loops realize,
+    deterministic given step durations, honouring an injected clock.
+    Returns one :class:`_ShardOutcome` per worker, in worker order.
+    """
+    virtual = {worker: 0.0 for worker in workers}
+    busy = {worker: 0.0 for worker in workers}
+    idle = {worker: 0.0 for worker in workers}
+    steps = {worker: 0 for worker in workers}
+    records = {worker: {} for worker in workers}
+
+    while True:
+        chosen = None
+        chosen_key = None
+        for worker in workers:
+            lane_queue = pending_by_lane[worker.name]
+            if worker.has_active():
+                key = (virtual[worker], worker.name, worker.shard)
+            elif lane_queue:
+                key = (
+                    max(virtual[worker], lane_queue[0][1].arrival_time),
+                    worker.name,
+                    worker.shard,
+                )
+            else:
+                continue
+            if chosen_key is None or key < chosen_key:
+                chosen, chosen_key = worker, key
+        if chosen is None:
+            break
+        worker = chosen
+        lane_queue = pending_by_lane[worker.name]
+        event_time = chosen_key[0]
+        if event_time > virtual[worker]:
+            # Idle until the next arrival: skip virtually, never sleep.
+            idle[worker] += event_time - virtual[worker]
+            virtual[worker] = event_time
+        while (
+            lane_queue
+            and worker.has_free_slot()
+            and lane_queue[0][1].arrival_time <= virtual[worker]
+        ):
+            seq, request = lane_queue.popleft()
+            worker.admit(seq, request, virtual[worker])
+        if not worker.has_active():
+            continue
+        step_start = clock()
+        finished = worker.step()
+        duration = clock() - step_start
+        virtual[worker] += duration
+        busy[worker] += duration
+        steps[worker] += 1
+        _finalize_step(worker, finished, virtual[worker], records[worker])
+    return [
+        _ShardOutcome(
+            lane=worker.name,
+            shard=worker.shard,
+            records=records[worker],
+            wall_seconds=busy[worker],
+            idle_seconds=idle[worker],
+            steps=steps[worker],
+        )
+        for worker in workers
+    ]
 
 
 def _serve_loop(
@@ -610,23 +909,7 @@ def _serve_loop(
                 continue
             finished = worker.step()
             steps += 1
-            current = now()
-            for resident in worker.active_residents():
-                if resident.first_output_time is None:
-                    resident.first_output_time = current
-            for resident in finished:
-                if resident.first_output_time is None:
-                    resident.first_output_time = current
-                done[resident.seq] = RequestRecord(
-                    request_id=resident.request.request_id,
-                    lane=worker.name,
-                    arrival_time=resident.request.arrival_time,
-                    admit_time=resident.admit_time,
-                    first_output_time=resident.first_output_time,
-                    finish_time=current,
-                    result=PipelineResult(records=resident.records),
-                    shard=worker.shard,
-                )
+            _finalize_step(worker, finished, now(), done)
     wall = clock() - start
     return done, wall, skipped, steps
 
@@ -655,6 +938,22 @@ class ServingRuntime:
     them by core count.  ``thread`` is refused: concurrent thread shards
     would share one plan's scratch and break bit identity.
 
+    ``admission`` selects how a sharded run assigns requests to a lane's
+    shards.  ``"static"`` (default) splits each lane's traffic
+    round-robin in arrival order — the PR 4 shape, fully independent
+    shards.  ``"shared"`` keeps one admission queue per lane that every
+    shard of the lane pulls from, so an idle shard *steals* the next
+    pending request instead of idling beside a backlogged sibling —
+    under skewed traffic (e.g. long clips landing on one shard's slice)
+    that is what fixes tail latency.  Inline (``serial``-resolved)
+    shared-admission runs execute as a deterministic discrete-event
+    simulation of concurrent shards (per-shard virtual clocks, the
+    injected ``clock`` honoured); the ``process`` backend realizes the
+    shared queue with a real cross-process queue on the real clock
+    (arrivals released by the parent, no virtual-time skipping).
+    Admission policy never changes results: per-clip bit identity holds
+    regardless of which shard served a clip.
+
     ``clock`` is injectable (monotonic seconds) for deterministic tests
     and applies to unsharded and inline-shard serving; process shards
     always use :func:`time.perf_counter`.
@@ -667,6 +966,7 @@ class ServingRuntime:
         clock: Optional[Callable[[], float]] = None,
         serve_workers: int = 1,
         shard_backend: str = "auto",
+        admission: str = "static",
     ):
         if isinstance(spec, PipelineSpec):
             specs: Dict[str, PipelineSpec] = {"default": spec}
@@ -677,6 +977,10 @@ class ServingRuntime:
         if serve_workers < 1:
             raise ValueError(
                 f"serve_workers must be >= 1, got {serve_workers}"
+            )
+        if admission not in ("static", "shared"):
+            raise ValueError(
+                f"admission must be 'static' or 'shared', got {admission!r}"
             )
         if shard_backend == "thread":
             # Thread shards of one lane would share the process-global
@@ -691,6 +995,7 @@ class ServingRuntime:
             )
         self.max_batch = int(max_batch)
         self.serve_workers = int(serve_workers)
+        self.admission = admission
         # Validates the backend name and centralizes pool resolution.
         self.shard_config = SchedulerConfig(
             workers=self.serve_workers, backend=shard_backend
@@ -754,12 +1059,15 @@ class ServingRuntime:
             steps=steps,
             max_batch=self.max_batch,
             serve_workers=1,
+            admission=self.admission,
         )
 
     def _serve_sharded(self, requests: Sequence[ClipRequest]) -> ServingReport:
         """Partition across lane shards and serve on the worker pool."""
         per_lane = self.router.partition(requests)
         shards_per_lane = -(-self.serve_workers // len(self.router.specs))
+        if self.admission == "shared":
+            return self._serve_shared(per_lane)
         tasks: List[_ShardTask] = []
         for name, lane_spec in self.router.specs.items():
             lane_spec.warm()  # workers load the cache, never race to train
@@ -784,26 +1092,19 @@ class ServingRuntime:
         else:
             outcomes = ShardPool(self.shard_config).map(_run_shard, tasks)
 
+        return self._aggregate_shards(outcomes)
+
+    def _aggregate_shards(
+        self, outcomes: Sequence[_ShardOutcome]
+    ) -> ServingReport:
+        """One report from per-shard outcomes, under the concurrent
+        model: the slowest shard bounds the run, and its idle time is
+        the one paired with that wall (mixing fields from different
+        shards would describe a timeline no shard had)."""
         done: Dict[int, RequestRecord] = {}
-        shards: List[ShardInfo] = []
         for outcome in outcomes:
             done.update(outcome.records)
-            shards.append(
-                ShardInfo(
-                    lane=outcome.lane,
-                    shard=outcome.shard,
-                    requests=len(outcome.records),
-                    frames=sum(
-                        record.num_frames for record in outcome.records.values()
-                    ),
-                    wall_seconds=outcome.wall_seconds,
-                    idle_seconds=outcome.idle_seconds,
-                    steps=outcome.steps,
-                )
-            )
-        # Shards are concurrent: the slowest one bounds the run, and its
-        # idle time is the one paired with that wall (mixing fields from
-        # different shards would describe a timeline no shard had).
+        shards = [outcome.info() for outcome in outcomes]
         slowest = max(shards, key=lambda s: s.wall_seconds, default=None)
         return ServingReport(
             records=[done[seq] for seq in sorted(done)],
@@ -813,7 +1114,120 @@ class ServingRuntime:
             max_batch=self.max_batch,
             serve_workers=self.serve_workers,
             shards=shards,
+            admission=self.admission,
         )
+
+    def _serve_shared(
+        self,
+        per_lane: Dict[str, List[Tuple[int, ClipRequest]]],
+    ) -> ServingReport:
+        """Sharded serving over shared per-lane admission queues.
+
+        Inline (``serial``-resolved) runs simulate the concurrent shards
+        with the discrete-event loop — deterministic, injected-clock
+        friendly, and directly comparable to the static path's
+        per-shard timelines.  The ``process`` backend realizes the
+        shared queue for real: the parent releases requests at their
+        arrival times into manager queues that the shard processes pull
+        from (work stealing at request granularity, real clock).
+        """
+        for lane_spec in self.router.specs.values():
+            lane_spec.warm()  # workers load the cache, never race to train
+        # Shards here are *concurrent* queue consumers (the process pool
+        # is sized to the task count), so — unlike the static path's
+        # per-lane ceil — the total never exceeds serve_workers: the
+        # budget is dealt round-robin across lanes, and a shard beyond a
+        # lane's request count is never built (it could not admit
+        # anything, and its executors/plan compile aren't free).
+        lane_names = list(self.router.specs)
+        lane_shards = {name: 0 for name in lane_names}
+        budget = self.serve_workers
+        while budget > 0:
+            assigned = False
+            for name in lane_names:
+                if budget > 0 and lane_shards[name] < len(per_lane[name]):
+                    lane_shards[name] += 1
+                    budget -= 1
+                    assigned = True
+            if not assigned:
+                break
+        num_tasks = sum(lane_shards.values())
+        if self.shard_config.resolve(num_tasks) == "process":
+            return self._serve_shared_process(per_lane, lane_shards)
+        workers = [
+            LaneWorker(name, self.router.specs[name], self.max_batch,
+                       shard=shard)
+            for name, count in lane_shards.items()
+            for shard in range(count)
+        ]
+        pending_by_lane = {
+            name: deque(per_lane[name]) for name in self.router.specs
+        }
+        outcomes = _serve_work_stealing(workers, pending_by_lane, self.clock)
+        return self._aggregate_shards(outcomes)
+
+    def _serve_shared_process(
+        self,
+        per_lane: Dict[str, List[Tuple[int, ClipRequest]]],
+        lane_shards: Dict[str, int],
+    ) -> ServingReport:
+        import multiprocessing
+
+        manager = multiprocessing.Manager()
+        try:
+            queues = {
+                name: manager.Queue()
+                for name, count in lane_shards.items()
+                if count
+            }
+            num_tasks = sum(lane_shards.values())
+            barrier = manager.Barrier(num_tasks + 1)  # shards + feeder
+            tasks = [
+                _StealShardTask(
+                    name, shard, self.router.specs[name], self.max_batch,
+                    queues[name], barrier,
+                )
+                for name, count in lane_shards.items()
+                for shard in range(count)
+            ]
+            ordered = sorted(
+                (
+                    (seq, request, name)
+                    for name, items in per_lane.items()
+                    for seq, request in items
+                ),
+                key=lambda item: (item[1].arrival_time, item[0]),
+            )
+
+            def feeder() -> None:
+                # Wait until every shard has built (network, plan) so
+                # startup cost never shows up as queue latency, then
+                # release each request into its lane's shared queue at
+                # its arrival time (real clock — process shards cannot
+                # skip virtual time they do not share), then one
+                # sentinel per shard so every worker can retire.
+                try:
+                    barrier.wait(timeout=120)
+                except Exception:
+                    pass  # degrade to a skewed base, never hang
+                start = time.perf_counter()
+                for seq, request, name in ordered:
+                    delay = request.arrival_time - (
+                        time.perf_counter() - start
+                    )
+                    if delay > 0:
+                        time.sleep(delay)
+                    queues[name].put((seq, request))
+                for name, count in lane_shards.items():
+                    for _ in range(count):
+                        queues[name].put(None)
+
+            outcomes = ShardPool(self.shard_config).map_with_feeder(
+                _run_stealing_shard, tasks, feeder
+            )
+        finally:
+            manager.shutdown()
+        return self._aggregate_shards(outcomes)
 
     def close(self) -> None:
         """Evict all residents and shrink lane plans to capacity 1."""

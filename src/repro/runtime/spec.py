@@ -71,6 +71,11 @@ class PipelineSpec:
     #: CNN arithmetic ("float64"/"float32"); float32 needs the planned
     #: engine and trades bit-identity for throughput.
     dtype: str = "float64"
+    #: runtime step pipelining depth (see
+    #: :class:`~repro.core.amc.AMCConfig`): 1 = sequential steps, 2 =
+    #: software-pipeline RFBME/decide of step t+1 against the CNN stages
+    #: of step t.  Bit-identical either way.
+    pipeline_depth: int = 1
 
     def __post_init__(self):
         if self.policy not in _POLICIES:
@@ -96,6 +101,7 @@ class PipelineSpec:
             rfbme_profile=self.rfbme_profile,
             cnn_engine=self.cnn_engine,
             dtype=self.dtype,
+            pipeline_depth=self.pipeline_depth,
         )
 
     def build_policy(self) -> KeyFramePolicy:

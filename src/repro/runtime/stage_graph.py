@@ -1,12 +1,13 @@
-"""Declared stage graphs over the frame lifecycle.
+"""Declared stage graphs over the frame lifecycle — and their executor.
 
 :class:`StageGraph` turns the lockstep step from an inlined call
-sequence into a *schedulable object*: an ordered set of named
-:class:`Stage`\\ s with typed inputs and outputs, validated at
-construction (every input must be produced by an earlier stage or seeded
-by the caller) and executed over a shared value environment.  The stage
+sequence into a *schedulable object*: named :class:`Stage`\\ s with typed
+dataflow inputs/outputs **and** declared :class:`~repro.core.stages`
+resource read/write sets, topologically scheduled from their
+declarations (declaration order only breaks ties), validated at
+construction, and executed over a shared value environment.  The stage
 bodies are the pure functions of :mod:`repro.core.stages`; this module
-only declares how they wire together.
+declares how they wire together and *when* they run.
 
 Two graphs cover the two CNN engines:
 
@@ -17,11 +18,29 @@ Two graphs cover the two CNN engines:
 * **legacy** — ``rfbme → decide → legacy_cnn → record``: batched RFBME
   with per-clip CNN execution (the PR 1 shape).
 
-Both the lockstep :class:`~repro.runtime.batched.BatchedPipeline` and
-the serving :class:`~repro.runtime.serving.LaneWorker` execute these
-graphs, so there is exactly one definition of the frame lifecycle to
-keep bit-identical — and one place to later schedule stages differently
-(sharding today; double-buffering RFBME against the CNN next).
+Validation raises *named* errors so callers can tell failure modes
+apart: :class:`UndeclaredInputError` (an input no stage produces),
+:class:`DuplicateOutputError` (two producers for one value),
+:class:`StageCycleError` (no topological order exists), and — at run
+time, opt-in — :class:`WriteSetViolationError` (a stage mutated lane
+state it never declared).
+
+**Pipelining.**  :class:`StageExecutor` runs a graph step after step.
+At ``pipeline_depth=1`` that is plain sequential execution.  At depth 2
+it keeps *two in-flight step contexts*: the graph's declared resource
+sets prove which prefix of step ``t+1`` conflicts with which suffix of
+step ``t`` (:meth:`StageGraph.overlap_split`), and the executor
+software-pipelines the conflict-free head — ``rfbme``/``decide`` on the
+lifecycle graphs — into step ``t``'s tail window
+(``warp``/``cnn_suffix``/``record``), on a worker thread.  The head's
+RFBME runs on a double-buffered engine (``StepBatch.engine``) and each
+context carries its own cursor snapshot, so the overlapped steps touch
+disjoint state and every output stays **bit-identical** to sequential
+execution.  The overlap is never speculative: ``decide`` mutates policy
+state, so a caller may only hand over ``next_batch`` when that batch is
+*certain* to be the next step (:class:`PipelineContractError` otherwise)
+— the lockstep driver knows its batches statically, and the serving
+worker pipelines only when slot membership is provably stable.
 
 Seeding: :meth:`StageGraph.run` accepts precomputed values; a stage
 whose outputs are all seeded is skipped.  That is how callers that
@@ -32,21 +51,80 @@ execute_batched_step`'s entries) reuse the rest of the graph.
 from __future__ import annotations
 
 import functools
-from dataclasses import dataclass
-from typing import Callable, Dict, Mapping, Optional, Sequence, Tuple
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass, field
+from typing import (
+    Callable,
+    Dict,
+    List,
+    Mapping,
+    Optional,
+    Sequence,
+    Tuple,
+)
 
 from ..core import stages as _stages
-from ..core.stages import StepBatch
+from ..core.stages import CHECKED_RESOURCES, StepBatch, fingerprint_resource
 
-__all__ = ["Stage", "StageGraph", "frame_lifecycle_graph"]
+__all__ = [
+    "Stage",
+    "StageGraph",
+    "StageExecutor",
+    "frame_lifecycle_graph",
+    "StageGraphError",
+    "StageCycleError",
+    "UndeclaredInputError",
+    "DuplicateOutputError",
+    "WriteSetViolationError",
+    "PipelineContractError",
+]
 
 #: the seed value every graph starts from (the step's working set).
 _SEED = "batch"
 
 
+class StageGraphError(ValueError):
+    """Base class for stage-graph declaration and execution errors."""
+
+
+class UndeclaredInputError(StageGraphError):
+    """A stage consumes a value that no stage produces (and no seed supplies)."""
+
+
+class DuplicateOutputError(StageGraphError):
+    """Two stages declare the same output value."""
+
+
+class StageCycleError(StageGraphError):
+    """The declared dataflow has no topological order."""
+
+
+class WriteSetViolationError(StageGraphError):
+    """A stage mutated a lane-state resource outside its declared write set."""
+
+
+class PipelineContractError(RuntimeError):
+    """A pipelined ``next_batch`` was not the batch of the following step.
+
+    The head stages (``decide`` mutates policy state) are irreversible,
+    so the executor refuses speculation: whoever hands over a next batch
+    guarantees it.  Seeing this error means a driver broke that
+    guarantee, not that data went wrong — the executor stops before
+    running anything against the mismatched batch.
+    """
+
+
 @dataclass(frozen=True)
 class Stage:
-    """One declared stage: a pure function with named inputs/outputs."""
+    """One declared stage: a pure function with named inputs/outputs.
+
+    ``reads``/``writes`` are the stage's declared
+    :class:`~repro.core.stages` resource sets — defaulted from the
+    ``reads``/``writes`` attributes its function was declared with
+    (see ``core.stages._effects``), empty otherwise.  Dataflow names
+    order stages within a step; the resource sets prove which stages of
+    *consecutive* steps may overlap.
+    """
 
     name: str
     fn: Callable
@@ -55,65 +133,332 @@ class Stage:
     #: environment names bound to ``fn``'s return value (one name binds
     #: the value itself; several unpack it).
     outputs: Tuple[str, ...]
+    #: lane-state resources read / written (conflict analysis).
+    reads: frozenset = field(default=None)
+    writes: frozenset = field(default=None)
 
     def __post_init__(self):
         if not self.outputs:
-            raise ValueError(f"stage {self.name!r} declares no outputs")
+            raise StageGraphError(f"stage {self.name!r} declares no outputs")
+        if self.reads is None:
+            object.__setattr__(
+                self, "reads", frozenset(getattr(self.fn, "reads", ()))
+            )
+        if self.writes is None:
+            object.__setattr__(
+                self, "writes", frozenset(getattr(self.fn, "writes", ()))
+            )
+
+    def conflicts_with(self, other: "Stage") -> bool:
+        """Whether this stage and ``other`` may NOT be reordered/overlapped.
+
+        The classic dependence test over declared resources: a conflict
+        exists iff one stage writes something the other reads or writes.
+        Read-read sharing is free.
+        """
+        return bool(
+            self.writes & (other.reads | other.writes)
+            or other.writes & self.reads
+        )
 
 
 class StageGraph:
-    """An ordered, validated set of stages executed over one environment.
+    """A validated, topologically scheduled set of stages.
 
-    Declaration order is execution order; construction validates that
-    every stage's inputs are either the ``batch`` seed or an output of
-    an earlier stage, and that no two stages produce the same value —
-    the properties that make the graph safe to reschedule.
+    Stages may be declared in any order; construction builds the
+    dataflow schedule from their inputs/outputs (Kahn's algorithm,
+    declaration order breaking ties, so an already-ordered declaration
+    executes exactly as written).  Validation names its failure modes:
+    every input must be the ``batch`` seed or some stage's output
+    (:class:`UndeclaredInputError`), no two stages may produce the same
+    value (:class:`DuplicateOutputError`), and the dependency relation
+    must be acyclic (:class:`StageCycleError`) — the properties that
+    make the graph safe to reschedule.
     """
 
     def __init__(self, graph_stages: Sequence[Stage]):
-        available = {_SEED}
-        for stage in graph_stages:
-            missing = [name for name in stage.inputs if name not in available]
+        declared = tuple(graph_stages)
+        producers: Dict[str, Stage] = {}
+        for stage in declared:
+            for name in stage.outputs:
+                if name == _SEED or name in producers:
+                    raise DuplicateOutputError(
+                        f"stage {stage.name!r} would redefine {[name]}"
+                    )
+                producers[name] = stage
+        for stage in declared:
+            missing = [
+                name
+                for name in stage.inputs
+                if name != _SEED and name not in producers
+            ]
             if missing:
-                raise ValueError(
-                    f"stage {stage.name!r} consumes {missing} before any "
-                    f"stage produces it (have: {sorted(available)})"
+                raise UndeclaredInputError(
+                    f"stage {stage.name!r} consumes {missing} which no "
+                    f"stage produces (producible: "
+                    f"{sorted(producers) + [_SEED]})"
                 )
-            clashes = [name for name in stage.outputs if name in available]
-            if clashes:
-                raise ValueError(
-                    f"stage {stage.name!r} would redefine {clashes}"
+        # Kahn's algorithm, stable on declaration order.
+        schedule: List[Stage] = []
+        available = {_SEED}
+        remaining = list(declared)
+        while remaining:
+            ready = next(
+                (
+                    stage
+                    for stage in remaining
+                    if all(name in available for name in stage.inputs)
+                ),
+                None,
+            )
+            if ready is None:
+                cycle = [stage.name for stage in remaining]
+                raise StageCycleError(
+                    f"stages {cycle} form a dependency cycle: none of "
+                    f"their input sets is satisfiable"
                 )
-            available.update(stage.outputs)
-        self.stages: Tuple[Stage, ...] = tuple(graph_stages)
+            remaining.remove(ready)
+            available.update(ready.outputs)
+            schedule.append(ready)
+        self.stages: Tuple[Stage, ...] = tuple(schedule)
         self.produces = frozenset(available - {_SEED})
+        self._overlap_split: Optional[Tuple[Tuple[Stage, ...], ...]] = None
 
     def __iter__(self):
         return iter(self.stages)
+
+    # ------------------------------------------------------------------ #
+    def _run_stages(
+        self,
+        stages: Sequence[Stage],
+        env: Dict[str, object],
+        enforce_writes: bool = False,
+    ) -> None:
+        """Execute ``stages`` over ``env``, skipping fully seeded ones."""
+        for stage in stages:
+            if all(name in env for name in stage.outputs):
+                continue
+            if enforce_writes:
+                batch = env.get(_SEED)
+                guarded = [
+                    resource
+                    for resource in CHECKED_RESOURCES
+                    if resource not in stage.writes
+                ]
+                before = {
+                    resource: fingerprint_resource(batch, resource)
+                    for resource in guarded
+                }
+            result = stage.fn(*[env[name] for name in stage.inputs])
+            if enforce_writes:
+                for resource in guarded:
+                    if fingerprint_resource(batch, resource) != before[resource]:
+                        raise WriteSetViolationError(
+                            f"stage {stage.name!r} mutated resource "
+                            f"{resource!r} outside its declared write set "
+                            f"{sorted(stage.writes)}"
+                        )
+            if len(stage.outputs) == 1:
+                env[stage.outputs[0]] = result
+            else:
+                env.update(zip(stage.outputs, result))
 
     def run(
         self,
         batch: StepBatch,
         seed: Optional[Mapping[str, object]] = None,
+        enforce_writes: bool = False,
     ) -> Dict[str, object]:
         """Execute the graph for one step; returns the full environment.
 
         ``seed`` supplies precomputed values; stages whose outputs are
         all present (seeded) are skipped, which keeps re-running work the
         caller already did impossible by construction.
+        ``enforce_writes`` fingerprints the checked lane-state resources
+        around every stage and raises :class:`WriteSetViolationError` on
+        an undeclared mutation — a debugging/testing mode, off on hot
+        paths.
         """
         env: Dict[str, object] = {_SEED: batch}
         if seed:
             env.update(seed)
-        for stage in self.stages:
-            if all(name in env for name in stage.outputs):
-                continue
-            result = stage.fn(*[env[name] for name in stage.inputs])
-            if len(stage.outputs) == 1:
-                env[stage.outputs[0]] = result
-            else:
-                env.update(zip(stage.outputs, result))
+        self._run_stages(self.stages, env, enforce_writes=enforce_writes)
         return env
+
+    # ------------------------------------------------------------------ #
+    def overlap_split(self) -> Tuple[Tuple[Stage, ...], ...]:
+        """``(head, mid, tail)``: the graph's software-pipeline shape.
+
+        ``head`` is a prefix of the schedule, ``tail`` a suffix, chosen
+        so that no head stage conflicts (declared resources) with any
+        tail stage — which is exactly the proof that step ``t+1``'s head
+        may run while step ``t``'s tail is still in flight.  ``mid`` is
+        whatever sits between: it must finish in step ``t`` before the
+        next head starts (on the lifecycle graphs that is ``cnn_prefix``,
+        whose key-state adoption the next ``rfbme`` reads).  Among valid
+        splits the largest tail wins (it is the overlap window), then
+        the largest head; an empty head or tail means the graph cannot
+        pipeline.  Memoised on the instance (geometry never changes).
+        """
+        if self._overlap_split is not None:
+            return self._overlap_split
+        schedule = self.stages
+        n = len(schedule)
+        best = (0, 0, 0)  # (tail_len, head_len, tail_start)
+        for head_len in range(1, n):
+            head = schedule[:head_len]
+            tail_start = n
+            for index in range(n - 1, head_len - 1, -1):
+                if any(h.conflicts_with(schedule[index]) for h in head):
+                    break
+                tail_start = index
+            tail_len = n - tail_start
+            if (tail_len, head_len) > best[:2]:
+                best = (tail_len, head_len, tail_start)
+        tail_len, head_len, tail_start = best
+        if tail_len == 0:
+            self._overlap_split = ((), tuple(schedule), ())
+        else:
+            self._overlap_split = (
+                tuple(schedule[:head_len]),
+                tuple(schedule[head_len:tail_start]),
+                tuple(schedule[tail_start:]),
+            )
+        return self._overlap_split
+
+
+class StageExecutor:
+    """Dependency-driven step executor over one :class:`StageGraph`.
+
+    ``pipeline_depth=1`` (default) runs each step's full schedule
+    sequentially.  ``pipeline_depth>=2`` keeps two in-flight step
+    contexts: when :meth:`step` is handed the *definite* next batch, the
+    graph's conflict-free head of step ``t+1`` is launched on a worker
+    thread while step ``t``'s tail runs on the caller's thread — RFBME
+    (a GIL-releasing compiled/BLAS call on the hot backends) genuinely
+    overlaps the CNN stages.  The caller alternates
+    ``StepBatch.engine`` between the lane engine and
+    :meth:`~repro.core.stages.LaneState.build_pipeline_engine`'s double
+    buffer so the two contexts' scratch never collides; every other
+    piece of touched state is disjoint by the declared read/write sets,
+    so results are bit-identical to sequential execution.
+
+    One executor serves one lane/driver at a time; it is not itself
+    thread-safe (the worker thread is an implementation detail).
+    """
+
+    def __init__(self, graph: StageGraph, pipeline_depth: int = 1):
+        if pipeline_depth < 1:
+            raise ValueError(
+                f"pipeline_depth must be >= 1, got {pipeline_depth}"
+            )
+        self.graph = graph
+        self.pipeline_depth = int(pipeline_depth)
+        if self.pipeline_depth > 1:
+            head, mid, tail = graph.overlap_split()
+        else:
+            head, mid, tail = (), graph.stages, ()
+        self.head = head
+        self.mid = mid
+        self.tail = tail
+        self._inflight: Optional[Tuple[StepBatch, object]] = None
+        self._worker: Optional[ThreadPoolExecutor] = None
+
+    @property
+    def pipelined(self) -> bool:
+        """Whether this executor can overlap consecutive steps at all."""
+        return bool(self.head) and bool(self.tail)
+
+    # ------------------------------------------------------------------ #
+    def _run_head(self, env: Dict[str, object]) -> Dict[str, object]:
+        self.graph._run_stages(self.head, env)
+        return env
+
+    def _launch_head(self, next_batch: StepBatch) -> None:
+        env: Dict[str, object] = {_SEED: next_batch}
+        if self._worker is None:
+            self._worker = ThreadPoolExecutor(
+                max_workers=1, thread_name_prefix="stage-head"
+            )
+        future = self._worker.submit(self._run_head, env)
+        self._inflight = (next_batch, future)
+
+    def _join(
+        self, batch: StepBatch, seed: Optional[Mapping[str, object]]
+    ) -> Dict[str, object]:
+        """The step's environment with head stages complete."""
+        if self._inflight is None:
+            env: Dict[str, object] = {_SEED: batch}
+            if seed:
+                env.update(seed)
+            self.graph._run_stages(self.head, env)
+            return env
+        expected, future = self._inflight
+        self._inflight = None
+        if expected is not batch:
+            future.result()  # surface head failures before complaining
+            raise PipelineContractError(
+                "the batch submitted to step() is not the next_batch the "
+                "previous step pipelined; pipelined batches must be "
+                "definite (head stages are irreversible)"
+            )
+        env = future.result()
+        if seed:
+            # Head outputs were already computed in flight — a seed for
+            # them arrives too late to honour, and silently preferring
+            # either value would hide the conflict.
+            head_outputs = {
+                name for stage in self.head for name in stage.outputs
+            }
+            clashes = sorted(set(seed) & head_outputs)
+            if clashes:
+                raise PipelineContractError(
+                    f"seed supplies {clashes}, which the pipelined head "
+                    f"already computed; seed head-stage outputs only on "
+                    f"steps that were not pipelined into"
+                )
+            env.update(seed)
+        return env
+
+    def step(
+        self,
+        batch: StepBatch,
+        next_batch: Optional[StepBatch] = None,
+        seed: Optional[Mapping[str, object]] = None,
+    ) -> Dict[str, object]:
+        """Execute one full step; optionally pipeline into the next.
+
+        ``next_batch`` — when given and the graph pipelines — MUST be
+        the exact batch of the following :meth:`step` call: its head
+        stages run now, overlapped with this step's tail, and their
+        effects (policy state advanced by ``decide``) are permanent.
+        Pass ``None`` whenever the next step is not yet certain (the
+        serving worker does so on any possible admission/departure).
+        """
+        env = self._join(batch, seed)
+        self.graph._run_stages(self.mid, env)
+        if next_batch is not None and self.pipelined:
+            self._launch_head(next_batch)
+        self.graph._run_stages(self.tail, env)
+        return env
+
+    def close(self) -> None:
+        """Join any in-flight head and release the worker thread.
+
+        The executor remains usable afterwards (the worker is rebuilt on
+        the next pipelined launch); callers that pipelined to a batch
+        they will never submit must close to avoid leaking the thread.
+        """
+        if self._inflight is not None:
+            _, future = self._inflight
+            self._inflight = None
+            try:
+                future.result()
+            except Exception:
+                pass  # the step that owned this head was abandoned
+        if self._worker is not None:
+            self._worker.shutdown(wait=True)
+            self._worker = None
 
 
 @functools.lru_cache(maxsize=None)

@@ -259,6 +259,58 @@ class TestBatchedPipeline:
         _assert_identical(loop_result, serial_result)
 
 
+class TestPipelinedLockstep:
+    """pipeline_depth=2: step t+1's RFBME/decide overlap step t's CNN
+    stages on a double-buffered engine — bit-identical at any depth."""
+
+    def test_pipelined_matches_serial(self, spec, workload, serial_result):
+        piped = BatchedPipeline(spec, pipeline_depth=2).run_workload(workload)
+        _assert_identical(piped, serial_result)
+
+    def test_spec_depth_reaches_lockstep(self, workload, serial_result):
+        """run_workload picks the depth up from the spec (the CLI path)."""
+        piped_spec = PipelineSpec(network=NETWORK, pipeline_depth=2)
+        piped = run_workload(piped_spec, workload, batch=True)
+        _assert_identical(piped, serial_result)
+
+    def test_pipelined_ragged_lengths(self, spec):
+        """Clips departing the lockstep mid-stream shrink the in-flight
+        batches; the pipeline keeps every remaining step overlapped."""
+        clips = synthetic_workload(2, num_frames=7, base_seed=2) + \
+            synthetic_workload(2, num_frames=3, base_seed=13)
+        serial = run_workload(spec, clips, batch=False)
+        piped = BatchedPipeline(spec, pipeline_depth=2).run_workload(clips)
+        _assert_identical(piped, serial)
+
+    def test_pipelined_memoize_network(self):
+        memo = PipelineSpec(network="mini_alexnet", pipeline_depth=2)
+        memo.warm()
+        clips = synthetic_workload(3, num_frames=5, base_seed=6)
+        serial = run_workload(memo, clips, batch=False)
+        piped = run_workload(memo, clips, batch=True)
+        _assert_identical(piped, serial)
+
+    def test_pipelined_legacy_engine(self, workload, serial_result):
+        """The legacy graph's overlap window is just `record`, but the
+        executor path must stay bit-identical there too."""
+        legacy = PipelineSpec(
+            network=NETWORK, cnn_engine="legacy", pipeline_depth=2
+        )
+        piped = run_workload(legacy, workload, batch=True)
+        _assert_identical(piped, serial_result)
+
+    def test_depth_beyond_two_behaves_as_two(self, spec, workload,
+                                             serial_result):
+        piped = BatchedPipeline(spec, pipeline_depth=4).run_workload(workload)
+        _assert_identical(piped, serial_result)
+
+    def test_bad_depth_rejected(self, spec):
+        with pytest.raises(ValueError, match="pipeline_depth"):
+            BatchedPipeline(spec, pipeline_depth=0)
+        with pytest.raises(ValueError, match="pipeline_depth"):
+            PipelineSpec(network=NETWORK, pipeline_depth=0)
+
+
 class TestWorkloadResult:
     def test_throughput_stats(self, serial_result, workload):
         assert serial_result.num_clips == len(workload)

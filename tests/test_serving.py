@@ -260,6 +260,190 @@ class TestSharded:
             assert record.finish_time >= record.admit_time
 
 
+class TestPipelinedServing:
+    """pipeline_depth=2 serving: the worker overlaps the next step's
+    RFBME/decide with the current CNN tail whenever slot membership is
+    provably stable (full occupancy, no departure) and falls back to
+    sequential steps everywhere else — the PR 3 identity gauntlet must
+    hold bit-for-bit throughout."""
+
+    @pytest.fixture(scope="class")
+    def piped_spec(self):
+        spec = PipelineSpec(network=NETWORK, pipeline_depth=2)
+        spec.warm()
+        return spec
+
+    def test_oversubscribed_matches_serial(self, piped_spec, clips,
+                                           serial_result):
+        report = ServingRuntime(piped_spec, max_batch=3).serve(
+            _requests(clips)
+        )
+        _assert_identical(report, serial_result)
+
+    def test_ragged_and_staggered_match_serial(self, piped_spec):
+        mixed = (
+            synthetic_workload(2, num_frames=9, base_seed=1)
+            + synthetic_workload(3, num_frames=3, base_seed=5)
+            + synthetic_workload(2, num_frames=6, base_seed=8)
+        )
+        serial = run_workload(piped_spec, mixed, batch=False)
+        arrivals = poisson_arrival_times(len(mixed), rate=2000.0, seed=3)
+        report = ServingRuntime(piped_spec, max_batch=3).serve(
+            _requests(mixed, arrivals)
+        )
+        _assert_identical(report, serial)
+
+    def test_sharded_pipelined_matches_serial(self, piped_spec, clips,
+                                              serial_result):
+        report = ServingRuntime(
+            piped_spec, max_batch=3, serve_workers=2, shard_backend="serial"
+        ).serve(_requests(clips))
+        _assert_identical(report, serial_result)
+
+    def test_runtime_reusable_across_serves(self, piped_spec, clips,
+                                            serial_result):
+        runtime = ServingRuntime(piped_spec, max_batch=4)
+        for _ in range(2):
+            _assert_identical(runtime.serve(_requests(clips)), serial_result)
+        runtime.close()  # joins any in-flight pipelined head
+
+
+class TestSharedAdmission:
+    """admission='shared': one admission queue per lane, every shard of
+    the lane steals from it.  Assignment policy must never leak into
+    results — the per-clip identity contract is the same as static's."""
+
+    def test_inline_two_shards_match_serial(self, spec, clips,
+                                            serial_result):
+        report = ServingRuntime(
+            spec, max_batch=2, serve_workers=2, shard_backend="serial",
+            admission="shared",
+        ).serve(_requests(clips))
+        _assert_identical(report, serial_result)
+        assert report.admission == "shared"
+        assert len(report.shards) == 2
+        assert sum(shard.requests for shard in report.shards) == len(clips)
+
+    def test_two_lanes_shared_queues_match_serial(self, spec, clips,
+                                                  serial_result):
+        runtime = ServingRuntime(
+            {"cam0": spec, "cam1": spec},
+            max_batch=3,
+            serve_workers=2,
+            shard_backend="serial",
+            admission="shared",
+        )
+        requests = [
+            ClipRequest(i, clip, lane=f"cam{i % 2}")
+            for i, clip in enumerate(clips)
+        ]
+        report = runtime.serve(requests)
+        _assert_identical(report, serial_result)
+        assert {shard.lane for shard in report.shards} == {"cam0", "cam1"}
+
+    def test_idle_shard_steals_skewed_backlog(self, spec):
+        """Interleaved long/short clips: static round-robin pins the
+        longs on one shard; the shared queue spreads them, so no shard
+        serves more than ~the balanced share of frames."""
+        longs = synthetic_workload(4, num_frames=8, base_seed=3)
+        shorts = synthetic_workload(4, num_frames=2, base_seed=19)
+        clips = [clip for pair in zip(longs, shorts) for clip in pair]
+        serial = run_workload(spec, clips, batch=False)
+        report = ServingRuntime(
+            spec, max_batch=2, serve_workers=2, shard_backend="serial",
+            admission="shared",
+        ).serve(_requests(clips))
+        _assert_identical(report, serial)
+        frames = sorted(shard.frames for shard in report.shards)
+        total = sum(frames)
+        # Static round-robin would put all 32 long frames on one shard
+        # (32 vs 8); stealing keeps the split near even.
+        assert frames[-1] < 0.75 * total
+
+    def test_process_backend_stealing_matches_serial(self, spec):
+        clips = synthetic_workload(4, num_frames=4, base_seed=23)
+        serial = run_workload(spec, clips, batch=False)
+        report = ServingRuntime(
+            spec, max_batch=2, serve_workers=2, shard_backend="process",
+            admission="shared",
+        ).serve(_requests(clips))
+        _assert_identical(report, serial)
+        assert report.serve_workers == 2
+        assert report.admission == "shared"
+
+    def test_shared_accounting_aggregates(self, spec, clips):
+        report = ServingRuntime(
+            spec, max_batch=2, serve_workers=2, shard_backend="serial",
+            admission="shared",
+        ).serve(_requests(clips))
+        assert report.total_frames == sum(len(clip) for clip in clips)
+        assert report.steps == sum(shard.steps for shard in report.shards)
+        assert report.wall_seconds == max(
+            shard.wall_seconds for shard in report.shards
+        )
+        rows = dict((row[0], row[1]) for row in report.summary_rows())
+        assert rows["admission"] == "shared"
+
+    def test_records_in_submission_order(self, spec, clips):
+        report = ServingRuntime(
+            spec, max_batch=2, serve_workers=2, shard_backend="serial",
+            admission="shared",
+        ).serve(_requests(clips))
+        assert [record.request_id for record in report.records] == list(
+            range(len(clips))
+        )
+
+    def test_arrival_times_respected(self, spec, clips):
+        report = ServingRuntime(
+            spec, max_batch=2, clock=FakeClock(), serve_workers=2,
+            shard_backend="serial", admission="shared",
+        ).serve(_requests(clips[:4], [0.0, 0.0, 5.0, 5.0]))
+        for record in report.records:
+            assert record.admit_time >= record.arrival_time
+            assert record.enqueue_latency >= 0.0
+
+    def test_shard_budget_never_exceeds_serve_workers(self, spec, clips,
+                                                      serial_result):
+        """Shared shards run concurrently (the pool is sized to them),
+        so the budget is dealt across lanes and capped at serve_workers
+        — unlike static's per-lane ceil, which may queue excess tasks."""
+        runtime = ServingRuntime(
+            {"cam0": spec, "cam1": spec},
+            max_batch=2,
+            serve_workers=3,
+            shard_backend="serial",
+            admission="shared",
+        )
+        requests = [
+            ClipRequest(i, clip, lane=f"cam{i % 2}")
+            for i, clip in enumerate(clips)
+        ]
+        report = runtime.serve(requests)
+        _assert_identical(report, serial_result)
+        assert len(report.shards) == 3
+
+    def test_shared_report_admission_field(self, spec, clips):
+        """Every serve path stamps the configured admission mode."""
+        in_process = ServingRuntime(
+            spec, max_batch=3, admission="shared"
+        ).serve(_requests(clips[:2]))
+        assert in_process.admission == "shared"
+
+    def test_bad_admission_rejected(self, spec):
+        with pytest.raises(ValueError, match="admission"):
+            ServingRuntime(spec, max_batch=2, admission="dynamic")
+
+    def test_shared_with_one_worker_is_in_process(self, spec, clips,
+                                                  serial_result):
+        """serve_workers=1 has a single worker per lane — shared and
+        static admission coincide, served by the in-process loop."""
+        report = ServingRuntime(
+            spec, max_batch=3, admission="shared"
+        ).serve(_requests(clips))
+        _assert_identical(report, serial_result)
+        assert report.serve_workers == 1
+
+
 class TestPercentiles:
     def test_latency_percentiles_keys_and_order(self, spec, clips):
         report = ServingRuntime(spec, max_batch=2).serve(_requests(clips))
@@ -281,6 +465,24 @@ class TestPercentiles:
     def test_empty_report_has_no_percentiles(self, spec):
         report = ServingRuntime(spec, max_batch=2).serve([])
         assert report.latency_percentiles() == {}
+
+    def test_zero_completed_requests_explicit_empty(self):
+        """A report with zero completed requests returns the explicit
+        empty dict — never an np.percentile crash on empty samples —
+        and every aggregate accessor stays well-defined."""
+        from repro.runtime import ServingReport
+
+        report = ServingReport(
+            records=[], wall_seconds=0.0, idle_seconds=0.0, steps=0,
+            max_batch=4,
+        )
+        assert report.latency_percentiles() == {}
+        assert report.enqueue_latencies().shape == (0,)
+        assert report.times_to_first_frame().shape == (0,)
+        assert report.frames_per_second == 0.0
+        assert report.mean_occupancy == 0.0
+        labels = {row[0] for row in report.summary_rows()}
+        assert "enqueue p50 ms" not in labels  # no fabricated zeros
 
 
 class TestAdmission:
