@@ -123,6 +123,7 @@ def _spec_and_clips(args: argparse.Namespace):
         cnn_engine=args.cnn,
         dtype=args.dtype,
         pipeline_depth=args.pipeline_depth,
+        speculate=args.speculate,
     )
     clips = synthetic_workload(
         args.clips,
@@ -278,6 +279,13 @@ def build_parser() -> argparse.ArgumentParser:
                      help="software-pipeline depth for lockstep steps: 2 "
                           "overlaps step t+1's RFBME/decision with step "
                           "t's CNN stages (bit-identical; default 1)")
+    run.add_argument("--speculate", action=argparse.BooleanOptionalAction,
+                     default=True,
+                     help="pipeline speculatively across uncertain step "
+                          "boundaries (serving admissions/evictions): "
+                          "checkpoint, overlap, roll back + replay on a "
+                          "mismatch; bit-identical either way "
+                          "(--no-speculate restores stable-only overlap)")
     run.set_defaults(func=_cmd_run)
 
     serve = sub.add_parser(
@@ -312,8 +320,16 @@ def build_parser() -> argparse.ArgumentParser:
                             "requests (better tail latency under skew)")
     serve.add_argument("--pipeline-depth", type=int, default=1,
                        help="software-pipeline depth for serving steps "
-                            "(2 overlaps RFBME with the CNN stages at "
-                            "full occupancy; bit-identical; default 1)")
+                            "(2 overlaps RFBME with the CNN stages; "
+                            "bit-identical; default 1)")
+    serve.add_argument("--speculate", action=argparse.BooleanOptionalAction,
+                       default=True,
+                       help="with --pipeline-depth 2, overlap across "
+                            "possible admissions/evictions too: the "
+                            "executor checkpoints policy state and rolls "
+                            "back + replays on a membership mismatch; "
+                            "the report shows engagement and rollback "
+                            "rates (--no-speculate = stable-only overlap)")
     serve.add_argument("--threshold", type=float, default=2.0,
                        help="adaptive match-error threshold")
     serve.add_argument("--interval", type=int, default=0,

@@ -70,6 +70,13 @@ class AMCConfig:
     #: (double-buffered scratch, bit-identical results).  Depths beyond 2
     #: behave as 2 — the lifecycle has one overlap window.
     pipeline_depth: int = 1
+    #: with pipeline_depth >= 2, let drivers pipeline *speculatively*
+    #: across uncertain step boundaries (possible admissions/evictions):
+    #: the executor checkpoints policy/cursor state before the
+    #: speculative head and rolls back + replays on a mismatch.
+    #: Bit-identical either way; False restores the PR 5 behaviour of
+    #: overlapping only provably stable steps.
+    speculate: bool = True
 
     def __post_init__(self):
         if self.mode not in _MODES:

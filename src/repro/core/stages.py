@@ -63,11 +63,15 @@ __all__ = [
     "StepBatch",
     "KEY_STATE",
     "POLICY_STATE",
+    "CURSOR_STATE",
     "ENGINE_SCRATCH",
     "PLAN_SCRATCH",
     "RESOURCES",
     "CHECKED_RESOURCES",
+    "CHECKPOINT_RESOURCES",
     "fingerprint_resource",
+    "checkpoint_resource",
+    "restore_resource",
     "stage_rfbme",
     "stage_decide",
     "stage_cnn_prefix",
@@ -84,6 +88,10 @@ __all__ = [
 KEY_STATE = "key_state"
 #: the per-slot key-frame policies' inter-frame state.
 POLICY_STATE = "policy_state"
+#: the per-slot clip-local frame cursors.  Stages only ever *read*
+#: cursors (through the batch's snapshot); the driver advances them
+#: between steps.
+CURSOR_STATE = "cursor_state"
 #: the RFBME engine's producer/consumer workspaces.  Scratch: contents
 #: never outlive one stage invocation, and the pipelined executor
 #: double-buffers it (one engine per in-flight step context), so writes
@@ -95,13 +103,22 @@ ENGINE_SCRATCH = "engine_scratch"
 PLAN_SCRATCH = "plan_scratch"
 
 #: every declared resource, in a stable order.
-RESOURCES = (KEY_STATE, POLICY_STATE, ENGINE_SCRATCH, PLAN_SCRATCH)
+RESOURCES = (KEY_STATE, POLICY_STATE, CURSOR_STATE, ENGINE_SCRATCH,
+             PLAN_SCRATCH)
 
 #: resources with *persistent* content, cheap enough to fingerprint —
 #: what ``StageGraph.run(enforce_writes=True)`` verifies a stage left
 #: untouched unless declared in its write set.  The scratch resources
 #: are exempt by definition (their contents are dead between stages).
-CHECKED_RESOURCES = (KEY_STATE, POLICY_STATE)
+CHECKED_RESOURCES = (KEY_STATE, POLICY_STATE, CURSOR_STATE)
+
+#: persistent resources that support checkpoint → rollback (the
+#: :class:`~repro.runtime.stage_graph.Checkpointable` contract) — what a
+#: speculative executor snapshots before running head stages against a
+#: batch that may never happen.  These are exactly the resources the
+#: head of the lifecycle graphs can write (``decide`` advances policy
+#: state) plus the cursors its decisions are keyed on.
+CHECKPOINT_RESOURCES = (POLICY_STATE, CURSOR_STATE)
 
 
 def _effects(reads=(), writes=()):
@@ -148,7 +165,64 @@ def fingerprint_resource(batch: "StepBatch", resource: str):
             else None
             for k in range(len(batch))
         )
+    if resource == CURSOR_STATE:
+        return tuple(batch.slot(k).cursor for k in range(len(batch)))
     return None
+
+
+def checkpoint_resource(batch: "StepBatch", resource: str):
+    """A restorable snapshot of one checkpointable resource of ``batch``.
+
+    The speculative executor's counterpart to
+    :func:`fingerprint_resource`: where a fingerprint only *detects*
+    change, a checkpoint can undo it —
+    :func:`restore_resource` puts the resource's observable content back
+    exactly (``fingerprint_resource`` before and after agree).  Only the
+    :data:`CHECKPOINT_RESOURCES` are supported; snapshots cover the
+    batch's positions, which is precisely the state a speculative head
+    run over this batch could have touched.  Non-``StepBatch`` seeds
+    (toy graphs) have no lane state: their snapshot is ``None`` and
+    restoring it is a no-op, mirroring :func:`fingerprint_resource`.
+    """
+    if not isinstance(batch, StepBatch):
+        return None
+    if resource == POLICY_STATE:
+        return tuple(
+            batch.slot(k).policy.checkpoint()
+            if batch.slot(k).policy is not None
+            else None
+            for k in range(len(batch))
+        )
+    if resource == CURSOR_STATE:
+        return tuple(batch.slot(k).cursor for k in range(len(batch)))
+    raise ValueError(
+        f"resource {resource!r} is not checkpointable "
+        f"(supported: {CHECKPOINT_RESOURCES})"
+    )
+
+
+def restore_resource(batch: "StepBatch", resource: str, snapshot) -> None:
+    """Roll one resource of ``batch`` back to its checkpointed content.
+
+    Safe to call more than once with the same snapshot (snapshots are
+    never consumed); see :func:`checkpoint_resource`.
+    """
+    if snapshot is None:
+        return
+    if resource == POLICY_STATE:
+        for k, state in enumerate(snapshot):
+            policy = batch.slot(k).policy
+            if policy is not None and state is not None:
+                policy.rollback(state)
+        return
+    if resource == CURSOR_STATE:
+        for k, cursor in enumerate(snapshot):
+            batch.slot(k).cursor = cursor
+        return
+    raise ValueError(
+        f"resource {resource!r} is not checkpointable "
+        f"(supported: {CHECKPOINT_RESOURCES})"
+    )
 
 
 @dataclass
@@ -315,7 +389,7 @@ def stage_rfbme(batch: StepBatch) -> List[Optional[RFBMEResult]]:
     return estimations
 
 
-@_effects(reads={POLICY_STATE}, writes={POLICY_STATE})
+@_effects(reads={POLICY_STATE, CURSOR_STATE}, writes={POLICY_STATE})
 def stage_decide(
     batch: StepBatch, estimations: Sequence[Optional[RFBMEResult]]
 ) -> List[bool]:
@@ -434,7 +508,7 @@ def stage_legacy_cnn(
     return np.concatenate(outputs)
 
 
-@_effects()
+@_effects(reads={CURSOR_STATE})
 def stage_record(
     batch: StepBatch,
     decisions: Sequence[bool],

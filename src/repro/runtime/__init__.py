@@ -15,7 +15,11 @@ per-clip :class:`~repro.core.EVA2Pipeline` into a workload runtime:
   definition of the step that lockstep and serving both execute.  At
   ``pipeline_depth=2`` the executor software-pipelines step t+1's
   RFBME/decisions against step t's CNN stages (double-buffered engine
-  scratch, bit-identical).
+  scratch, bit-identical) — definitely when the next batch is certain,
+  speculatively (checkpoint → rollback + replay on a membership
+  mismatch; :class:`Checkpointable`, :class:`RollbackEvent`,
+  :class:`SpeculationStats`) when serving admissions/evictions make it
+  uncertain.
 * :class:`BatchedPipeline` — lockstep execution that batches the RFBME
   hot path across all active clips in one vectorized call.
 * :class:`ServingRuntime` — streaming serving with continuous batching,
@@ -55,8 +59,11 @@ from .serving import (
 )
 from .spec import PAPER_MODES, PipelineSpec
 from .stage_graph import (
+    Checkpointable,
     DuplicateOutputError,
     PipelineContractError,
+    RollbackEvent,
+    SpeculationStats,
     Stage,
     StageCycleError,
     StageExecutor,
@@ -93,6 +100,9 @@ __all__ = [
     "DuplicateOutputError",
     "WriteSetViolationError",
     "PipelineContractError",
+    "Checkpointable",
+    "RollbackEvent",
+    "SpeculationStats",
     "frame_lifecycle_graph",
     "PAPER_MODES",
     "PipelineSpec",

@@ -109,6 +109,15 @@ class WorkloadResult:
     path: str
     #: worker count used (1 for serial and lockstep).
     workers: int = 1
+    #: lifecycle steps executed (0 for paths without a step executor).
+    steps: int = 0
+    #: steps whose head was precomputed by the pipelined executor.
+    pipelined_steps: int = 0
+
+    @property
+    def pipeline_engagement(self) -> float:
+        """Fraction of steps that ran with their head precomputed."""
+        return self.pipelined_steps / self.steps if self.steps else 0.0
 
     @property
     def num_clips(self) -> int:
@@ -176,7 +185,11 @@ class WorkloadResult:
             ["frames/s", round(self.frames_per_second, 1)],
             ["key fraction", round(self.key_fraction, 3)],
             ["RFBME adds", self.total_estimation_ops],
-        ]
+        ] + (
+            [["pipelined steps", f"{self.pipelined_steps}/{self.steps}"]]
+            if self.pipelined_steps
+            else []
+        )
 
 
 class BatchedPipeline:
@@ -274,6 +287,8 @@ class BatchedPipeline:
         try:
             for t, batch in enumerate(batches):
                 next_batch = batches[t + 1] if t + 1 < len(batches) else None
+                # The step stream is static, so every handoff is
+                # definite — no checkpoint, no speculation needed.
                 env = executor.step(batch, next_batch=next_batch)
                 for k, i in enumerate(batch.positions):
                     records[i].append(env["records"][k])
@@ -282,7 +297,13 @@ class BatchedPipeline:
             executor.close()
         results = [PipelineResult(records=r) for r in records]
         wall = time.perf_counter() - start
-        return WorkloadResult(results=results, wall_seconds=wall, path="lockstep")
+        return WorkloadResult(
+            results=results,
+            wall_seconds=wall,
+            path="lockstep",
+            steps=executor.stats.steps,
+            pipelined_steps=executor.stats.pipelined_steps,
+        )
 
 
 def run_workload(

@@ -13,10 +13,15 @@ The serving layer is split along the line a deployment would draw:
   queue, all driving the declared stage graph
   (:func:`~repro.runtime.stage_graph.frame_lifecycle_graph`) one step at
   a time through a :class:`~repro.runtime.stage_graph.StageExecutor`.
-  With a ``pipeline_depth=2`` spec the worker software-pipelines: at
-  full occupancy with no departure due (membership provably stable) the
-  next step's RFBME/decisions run overlapped with the current step's
-  CNN stages, double-buffered and bit-identical.  A worker runs
+  With a ``pipeline_depth=2`` spec the worker software-pipelines every
+  step it can: at provably stable membership (full occupancy, no
+  departure due) the handoff is definite, and across uncertain
+  boundaries — possible admissions or evictions — it speculates
+  (``spec.speculate``, default on): the surviving residents' next step
+  is launched under a policy-state checkpoint and rolled back + replayed
+  if membership actually changes.  Double-buffered and bit-identical in
+  every case; :class:`ServingReport` surfaces the engagement and
+  rollback rates.  A worker runs
   in-process, or — because its execution state is the picklable
   :class:`~repro.core.stages.LaneState` recipe away from a
   spec — inside a worker process, where it builds **its own** network
@@ -186,6 +191,12 @@ class ShardInfo:
     wall_seconds: float
     idle_seconds: float
     steps: int
+    #: steps that consumed a pipelined (precomputed) head.
+    pipelined_steps: int = 0
+    #: speculative head launches.
+    speculated: int = 0
+    #: speculative launches rolled back (membership mismatch/abandon).
+    rollbacks: int = 0
 
     @property
     def frames_per_second(self) -> float:
@@ -215,6 +226,13 @@ class ServingReport:
     #: how sharded requests were assigned: "static" round-robin slices
     #: or a "shared" per-lane admission queue (work stealing).
     admission: str = "static"
+    #: steps that consumed a pipelined (precomputed) head, across all
+    #: lanes and shards.  0 on a sequential (pipeline_depth=1) run.
+    pipelined_steps: int = 0
+    #: speculative head launches across all lanes and shards.
+    speculated: int = 0
+    #: speculative launches rolled back on a membership mismatch.
+    rollbacks: int = 0
 
     @property
     def num_requests(self) -> int:
@@ -237,6 +255,21 @@ class ServingReport:
     def mean_occupancy(self) -> float:
         """Average clips resident per step (frames served per step)."""
         return self.total_frames / self.steps if self.steps else 0.0
+
+    @property
+    def speculation_engagement(self) -> float:
+        """Fraction of steps whose head was precomputed in flight.
+
+        Counts definite and speculative overlaps alike — it answers
+        "how often did pipelining actually engage", which PR 5 could
+        only say yes to at provably stable membership.
+        """
+        return self.pipelined_steps / self.steps if self.steps else 0.0
+
+    @property
+    def rollback_rate(self) -> float:
+        """Fraction of speculative launches that were rolled back."""
+        return self.rollbacks / self.speculated if self.speculated else 0.0
 
     def enqueue_latencies(self) -> np.ndarray:
         return np.array([record.enqueue_latency for record in self.records])
@@ -297,6 +330,14 @@ class ServingReport:
         ]
         if self.serve_workers > 1:
             rows.append(["admission", self.admission])
+        if self.pipelined_steps or self.speculated:
+            rows.append(["pipelined steps", self.pipelined_steps])
+            rows.append(
+                ["speculation engagement",
+                 round(self.speculation_engagement, 3)]
+            )
+            rows.append(["rollbacks", self.rollbacks])
+            rows.append(["rollback rate", round(self.rollback_rate, 3)])
         for key, value in self.latency_percentiles().items():
             prefix, pct = key.split("_")
             rows.append([f"{prefix} {pct} ms", round(value * 1e3, 2)])
@@ -370,10 +411,21 @@ class LaneWorker:
         self.executor = StageExecutor(
             self.graph, pipeline_depth=spec.pipeline_depth
         )
+        #: whether uncertain step boundaries may pipeline speculatively.
+        #: Requires a speculation-safe graph: the legacy graph's head
+        #: includes per-clip CNN execution (un-checkpointable key
+        #: state), so it falls back to PR 5's stable-only overlap.
+        self.speculate = spec.speculate and self.executor.speculation_safe
         #: the pipelined next-step batch (its head stages already ran).
         self._pending: Optional[StepBatch] = None
         #: lazy double-buffer engine for pipelined RFBME.
         self._shadow_engine = None
+        #: memoised ``[occupancy, min frames remaining]`` behind the
+        #: stability predicate; None = must rescan (membership event).
+        self._stable_cache: Optional[List[int]] = None
+        #: how many times the stability predicate actually scanned the
+        #: slots (membership events), vs. answering from the cache.
+        self._membership_scans = 0
         self.residents: List[Optional[_Resident]] = [None] * capacity
         self.queue: "deque[Tuple[int, ClipRequest]]" = deque()
 
@@ -401,6 +453,7 @@ class LaneWorker:
         slot.policy.reset()
         slot.cursor = 0
         self.residents[index] = _Resident(seq, request, now)
+        self._stable_cache = None  # membership changed: predicate rescans
 
     def _build_batch(self, positions: List[int], advance: int = 0,
                      engine=None) -> StepBatch:
@@ -429,15 +482,26 @@ class LaneWorker:
         True only when every slot is occupied (a free slot could admit a
         queued request at the next boundary) and no resident serves its
         last frame this step (no departure frees a slot).  This is the
-        full-occupancy steady state — exactly where pipelining pays —
-        and it makes the pipelined next batch definite, never
-        speculative (the executor's contract: head stages are
-        irreversible).
+        full-occupancy steady state, where the pipelined next batch is
+        definite — no checkpoint needed; anywhere else the worker may
+        still overlap, but only speculatively.
+
+        The scan is memoised: membership only changes at admissions and
+        departures, so between membership events the predicate answers
+        from a cached ``[occupancy, min frames remaining]`` pair that
+        :meth:`step` decrements as cursors advance — a lockstep-like run
+        (everyone admitted up front, equal lengths) pays exactly one
+        scan, not one per step.
         """
-        return len(positions) == self.capacity and all(
-            self.state.slots[i].cursor + 1 < len(self.residents[i].request.clip)
-            for i in positions
-        )
+        if self._stable_cache is None:
+            self._membership_scans += 1
+            remaining = [
+                len(self.residents[i].request.clip) - self.state.slots[i].cursor
+                for i in positions
+            ]
+            self._stable_cache = [len(positions), min(remaining, default=0)]
+        occupancy, min_remaining = self._stable_cache
+        return occupancy == self.capacity and min_remaining > 1
 
     def step(self) -> List[_Resident]:
         """Serve one frame of every resident clip; return departures.
@@ -448,31 +512,65 @@ class LaneWorker:
         stages.  Slots whose clip finished release their executor and
         free up for the next admission.
 
-        With a pipelined spec (``pipeline_depth >= 2``) and provably
-        stable membership, the next step's RFBME/decisions are launched
-        against this step's CNN tail (double-buffered engine) and picked
-        up by the next :meth:`step` call.
+        With a pipelined spec (``pipeline_depth >= 2``) the next step's
+        RFBME/decisions are launched against this step's CNN tail
+        (double-buffered engine) and picked up by the next :meth:`step`
+        call.  At provably stable membership the handoff is *definite*;
+        anywhere else — a free slot that might admit, a departure due —
+        the worker (``spec.speculate``) hands over the *survivors*
+        batch speculatively: the clips certain to still be resident
+        continue at their next cursors, and if an admission changes
+        membership the executor rolls the speculation back and replays
+        (bit-identical, the overlap is merely forfeited for that step).
         """
         positions = [
             i for i, resident in enumerate(self.residents) if resident is not None
         ]
+        batch = None
         if self._pending is not None:
-            batch = self._pending
-            self._pending = None
-        else:
+            pending, self._pending = self._pending, None
+            if list(pending.positions) == positions and all(
+                pending.cursors[k] == self.state.slots[i].cursor
+                for k, i in enumerate(positions)
+            ):
+                batch = pending  # the pipelined head is for this step
+            else:
+                # Membership changed under a speculative handoff; the
+                # executor recognises the fresh batch is not the one it
+                # speculated on, rolls back, and replays the head.
+                batch = self._build_batch(positions)
+        if batch is None:
             batch = self._build_batch(positions)
         next_batch = None
-        if self.executor.pipelined and self._membership_stable(positions):
-            if self._shadow_engine is None:
-                self._shadow_engine = self.state.build_pipeline_engine()
-            # Alternate engines between the two in-flight contexts.
-            alternate = (
-                self._shadow_engine if batch.engine is None else None
-            )
-            next_batch = self._build_batch(positions, advance=1,
-                                           engine=alternate)
-            self._pending = next_batch
-        env = self.executor.step(batch, next_batch=next_batch)
+        speculative = False
+        if self.executor.pipelined:
+            if self._membership_stable(positions):
+                survivors = positions
+            elif self.speculate:
+                # Slots past their last frame depart this step for sure;
+                # everyone else survives into step t+1 (admissions can
+                # only fill *other* slots).
+                survivors = [
+                    i
+                    for i in positions
+                    if self.state.slots[i].cursor + 1
+                    < len(self.residents[i].request.clip)
+                ]
+                speculative = True
+            else:
+                survivors = []
+            if survivors:
+                if self._shadow_engine is None:
+                    self._shadow_engine = self.state.build_pipeline_engine()
+                # Alternate engines between the two in-flight contexts.
+                alternate = (
+                    self._shadow_engine if batch.engine is None else None
+                )
+                next_batch = self._build_batch(survivors, advance=1,
+                                               engine=alternate)
+                self._pending = next_batch
+        env = self.executor.step(batch, next_batch=next_batch,
+                                 speculative=speculative)
         finished: List[_Resident] = []
         for k, i in enumerate(positions):
             resident = self.residents[i]
@@ -484,7 +582,37 @@ class LaneWorker:
                 slot.policy = None
                 self.residents[i] = None
                 finished.append(resident)
+        if finished:
+            self._stable_cache = None  # departures: predicate rescans
+        elif self._stable_cache is not None:
+            self._stable_cache[1] -= 1  # same slots, one frame closer
         return finished
+
+    def overlap_credit(
+        self, raw_step_seconds: float, inline_cpu_seconds: float
+    ) -> float:
+        """Concurrent-overlap timeline credit for the step just run.
+
+        On a core-starved host the pipelined head time-slices the same
+        CPU as the tail it nominally overlaps, so the measured wall
+        duration of a step is ``head + tail`` (plus whatever the OS
+        preempted) rather than what a concurrent deployment realizes:
+        the classic two-stage pipeline bound ``max(head, tail)``.  The
+        credit is the difference between the raw wall duration and that
+        modeled duration — ``max(inline CPU, joined-head CPU)`` when the
+        step consumed an in-flight head, plain inline CPU otherwise
+        (rolled-back heads replay inline, so their cost is already in
+        the inline term and the wasted speculative work stays hidden,
+        exactly as it would be on a spare core).  Charging CPU time
+        rather than wall slices keeps the attribution per-step exact:
+        the *next* head's work, which physically executes inside this
+        step's wall window on one core, is charged to the step that
+        joins it.  This is the per-step analogue of the shard-scaling
+        benchmark's per-shard-clock convention.
+        """
+        head_busy = self.executor.consume_joined_head_busy()
+        modeled = max(inline_cpu_seconds, head_busy)
+        return max(0.0, raw_step_seconds - modeled)
 
     def serve_shard(
         self,
@@ -498,12 +626,14 @@ class LaneWorker:
         virtual-time idle skipping, on this shard's own clock.
         """
         clock = clock or time.perf_counter
+        self.executor.reset_stats()
         pending: "deque[Tuple[int, ClipRequest]]" = deque(
             sorted(assigned, key=lambda item: (item[1].arrival_time, item[0]))
         )
         done, wall, idle, steps = _serve_loop(
             [self], lambda request: self, pending, clock
         )
+        stats = self.executor.stats
         return _ShardOutcome(
             lane=self.name,
             shard=self.shard,
@@ -511,12 +641,16 @@ class LaneWorker:
             wall_seconds=wall,
             idle_seconds=idle,
             steps=steps,
+            pipelined_steps=stats.pipelined_steps,
+            speculated=stats.speculated,
+            rollbacks=stats.rollbacks,
         )
 
     def release(self) -> None:
         """Drop resident state and hand plan scratch back."""
         self._pending = None
-        self.executor.close()
+        self._stable_cache = None
+        self.executor.close()  # rolls back any abandoned speculation
         for index, resident in enumerate(self.residents):
             if resident is not None:
                 self.state.slots[index].executor.release()
@@ -611,6 +745,9 @@ class _ShardOutcome:
     wall_seconds: float
     idle_seconds: float
     steps: int
+    pipelined_steps: int = 0
+    speculated: int = 0
+    rollbacks: int = 0
 
     def info(self) -> ShardInfo:
         """This outcome's report row — the one place it is derived."""
@@ -624,6 +761,9 @@ class _ShardOutcome:
             wall_seconds=self.wall_seconds,
             idle_seconds=self.idle_seconds,
             steps=self.steps,
+            pipelined_steps=self.pipelined_steps,
+            speculated=self.speculated,
+            rollbacks=self.rollbacks,
         )
 
 
@@ -774,6 +914,7 @@ def _run_stealing_shard(task: _StealShardTask) -> _ShardOutcome:
             else:
                 seq, request = item
                 worker.admit(seq, request, now())
+    stats = worker.executor.stats
     return _ShardOutcome(
         lane=task.lane,
         shard=task.shard,
@@ -781,6 +922,9 @@ def _run_stealing_shard(task: _StealShardTask) -> _ShardOutcome:
         wall_seconds=busy,
         idle_seconds=idle,
         steps=steps,
+        pipelined_steps=stats.pipelined_steps,
+        speculated=stats.speculated,
+        rollbacks=stats.rollbacks,
     )
 
 
@@ -858,6 +1002,9 @@ def _serve_work_stealing(
             wall_seconds=busy[worker],
             idle_seconds=idle[worker],
             steps=steps[worker],
+            pipelined_steps=worker.executor.stats.pipelined_steps,
+            speculated=worker.executor.stats.speculated,
+            rollbacks=worker.executor.stats.rollbacks,
         )
         for worker in workers
     ]
@@ -868,6 +1015,7 @@ def _serve_loop(
     route: Callable[[ClipRequest], LaneWorker],
     pending: "deque[Tuple[int, ClipRequest]]",
     clock: Callable[[], float],
+    overlap_timeline: bool = False,
 ) -> Tuple[Dict[int, RequestRecord], float, float, int]:
     """The continuous-batching serve loop over a set of lane workers.
 
@@ -875,15 +1023,20 @@ def _serve_loop(
     visible at their ``arrival_time``; admission and eviction happen at
     step boundaries; when no worker has a resident and no arrival is
     due, virtual time jumps to the next arrival instead of spinning.
+    With ``overlap_timeline`` each pipelined step is charged its
+    concurrent-overlap duration (:meth:`LaneWorker.overlap_credit`)
+    instead of the host-serialized one, so latency accounting is
+    comparable across hosts with any core count.
     Returns ``(records by seq, busy seconds, idle seconds, steps)``.
     """
     done: Dict[int, RequestRecord] = {}
     steps = 0
     skipped = 0.0
+    credited = 0.0
     start = clock()
 
     def now() -> float:
-        return (clock() - start) + skipped
+        return (clock() - start) + skipped - credited
 
     while pending or any(
         worker.queue or worker.has_active() for worker in workers
@@ -907,10 +1060,18 @@ def _serve_loop(
         for worker in workers:
             if not worker.has_active():
                 continue
-            finished = worker.step()
+            if overlap_timeline:
+                step_start = now()
+                cpu_start = time.thread_time()
+                finished = worker.step()
+                inline_cpu = time.thread_time() - cpu_start
+                raw = now() - step_start
+                credited += worker.overlap_credit(raw, inline_cpu)
+            else:
+                finished = worker.step()
             steps += 1
             _finalize_step(worker, finished, now(), done)
-    wall = clock() - start
+    wall = clock() - start - credited
     return done, wall, skipped, steps
 
 
@@ -967,6 +1128,7 @@ class ServingRuntime:
         serve_workers: int = 1,
         shard_backend: str = "auto",
         admission: str = "static",
+        overlap_timeline: bool = False,
     ):
         if isinstance(spec, PipelineSpec):
             specs: Dict[str, PipelineSpec] = {"default": spec}
@@ -1001,6 +1163,11 @@ class ServingRuntime:
             workers=self.serve_workers, backend=shard_backend
         )
         self.clock = clock or time.perf_counter
+        #: charge pipelined steps their concurrent-overlap duration
+        #: (max of head/tail busy) instead of the host-serialized sum —
+        #: the cross-host timeline convention the serving benchmark's
+        #: speculation headline measures under (in-process serves only).
+        self.overlap_timeline = bool(overlap_timeline)
         self.router = Router(specs)
         self._workers: Optional[Dict[str, LaneWorker]] = None
 
@@ -1049,8 +1216,11 @@ class ServingRuntime:
             )
         )
         workers = list(self.lanes.values())
+        for worker in workers:
+            worker.executor.reset_stats()  # per-serve counters
         done, wall, idle, steps = _serve_loop(
-            workers, self.lane_for, pending, self.clock
+            workers, self.lane_for, pending, self.clock,
+            overlap_timeline=self.overlap_timeline,
         )
         return ServingReport(
             records=[done[seq] for seq in sorted(done)],
@@ -1060,6 +1230,15 @@ class ServingRuntime:
             max_batch=self.max_batch,
             serve_workers=1,
             admission=self.admission,
+            pipelined_steps=sum(
+                worker.executor.stats.pipelined_steps for worker in workers
+            ),
+            speculated=sum(
+                worker.executor.stats.speculated for worker in workers
+            ),
+            rollbacks=sum(
+                worker.executor.stats.rollbacks for worker in workers
+            ),
         )
 
     def _serve_sharded(self, requests: Sequence[ClipRequest]) -> ServingReport:
@@ -1115,6 +1294,9 @@ class ServingRuntime:
             serve_workers=self.serve_workers,
             shards=shards,
             admission=self.admission,
+            pipelined_steps=sum(s.pipelined_steps for s in shards),
+            speculated=sum(s.speculated for s in shards),
+            rollbacks=sum(s.rollbacks for s in shards),
         )
 
     def _serve_shared(

@@ -76,6 +76,12 @@ class PipelineSpec:
     #: software-pipeline RFBME/decide of step t+1 against the CNN stages
     #: of step t.  Bit-identical either way.
     pipeline_depth: int = 1
+    #: allow *speculative* pipelining across uncertain step boundaries
+    #: (serving admissions/evictions): checkpoint, overlap, roll back +
+    #: replay on a membership mismatch.  Default on — results are
+    #: bit-identical regardless; False restores PR 5's stable-only
+    #: overlap.  No effect at pipeline_depth=1.
+    speculate: bool = True
 
     def __post_init__(self):
         if self.policy not in _POLICIES:
@@ -102,6 +108,7 @@ class PipelineSpec:
             cnn_engine=self.cnn_engine,
             dtype=self.dtype,
             pipeline_depth=self.pipeline_depth,
+            speculate=self.speculate,
         )
 
     def build_policy(self) -> KeyFramePolicy:

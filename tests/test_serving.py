@@ -307,6 +307,104 @@ class TestPipelinedServing:
             _assert_identical(runtime.serve(_requests(clips)), serial_result)
         runtime.close()  # joins any in-flight pipelined head
 
+    def test_lockstep_like_run_scans_membership_once(self, piped_spec):
+        """The stability predicate is memoised: a full-occupancy
+        equal-length run pays one membership scan total, not one per
+        step — the cached [occupancy, min-remaining] pair is decremented
+        per churn-free step and only invalidated by membership events."""
+        equal = synthetic_workload(3, num_frames=8, base_seed=21)
+        serial = run_workload(piped_spec, equal, batch=False)
+        runtime = ServingRuntime(piped_spec, max_batch=3,
+                                 clock=FakeClock())
+        report = runtime.serve(_requests(equal))
+        _assert_identical(report, serial)
+        assert runtime.lanes["default"]._membership_scans == 1
+
+    def test_sequential_lane_never_scans_membership(self, spec, clips):
+        """pipeline_depth=1 never consults the stability predicate."""
+        runtime = ServingRuntime(spec, max_batch=3, clock=FakeClock())
+        runtime.serve(_requests(clips))
+        assert runtime.lanes["default"]._membership_scans == 0
+
+
+class TestSpeculationMetrics:
+    """ServingReport's rollback/engagement accounting, end to end."""
+
+    @pytest.fixture(scope="class")
+    def piped_spec(self):
+        spec = PipelineSpec(network=NETWORK, pipeline_depth=2)
+        spec.warm()
+        return spec
+
+    @pytest.fixture(scope="class")
+    def churny(self):
+        clips = (
+            synthetic_workload(2, num_frames=8, base_seed=31)
+            + synthetic_workload(3, num_frames=5, base_seed=47)
+        )
+        arrivals = [0.0, 0.0, 0.006, 0.012, 0.018]
+        return clips, arrivals
+
+    def test_stable_traffic_never_speculates(self, piped_spec):
+        """Full occupancy + equal lengths: every overlap is definite, so
+        the speculation counters stay zero while engagement is high."""
+        equal = synthetic_workload(3, num_frames=8, base_seed=21)
+        report = ServingRuntime(piped_spec, max_batch=3,
+                                clock=FakeClock()).serve(_requests(equal))
+        assert report.speculated == 0
+        assert report.rollbacks == 0
+        assert report.rollback_rate == 0.0
+        assert report.pipelined_steps > 0
+        assert 0.0 < report.speculation_engagement <= 1.0
+
+    def test_forced_churn_rolls_back(self, piped_spec, churny):
+        clips, arrivals = churny
+        report = ServingRuntime(piped_spec, max_batch=3,
+                                clock=FakeClock()).serve(
+            _requests(clips, arrivals)
+        )
+        assert report.speculated > 0
+        assert report.rollbacks > 0
+        assert report.rollback_rate == report.rollbacks / report.speculated
+        assert report.speculation_engagement == (
+            report.pipelined_steps / report.steps
+        )
+
+    def test_summary_rows_surface_speculation(self, piped_spec, churny):
+        clips, arrivals = churny
+        report = ServingRuntime(piped_spec, max_batch=3,
+                                clock=FakeClock()).serve(
+            _requests(clips, arrivals)
+        )
+        labels = [row[0] for row in report.summary_rows()]
+        for label in ("pipelined steps", "speculation engagement",
+                      "rollbacks", "rollback rate"):
+            assert label in labels
+
+    def test_sequential_report_omits_speculation_rows(self, spec, clips):
+        report = ServingRuntime(spec, max_batch=3).serve(_requests(clips))
+        assert report.pipelined_steps == 0
+        assert report.speculated == 0
+        assert report.speculation_engagement == 0.0
+        labels = [row[0] for row in report.summary_rows()]
+        assert "rollbacks" not in labels
+
+    def test_shard_merge_sums_speculation_counters(self, piped_spec,
+                                                   churny):
+        """The metrics survive the shard-merge path: per-shard counters
+        are carried on ShardInfo and summed into the lane report."""
+        clips, arrivals = churny
+        report = ServingRuntime(
+            piped_spec, max_batch=2, serve_workers=2,
+            shard_backend="serial",
+        ).serve(_requests(clips, arrivals))
+        assert len(report.shards) == 2
+        for field in ("pipelined_steps", "speculated", "rollbacks"):
+            assert getattr(report, field) == sum(
+                getattr(shard, field) for shard in report.shards
+            )
+        assert report.pipelined_steps + report.speculated > 0
+
 
 class TestSharedAdmission:
     """admission='shared': one admission queue per lane, every shard of

@@ -279,6 +279,51 @@ class TestStageExecutor:
         assert executor.step(5)["z"] == 102
         executor.close()
 
+    def test_speculative_mismatch_rolls_back_and_replays(self):
+        """A mispredicted speculative handoff must not raise: the
+        executor rolls the head back, records a named event, and replays
+        inline against the true batch — results stay sequential."""
+        sequential = [
+            StageExecutor(self._toy_graph([]), 1).step(batch)["z"]
+            for batch in (1, 2, 3)
+        ]
+        log = []
+        executor = StageExecutor(self._toy_graph(log), pipeline_depth=2)
+        try:
+            out = [
+                executor.step(1, next_batch=99, speculative=True)["z"],
+                executor.step(2, next_batch=3, speculative=True)["z"],
+                executor.step(3)["z"],
+            ]
+        finally:
+            executor.close()
+        assert out == sequential
+        stats = executor.stats
+        assert (stats.steps, stats.speculated) == (3, 2)
+        assert stats.rollbacks == 1  # batch 99 never arrived
+        assert stats.pipelined_steps == 1  # batch 3's head was a hit
+        assert [event.reason for event in stats.events] == [
+            "membership-mismatch"
+        ]
+        assert stats.engagement == pytest.approx(1 / 3)
+        assert stats.rollback_rate == pytest.approx(1 / 2)
+        # The mispredicted head really ran, and batch 2's head re-ran
+        # inline after the rollback.
+        assert ("a", 99) in log
+        assert ("a", 2) in log
+
+    def test_close_rolls_back_speculative_head_with_named_event(self):
+        executor = StageExecutor(self._toy_graph([]), pipeline_depth=2)
+        executor.step(1, next_batch=2, speculative=True)
+        executor.close()
+        assert executor.stats.rollbacks == 1
+        assert executor.stats.events[-1].reason == "abandoned"
+        executor.reset_stats()
+        assert executor.stats.steps == 0
+        assert executor.stats.events == []
+        assert executor.step(5)["z"] == 102  # still usable after close
+        executor.close()
+
     def test_bad_depth_rejected(self):
         with pytest.raises(ValueError, match="pipeline_depth"):
             StageExecutor(self._toy_graph([]), pipeline_depth=0)
