@@ -92,6 +92,8 @@ def normalized_metrics(data: dict) -> Dict[str, float]:
                 "speculative p99 TTFF speedup (x non-speculative)",
             "speculation_fps_ratio":
                 "speculative serving throughput (x non-speculative)",
+            "chaos_p99_retention":
+                "chaos p99 TTFF retention (x fault-free)",
         }
         for key, label in optional.items():
             if key in data:

@@ -55,11 +55,22 @@ Both sides are measured on the concurrent-overlap timeline
 shard-scaling benchmark's per-shard-clock convention, so the ratio is
 comparable across hosts with any core count.
 
+The sixth headline is **chaos failover**: one of two *real* shard
+processes is killed mid-trace under burst load.  The supervisor must
+detect the crash, fail its unacknowledged requests over to the survivor
+— every completed request bit-identical to its serial run, the failover
+count exact and nonzero — and finish without hanging (watchdog-bounded).
+The tracked ratio is p99 TTFF *retention* (fault-free p99 over chaos
+p99, clamped at 1.0): how much of the tail survives losing half the
+fleet.
+
 Results land in ``BENCH_serving.json`` at the repo root next to
 ``BENCH_runtime.json`` (write/merge discipline shared via
 ``benchmarks/_common.py``); the perf gate compares every headline ratio
 fresh-vs-committed.
 """
+
+import threading
 
 import numpy as np
 import pytest
@@ -69,8 +80,11 @@ from conftest import register_table
 from repro.core.sad_kernel import kernel_available
 from repro.runtime import (
     ClipRequest,
+    FaultEvent,
+    FaultPlan,
     PipelineSpec,
     ServingRuntime,
+    SupervisorConfig,
     poisson_arrival_times,
     run_workload,
     synthetic_workload,
@@ -97,6 +111,13 @@ SKEW_P99_TOLERANCE = 1.05
 #: speculative pipelining on vs off (both on the concurrent-overlap
 #: timeline; measured ~1.2-1.6x better on this workload).
 SPECULATION_P99_FLOOR = 1.1
+#: chaos bar: p99 TTFF retention after losing 1 of 2 process shards
+#: mid-trace (fault-free p99 / chaos p99, clamped at 1.0).  The real
+#: bound under test is bit identity + exact failover accounting + no
+#: hang; the retention floor only guards against a pathological tail
+#: blow-up (re-execution storms), so it is deliberately loose — real
+#: retention depends on how many cores the surviving shard inherits.
+CHAOS_RETENTION_FLOOR = 0.05
 JSON_PATH = bench_json_path("serving")
 
 #: accumulates all tests' results; the last one to run writes the JSON.
@@ -116,6 +137,8 @@ _JSON_KEYS = (
     "nonspeculative_p99_ttff_ms", "speculative_p99_ttff_ms",
     "speculation_p99_speedup", "speculation_fps_ratio",
     "speculation_engagement", "speculation_rollback_rate",
+    "chaos_workload", "fault_free_p99_ttff_ms", "chaos_p99_ttff_ms",
+    "chaos_p99_retention", "chaos_failovers",
 )
 
 
@@ -600,6 +623,133 @@ def test_speculative_serving_tail_latency():
     assert speedup >= SPECULATION_P99_FLOOR, (
         f"speculative p99 TTFF is {speedup:.2f}x the non-speculative "
         f"server's; the speculation bar is {SPECULATION_P99_FLOOR:.2f}x"
+    )
+
+
+def test_chaos_failover_process_shards(spec):
+    """Kill 1 of 2 real process shards mid-trace; nothing may be lost.
+
+    Burst load (every request arrives at t=0) keeps both shards' credit
+    windows full, so the killed shard is holding unacknowledged work
+    when it dies — the supervisor must detect the crash, re-dispatch
+    those requests to the survivor, and account every one as a
+    ``"failover"`` outcome.  The assertions are the acceptance contract:
+
+    * every request completes, bit-identical to its serial run (matched
+      by request id — a positional comparison would misattribute
+      results the moment re-dispatch reorders completion);
+    * the failover count is exact: counters == per-event seqs ==
+      per-record outcomes, nonzero;
+    * the serve cannot hang — it runs under a watchdog thread and the
+      supervisor's own ``drain_timeout`` no-progress bound.
+
+    Both the fault-free baseline and the chaos run use the same
+    supervised process backend, so the p99 TTFF retention ratio
+    isolates the cost of the failure, not of supervision.
+    """
+    num_requests, frames = 24, 8
+    clips = synthetic_workload(num_requests, num_frames=frames, base_seed=61)
+    serial = run_workload(spec, clips, batch=False)
+    requests = [
+        ClipRequest(request_id=i, clip=clip, arrival_time=0.0)
+        for i, clip in enumerate(clips)
+    ]
+    supervisor = SupervisorConfig(
+        heartbeat_timeout=5.0, max_respawns=0, drain_timeout=60.0
+    )
+
+    def supervised_serve(plan):
+        runtime = ServingRuntime(
+            spec, max_batch=2, serve_workers=2, shard_backend="process",
+            admission="shared", fault_plan=plan, supervisor=supervisor,
+        )
+        outcome = {}
+
+        def run():
+            try:
+                outcome["report"] = runtime.serve(requests)
+            except BaseException as error:  # noqa: BLE001 — re-raised below
+                outcome["error"] = error
+
+        thread = threading.Thread(target=run, daemon=True)
+        thread.start()
+        thread.join(timeout=240)
+        assert not thread.is_alive(), "supervised chaos serve hung"
+        if "error" in outcome:
+            raise outcome["error"]
+        return outcome["report"]
+
+    baseline = supervised_serve(FaultPlan())
+    chaos = supervised_serve(FaultPlan(events=(
+        FaultEvent("kill", at=0.02, lane="default", shard=1),
+    )))
+
+    expected = {
+        request.request_id: result
+        for request, result in zip(requests, serial.results)
+    }
+    for report in (baseline, chaos):
+        assert len(report.records) == num_requests, "requests were lost"
+        for record in report.records:
+            want = expected[record.request_id]
+            np.testing.assert_array_equal(
+                record.result.outputs(), want.outputs()
+            )
+            np.testing.assert_array_equal(
+                record.result.key_mask(), want.key_mask()
+            )
+
+    assert not baseline.failover_events
+    assert chaos.failover_events, "the mid-trace kill was never detected"
+    assert {(e.lane, e.shard, e.reason) for e in chaos.failover_events} == {
+        ("default", 1, "crash")
+    }
+    per_event = sum(len(event.seqs) for event in chaos.failover_events)
+    per_record = chaos.outcome_counts().get("failover", 0)
+    assert chaos.failovers == per_event == per_record, (
+        f"failover accounting drifted: counter={chaos.failovers}, "
+        f"events={per_event}, records={per_record}"
+    )
+    assert chaos.failovers > 0, (
+        "the killed shard held no work — the burst backlog regressed"
+    )
+
+    baseline_p99 = baseline.latency_percentiles()["ttff_p99"]
+    chaos_p99 = chaos.latency_percentiles()["ttff_p99"]
+    retention = min(1.0, baseline_p99 / chaos_p99) if chaos_p99 else 1.0
+    register_table(
+        f"chaos failover ({num_requests} burst requests, 2 process "
+        f"shards, kill shard 1 at t=0.02s, {NETWORK})",
+        ["quantity", "value"],
+        [
+            ["fault-free p99 ttff ms", round(baseline_p99 * 1e3, 2)],
+            ["chaos p99 ttff ms", round(chaos_p99 * 1e3, 2)],
+            ["p99 retention", f"{retention:.2f}x"],
+            ["failovers (exact)", chaos.failovers],
+            ["requests completed", len(chaos.records)],
+            ["identical to serial", "yes"],
+        ],
+    )
+    _RESULTS.update(
+        {
+            "chaos_workload": {
+                "requests": num_requests,
+                "frames_per_clip": frames,
+                "max_batch": 2,
+                "serve_workers": 2,
+                "kill": "default/1@0.02s",
+            },
+            "fault_free_p99_ttff_ms": round(baseline_p99 * 1e3, 3),
+            "chaos_p99_ttff_ms": round(chaos_p99 * 1e3, 3),
+            "chaos_p99_retention": round(retention, 3),
+            "chaos_failovers": chaos.failovers,
+        }
+    )
+    _write_json()
+
+    assert retention >= CHAOS_RETENTION_FLOOR, (
+        f"chaos p99 TTFF retention is {retention:.2f}x fault-free; "
+        f"the floor is {CHAOS_RETENTION_FLOOR:.2f}x"
     )
 
 

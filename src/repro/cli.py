@@ -13,8 +13,13 @@ Commands:
                   admitted into a continuously batched server
                   (``--arrival-rate``, ``--max-batch``), with per-request
                   latency percentiles, optional sharding across worker
-                  processes (``--serve-workers N``), and optional
-                  ``--verify`` against the serial pipeline.
+                  processes (``--serve-workers N``), per-request TTFF
+                  deadlines with load shedding (``--deadline``),
+                  deterministic fault injection (``--fault-seed``,
+                  ``--kill-shard``) under shard supervision
+                  (``--heartbeat-timeout``, ``--max-respawns``), and
+                  optional ``--verify`` against the serial pipeline
+                  (shed-aware, keyed by request id).
 * ``hardware``  — the Fig. 12 / Fig. 13 numbers for a real network.
 * ``firstorder``— the §IV-A op-count comparison.
 """
@@ -151,13 +156,40 @@ def _run_workload(args: argparse.Namespace, mode: str) -> int:
     return 0
 
 
+def _clip_results_identical(served, serial) -> bool:
+    """Bit-identical per-clip comparison (outputs and key decisions)."""
+    import numpy as np
+
+    return (
+        len(served) == len(serial)
+        and np.array_equal(served.key_mask(), serial.key_mask())
+        and np.array_equal(served.outputs(), serial.outputs())
+    )
+
+
+def _parse_kill_shard(text: str):
+    """``SHARD@T`` → a kill :class:`FaultEvent` on the default lane."""
+    from .runtime import FaultEvent
+
+    try:
+        shard_text, at_text = text.split("@", 1)
+        return FaultEvent("kill", at=float(at_text), shard=int(shard_text))
+    except ValueError:
+        raise argparse.ArgumentTypeError(
+            f"expected SHARD@SECONDS (e.g. 1@0.25), got {text!r}"
+        ) from None
+
+
 def _cmd_serve(args: argparse.Namespace) -> int:
     """Streaming serving simulation: Poisson arrivals, continuous batching."""
     from .runtime import (
         ClipRequest,
+        FaultPlan,
         ServingRuntime,
+        SupervisorConfig,
         poisson_arrival_times,
         run_workload,
+        slack_deadlines,
     )
 
     if args.clips < 1:
@@ -175,11 +207,45 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     if args.pipeline_depth < 1:
         print("error: --pipeline-depth must be >= 1", file=sys.stderr)
         return 2
+    if args.deadline < 0:
+        print("error: --deadline must be > 0 seconds (0 = off)",
+              file=sys.stderr)
+        return 2
+
+    events = list(args.kill_shard)
+    if args.fault_seed is not None:
+        horizon = args.fault_horizon
+        if horizon <= 0:
+            arrivals_preview = poisson_arrival_times(
+                args.clips, args.arrival_rate, seed=args.seed
+            )
+            horizon = max(arrivals_preview[-1], 0.1)
+        events.extend(FaultPlan.seeded(
+            args.fault_seed,
+            shards_per_lane=args.serve_workers,
+            horizon=horizon,
+        ).events)
+    plan = FaultPlan(events=tuple(events), seed=args.fault_seed)
+    if plan and (args.serve_workers < 2 or args.admission != "shared"):
+        print(
+            "error: fault injection needs sharded shared-admission "
+            "serving (--serve-workers >= 2 --admission shared) so a "
+            "surviving shard exists to fail over to",
+            file=sys.stderr,
+        )
+        return 2
+
     spec, clips = _spec_and_clips(args)
     arrivals = poisson_arrival_times(args.clips, args.arrival_rate, seed=args.seed)
+    deadlines = (
+        slack_deadlines(arrivals, args.deadline, seed=args.seed)
+        if args.deadline > 0 else [None] * len(arrivals)
+    )
     requests = [
-        ClipRequest(request_id=i, clip=clip, arrival_time=arrival)
-        for i, (clip, arrival) in enumerate(zip(clips, arrivals))
+        ClipRequest(request_id=i, clip=clip, arrival_time=arrival,
+                    deadline=deadline)
+        for i, (clip, arrival, deadline)
+        in enumerate(zip(clips, arrivals, deadlines))
     ]
     runtime = ServingRuntime(
         spec,
@@ -187,16 +253,49 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         serve_workers=args.serve_workers,
         shard_backend=args.shard_backend,
         admission=args.admission,
+        fault_plan=plan,
+        supervisor=SupervisorConfig(
+            heartbeat_timeout=args.heartbeat_timeout,
+            max_respawns=args.max_respawns,
+        ),
     )
     report = runtime.serve(requests)
     print(format_table(["quantity", "value"], report.summary_rows()))
+    for event in report.failover_events:
+        print(
+            f"failover: lane {event.lane!r} shard {event.shard} "
+            f"({event.reason}) at t={event.time:.3f}s, re-dispatched "
+            f"seqs {list(event.seqs)}"
+            + (", respawned a replacement" if event.respawned else "")
+        )
+    for record in report.shed:
+        print(f"shed: {record.error}")
     if args.verify:
         serial = run_workload(spec, clips, batch=False)
-        if report.workload_result().matches(serial):
-            print("\nevery served clip bit-identical to its serial run: yes")
-        else:
-            print("\nERROR: served results diverged from serial", file=sys.stderr)
+        expected = {
+            request.request_id: result
+            for request, result in zip(requests, serial.results)
+        }
+        mismatched = [
+            record.request_id
+            for record in report.records
+            if not _clip_results_identical(
+                record.result, expected[record.request_id]
+            )
+        ]
+        if mismatched:
+            print(
+                f"\nERROR: served results diverged from serial for "
+                f"request(s) {mismatched}",
+                file=sys.stderr,
+            )
             return 1
+        suffix = (
+            f" ({report.num_shed} shed before service, none served wrong)"
+            if report.shed else ""
+        )
+        print("\nevery served clip bit-identical to its serial run: "
+              f"yes{suffix}")
     return 0
 
 
@@ -341,9 +440,33 @@ def build_parser() -> argparse.ArgumentParser:
                        choices=["planned", "legacy"])
     serve.add_argument("--dtype", default="float64",
                        choices=["float64", "float32"])
+    serve.add_argument("--deadline", type=float, default=0.0,
+                       help="per-request first-output budget in seconds "
+                            "of slack past arrival; requests still queued "
+                            "when it lapses are shed with an explicit "
+                            "outcome (0 = no deadlines)")
+    serve.add_argument("--fault-seed", type=int, default=None,
+                       help="inject a seeded chaos plan (kill/stall/"
+                            "ack-drop) against the shards; needs "
+                            "--serve-workers >= 2 --admission shared")
+    serve.add_argument("--fault-horizon", type=float, default=0.0,
+                       help="window (s) seeded faults land in "
+                            "(default: up to the last arrival)")
+    serve.add_argument("--kill-shard", type=_parse_kill_shard,
+                       action="append", default=[], metavar="SHARD@T",
+                       help="kill one shard at T seconds (repeatable), "
+                            "e.g. --kill-shard 1@0.25")
+    serve.add_argument("--heartbeat-timeout", type=float, default=30.0,
+                       help="declare a silent shard dead after this many "
+                            "seconds and fail its requests over")
+    serve.add_argument("--max-respawns", type=int, default=1,
+                       help="replacement shards the supervisor may spawn "
+                            "before a shardless lane is a hard error")
     serve.add_argument("--verify", action="store_true",
                        help="re-run every clip serially and assert served "
-                            "results are bit-identical")
+                            "results are bit-identical (keyed by request "
+                            "id, so shed requests are accounted, not "
+                            "silently skipped)")
     serve.set_defaults(func=_cmd_serve)
 
     hw = sub.add_parser("hardware", help="VPU model numbers")

@@ -31,8 +31,16 @@ per-clip :class:`~repro.core.EVA2Pipeline` into a workload runtime:
   accounting with p50/p95/p99 tails and per-shard breakdowns.
 * :class:`WorkloadResult` — aggregate results plus throughput stats
   (frames/sec, key fraction, total adder ops).
-* :func:`synthetic_workload` / :func:`poisson_arrival_times` —
-  deterministic mixed-scenario traffic and arrival processes.
+* :class:`FaultPlan` / :class:`ShardSupervisor` — fault-tolerant
+  serving: deterministic fault injection (kill/stall/ack-drop, seeded
+  and JSON-replayable), shard supervision with heartbeats and result
+  acknowledgements, deadline-aware shedding
+  (:class:`RequestShedError` / :class:`ShedRecord`), and explicit
+  failover accounting (:class:`FailoverEvent`) — recovery re-executes
+  bit-identically because every clip's execution is deterministic.
+* :func:`synthetic_workload` / :func:`poisson_arrival_times` /
+  :func:`slack_deadlines` — deterministic mixed-scenario traffic,
+  arrival processes, and deadline assignment.
 
 Every execution path produces bit-identical per-clip results; the choice
 is purely a throughput knob.  ``benchmarks/bench_runtime_throughput.py``
@@ -46,9 +54,15 @@ from .batched import (
     execute_batched_step,
     run_workload,
 )
-from .scheduler import ClipScheduler, SchedulerConfig, ShardPool
+from .scheduler import (
+    ClipScheduler,
+    SchedulerConfig,
+    ShardCrashError,
+    ShardPool,
+)
 from .serving import (
     ClipRequest,
+    DuplicateRequestError,
     LaneRoutingError,
     LaneWorker,
     RequestRecord,
@@ -73,7 +87,16 @@ from .stage_graph import (
     WriteSetViolationError,
     frame_lifecycle_graph,
 )
-from .workload import poisson_arrival_times, synthetic_workload
+from .supervision import (
+    FailoverEvent,
+    FaultEvent,
+    FaultPlan,
+    RequestShedError,
+    ShardSupervisor,
+    ShedRecord,
+    SupervisorConfig,
+)
+from .workload import poisson_arrival_times, slack_deadlines, synthetic_workload
 
 __all__ = [
     "BatchedPipeline",
@@ -83,7 +106,9 @@ __all__ = [
     "ClipScheduler",
     "SchedulerConfig",
     "ShardPool",
+    "ShardCrashError",
     "ClipRequest",
+    "DuplicateRequestError",
     "LaneRoutingError",
     "LaneWorker",
     "RequestRecord",
@@ -106,6 +131,14 @@ __all__ = [
     "frame_lifecycle_graph",
     "PAPER_MODES",
     "PipelineSpec",
+    "FaultEvent",
+    "FaultPlan",
+    "FailoverEvent",
+    "RequestShedError",
+    "ShedRecord",
+    "ShardSupervisor",
+    "SupervisorConfig",
     "synthetic_workload",
     "poisson_arrival_times",
+    "slack_deadlines",
 ]

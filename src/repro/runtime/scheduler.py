@@ -16,7 +16,9 @@ parent warms the model cache first so workers never race to train.
 from __future__ import annotations
 
 import os
+import pickle
 import threading
+import time
 from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
 from dataclasses import dataclass
 from typing import List, Optional, Sequence
@@ -26,12 +28,42 @@ from ..core.pipeline import PipelineResult
 from ..video.generator import VideoClip
 from .spec import PipelineSpec
 
-__all__ = ["SchedulerConfig", "ClipScheduler", "ShardPool"]
+__all__ = ["SchedulerConfig", "ClipScheduler", "ShardPool", "ShardCrashError"]
+
+
+class ShardCrashError(RuntimeError):
+    """A worker process died (or stopped progressing) mid-map.
+
+    Raised instead of hanging or silently dropping work: the message
+    names what was lost and ``lost`` carries the task indices (or
+    request seqs, for supervised serving) whose results never arrived.
+    """
+
+    def __init__(self, message: str, lost: Sequence = ()):
+        super().__init__(message)
+        self.lost = tuple(lost)
 
 _BACKENDS = ("auto", "serial", "thread", "process")
 
 #: pipeline of the current worker process (set by the pool initializer).
 _WORKER_PIPELINE: Optional[EVA2Pipeline] = None
+
+
+def _run_feeder_task(fn, index: int, task, results_queue) -> None:
+    """Worker entry for :meth:`ShardPool.map_with_feeder`.
+
+    Ships ``(index, "ok"/"err", payload)`` back so the parent can match
+    results to tasks without trusting completion order, and so a raised
+    exception travels as a value instead of killing the map silently.
+    """
+    try:
+        results_queue.put((index, "ok", fn(task)))
+    except BaseException as exc:  # noqa: BLE001 — transported, re-raised
+        try:
+            pickle.dumps(exc)
+        except Exception:
+            exc = RuntimeError(f"{type(exc).__name__}: {exc}")
+        results_queue.put((index, "err", exc))
 
 
 def _init_process_worker(spec: PipelineSpec) -> None:
@@ -107,7 +139,8 @@ class ShardPool:
                 return list(pool.map(fn, tasks))
         return [fn(task) for task in tasks]
 
-    def map_with_feeder(self, fn, tasks: Sequence, feeder) -> List:
+    def map_with_feeder(self, fn, tasks: Sequence, feeder,
+                        join_timeout: float = 300.0) -> List:
         """Process-pool map with a parent-side ``feeder`` running alongside.
 
         The work-stealing admission shape: each task carries a proxy to
@@ -129,7 +162,17 @@ class ShardPool:
         whole queue before the second ever ran), so callers whose
         backend resolves ``serial`` must use their own inline loop —
         serving's discrete-event simulation — instead of this map.
+
+        Crash safety: a worker that dies before returning (a concurrent
+        consumer crashing leaves its queue forever undrained) can no
+        longer hang the map.  Results are collected with liveness
+        checks and a ``join_timeout`` tail bound; dead or stuck workers
+        are reaped (exit codes read, stragglers terminated) and the map
+        raises :class:`ShardCrashError` naming every lost task.
         """
+        import multiprocessing
+        import queue as queue_module
+
         tasks = list(tasks)
         backend = self.config.resolve(len(tasks))
         if backend != "process":
@@ -138,10 +181,62 @@ class ShardPool:
                 f"{backend!r} for {len(tasks)} task(s); run inline "
                 f"work-stealing through the caller's own loop instead"
             )
-        with ProcessPoolExecutor(max_workers=len(tasks)) as pool:
-            futures = [pool.submit(fn, task) for task in tasks]
+        results_queue = multiprocessing.Queue()
+        procs = [
+            multiprocessing.Process(
+                target=_run_feeder_task,
+                args=(fn, index, task, results_queue),
+                daemon=True,
+            )
+            for index, task in enumerate(tasks)
+        ]
+        for proc in procs:
+            proc.start()
+        try:
             feeder()
-            return [future.result() for future in futures]
+            results: dict = {}
+            deadline = time.monotonic() + join_timeout
+            while len(results) < len(tasks):
+                try:
+                    index, status, payload = results_queue.get(timeout=0.1)
+                    results[index] = (status, payload)
+                    continue
+                except queue_module.Empty:
+                    pass
+                missing = [i for i in range(len(tasks)) if i not in results]
+                if all(not procs[i].is_alive() for i in missing):
+                    # Every straggler is dead; one grace drain catches a
+                    # result flushed between the check and the read.
+                    try:
+                        index, status, payload = results_queue.get(timeout=0.5)
+                        results[index] = (status, payload)
+                        continue
+                    except queue_module.Empty:
+                        break
+                if time.monotonic() > deadline:
+                    break
+        finally:
+            for proc in procs:
+                proc.join(timeout=5)
+            for proc in procs:
+                if proc.is_alive():
+                    proc.terminate()
+                    proc.join(timeout=1)
+        missing = [i for i in range(len(tasks)) if i not in results]
+        if missing:
+            detail = ", ".join(
+                f"task {i} (exit code {procs[i].exitcode})" for i in missing
+            )
+            raise ShardCrashError(
+                f"{len(missing)} of {len(tasks)} shard worker(s) never "
+                f"returned a result: {detail}",
+                lost=missing,
+            )
+        for index in range(len(tasks)):
+            status, payload = results[index]
+            if status == "err":
+                raise payload
+        return [results[index][1] for index in range(len(tasks))]
 
 
 class ClipScheduler:

@@ -57,6 +57,20 @@ report aggregates under the concurrent-deployment model — shards run
 side by side, so the aggregate busy/idle time is the *slowest shard's*
 and throughput divides total frames by it; with the process backend on
 enough cores that is also the elapsed time you observe.
+
+Failure domains (see :mod:`repro.runtime.supervision` and
+ARCHITECTURE.md): requests may carry a ``deadline`` — queued past it
+they are *shed* with an explicit
+:class:`~repro.runtime.supervision.ShedRecord`, and admission among
+waiting requests is earliest-deadline-first on every path.  The
+shared-admission backends are additionally *supervised*: the process
+backend runs under a
+:class:`~repro.runtime.supervision.ShardSupervisor` (heartbeats, acks,
+failover, bounded respawn), the inline DES loop simulates the same
+supervisor against virtual clocks, and both honour a deterministic
+:class:`~repro.runtime.supervision.FaultPlan` for chaos testing.
+Failed-over work re-executes bit-identically — the serving contract
+makes recovery exactly replayable.
 """
 
 from __future__ import annotations
@@ -81,9 +95,19 @@ from ..core.pipeline import FrameRecord, PipelineResult
 from ..core.stages import LaneSlot, LaneState, PlanHandle, StepBatch
 from ..video.generator import VideoClip
 from .batched import WorkloadResult
-from .scheduler import SchedulerConfig, ShardPool
+from .scheduler import SchedulerConfig, ShardCrashError, ShardPool
 from .spec import PipelineSpec
 from .stage_graph import StageExecutor, frame_lifecycle_graph
+from .supervision import (
+    FailoverEvent,
+    FaultPlan,
+    ShardSupervisor,
+    ShedRecord,
+    SupervisorConfig,
+    _edf_key,
+    _PendingEntry,
+    _shed_expired,
+)
 
 __all__ = [
     "ClipRequest",
@@ -93,6 +117,7 @@ __all__ = [
     "Router",
     "LaneWorker",
     "LaneRoutingError",
+    "DuplicateRequestError",
     "ShardInfo",
 ]
 
@@ -113,6 +138,16 @@ class LaneRoutingError(KeyError, ValueError):
         return self.args[0] if self.args else ""
 
 
+class DuplicateRequestError(ValueError):
+    """Two submitted requests share one ``request_id``.
+
+    Records are keyed by request id downstream (verification, shed
+    bookkeeping, failover re-dispatch), so aliased ids would silently
+    merge two requests' accounting; the serve refuses up front and the
+    message names both offending submission positions.
+    """
+
+
 @dataclass(frozen=True)
 class ClipRequest:
     """One clip submitted to the serving runtime."""
@@ -124,6 +159,13 @@ class ClipRequest:
     arrival_time: float = 0.0
     #: explicit lane name; None routes by frame shape.
     lane: Optional[str] = None
+    #: absolute time (same clock as ``arrival_time``) by which the
+    #: first output must exist.  None = no deadline.  A request still
+    #: queued when its deadline passes is *shed* — dropped with an
+    #: explicit :class:`~repro.runtime.supervision.ShedRecord` outcome
+    #: rather than served late; admission among waiting requests is
+    #: earliest-deadline-first.
+    deadline: Optional[float] = None
 
     def __post_init__(self):
         if len(self.clip) < 1:
@@ -131,6 +173,11 @@ class ClipRequest:
         if self.arrival_time < 0:
             raise ValueError(
                 f"arrival_time must be >= 0, got {self.arrival_time}"
+            )
+        if self.deadline is not None and self.deadline <= self.arrival_time:
+            raise ValueError(
+                f"request {self.request_id!r} deadline ({self.deadline}) "
+                f"must be after its arrival ({self.arrival_time})"
             )
 
 
@@ -150,10 +197,32 @@ class RequestRecord:
     result: PipelineResult
     #: which shard of the lane served it (0 when unsharded).
     shard: int = 0
+    #: how the request reached completion: "served" (first dispatch
+    #: succeeded), "failover" (re-dispatched after its shard died), or
+    #: "retried" (re-dispatched after an acknowledgement was lost).
+    #: Results are bit-identical in every case — the label is purely
+    #: provenance.
+    outcome: str = "served"
+    #: dispatch attempts (1 = no recovery was needed).
+    attempts: int = 1
+    #: the request's deadline, copied for accounting (None = none).
+    deadline: Optional[float] = None
 
     @property
     def num_frames(self) -> int:
         return len(self.result)
+
+    @property
+    def met_deadline(self) -> Optional[bool]:
+        """Whether the first output beat the deadline (None = no deadline).
+
+        Admitted requests always run to completion, so a recovered
+        (failover/retried) request can finish past its deadline — that
+        shows up here, never as a silent drop.
+        """
+        if self.deadline is None:
+            return None
+        return self.first_output_time <= self.deadline
 
     @property
     def enqueue_latency(self) -> float:
@@ -233,10 +302,36 @@ class ServingReport:
     speculated: int = 0
     #: speculative launches rolled back on a membership mismatch.
     rollbacks: int = 0
+    #: requests dropped because their deadline passed while queued —
+    #: explicit rejections, never silent.  ``records`` holds completed
+    #: requests only; every submission is exactly one of the two.
+    shed: List[ShedRecord] = field(default_factory=list)
+    #: re-dispatches after a lost acknowledgement (the work may have
+    #: run; only the ack vanished).
+    retries: int = 0
+    #: requests re-dispatched because their shard crashed or stalled.
+    failovers: int = 0
+    #: replacement shards spawned after failures.
+    respawns: int = 0
+    #: every detected shard failure, in detection order.
+    failover_events: List[FailoverEvent] = field(default_factory=list)
 
     @property
     def num_requests(self) -> int:
         return len(self.records)
+
+    @property
+    def num_shed(self) -> int:
+        return len(self.shed)
+
+    def outcome_counts(self) -> Dict[str, int]:
+        """Completed-request outcomes plus the shed count, by label."""
+        counts: Dict[str, int] = {}
+        for record in self.records:
+            counts[record.outcome] = counts.get(record.outcome, 0) + 1
+        if self.shed:
+            counts["shed"] = len(self.shed)
+        return counts
 
     @property
     def total_frames(self) -> int:
@@ -306,7 +401,9 @@ class ServingReport:
 
         Request order is submission order, so this compares directly
         (``matches``) against a serial/lockstep run of the same clips —
-        sharded or not.
+        sharded or not.  Shed requests have no result and are absent:
+        with a nonempty ``shed`` list, compare per-record by request id
+        against the serial run instead of positionally.
         """
         return WorkloadResult(
             results=[record.result for record in self.records],
@@ -330,6 +427,20 @@ class ServingReport:
         ]
         if self.serve_workers > 1:
             rows.append(["admission", self.admission])
+        if self.shed or self.retries or self.failovers or self.respawns:
+            rows.append(["shed", self.num_shed])
+            rows.append(["retries", self.retries])
+            rows.append(["failovers", self.failovers])
+            rows.append(["respawns", self.respawns])
+            recovered = sum(
+                1 for record in self.records if record.outcome != "served"
+            )
+            rows.append(["recovered requests", recovered])
+        missed = [
+            record for record in self.records if record.met_deadline is False
+        ]
+        if missed:
+            rows.append(["missed deadlines (served late)", len(missed)])
         if self.pipelined_steps or self.speculated:
             rows.append(["pipelined steps", self.pipelined_steps])
             rows.append(
@@ -630,7 +741,7 @@ class LaneWorker:
         pending: "deque[Tuple[int, ClipRequest]]" = deque(
             sorted(assigned, key=lambda item: (item[1].arrival_time, item[0]))
         )
-        done, wall, idle, steps = _serve_loop(
+        done, wall, idle, steps, shed = _serve_loop(
             [self], lambda request: self, pending, clock
         )
         stats = self.executor.stats
@@ -644,6 +755,7 @@ class LaneWorker:
             pipelined_steps=stats.pipelined_steps,
             speculated=stats.speculated,
             rollbacks=stats.rollbacks,
+            shed=shed,
         )
 
     def release(self) -> None:
@@ -748,6 +860,8 @@ class _ShardOutcome:
     pipelined_steps: int = 0
     speculated: int = 0
     rollbacks: int = 0
+    #: requests this shard shed at its admission boundary.
+    shed: List[ShedRecord] = field(default_factory=list)
 
     def info(self) -> ShardInfo:
         """This outcome's report row — the one place it is derived."""
@@ -790,29 +904,18 @@ def _run_shard(task: _ShardTask) -> _ShardOutcome:
     return worker.serve_shard(task.assigned)
 
 
-@dataclass(frozen=True)
-class _StealShardTask:
-    """One shard of a shared-admission (work-stealing) sharded serve.
+def _admission_key(seq: int, request: ClipRequest) -> Tuple[float, float, int]:
+    """Earliest-deadline-first admission order for a ``(seq, request)``.
 
-    ``queue`` is a proxy to the lane's shared admission queue and
-    ``barrier`` a manager barrier with one party per shard plus the
-    parent's feeder (both proxies are picklable into worker processes).
-    Every shard builds its worker — network load, plan compile at
-    capacity — *before* meeting the barrier, and zeroes its clock right
-    after release; the feeder does the same before releasing the first
-    arrival.  That keeps startup cost out of the latency accounting,
-    exactly as the static path's per-shard clocks do (``serve_shard``
-    starts timing after construction), so static and shared latencies
-    stay comparable.  ``CLOCK_MONOTONIC`` is system-wide, so the
-    post-barrier readings agree across processes up to release skew.
+    Deadline-less requests sort last by deadline and fall back to
+    arrival then submission order — exactly the historical FIFO — so
+    slack ordering only reorders traffic that actually has slack.
     """
-
-    lane: str
-    shard: int
-    spec: PipelineSpec
-    capacity: int
-    queue: object
-    barrier: object
+    return (
+        request.deadline if request.deadline is not None else float("inf"),
+        request.arrival_time,
+        seq,
+    )
 
 
 def _finalize_step(
@@ -844,124 +947,164 @@ def _finalize_step(
             finish_time=current,
             result=PipelineResult(records=resident.records),
             shard=worker.shard,
+            deadline=resident.request.deadline,
         )
 
 
-def _run_stealing_shard(task: _StealShardTask) -> _ShardOutcome:
-    """Serve whatever the lane's shared queue hands this shard.
-
-    The real-clock work-stealing loop: whenever a slot is free the shard
-    pulls the next pending request (non-blocking), steps its residents,
-    and blocks briefly only when fully idle.  The queue carries one
-    ``None`` sentinel per shard of the lane, enqueued after the last
-    request — FIFO order guarantees a shard that sees its sentinel will
-    find no request behind it, so it drains its residents and returns.
-    Which shard serves which request is decided by queue order at pull
-    time (that is the stealing); per-clip bit identity makes the
-    assignment invisible in the results.
-    """
-    import queue as queue_module
-
-    worker = LaneWorker(task.lane, task.spec, task.capacity, shard=task.shard)
-    shared = task.queue
-    try:
-        # Warm and ready; wait for the siblings (and the feeder) so no
-        # shard's records carry another's build time.  A broken barrier
-        # (a sibling died building) degrades to a skewed clock base
-        # rather than a hang — identity is unaffected either way.
-        task.barrier.wait(timeout=120)
-    except Exception:
-        pass
-    start = time.perf_counter()
-
-    def now() -> float:
-        return time.perf_counter() - start
-
-    done: Dict[int, RequestRecord] = {}
-    busy = 0.0
-    idle = 0.0
-    steps = 0
-    draining = False
-    while True:
-        while not draining and worker.has_free_slot():
-            try:
-                item = shared.get_nowait()
-            except queue_module.Empty:
-                break
-            if item is None:
-                draining = True
-                break
-            seq, request = item
-            worker.admit(seq, request, now())
-        if worker.has_active():
-            step_start = time.perf_counter()
-            finished = worker.step()
-            busy += time.perf_counter() - step_start
-            steps += 1
-            _finalize_step(worker, finished, now(), done)
-        elif draining:
-            break
-        else:
-            wait_start = time.perf_counter()
-            try:
-                item = shared.get(timeout=0.02)
-            except queue_module.Empty:
-                idle += time.perf_counter() - wait_start
-                continue
-            idle += time.perf_counter() - wait_start
-            if item is None:
-                draining = True
-            else:
-                seq, request = item
-                worker.admit(seq, request, now())
-    stats = worker.executor.stats
-    return _ShardOutcome(
-        lane=task.lane,
-        shard=task.shard,
-        records=done,
-        wall_seconds=busy,
-        idle_seconds=idle,
-        steps=steps,
-        pipelined_steps=stats.pipelined_steps,
-        speculated=stats.speculated,
-        rollbacks=stats.rollbacks,
-    )
-
-
 def _serve_work_stealing(
-    workers: Sequence[LaneWorker],
-    pending_by_lane: Mapping[str, "deque[Tuple[int, ClipRequest]]"],
+    workers: List[LaneWorker],
+    pending_by_lane: Mapping[str, Sequence[Tuple[int, ClipRequest]]],
     clock: Callable[[], float],
-) -> List[_ShardOutcome]:
+    fault_plan: Optional[FaultPlan] = None,
+    supervisor: Optional[SupervisorConfig] = None,
+    spawn_worker: Optional[Callable[[str, int], LaneWorker]] = None,
+) -> Tuple[List[_ShardOutcome], List[ShedRecord], List[FailoverEvent],
+           Dict[str, int]]:
     """Discrete-event serve loop: concurrent shards, shared lane queues.
 
     Simulates N shards running side by side in one thread: each shard
     keeps its own virtual clock (the sum of its real step durations plus
     idle skips), and at every event the shard with the earliest
-    actionable time acts — admitting due requests from its *lane's*
-    shared queue while it has free slots, then stepping its residents.
-    A request is therefore admitted by whichever shard reaches a free
-    slot earliest in virtual time: work stealing under the same
-    concurrent-shard model the static path's per-shard loops realize,
-    deterministic given step durations, honouring an injected clock.
-    Returns one :class:`_ShardOutcome` per worker, in worker order.
+    actionable time acts — shedding expired requests, admitting due
+    ones earliest-deadline-first from its *lane's* shared backlog while
+    it has free slots, then stepping its residents.  A request is
+    therefore admitted by whichever shard reaches a free slot earliest
+    in virtual time: work stealing under the same concurrent-shard
+    model the static path's per-shard loops realize, deterministic
+    given step durations, honouring an injected clock.
+
+    This loop is also the inline backend for deterministic fault
+    injection — the simulated twin of the process backend's
+    :class:`~repro.runtime.supervision.ShardSupervisor`, firing the
+    same ``fault_plan`` against per-shard virtual clocks: a ``kill``
+    ends the shard at its fire time and the residents' requests are
+    re-dispatched (outcome ``"failover"``) once the virtual supervisor
+    notices — ``heartbeat_timeout`` after death; a ``stall`` freezes
+    the shard's clock for its duration, or fails it over exactly like a
+    kill when the stall exceeds ``heartbeat_timeout`` (silence and
+    death are indistinguishable to a supervisor); a ``drop_ack``
+    discards a completed record and re-dispatches the request after
+    ``ack_timeout`` (outcome ``"retried"``).  Re-execution is
+    bit-identical by the serving contract, so every recovery is exactly
+    replayable.  A lane that loses every shard spawns a replacement via
+    ``spawn_worker`` while ``max_respawns`` budget remains; past that,
+    remaining work raises an explicit
+    :class:`~repro.runtime.scheduler.ShardCrashError` — never a hang.
+
+    Returns ``(outcomes, shed, failover events, counters)`` with one
+    outcome per worker (dead and respawned shards included) in spawn
+    order and ``counters`` keying ``retries``/``failovers``/``respawns``.
     """
+    config = supervisor or SupervisorConfig()
+    plan = fault_plan or FaultPlan()
+    lane_pending: Dict[str, List[_PendingEntry]] = {
+        name: [
+            _PendingEntry(seq=seq, request=request, lane=name,
+                          available=request.arrival_time)
+            for seq, request in items
+        ]
+        for name, items in pending_by_lane.items()
+    }
     virtual = {worker: 0.0 for worker in workers}
     busy = {worker: 0.0 for worker in workers}
     idle = {worker: 0.0 for worker in workers}
     steps = {worker: 0 for worker in workers}
-    records = {worker: {} for worker in workers}
+    records: Dict[LaneWorker, Dict[int, RequestRecord]] = {
+        worker: {} for worker in workers
+    }
+    mean_step = {worker: 1e-3 for worker in workers}
+    kills = {
+        worker: deque(plan.for_shard(worker.name, worker.shard))
+        for worker in workers
+    }
+    for worker in workers:
+        kills[worker] = deque(
+            e for e in kills[worker] if e.kind == "kill"
+        )
+    stalls = {
+        worker: deque(
+            e for e in plan.for_shard(worker.name, worker.shard)
+            if e.kind == "stall"
+        )
+        for worker in workers
+    }
+    drops = {
+        worker: deque(
+            e for e in plan.for_shard(worker.name, worker.shard)
+            if e.kind == "drop_ack"
+        )
+        for worker in workers
+    }
+    alive = set(workers)
+    in_flight: Dict[int, _PendingEntry] = {}
+    shed: List[ShedRecord] = []
+    failover_events: List[FailoverEvent] = []
+    counters = {"retries": 0, "failovers": 0, "respawns": 0}
+
+    def add_worker(lane: str, at: float) -> LaneWorker:
+        shard_index = max(w.shard for w in workers if w.name == lane) + 1
+        replacement = spawn_worker(lane, shard_index)
+        workers.append(replacement)
+        for table, default in (
+            (virtual, at), (busy, 0.0), (idle, 0.0), (steps, 0),
+            (mean_step, 1e-3),
+        ):
+            table[replacement] = default
+        records[replacement] = {}
+        kills[replacement] = deque()
+        stalls[replacement] = deque()
+        drops[replacement] = deque()
+        alive.add(replacement)
+        counters["respawns"] += 1
+        return replacement
+
+    def fail_worker(worker: LaneWorker, death_time: float,
+                    reason: str) -> None:
+        """Kill a shard at ``death_time`` on its clock and fail it over.
+
+        The virtual supervisor notices ``heartbeat_timeout`` later;
+        the residents' requests rejoin the lane backlog at that
+        detection time, partial per-frame work discarded (their
+        re-execution is bit-identical from frame zero).
+        """
+        detect = death_time + config.heartbeat_timeout
+        seqs = []
+        for resident in worker.active_residents():
+            entry = in_flight.pop(resident.seq)
+            entry.attempts += 1
+            entry.outcome = "failover"
+            entry.available = detect
+            lane_pending[worker.name].append(entry)
+            seqs.append(resident.seq)
+        counters["failovers"] += len(seqs)
+        alive.discard(worker)
+        respawned = False
+        if (
+            spawn_worker is not None
+            and not any(w.name == worker.name for w in alive)
+            and lane_pending[worker.name]
+            and counters["respawns"] < config.max_respawns
+        ):
+            add_worker(worker.name, detect)
+            respawned = True
+        failover_events.append(FailoverEvent(
+            lane=worker.name, shard=worker.shard, time=detect,
+            reason=reason, seqs=tuple(sorted(seqs)), respawned=respawned,
+        ))
 
     while True:
         chosen = None
         chosen_key = None
         for worker in workers:
-            lane_queue = pending_by_lane[worker.name]
+            if worker not in alive:
+                continue
+            entries = lane_pending[worker.name]
             if worker.has_active():
                 key = (virtual[worker], worker.name, worker.shard)
-            elif lane_queue:
+            elif entries:
                 key = (
-                    max(virtual[worker], lane_queue[0][1].arrival_time),
+                    max(virtual[worker],
+                        min(e.available for e in entries)),
                     worker.name,
                     worker.shard,
                 )
@@ -970,21 +1113,69 @@ def _serve_work_stealing(
             if chosen_key is None or key < chosen_key:
                 chosen, chosen_key = worker, key
         if chosen is None:
-            break
+            stranded = {
+                name: entries for name, entries in lane_pending.items()
+                if entries
+            }
+            if not stranded:
+                break
+            # Lanes with work but no live shard and no respawn budget
+            # (in-budget respawns happen at failover time): explicit.
+            lost = sorted(
+                entry.seq
+                for entries in stranded.values()
+                for entry in entries
+            )
+            lanes = ", ".join(sorted(stranded))
+            raise ShardCrashError(
+                f"lane(s) {lanes} lost every shard with {len(lost)} "
+                f"request(s) unresolved (seqs {lost}) and no respawn "
+                f"budget left (max_respawns={config.max_respawns})",
+                lost=lost,
+            )
         worker = chosen
-        lane_queue = pending_by_lane[worker.name]
         event_time = chosen_key[0]
+        # Injected faults fire before the shard acts at this boundary.
+        if kills[worker] and kills[worker][0].at <= event_time:
+            event = kills[worker].popleft()
+            fail_worker(worker, max(event.at, virtual[worker]), "crash")
+            continue
+        if stalls[worker] and stalls[worker][0].at <= event_time:
+            event = stalls[worker].popleft()
+            duration = (
+                event.seconds if event.seconds > 0
+                else event.steps * mean_step[worker]
+            )
+            if duration > config.heartbeat_timeout:
+                # Silent past the heartbeat: indistinguishable from
+                # death, failed over as one (the stalled shard is
+                # terminated; its residents re-dispatch).
+                fail_worker(worker, max(event.at, virtual[worker]),
+                            "stall")
+                continue
+            begin = max(virtual[worker], event.at)
+            idle[worker] += (begin - virtual[worker]) + duration
+            virtual[worker] = begin + duration
+            continue
+        entries = lane_pending[worker.name]
         if event_time > virtual[worker]:
             # Idle until the next arrival: skip virtually, never sleep.
             idle[worker] += event_time - virtual[worker]
             virtual[worker] = event_time
-        while (
-            lane_queue
-            and worker.has_free_slot()
-            and lane_queue[0][1].arrival_time <= virtual[worker]
-        ):
-            seq, request = lane_queue.popleft()
-            worker.admit(seq, request, virtual[worker])
+        kept, newly_shed = _shed_expired(
+            entries, virtual[worker], shard=worker.shard
+        )
+        if newly_shed:
+            lane_pending[worker.name] = entries = kept
+            shed.extend(newly_shed)
+        while worker.has_free_slot():
+            due = [e for e in entries if e.available <= virtual[worker]]
+            if not due:
+                break
+            entry = min(due, key=_edf_key)
+            entries.remove(entry)
+            worker.admit(entry.seq, entry.request, virtual[worker])
+            in_flight[entry.seq] = entry
         if not worker.has_active():
             continue
         step_start = clock()
@@ -993,8 +1184,27 @@ def _serve_work_stealing(
         virtual[worker] += duration
         busy[worker] += duration
         steps[worker] += 1
+        mean_step[worker] = duration
         _finalize_step(worker, finished, virtual[worker], records[worker])
-    return [
+        for resident in finished:
+            entry = in_flight.pop(resident.seq)
+            if drops[worker] and drops[worker][0].at <= virtual[worker]:
+                # The ack is lost: the completed record never reaches
+                # the supervisor, which re-dispatches after ack_timeout.
+                drops[worker].popleft()
+                del records[worker][resident.seq]
+                entry.attempts += 1
+                entry.outcome = "retried"
+                entry.available = (
+                    virtual[worker] + config.resolved_ack_timeout
+                )
+                lane_pending[worker.name].append(entry)
+                counters["retries"] += 1
+            else:
+                record = records[worker][resident.seq]
+                record.outcome = entry.outcome
+                record.attempts = entry.attempts
+    outcomes = [
         _ShardOutcome(
             lane=worker.name,
             shard=worker.shard,
@@ -1008,6 +1218,7 @@ def _serve_work_stealing(
         )
         for worker in workers
     ]
+    return outcomes, shed, failover_events, counters
 
 
 def _serve_loop(
@@ -1016,20 +1227,26 @@ def _serve_loop(
     pending: "deque[Tuple[int, ClipRequest]]",
     clock: Callable[[], float],
     overlap_timeline: bool = False,
-) -> Tuple[Dict[int, RequestRecord], float, float, int]:
+) -> Tuple[Dict[int, RequestRecord], float, float, int, List[ShedRecord]]:
     """The continuous-batching serve loop over a set of lane workers.
 
     ``pending`` must already be in arrival order.  Requests become
     visible at their ``arrival_time``; admission and eviction happen at
     step boundaries; when no worker has a resident and no arrival is
     due, virtual time jumps to the next arrival instead of spinning.
+    Queued requests whose deadline passes before admission are shed at
+    the boundary (explicit :class:`ShedRecord`, never served late), and
+    admission among waiting requests is earliest-deadline-first —
+    deadline-less traffic keeps the historical FIFO order exactly.
     With ``overlap_timeline`` each pipelined step is charged its
     concurrent-overlap duration (:meth:`LaneWorker.overlap_credit`)
     instead of the host-serialized one, so latency accounting is
     comparable across hosts with any core count.
-    Returns ``(records by seq, busy seconds, idle seconds, steps)``.
+    Returns ``(records by seq, busy seconds, idle seconds, steps,
+    shed)``.
     """
     done: Dict[int, RequestRecord] = {}
+    shed: List[ShedRecord] = []
     steps = 0
     skipped = 0.0
     credited = 0.0
@@ -1046,8 +1263,30 @@ def _serve_loop(
             seq, request = pending.popleft()
             route(request).queue.append((seq, request))
         for worker in workers:
+            if worker.queue and any(
+                request.deadline is not None
+                for _, request in worker.queue
+            ):
+                entries = [
+                    _PendingEntry(seq=seq, request=request,
+                                  lane=worker.name, available=current)
+                    for seq, request in worker.queue
+                ]
+                kept, newly_shed = _shed_expired(
+                    entries, current, shard=worker.shard
+                )
+                if newly_shed:
+                    shed.extend(newly_shed)
+                    worker.queue = deque(
+                        (entry.seq, entry.request) for entry in kept
+                    )
             while worker.queue and worker.has_free_slot():
-                seq, request = worker.queue.popleft()
+                index = min(
+                    range(len(worker.queue)),
+                    key=lambda i: _admission_key(*worker.queue[i]),
+                )
+                seq, request = worker.queue[index]
+                del worker.queue[index]
                 worker.admit(seq, request, current)
         if not any(worker.has_active() for worker in workers):
             # Idle with work still to come: skip ahead to the next
@@ -1072,7 +1311,7 @@ def _serve_loop(
             steps += 1
             _finalize_step(worker, finished, now(), done)
     wall = clock() - start - credited
-    return done, wall, skipped, steps
+    return done, wall, skipped, steps, shed
 
 
 class ServingRuntime:
@@ -1129,6 +1368,8 @@ class ServingRuntime:
         shard_backend: str = "auto",
         admission: str = "static",
         overlap_timeline: bool = False,
+        fault_plan: Optional[FaultPlan] = None,
+        supervisor: Optional[SupervisorConfig] = None,
     ):
         if isinstance(spec, PipelineSpec):
             specs: Dict[str, PipelineSpec] = {"default": spec}
@@ -1169,6 +1410,31 @@ class ServingRuntime:
         #: speculation headline measures under (in-process serves only).
         self.overlap_timeline = bool(overlap_timeline)
         self.router = Router(specs)
+        #: failure-detection/recovery knobs; used by the shared-admission
+        #: backends (supervised process serving and the DES loop).
+        self.supervisor = supervisor or SupervisorConfig()
+        #: deterministic fault injection, honoured by both shared-
+        #: admission backends.  Requires sharded shared admission — the
+        #: other paths have no supervisor to recover, so injecting
+        #: faults there would mean silently dropping work.
+        self.fault_plan = fault_plan or FaultPlan()
+        if self.fault_plan:
+            if self.serve_workers < 2 or self.admission != "shared":
+                raise ValueError(
+                    "fault_plan requires serve_workers >= 2 and "
+                    "admission='shared' (the supervised backends); got "
+                    f"serve_workers={self.serve_workers}, "
+                    f"admission={self.admission!r}"
+                )
+            unknown = [
+                lane for lane in self.fault_plan.lanes()
+                if lane not in self.router.specs
+            ]
+            if unknown:
+                raise ValueError(
+                    f"fault_plan targets unknown lane(s) {unknown}; "
+                    f"registered lanes: {self.router.describe_lanes()}"
+                )
         self._workers: Optional[Dict[str, LaneWorker]] = None
 
     # -------------------------------------------------------------- #
@@ -1199,8 +1465,20 @@ class ServingRuntime:
         shards and served by the worker pool; otherwise the in-process
         loop runs all lanes under one clock.
         """
-        for request in requests:
+        seen: Dict[object, int] = {}
+        for position, request in enumerate(requests):
             self.router.lane_for(request)  # fail fast, before serving
+            try:
+                first = seen.setdefault(request.request_id, position)
+            except TypeError:
+                continue  # unhashable ids cannot be checked cheaply
+            if first != position:
+                raise DuplicateRequestError(
+                    f"duplicate request_id {request.request_id!r}: "
+                    f"submissions #{first} and #{position} both use it; "
+                    f"records are keyed by id, so aliased requests would "
+                    f"silently merge"
+                )
         if self.serve_workers > 1:
             return self._serve_sharded(requests)
         return self._serve_in_process(requests)
@@ -1218,7 +1496,7 @@ class ServingRuntime:
         workers = list(self.lanes.values())
         for worker in workers:
             worker.executor.reset_stats()  # per-serve counters
-        done, wall, idle, steps = _serve_loop(
+        done, wall, idle, steps, shed = _serve_loop(
             workers, self.lane_for, pending, self.clock,
             overlap_timeline=self.overlap_timeline,
         )
@@ -1230,6 +1508,7 @@ class ServingRuntime:
             max_batch=self.max_batch,
             serve_workers=1,
             admission=self.admission,
+            shed=sorted(shed, key=lambda record: record.seq),
             pipelined_steps=sum(
                 worker.executor.stats.pipelined_steps for worker in workers
             ),
@@ -1274,15 +1553,23 @@ class ServingRuntime:
         return self._aggregate_shards(outcomes)
 
     def _aggregate_shards(
-        self, outcomes: Sequence[_ShardOutcome]
+        self,
+        outcomes: Sequence[_ShardOutcome],
+        shed: Sequence[ShedRecord] = (),
+        failover_events: Sequence[FailoverEvent] = (),
+        retries: int = 0,
+        failovers: int = 0,
+        respawns: int = 0,
     ) -> ServingReport:
         """One report from per-shard outcomes, under the concurrent
         model: the slowest shard bounds the run, and its idle time is
         the one paired with that wall (mixing fields from different
         shards would describe a timeline no shard had)."""
         done: Dict[int, RequestRecord] = {}
+        all_shed = list(shed)
         for outcome in outcomes:
             done.update(outcome.records)
+            all_shed.extend(outcome.shed)
         shards = [outcome.info() for outcome in outcomes]
         slowest = max(shards, key=lambda s: s.wall_seconds, default=None)
         return ServingReport(
@@ -1297,6 +1584,11 @@ class ServingRuntime:
             pipelined_steps=sum(s.pipelined_steps for s in shards),
             speculated=sum(s.speculated for s in shards),
             rollbacks=sum(s.rollbacks for s in shards),
+            shed=sorted(all_shed, key=lambda record: record.seq),
+            retries=retries,
+            failovers=failovers,
+            respawns=respawns,
+            failover_events=list(failover_events),
         )
 
     def _serve_shared(
@@ -1343,73 +1635,53 @@ class ServingRuntime:
             for shard in range(count)
         ]
         pending_by_lane = {
-            name: deque(per_lane[name]) for name in self.router.specs
+            name: list(per_lane[name]) for name in self.router.specs
         }
-        outcomes = _serve_work_stealing(workers, pending_by_lane, self.clock)
-        return self._aggregate_shards(outcomes)
+
+        def spawn_worker(lane: str, shard: int) -> LaneWorker:
+            return LaneWorker(lane, self.router.specs[lane],
+                              self.max_batch, shard=shard)
+
+        outcomes, shed, failover_events, counters = _serve_work_stealing(
+            workers, pending_by_lane, self.clock,
+            fault_plan=self.fault_plan, supervisor=self.supervisor,
+            spawn_worker=spawn_worker,
+        )
+        return self._aggregate_shards(
+            outcomes, shed=shed, failover_events=failover_events,
+            retries=counters["retries"], failovers=counters["failovers"],
+            respawns=counters["respawns"],
+        )
 
     def _serve_shared_process(
         self,
         per_lane: Dict[str, List[Tuple[int, ClipRequest]]],
         lane_shards: Dict[str, int],
     ) -> ServingReport:
-        import multiprocessing
+        """Shared admission on real processes, under shard supervision.
 
-        manager = multiprocessing.Manager()
-        try:
-            queues = {
-                name: manager.Queue()
-                for name, count in lane_shards.items()
-                if count
-            }
-            num_tasks = sum(lane_shards.values())
-            barrier = manager.Barrier(num_tasks + 1)  # shards + feeder
-            tasks = [
-                _StealShardTask(
-                    name, shard, self.router.specs[name], self.max_batch,
-                    queues[name], barrier,
-                )
-                for name, count in lane_shards.items()
-                for shard in range(count)
-            ]
-            ordered = sorted(
-                (
-                    (seq, request, name)
-                    for name, items in per_lane.items()
-                    for seq, request in items
-                ),
-                key=lambda item: (item[1].arrival_time, item[0]),
-            )
-
-            def feeder() -> None:
-                # Wait until every shard has built (network, plan) so
-                # startup cost never shows up as queue latency, then
-                # release each request into its lane's shared queue at
-                # its arrival time (real clock — process shards cannot
-                # skip virtual time they do not share), then one
-                # sentinel per shard so every worker can retire.
-                try:
-                    barrier.wait(timeout=120)
-                except Exception:
-                    pass  # degrade to a skewed base, never hang
-                start = time.perf_counter()
-                for seq, request, name in ordered:
-                    delay = request.arrival_time - (
-                        time.perf_counter() - start
-                    )
-                    if delay > 0:
-                        time.sleep(delay)
-                    queues[name].put((seq, request))
-                for name, count in lane_shards.items():
-                    for _ in range(count):
-                        queues[name].put(None)
-
-            outcomes = ShardPool(self.shard_config).map_with_feeder(
-                _run_stealing_shard, tasks, feeder
-            )
-        finally:
-            manager.shutdown()
-        return self._aggregate_shards(outcomes)
+        The parent *is* the shared queue now: a
+        :class:`~repro.runtime.supervision.ShardSupervisor` releases
+        requests at their arrival times (real clock), dispatches them
+        earliest-deadline-first to whichever shard of the lane has the
+        most free capacity, and recovers from crashed/stalled shards by
+        re-dispatching unacknowledged requests — bit-identical by the
+        serving contract.  Deadline shedding, failover, retries, and
+        respawns all land in the report's explicit counters.
+        """
+        supervisor = ShardSupervisor(
+            self.router.specs, self.max_batch,
+            config=self.supervisor, fault_plan=self.fault_plan,
+        )
+        result = supervisor.serve(per_lane, lane_shards)
+        return self._aggregate_shards(
+            result.outcomes,
+            shed=result.shed,
+            failover_events=result.failover_events,
+            retries=result.retries,
+            failovers=result.failovers,
+            respawns=result.respawns,
+        )
 
     def close(self) -> None:
         """Evict all residents and shrink lane plans to capacity 1."""

@@ -1,0 +1,937 @@
+"""Fault tolerance for sharded serving: supervision, shedding, injection.
+
+Three concerns live here, all downstream of one fact about this
+pipeline: every clip's execution is deterministic and bit-identical
+regardless of batch-mates or shard assignment, so *re-executing* a lost
+request on another shard is exactly replayable — failover is safe by
+construction, and the only job of this module is to notice failures and
+re-dispatch explicitly.
+
+* :class:`FaultPlan` / :class:`FaultEvent` — deterministic fault
+  injection.  A plan is a seeded, picklable set of events ("kill shard
+  k at virtual time t", "stall a shard for d steps", "drop the next
+  ack") honoured by *both* serving backends: the inline discrete-event
+  loop fires events against per-shard virtual clocks, and the process
+  backend ships each shard its own slice of the plan to fire against
+  its real post-release clock.  Plans round-trip through JSON so a
+  failing chaos run can be replayed from an artifact.
+* :class:`SupervisorConfig` / :class:`ShardSupervisor` — the parent-side
+  supervisor for the shared-admission process backend.  Shards heartbeat
+  and acknowledge every completed request; the parent detects a crashed
+  (dead process) or stalled (silent past ``heartbeat_timeout``) shard,
+  re-dispatches its unacknowledged requests to surviving shards — or to
+  a respawned one, bounded by ``max_respawns`` — and records every
+  failover as a :class:`FailoverEvent`.  Dispatch is credit-based (at
+  most ``capacity`` unacknowledged requests per shard) and
+  deadline-ordered, so the parent owns admission policy and a shard
+  owns only its resident batch.
+* Deadlines and shedding — a :class:`~repro.runtime.serving.ClipRequest`
+  with a ``deadline`` that passes while the request is still queued is
+  *shed*: dropped with an explicit :class:`ShedRecord` (whose
+  ``error`` is a named :class:`RequestShedError`) instead of served
+  late or silently dropped.  Admission among due requests is
+  earliest-deadline-first.
+
+The supervised child protocol (all messages flow through one shared
+event queue; dispatches flow through per-shard inboxes)::
+
+    child -> parent: ("ready", lane, shard, pid)
+                     ("beat",  lane, shard, t)          throttled
+                     ("ack",   lane, shard, seq, record) per completion
+                     ("done",  lane, shard, tail)        final counters
+    parent -> child: ("go", t0)     release, clock base = parent time t0
+                     (seq, request) dispatch
+                     None           retire sentinel
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import os
+import time
+from dataclasses import asdict, dataclass, field
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+
+import numpy as np
+
+from .scheduler import ShardCrashError
+from .spec import PipelineSpec
+
+__all__ = [
+    "FaultEvent",
+    "FaultPlan",
+    "SupervisorConfig",
+    "ShardSupervisor",
+    "SupervisionResult",
+    "RequestShedError",
+    "ShedRecord",
+    "FailoverEvent",
+]
+
+#: the fault kinds both backends honour.
+FAULT_KINDS = ("kill", "stall", "drop_ack")
+
+
+class RequestShedError(RuntimeError):
+    """A request was shed: its deadline passed before service began.
+
+    Never raised during a serve — shedding is a per-request *outcome*,
+    not a run failure.  :attr:`ShedRecord.error` materializes one so
+    callers who want an exception per shed request (the CLI's verify
+    path, a caller promoting sheds to failures) get a named type with
+    the full context attached.
+    """
+
+    def __init__(self, request_id: object, lane: str, arrival_time: float,
+                 deadline: float, shed_time: float):
+        self.request_id = request_id
+        self.lane = lane
+        self.arrival_time = arrival_time
+        self.deadline = deadline
+        self.shed_time = shed_time
+        super().__init__(
+            f"request {request_id!r} shed on lane {lane!r}: deadline "
+            f"{deadline:.6f}s passed unserved at t={shed_time:.6f}s "
+            f"(arrived {arrival_time:.6f}s)"
+        )
+
+
+@dataclass(frozen=True)
+class ShedRecord:
+    """One shed request: who, where, and when the deadline lapsed."""
+
+    seq: int
+    request_id: object
+    lane: str
+    arrival_time: float
+    deadline: float
+    #: when the shed was decided, on the shedding loop's clock.
+    shed_time: float
+    #: shard whose admission boundary shed it; -1 = the parent
+    #: supervisor (process backend sheds before dispatch).
+    shard: int = -1
+
+    @property
+    def error(self) -> RequestShedError:
+        return RequestShedError(
+            self.request_id, self.lane, self.arrival_time, self.deadline,
+            self.shed_time,
+        )
+
+
+@dataclass(frozen=True)
+class FailoverEvent:
+    """One detected shard failure and what was re-dispatched."""
+
+    lane: str
+    shard: int
+    #: detection time on the supervising loop's clock.
+    time: float
+    #: "crash" (process died / DES kill) or "stall" (heartbeat silence).
+    reason: str
+    #: submission seqs whose in-flight work was re-dispatched.
+    seqs: Tuple[int, ...]
+    #: whether a replacement shard was spawned for this failure.
+    respawned: bool = False
+
+
+@dataclass(frozen=True)
+class FaultEvent:
+    """One injected fault against one shard's (virtual) clock.
+
+    ``kill`` terminates the shard at ``at``; ``stall`` freezes it for
+    ``steps`` lockstep steps (inline DES, scaled by the shard's measured
+    step time) or ``seconds`` (process backend, a literal sleep) — a
+    stall longer than the supervisor's ``heartbeat_timeout`` is
+    indistinguishable from death and is failed over as one; ``drop_ack``
+    loses the acknowledgement of the next request the shard completes
+    at or after ``at``, so the supervisor retries it after
+    ``ack_timeout``.
+    """
+
+    kind: str
+    at: float
+    lane: str = "default"
+    shard: int = 0
+    steps: int = 0
+    seconds: float = 0.0
+
+    def __post_init__(self):
+        if self.kind not in FAULT_KINDS:
+            raise ValueError(
+                f"fault kind must be one of {FAULT_KINDS}, got {self.kind!r}"
+            )
+        if self.at < 0:
+            raise ValueError(f"fault time must be >= 0, got {self.at}")
+        if self.shard < 0:
+            raise ValueError(f"shard must be >= 0, got {self.shard}")
+        if self.kind == "stall" and self.steps <= 0 and self.seconds <= 0:
+            raise ValueError("a stall needs steps > 0 or seconds > 0")
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """A deterministic, replayable set of injected faults.
+
+    Events are stored sorted by fire time so iteration order never
+    depends on construction order; a plan (with its seed) round-trips
+    through JSON for CI artifacts, and :meth:`for_shard` slices out the
+    events one shard must honour.
+    """
+
+    events: Tuple[FaultEvent, ...] = ()
+    #: the seed that generated this plan (None for hand-built plans) —
+    #: carried for provenance in dumped artifacts.
+    seed: Optional[int] = None
+
+    def __post_init__(self):
+        ordered = tuple(sorted(
+            self.events,
+            key=lambda e: (e.at, e.lane, e.shard, e.kind),
+        ))
+        object.__setattr__(self, "events", ordered)
+
+    def __bool__(self) -> bool:
+        return bool(self.events)
+
+    def lanes(self) -> Tuple[str, ...]:
+        return tuple(sorted({event.lane for event in self.events}))
+
+    def for_shard(self, lane: str, shard: int) -> Tuple[FaultEvent, ...]:
+        """The events (fire-time order) targeting one shard."""
+        return tuple(
+            event for event in self.events
+            if event.lane == lane and event.shard == shard
+        )
+
+    @classmethod
+    def seeded(
+        cls,
+        seed: int,
+        lanes: Sequence[str] = ("default",),
+        shards_per_lane: int = 2,
+        horizon: float = 1.0,
+        kills: int = 1,
+        stalls: int = 1,
+        drops: int = 1,
+        stall_steps: Tuple[int, int] = (2, 8),
+        stall_seconds: float = 0.0,
+    ) -> "FaultPlan":
+        """A reproducible chaos plan over ``[0, horizon)`` seconds.
+
+        Kills never target every shard of a lane — at least one original
+        shard always survives, so a seeded plan cannot manufacture a
+        total-loss run (hand-built plans still can, for testing the
+        explicit :class:`~repro.runtime.scheduler.ShardCrashError`
+        path).  Same seed and shape, same plan, on any host.
+        """
+        if shards_per_lane < 1:
+            raise ValueError(
+                f"shards_per_lane must be >= 1, got {shards_per_lane}"
+            )
+        rng = np.random.default_rng(seed)
+        lanes = tuple(lanes)
+        targets = [(lane, s) for lane in lanes for s in range(shards_per_lane)]
+
+        def moment() -> float:
+            return float(rng.uniform(0.05, 0.95) * horizon)
+
+        events: List[FaultEvent] = []
+        kill_budget = {lane: shards_per_lane - 1 for lane in lanes}
+        killable = list(targets)
+        for _ in range(kills):
+            viable = [t for t in killable if kill_budget[t[0]] > 0]
+            if not viable:
+                break
+            lane, shard = viable[int(rng.integers(len(viable)))]
+            kill_budget[lane] -= 1
+            killable.remove((lane, shard))
+            events.append(FaultEvent("kill", at=moment(), lane=lane, shard=shard))
+        for _ in range(stalls):
+            lane, shard = targets[int(rng.integers(len(targets)))]
+            events.append(FaultEvent(
+                "stall", at=moment(), lane=lane, shard=shard,
+                steps=int(rng.integers(stall_steps[0], stall_steps[1] + 1)),
+                seconds=float(stall_seconds),
+            ))
+        for _ in range(drops):
+            lane, shard = targets[int(rng.integers(len(targets)))]
+            events.append(FaultEvent("drop_ack", at=moment(), lane=lane,
+                                     shard=shard))
+        return cls(events=tuple(events), seed=seed)
+
+    # ---------------------------------------------------------------- #
+    # JSON round-trip, for replaying a failing chaos run from CI.
+    # ---------------------------------------------------------------- #
+    def to_json(self) -> dict:
+        return {
+            "seed": self.seed,
+            "events": [asdict(event) for event in self.events],
+        }
+
+    @classmethod
+    def from_json(cls, data: Mapping) -> "FaultPlan":
+        return cls(
+            events=tuple(FaultEvent(**event) for event in data["events"]),
+            seed=data.get("seed"),
+        )
+
+    def dump(self, path: str) -> None:
+        with open(path, "w") as handle:
+            json.dump(self.to_json(), handle, indent=2)
+            handle.write("\n")
+
+    @classmethod
+    def load(cls, path: str) -> "FaultPlan":
+        with open(path) as handle:
+            return cls.from_json(json.load(handle))
+
+
+@dataclass(frozen=True)
+class SupervisorConfig:
+    """Failure-detection and recovery knobs for supervised serving."""
+
+    #: a shard silent for this long (no heartbeat; DES: declared stall
+    #: duration) is considered dead and failed over.
+    heartbeat_timeout: float = 30.0
+    #: replacement shards the supervisor may spawn per serve; a lane
+    #: that loses every shard with no budget left raises
+    #: :class:`~repro.runtime.scheduler.ShardCrashError` instead of
+    #: hanging.
+    max_respawns: int = 1
+    #: a dispatched request unacknowledged for this long is retried
+    #: (defaults to 4x the heartbeat timeout — a live shard that lost
+    #: only an ack, never the work).
+    ack_timeout: Optional[float] = None
+    #: how often a supervised shard heartbeats (process backend).
+    beat_interval: float = 0.05
+    #: hard no-progress bound: a supervised serve that neither acks,
+    #: sheds, dispatches, nor detects a failure for this long is
+    #: aborted with :class:`ShardCrashError` — a supervised run never
+    #: hangs.
+    drain_timeout: float = 120.0
+
+    def __post_init__(self):
+        if self.heartbeat_timeout <= 0:
+            raise ValueError(
+                f"heartbeat_timeout must be > 0, got {self.heartbeat_timeout}"
+            )
+        if self.max_respawns < 0:
+            raise ValueError(
+                f"max_respawns must be >= 0, got {self.max_respawns}"
+            )
+        if self.ack_timeout is not None and self.ack_timeout <= 0:
+            raise ValueError(
+                f"ack_timeout must be > 0, got {self.ack_timeout}"
+            )
+        if self.beat_interval <= 0:
+            raise ValueError(
+                f"beat_interval must be > 0, got {self.beat_interval}"
+            )
+        if self.drain_timeout <= 0:
+            raise ValueError(
+                f"drain_timeout must be > 0, got {self.drain_timeout}"
+            )
+
+    @property
+    def resolved_ack_timeout(self) -> float:
+        return (
+            self.ack_timeout if self.ack_timeout is not None
+            else 4.0 * self.heartbeat_timeout
+        )
+
+
+# -------------------------------------------------------------------- #
+# shared backlog bookkeeping (inline DES loop and process supervisor)
+# -------------------------------------------------------------------- #
+@dataclass
+class _PendingEntry:
+    """One undispatched (or re-dispatched) request in a lane backlog."""
+
+    seq: int
+    request: object  # ClipRequest; untyped to avoid a serving import
+    lane: str
+    #: earliest time this entry may be dispatched: the arrival time, or
+    #: the failover/retry time for re-dispatched entries.
+    available: float
+    attempts: int = 1
+    #: the outcome label its eventual record carries ("served",
+    #: "failover", "retried") — rewritten when the entry re-enters the
+    #: backlog through a recovery path.
+    outcome: str = "served"
+    #: when the current attempt was dispatched (process backend).
+    dispatch_time: float = 0.0
+
+
+def _edf_key(entry: _PendingEntry) -> Tuple[float, float, int]:
+    """Earliest-deadline-first admission order (slack ordering).
+
+    Deadline-less requests sort after every deadlined one; ties fall
+    back to arrival order then submission order, which makes the
+    no-deadline case exactly the historical FIFO admission.
+    """
+    deadline = getattr(entry.request, "deadline", None)
+    return (
+        deadline if deadline is not None else math.inf,
+        entry.request.arrival_time,
+        entry.seq,
+    )
+
+
+def _shed_expired(
+    entries: List[_PendingEntry], now: float, shard: int = -1
+) -> Tuple[List[_PendingEntry], List[ShedRecord]]:
+    """Split a backlog into survivors and newly shed entries.
+
+    A request is shed the moment its deadline passes while it is still
+    waiting for a slot — service that has not begun by the deadline can
+    no longer meet it.  Admitted requests are never shed: they run to
+    completion and their record simply shows a missed deadline.
+    """
+    kept: List[_PendingEntry] = []
+    shed: List[ShedRecord] = []
+    for entry in entries:
+        deadline = getattr(entry.request, "deadline", None)
+        if deadline is not None and deadline <= now:
+            shed.append(ShedRecord(
+                seq=entry.seq,
+                request_id=entry.request.request_id,
+                lane=entry.lane,
+                arrival_time=entry.request.arrival_time,
+                deadline=deadline,
+                shed_time=now,
+                shard=shard,
+            ))
+        else:
+            kept.append(entry)
+    return kept, shed
+
+
+# -------------------------------------------------------------------- #
+# the supervised shard child
+# -------------------------------------------------------------------- #
+@dataclass(frozen=True)
+class SupervisedShardTask:
+    """Everything a supervised shard process needs (picklable)."""
+
+    lane: str
+    shard: int
+    spec: PipelineSpec
+    capacity: int
+    #: manager queue the parent dispatches ``(seq, request)`` into.
+    inbox: object
+    #: shared manager queue for ready/beat/ack/done messages.
+    events: object
+    #: this shard's slice of the fault plan, on its post-release clock.
+    faults: Tuple[FaultEvent, ...] = ()
+    beat_interval: float = 0.05
+
+
+def _run_supervised_shard(task: SupervisedShardTask) -> None:
+    """Shard main: build, sync clocks, then admit/step/ack until retired.
+
+    Builds its own :class:`~repro.runtime.serving.LaneWorker` (network
+    and plan compile stay out of latency accounting), reports ready,
+    and blocks for the parent's ``("go", t0)`` — its clock base is set
+    so readings land on the parent's timeline (``CLOCK_MONOTONIC`` is
+    system-wide, so this holds up to message skew; a respawned shard
+    gets the parent's *current* time and joins the same timeline).
+    Every completed request is acknowledged with its full
+    :class:`~repro.runtime.serving.RequestRecord`; injected faults fire
+    against the shard's own clock: ``kill`` is ``os._exit`` (a real
+    crash — no cleanup, no goodbyes), ``stall`` a literal sleep with
+    heartbeats suppressed, ``drop_ack`` a swallowed acknowledgement.
+    """
+    import queue as queue_module
+    from collections import deque
+
+    from .serving import LaneWorker, _finalize_step
+
+    worker = LaneWorker(task.lane, task.spec, task.capacity, shard=task.shard)
+    task.events.put(("ready", task.lane, task.shard, os.getpid()))
+    go = task.inbox.get()  # parent always answers with go or a sentinel
+    if go is None:
+        task.events.put(("done", task.lane, task.shard, {}))
+        return
+    start = time.perf_counter() - float(go[1])
+
+    def now() -> float:
+        return time.perf_counter() - start
+
+    kills = deque(e for e in task.faults if e.kind == "kill")
+    stalls = deque(e for e in task.faults if e.kind == "stall")
+    drops = deque(e for e in task.faults if e.kind == "drop_ack")
+
+    done: Dict[int, object] = {}
+    busy = 0.0
+    idle = 0.0
+    steps = 0
+    mean_step = 1e-3
+    last_beat = -math.inf
+    draining = False
+    while True:
+        current = now()
+        while stalls and stalls[0].at <= current:
+            event = stalls.popleft()
+            time.sleep(
+                event.seconds if event.seconds > 0
+                else event.steps * mean_step
+            )
+            current = now()
+        if kills and kills[0].at <= current:
+            os._exit(23)  # injected crash: no cleanup, no final ack
+        if current - last_beat >= task.beat_interval:
+            task.events.put(("beat", task.lane, task.shard, current))
+            last_beat = current
+        while not draining and worker.has_free_slot():
+            try:
+                item = task.inbox.get_nowait()
+            except queue_module.Empty:
+                break
+            if item is None:
+                draining = True
+            elif item[0] != "go":  # a duplicate release is inert
+                worker.admit(item[0], item[1], now())
+        if worker.has_active():
+            step_start = time.perf_counter()
+            finished = worker.step()
+            duration = time.perf_counter() - step_start
+            busy += duration
+            mean_step = duration
+            steps += 1
+            _finalize_step(worker, finished, now(), done)
+            for resident in finished:
+                record = done.pop(resident.seq)
+                if drops and drops[0].at <= now():
+                    drops.popleft()  # the ack is lost; the work was not
+                else:
+                    task.events.put(
+                        ("ack", task.lane, task.shard, resident.seq, record)
+                    )
+        elif draining:
+            break
+        else:
+            wait_start = time.perf_counter()
+            try:
+                item = task.inbox.get(timeout=0.02)
+            except queue_module.Empty:
+                idle += time.perf_counter() - wait_start
+                continue
+            idle += time.perf_counter() - wait_start
+            if item is None:
+                draining = True
+            elif item[0] != "go":
+                worker.admit(item[0], item[1], now())
+    stats = worker.executor.stats
+    task.events.put(("done", task.lane, task.shard, {
+        "wall": busy,
+        "idle": idle,
+        "steps": steps,
+        "pipelined": stats.pipelined_steps,
+        "speculated": stats.speculated,
+        "rollbacks": stats.rollbacks,
+    }))
+
+
+# -------------------------------------------------------------------- #
+# the parent-side supervisor
+# -------------------------------------------------------------------- #
+@dataclass
+class SupervisionResult:
+    """What a supervised serve produced, for report aggregation."""
+
+    outcomes: List[object]  # List[serving._ShardOutcome]
+    shed: List[ShedRecord]
+    failover_events: List[FailoverEvent]
+    retries: int
+    failovers: int
+    respawns: int
+
+
+@dataclass
+class _ShardState:
+    """Parent-side view of one supervised shard process."""
+
+    lane: str
+    shard: int
+    process: object
+    inbox: object
+    ready: bool = False
+    released: bool = False
+    alive: bool = True
+    done: bool = False
+    last_beat: float = 0.0
+    tail: Optional[dict] = None
+    in_flight: Dict[int, _PendingEntry] = field(default_factory=dict)
+    records: Dict[int, object] = field(default_factory=dict)
+
+
+class ShardSupervisor:
+    """Supervised shared-admission serving over real shard processes.
+
+    The parent is dispatcher and failure detector in one loop: it
+    releases requests at their arrival times, dispatches them
+    earliest-deadline-first to the lane shard with the most free
+    capacity (credit = ``capacity`` minus unacknowledged dispatches),
+    sheds whatever expires while queued, and watches each shard's
+    process liveness and heartbeats.  A dead or silent shard's
+    unacknowledged requests go back into the backlog — their eventual
+    records are flagged ``"failover"`` — and, when the lane would
+    otherwise be shardless, a replacement is spawned (bounded by
+    ``max_respawns``).  An unacknowledged request on a *live* shard is
+    retried after ``ack_timeout`` (the drop-ack case); duplicate acks
+    are idempotent because re-execution is bit-identical.  Total loss —
+    a lane with work but no shards and no respawn budget — terminates
+    everything and raises
+    :class:`~repro.runtime.scheduler.ShardCrashError`; a run never
+    hangs (``drain_timeout`` bounds any no-progress stretch).
+    """
+
+    def __init__(
+        self,
+        specs: Mapping[str, PipelineSpec],
+        capacity: int,
+        config: Optional[SupervisorConfig] = None,
+        fault_plan: Optional[FaultPlan] = None,
+    ):
+        self.specs = dict(specs)
+        self.capacity = capacity
+        self.config = config or SupervisorConfig()
+        self.plan = fault_plan or FaultPlan()
+
+    # ---------------------------------------------------------------- #
+    def serve(
+        self,
+        per_lane: Mapping[str, Sequence[Tuple[int, object]]],
+        lane_shards: Mapping[str, int],
+    ) -> SupervisionResult:
+        import multiprocessing
+
+        manager = multiprocessing.Manager()
+        shards: List[_ShardState] = []
+        try:
+            events = manager.Queue()
+
+            def spawn(lane: str, shard: int) -> _ShardState:
+                inbox = manager.Queue()
+                task = SupervisedShardTask(
+                    lane=lane,
+                    shard=shard,
+                    spec=self.specs[lane],
+                    capacity=self.capacity,
+                    inbox=inbox,
+                    events=events,
+                    faults=self.plan.for_shard(lane, shard),
+                    beat_interval=self.config.beat_interval,
+                )
+                process = multiprocessing.Process(
+                    target=_run_supervised_shard, args=(task,), daemon=True
+                )
+                process.start()
+                state = _ShardState(lane, shard, process, inbox)
+                shards.append(state)
+                return state
+
+            for lane, count in lane_shards.items():
+                for shard in range(count):
+                    spawn(lane, shard)
+            return self._serve_loop(per_lane, lane_shards, events, spawn,
+                                    shards)
+        finally:
+            for state in shards:
+                if state.process.is_alive():
+                    state.process.terminate()
+            for state in shards:
+                state.process.join(timeout=5)
+            manager.shutdown()
+
+    # ---------------------------------------------------------------- #
+    def _serve_loop(self, per_lane, lane_shards, events, spawn, shards):
+        import queue as queue_module
+
+        config = self.config
+        ack_timeout = config.resolved_ack_timeout
+
+        # Build before release: wait until every shard reports ready so
+        # no shard's records carry a sibling's build time.  A shard that
+        # dies *building* is a systemic failure (its siblings share the
+        # spec), surfaced immediately rather than supervised around.
+        build_deadline = time.perf_counter() + 300
+        while any(not s.ready for s in shards):
+            for state in shards:
+                if not state.ready and not state.process.is_alive():
+                    raise ShardCrashError(
+                        f"shard {state.lane}/{state.shard} died while "
+                        f"building (exit code {state.process.exitcode}); "
+                        f"nothing was dispatched",
+                    )
+            if time.perf_counter() > build_deadline:
+                raise ShardCrashError(
+                    "supervised shards failed to report ready within 300s"
+                )
+            try:
+                message = events.get(timeout=0.05)
+            except queue_module.Empty:
+                continue
+            if message[0] == "ready":
+                self._state_of(shards, message[1], message[2]).ready = True
+
+        base = time.perf_counter()
+
+        def now() -> float:
+            return time.perf_counter() - base
+
+        for state in shards:
+            state.inbox.put(("go", now()))
+            state.released = True
+            state.last_beat = now()
+
+        pending: List[_PendingEntry] = [
+            _PendingEntry(seq=seq, request=request, lane=lane,
+                          available=request.arrival_time)
+            for lane, items in per_lane.items()
+            for seq, request in items
+        ]
+        resolved: Dict[int, object] = {}
+        shed: List[ShedRecord] = []
+        failover_events: List[FailoverEvent] = []
+        counters = {"retries": 0, "failovers": 0, "respawns": 0}
+        next_shard = dict(lane_shards)
+        last_progress = now()
+
+        def fail_shard(state: _ShardState, reason: str) -> None:
+            state.alive = False
+            if state.process.is_alive():
+                state.process.terminate()
+            detect = now()
+            seqs = tuple(sorted(state.in_flight))
+            for seq in seqs:
+                entry = state.in_flight.pop(seq)
+                entry.attempts += 1
+                entry.outcome = "failover"
+                entry.available = detect
+                pending.append(entry)
+            counters["failovers"] += len(seqs)
+            lane_live = [
+                s for s in shards
+                if s.lane == state.lane and s.alive and not s.done
+            ]
+            lane_work = seqs or any(
+                e.lane == state.lane for e in pending
+            ) or any(
+                s.lane == state.lane and s.in_flight for s in shards
+            )
+            respawned = False
+            if (not lane_live and lane_work
+                    and counters["respawns"] < config.max_respawns):
+                replacement = spawn(state.lane, next_shard[state.lane])
+                next_shard[state.lane] += 1
+                counters["respawns"] += 1
+                respawned = True
+                del replacement  # released when its "ready" arrives
+            failover_events.append(FailoverEvent(
+                lane=state.lane, shard=state.shard, time=detect,
+                reason=reason, seqs=seqs, respawned=respawned,
+            ))
+
+        def handle(message) -> bool:
+            """Apply one child message; True if it was progress."""
+            kind = message[0]
+            if kind == "beat":
+                self._state_of(shards, message[1], message[2]).last_beat = now()
+                return False
+            if kind == "ready":  # a respawned shard came up
+                state = self._state_of(shards, message[1], message[2])
+                state.ready = True
+                state.inbox.put(("go", now()))
+                state.released = True
+                state.last_beat = now()
+                return True
+            if kind == "ack":
+                _, lane, shard, seq, record = message
+                state = self._state_of(shards, lane, shard)
+                state.last_beat = now()
+                if seq in resolved:
+                    return False  # duplicate of a retried request
+                entry = state.in_flight.pop(seq, None)
+                if entry is None:
+                    # The request was retried elsewhere after an ack
+                    # timeout, but the original attempt finished after
+                    # all; results are bit-identical, so first ack wins.
+                    entry = self._retract(pending, shards, seq)
+                record.outcome = entry.outcome if entry else "served"
+                record.attempts = entry.attempts if entry else 1
+                resolved[seq] = record
+                state.records[seq] = record
+                return True
+            if kind == "done":
+                state = self._state_of(shards, message[1], message[2])
+                state.done = True
+                state.tail = message[3]
+                return True
+            return False
+
+        # ---------------- the dispatch/monitor loop ---------------- #
+        while pending or any(s.in_flight for s in shards):
+            try:
+                message = events.get(timeout=0.01)
+            except queue_module.Empty:
+                message = None
+            while message is not None:
+                if handle(message):
+                    last_progress = now()
+                try:
+                    message = events.get_nowait()
+                except queue_module.Empty:
+                    message = None
+            current = now()
+            pending, newly_shed = _shed_expired(pending, current)
+            if newly_shed:
+                shed.extend(newly_shed)
+                last_progress = current
+            # Retry unacknowledged dispatches on shards that still look
+            # alive — the ack (not the shard) may be what was lost.
+            for state in shards:
+                if not state.alive:
+                    continue
+                for seq in [
+                    s for s, e in state.in_flight.items()
+                    if current - e.dispatch_time > ack_timeout
+                ]:
+                    entry = state.in_flight.pop(seq)
+                    entry.attempts += 1
+                    entry.outcome = "retried"
+                    entry.available = current
+                    pending.append(entry)
+                    counters["retries"] += 1
+                    last_progress = current
+            # Liveness: a dead process is a crash; heartbeat silence on
+            # a released shard is a stall — both fail over identically.
+            for state in shards:
+                if not state.alive or state.done:
+                    continue
+                if not state.process.is_alive():
+                    fail_shard(state, "crash")
+                    last_progress = now()
+                elif (state.released
+                        and now() - state.last_beat > config.heartbeat_timeout):
+                    fail_shard(state, "stall")
+                    last_progress = now()
+            # A lane with work but no shards left: explicit total loss.
+            lanes_with_work = {e.lane for e in pending} | {
+                s.lane for s in shards if s.in_flight
+            }
+            for lane in sorted(lanes_with_work):
+                if not any(
+                    s.lane == lane and s.alive and not s.done for s in shards
+                ):
+                    lost = sorted(
+                        e.seq for e in pending if e.lane == lane
+                    )
+                    raise ShardCrashError(
+                        f"lane {lane!r} lost every shard with "
+                        f"{len(lost)} request(s) unresolved (seqs {lost}) "
+                        f"and no respawn budget left "
+                        f"(max_respawns={config.max_respawns})",
+                        lost=lost,
+                    )
+            # Dispatch: deadline order, to the emptiest shard (credit =
+            # capacity minus unacknowledged dispatches on that shard).
+            current = now()
+            due = sorted(
+                (e for e in pending if e.available <= current),
+                key=_edf_key,
+            )
+            for entry in due:
+                candidates = [
+                    s for s in shards
+                    if s.lane == entry.lane and s.alive and s.released
+                    and not s.done
+                    and len(s.in_flight) < self.capacity
+                ]
+                if not candidates:
+                    continue
+                target = min(
+                    candidates, key=lambda s: (len(s.in_flight), s.shard)
+                )
+                pending.remove(entry)
+                entry.dispatch_time = current
+                target.in_flight[entry.seq] = entry
+                target.inbox.put((entry.seq, entry.request))
+                last_progress = current
+            if now() - last_progress > config.drain_timeout:
+                unresolved = sorted(
+                    [e.seq for e in pending]
+                    + [s2 for s in shards for s2 in s.in_flight]
+                )
+                raise ShardCrashError(
+                    f"supervised serve made no progress for "
+                    f"{config.drain_timeout:.0f}s with seqs {unresolved} "
+                    f"unresolved; aborting instead of hanging",
+                    lost=unresolved,
+                )
+
+        # Retire: sentinel every live shard, collect their tails.
+        for state in shards:
+            if state.alive and not state.done:
+                state.inbox.put(None)
+        drain_deadline = time.perf_counter() + min(config.drain_timeout, 60)
+        while (any(s.alive and not s.done for s in shards)
+               and time.perf_counter() < drain_deadline):
+            for state in shards:
+                if state.alive and not state.done \
+                        and not state.process.is_alive():
+                    state.alive = False  # died after its last ack
+            try:
+                message = events.get(timeout=0.05)
+            except queue_module.Empty:
+                continue
+            handle(message)
+
+        from .serving import _ShardOutcome
+
+        outcomes = []
+        for state in shards:
+            tail = state.tail or {}
+            outcomes.append(_ShardOutcome(
+                lane=state.lane,
+                shard=state.shard,
+                records=state.records,
+                wall_seconds=tail.get("wall", 0.0),
+                idle_seconds=tail.get("idle", 0.0),
+                steps=tail.get("steps", 0),
+                pipelined_steps=tail.get("pipelined", 0),
+                speculated=tail.get("speculated", 0),
+                rollbacks=tail.get("rollbacks", 0),
+            ))
+        return SupervisionResult(
+            outcomes=outcomes,
+            shed=shed,
+            failover_events=failover_events,
+            retries=counters["retries"],
+            failovers=counters["failovers"],
+            respawns=counters["respawns"],
+        )
+
+    # ---------------------------------------------------------------- #
+    @staticmethod
+    def _state_of(shards: List[_ShardState], lane: str,
+                  shard: int) -> _ShardState:
+        for state in shards:
+            if state.lane == lane and state.shard == shard:
+                return state
+        raise KeyError(f"unknown shard {lane}/{shard}")
+
+    @staticmethod
+    def _retract(pending: List[_PendingEntry], shards: List[_ShardState],
+                 seq: int) -> Optional[_PendingEntry]:
+        """Pull a retried seq back out of wherever it waits now."""
+        for entry in pending:
+            if entry.seq == seq:
+                pending.remove(entry)
+                return entry
+        for state in shards:
+            if seq in state.in_flight:
+                return state.in_flight.pop(seq)
+        return None

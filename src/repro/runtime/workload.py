@@ -17,7 +17,7 @@ import numpy as np
 from ..video import generate_clip, scenario, scenario_names
 from ..video.generator import VideoClip
 
-__all__ = ["synthetic_workload", "poisson_arrival_times"]
+__all__ = ["synthetic_workload", "poisson_arrival_times", "slack_deadlines"]
 
 
 def synthetic_workload(
@@ -63,3 +63,33 @@ def poisson_arrival_times(
     rng = np.random.default_rng(seed)
     gaps = rng.exponential(1.0 / rate, size=num_arrivals)
     return [float(t) for t in np.cumsum(gaps)]
+
+
+def slack_deadlines(
+    arrivals: Sequence[float],
+    slack: float,
+    jitter: float = 0.0,
+    seed: int = 0,
+) -> List[float]:
+    """Absolute deadlines: each arrival plus ``slack`` (+ U[0, jitter)).
+
+    The deadline vocabulary of ``repro serve --deadline`` and the chaos
+    benchmark: a request must produce its first output within its slack
+    budget or be shed.  Deterministic given ``seed``; ``jitter``
+    de-synchronizes deadlines so shedding decisions don't all land on
+    one step boundary.
+    """
+    if slack <= 0:
+        raise ValueError(f"slack must be > 0 seconds, got {slack}")
+    if jitter < 0:
+        raise ValueError(f"jitter must be >= 0 seconds, got {jitter}")
+    rng = np.random.default_rng(seed)
+    extra = (
+        rng.uniform(0.0, jitter, size=len(arrivals))
+        if jitter > 0
+        else np.zeros(len(arrivals))
+    )
+    return [
+        float(arrival + slack + extra[i])
+        for i, arrival in enumerate(arrivals)
+    ]

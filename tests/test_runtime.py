@@ -11,7 +11,9 @@ from repro.runtime import (
     ClipScheduler,
     PipelineSpec,
     SchedulerConfig,
+    poisson_arrival_times,
     run_workload,
+    slack_deadlines,
     synthetic_workload,
 )
 
@@ -90,6 +92,58 @@ class TestSyntheticWorkload:
     def test_empty_rejected(self):
         with pytest.raises(ValueError):
             synthetic_workload(0)
+
+
+class TestPoissonArrivals:
+    def test_seed_stability(self):
+        assert poisson_arrival_times(16, rate=100.0, seed=9) == \
+            poisson_arrival_times(16, rate=100.0, seed=9)
+
+    def test_seeds_diverge(self):
+        assert poisson_arrival_times(16, rate=100.0, seed=1) != \
+            poisson_arrival_times(16, rate=100.0, seed=2)
+
+    def test_monotone_nondecreasing(self):
+        arrivals = poisson_arrival_times(32, rate=250.0, seed=4)
+        assert all(b >= a for a, b in zip(arrivals, arrivals[1:]))
+        assert all(t > 0 for t in arrivals)
+
+    def test_zero_arrivals_is_empty(self):
+        assert poisson_arrival_times(0, rate=10.0) == []
+
+    def test_negative_count_rejected(self):
+        with pytest.raises(ValueError, match="num_arrivals"):
+            poisson_arrival_times(-1, rate=10.0)
+
+    @pytest.mark.parametrize("rate", [0.0, -3.5])
+    def test_nonpositive_rate_rejected(self, rate):
+        with pytest.raises(ValueError, match="rate"):
+            poisson_arrival_times(4, rate=rate)
+
+
+class TestSlackDeadlines:
+    def test_plain_slack(self):
+        assert slack_deadlines([0.0, 0.5, 1.25], slack=0.1) == \
+            [0.1, 0.6, 1.35]
+
+    def test_jitter_bounds_and_determinism(self):
+        arrivals = poisson_arrival_times(24, rate=100.0, seed=3)
+        a = slack_deadlines(arrivals, slack=0.2, jitter=0.05, seed=8)
+        b = slack_deadlines(arrivals, slack=0.2, jitter=0.05, seed=8)
+        assert a == b
+        for arrival, deadline in zip(arrivals, a):
+            assert arrival + 0.2 <= deadline < arrival + 0.25
+
+    def test_empty_arrivals(self):
+        assert slack_deadlines([], slack=1.0) == []
+
+    def test_nonpositive_slack_rejected(self):
+        with pytest.raises(ValueError, match="slack"):
+            slack_deadlines([0.0], slack=0.0)
+
+    def test_negative_jitter_rejected(self):
+        with pytest.raises(ValueError, match="jitter"):
+            slack_deadlines([0.0], slack=1.0, jitter=-0.1)
 
 
 def _assert_identical(result, reference):
