@@ -94,10 +94,20 @@ def normalized_metrics(data: dict) -> Dict[str, float]:
                 "speculative serving throughput (x non-speculative)",
             "chaos_p99_retention":
                 "chaos p99 TTFF retention (x fault-free)",
+            "autoscale_p99_speedup":
+                "autoscaled p99 TTFF speedup under bursts (x fixed 2-shard)",
         }
         for key, label in optional.items():
             if key in data:
                 metrics[label] = data[key]
+        if "virtual_time_speedup" in data:
+            # Real-vs-simulated wall clock: the raw ratio swings with
+            # host speed (a faster box burns through the same simulated
+            # trace sooner), so the gated metric is capped — "well past
+            # real time" is the invariant, not the exact multiple.
+            metrics["virtual-time admission (x real time, capped 4)"] = min(
+                float(data["virtual_time_speedup"]), 4.0
+            )
         return metrics
     raise SystemExit(f"unrecognized benchmark JSON: {sorted(data)[:5]}")
 

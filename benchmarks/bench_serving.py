@@ -64,6 +64,21 @@ The tracked ratio is p99 TTFF *retention* (fault-free p99 over chaos
 p99, clamped at 1.0): how much of the tail survives losing half the
 fleet.
 
+The seventh headline is **autoscaling under bursts**: whole bursts of
+requests land at once with idle lulls between them — the regime where a
+fixed fleet either over-provisions the lulls or drowns in the bursts.
+An autoscaled lane (1→4 shards, scale decisions from observed admission
+depth) must beat the fixed 2-shard fleet on p99 time-to-first-frame by
+**>= 1.2x**, with every clip of both runs bit-identical to its serial
+run regardless of when shards scaled, and the fleet asserted to have
+actually reached 4 shards.
+
+The eighth headline is **virtual-time admission**: the same supervised
+process backend, but the parent releases arrivals by logical timestamps
+instead of real sleeps — a ~60-second simulated trace must complete in
+**well under half** its simulated duration (the gated metric is the
+real-vs-simulated speedup, capped so faster hosts don't inflate it).
+
 Results land in ``BENCH_serving.json`` at the repo root next to
 ``BENCH_runtime.json`` (write/merge discipline shared via
 ``benchmarks/_common.py``); the perf gate compares every headline ratio
@@ -71,6 +86,7 @@ fresh-vs-committed.
 """
 
 import threading
+import time
 
 import numpy as np
 import pytest
@@ -79,12 +95,15 @@ from _common import bench_json_path, write_bench_json
 from conftest import register_table
 from repro.core.sad_kernel import kernel_available
 from repro.runtime import (
+    AutoscalePolicy,
     ClipRequest,
     FaultEvent,
     FaultPlan,
     PipelineSpec,
+    ServerConfig,
     ServingRuntime,
     SupervisorConfig,
+    bursty_arrival_times,
     poisson_arrival_times,
     run_workload,
     synthetic_workload,
@@ -118,6 +137,13 @@ SPECULATION_P99_FLOOR = 1.1
 #: blow-up (re-execution storms), so it is deliberately loose — real
 #: retention depends on how many cores the surviving shard inherits.
 CHAOS_RETENTION_FLOOR = 0.05
+#: autoscale bar: p99 TTFF under bursty traffic, autoscaled 1->4 shards
+#: vs the fixed 2-shard fleet (both on the inline concurrent-shard
+#: timeline, so the ratio is host-independent).
+AUTOSCALE_P99_FLOOR = 1.2
+#: virtual-time bar: a simulated trace must finish in well under half
+#: its simulated duration (i.e. speedup over real-time admission >= 2x).
+VIRTUAL_TIME_MIN_SPEEDUP = 2.0
 JSON_PATH = bench_json_path("serving")
 
 #: accumulates all tests' results; the last one to run writes the JSON.
@@ -138,7 +164,10 @@ _JSON_KEYS = (
     "speculation_p99_speedup", "speculation_fps_ratio",
     "speculation_engagement", "speculation_rollback_rate",
     "chaos_workload", "fault_free_p99_ttff_ms", "chaos_p99_ttff_ms",
-    "chaos_p99_retention", "chaos_failovers",
+    "chaos_p99_retention", "chaos_failovers", "autoscale_workload",
+    "fixed2_p99_ttff_ms", "autoscale_p99_ttff_ms", "autoscale_p99_speedup",
+    "autoscale_peak_shards", "autoscale_scale_events", "virtual_workload",
+    "virtual_simulated_s", "virtual_elapsed_s", "virtual_time_speedup",
 )
 
 
@@ -188,7 +217,7 @@ def test_serving_throughput_and_identity(spec, traffic):
         for i, (clip, arrival) in enumerate(zip(traffic, arrivals))
     ]
 
-    runtime = ServingRuntime(spec, max_batch=MAX_BATCH)
+    runtime = ServingRuntime(spec, ServerConfig(max_batch=MAX_BATCH))
     report = max(
         (runtime.serve(requests) for _ in range(2)),
         key=lambda r: r.frames_per_second,
@@ -278,7 +307,7 @@ def test_shard_scaling_two_lanes(spec):
     ]
     lanes = {"cam0": spec, "cam1": spec}
 
-    single_runtime = ServingRuntime(lanes, max_batch=8, serve_workers=1)
+    single_runtime = ServingRuntime(lanes, ServerConfig(max_batch=8, serve_workers=1))
     single = max(
         (single_runtime.serve(requests) for _ in range(2)),
         key=lambda r: r.frames_per_second,
@@ -290,7 +319,7 @@ def test_shard_scaling_two_lanes(spec):
     # exercised separately (tests/test_serving.py and the CI CLI smoke);
     # on enough cores it realizes this same concurrent-model number.
     sharded_runtime = ServingRuntime(
-        lanes, max_batch=8, serve_workers=2, shard_backend="serial"
+        lanes, ServerConfig(max_batch=8, serve_workers=2, shard_backend="serial")
     )
     sharded = max(
         (sharded_runtime.serve(requests) for _ in range(2)),
@@ -428,11 +457,11 @@ def test_skewed_admission_tail_latency(spec):
     ]
 
     static_runtime = ServingRuntime(
-        spec, max_batch=4, serve_workers=2, shard_backend="serial"
+        spec, ServerConfig(max_batch=4, serve_workers=2, shard_backend="serial")
     )
     shared_runtime = ServingRuntime(
-        spec, max_batch=4, serve_workers=2, shard_backend="serial",
-        admission="shared",
+        spec, ServerConfig(max_batch=4, serve_workers=2, shard_backend="serial",
+        admission="shared"),
     )
     static = min(
         (static_runtime.serve(requests) for _ in range(2)),
@@ -523,7 +552,7 @@ def test_speculative_serving_tail_latency():
 
     def serve_once(spec, requests, serial):
         report = ServingRuntime(
-            spec, max_batch=8, overlap_timeline=True
+            spec, ServerConfig(max_batch=8, overlap_timeline=True)
         ).serve(requests)
         assert report.workload_result().matches(serial), (
             "speculative serving diverged from serial execution"
@@ -660,8 +689,8 @@ def test_chaos_failover_process_shards(spec):
 
     def supervised_serve(plan):
         runtime = ServingRuntime(
-            spec, max_batch=2, serve_workers=2, shard_backend="process",
-            admission="shared", fault_plan=plan, supervisor=supervisor,
+            spec, ServerConfig(max_batch=2, serve_workers=2, shard_backend="process",
+            admission="shared", fault_plan=plan, supervisor=supervisor),
         )
         outcome = {}
 
@@ -753,18 +782,230 @@ def test_chaos_failover_process_shards(spec):
     )
 
 
+def test_autoscale_bursty_tail_latency(spec):
+    """Autoscaling 1->4 shards must beat fixed 2 shards on bursty p99 TTFF.
+
+    Traffic arrives as whole bursts — 16 clips land near-simultaneously,
+    then the lane idles until the next burst.  A fixed 2-shard fleet
+    (max_batch=2 per shard) can start only 4 clips of each burst; the
+    rest queue, and the burst tail *is* the p99.  The autoscaler watches
+    the same admission queue, grows the lane to 4 shards inside the
+    first burst, and holds them (``sustain_down`` is set past the trace
+    length so drain events don't perturb the tail being measured —
+    scale-*down* correctness has its own differential test in
+    ``tests/test_frontdoor.py``).
+
+    Both fleets run on the inline concurrent-shard timeline (the
+    discrete-event loop over per-shard virtual clocks), so the p99 ratio
+    is comparable across hosts regardless of core count — the perf
+    gate's committed-vs-fresh requirement.  Every clip of both runs is
+    asserted bit-identical to its serial run, scaling notwithstanding,
+    and the fleet is asserted to have actually reached 4 shards.
+    """
+    num_requests, frames, burst = 48, 8, 16
+    max_batch = 2
+    clips = synthetic_workload(num_requests, num_frames=frames, base_seed=71)
+    serial = run_workload(spec, clips, batch=False)
+    # Burst period: half the time one pipeline needs to serve a burst,
+    # so the fixed fleet is still digesting when the next burst lands
+    # (sustained pressure) while 4 shards keep up comfortably.
+    burst_seconds = burst * frames / max(serial.frames_per_second, 1.0)
+    period = burst_seconds / 2
+    arrivals = bursty_arrival_times(
+        num_requests, burst_size=burst, period=period,
+        spread=period / 20, seed=17,
+    )
+    requests = [
+        ClipRequest(request_id=i, clip=clip, arrival_time=t)
+        for i, (clip, t) in enumerate(zip(clips, arrivals))
+    ]
+    fixed_runtime = ServingRuntime(spec, ServerConfig(
+        max_batch=max_batch, serve_workers=2, admission="shared",
+        shard_backend="serial",
+    ))
+    scaled_runtime = ServingRuntime(spec, ServerConfig(
+        max_batch=max_batch, shard_backend="serial",
+        autoscale=AutoscalePolicy(
+            min_shards=1, max_shards=4, sustain_up=1, sustain_down=10_000,
+        ),
+    ))
+
+    def p99(report):
+        return report.latency_percentiles()["ttff_p99"]
+
+    fixed = min(
+        (fixed_runtime.serve(requests) for _ in range(2)), key=p99
+    )
+    scaled = min(
+        (scaled_runtime.serve(requests) for _ in range(2)), key=p99
+    )
+
+    for report in (fixed, scaled):
+        served = report.workload_result()
+        assert served.matches(serial), (
+            "bursty serving diverged from serial execution"
+        )
+        for got, want in zip(served.results, serial.results):
+            np.testing.assert_array_equal(got.outputs(), want.outputs())
+            np.testing.assert_array_equal(got.key_mask(), want.key_mask())
+
+    assert scaled.scale_events, "the bursts never triggered a scale-up"
+    peak = max(event.to_shards for event in scaled.scale_events)
+    assert peak == 4, f"fleet peaked at {peak} shards, wanted 4"
+
+    speedup = p99(fixed) / p99(scaled) if p99(scaled) else 1.0
+    register_table(
+        f"autoscaled vs fixed fleet under bursts ({num_requests} requests "
+        f"in bursts of {burst}, max_batch={max_batch}, {NETWORK})",
+        ["quantity", "fixed 2-shard", "autoscaled 1->4"],
+        [
+            [
+                "ttff p99 ms",
+                round(p99(fixed) * 1e3, 2),
+                round(p99(scaled) * 1e3, 2),
+            ],
+            ["p99 speedup", "-", f"{speedup:.2f}x"],
+            ["peak shards", 2, peak],
+            ["scale events", 0, len(scaled.scale_events)],
+            ["identical to serial", "yes", "yes"],
+        ],
+    )
+    _RESULTS.update(
+        {
+            "autoscale_workload": {
+                "requests": num_requests,
+                "frames_per_clip": frames,
+                "burst_size": burst,
+                "burst_period_s": round(period, 4),
+                "max_batch": max_batch,
+                "max_shards": 4,
+            },
+            "fixed2_p99_ttff_ms": round(p99(fixed) * 1e3, 3),
+            "autoscale_p99_ttff_ms": round(p99(scaled) * 1e3, 3),
+            "autoscale_p99_speedup": round(speedup, 3),
+            "autoscale_peak_shards": peak,
+            "autoscale_scale_events": len(scaled.scale_events),
+        }
+    )
+    _write_json()
+
+    assert speedup >= AUTOSCALE_P99_FLOOR, (
+        f"autoscaled p99 TTFF is {speedup:.2f}x the fixed 2-shard "
+        f"fleet's under bursts; the autoscaling bar is "
+        f"{AUTOSCALE_P99_FLOOR:.2f}x"
+    )
+
+
+def test_virtual_time_admission(spec):
+    """A ~60s simulated trace over process shards must finish early.
+
+    The virtual-time admission protocol: the parent holds the logical
+    clock, and whenever nothing is in flight anywhere and the next
+    arrival is in the future, it jumps the clock to that arrival and
+    broadcasts the same skip to every shard — no one sleeps through the
+    gap, and because jumps only happen at zero in-flight, every
+    dispatch/ack interval is measured on a locally-continuous clock and
+    latency accounting is undisturbed.  Service itself still costs real
+    CPU, so the run isn't free — it must simply cost *service* time,
+    not *trace* time.
+
+    The run is watchdog-bounded (a hang is a failure, not a timeout in
+    CI's logs), every clip is asserted bit-identical to its serial run,
+    and the headline is real elapsed vs simulated duration: the trace
+    must complete in under half its simulated length.  The JSON carries
+    the raw speedup; the perf gate compares it capped (a faster host
+    finishes the same simulated trace sooner — "well past real time"
+    is the invariant, not the multiple).
+    """
+    num_requests, frames = 96, 4
+    rate = 1.6  # clips/s — ~60s of simulated traffic
+    clips = synthetic_workload(num_requests, num_frames=frames, base_seed=83)
+    serial = run_workload(spec, clips, batch=False)
+    arrivals = poisson_arrival_times(num_requests, rate=rate, seed=29)
+    simulated = arrivals[-1]
+    requests = [
+        ClipRequest(request_id=i, clip=clip, arrival_time=t)
+        for i, (clip, t) in enumerate(zip(clips, arrivals))
+    ]
+    runtime = ServingRuntime(spec, ServerConfig(
+        max_batch=4, serve_workers=2, admission="shared",
+        shard_backend="process", virtual_time=True,
+    ))
+
+    outcome = {}
+
+    def run():
+        try:
+            start = time.perf_counter()
+            outcome["report"] = runtime.serve(requests)
+            outcome["elapsed"] = time.perf_counter() - start
+        except BaseException as error:  # noqa: BLE001 — re-raised below
+            outcome["error"] = error
+
+    thread = threading.Thread(target=run, daemon=True)
+    thread.start()
+    thread.join(timeout=240)
+    assert not thread.is_alive(), "virtual-time serve hung"
+    if "error" in outcome:
+        raise outcome["error"]
+    report, elapsed = outcome["report"], outcome["elapsed"]
+
+    served = report.workload_result()
+    assert served.matches(serial), (
+        "virtual-time serving diverged from serial execution"
+    )
+    for got, want in zip(served.results, serial.results):
+        np.testing.assert_array_equal(got.outputs(), want.outputs())
+        np.testing.assert_array_equal(got.key_mask(), want.key_mask())
+
+    speedup = simulated / elapsed if elapsed else float("inf")
+    register_table(
+        f"virtual-time process admission ({num_requests} Poisson requests "
+        f"at {rate}/s, 2 process shards, {NETWORK})",
+        ["quantity", "value"],
+        [
+            ["simulated duration s", round(simulated, 1)],
+            ["real elapsed s", round(elapsed, 2)],
+            ["speedup", f"{speedup:.1f}x"],
+            ["identical to serial", "yes"],
+        ],
+    )
+    _RESULTS.update(
+        {
+            "virtual_workload": {
+                "requests": num_requests,
+                "frames_per_clip": frames,
+                "arrival_rate_clips_per_s": rate,
+                "serve_workers": 2,
+                "backend": "process",
+            },
+            "virtual_simulated_s": round(simulated, 2),
+            "virtual_elapsed_s": round(elapsed, 3),
+            "virtual_time_speedup": round(speedup, 2),
+        }
+    )
+    _write_json()
+
+    assert speedup >= VIRTUAL_TIME_MIN_SPEEDUP, (
+        f"virtual-time admission took {elapsed:.1f}s against a "
+        f"{simulated:.0f}s simulated trace ({speedup:.1f}x); it must "
+        f"finish in well under half the simulated duration "
+        f"(>= {VIRTUAL_TIME_MIN_SPEEDUP:.0f}x)"
+    )
+
+
 def test_serving_latency_tracks_load(spec):
     """Sanity on the accounting: an undersubscribed server admits almost
     immediately; an oversubscribed one queues."""
     clips = synthetic_workload(12, num_frames=8, base_seed=3)
     light_arrivals = poisson_arrival_times(len(clips), rate=5.0, seed=1)
-    light = ServingRuntime(spec, max_batch=MAX_BATCH).serve(
+    light = ServingRuntime(spec, ServerConfig(max_batch=MAX_BATCH)).serve(
         [
             ClipRequest(i, clip, arrival_time=t)
             for i, (clip, t) in enumerate(zip(clips, light_arrivals))
         ]
     )
-    heavy = ServingRuntime(spec, max_batch=2).serve(
+    heavy = ServingRuntime(spec, ServerConfig(max_batch=2)).serve(
         [ClipRequest(i, clip) for i, clip in enumerate(clips)]
     )
     assert float(np.percentile(light.enqueue_latencies(), 95)) < 0.05

@@ -9,17 +9,22 @@ Commands:
                   layer (``--batch`` for lockstep RFBME batching,
                   ``--workers N`` for a worker pool) and prints
                   throughput statistics.
-* ``serve``     — streaming serving simulation: Poisson clip arrivals
-                  admitted into a continuously batched server
-                  (``--arrival-rate``, ``--max-batch``), with per-request
-                  latency percentiles, optional sharding across worker
-                  processes (``--serve-workers N``), per-request TTFF
-                  deadlines with load shedding (``--deadline``),
-                  deterministic fault injection (``--fault-seed``,
-                  ``--kill-shard``) under shard supervision
-                  (``--heartbeat-timeout``, ``--max-respawns``), and
-                  optional ``--verify`` against the serial pipeline
-                  (shed-aware, keyed by request id).
+* ``serve``     — streaming serving simulation: Poisson or bursty clip
+                  arrivals (``--traffic``) admitted into a continuously
+                  batched server (``--arrival-rate``, ``--max-batch``),
+                  with per-request latency percentiles, optional
+                  sharding across worker processes
+                  (``--serve-workers N``) or an autoscaled shard fleet
+                  (``--autoscale --max-shards N``), virtual-time
+                  admission for fast simulated traces
+                  (``--virtual-time``), per-request TTFF deadlines with
+                  load shedding (``--deadline``), deterministic fault
+                  injection (``--fault-seed``, ``--kill-shard``) under
+                  shard supervision (``--heartbeat-timeout``,
+                  ``--max-respawns``), and optional ``--verify`` against
+                  the serial pipeline (shed-aware, keyed by request id).
+                  Flags are grouped: traffic / sharding / faults /
+                  engine.
 * ``hardware``  — the Fig. 12 / Fig. 13 numbers for a real network.
 * ``firstorder``— the §IV-A op-count comparison.
 """
@@ -183,10 +188,13 @@ def _parse_kill_shard(text: str):
 def _cmd_serve(args: argparse.Namespace) -> int:
     """Streaming serving simulation: Poisson arrivals, continuous batching."""
     from .runtime import (
+        AutoscalePolicy,
         ClipRequest,
         FaultPlan,
+        ServerConfig,
         ServingRuntime,
         SupervisorConfig,
+        bursty_arrival_times,
         poisson_arrival_times,
         run_workload,
         slack_deadlines,
@@ -211,32 +219,50 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         print("error: --deadline must be > 0 seconds (0 = off)",
               file=sys.stderr)
         return 2
+    if args.autoscale and not 1 <= args.min_shards <= args.max_shards:
+        print("error: --autoscale needs 1 <= --min-shards <= --max-shards",
+              file=sys.stderr)
+        return 2
+    if args.burst_size < 1 or args.burst_period <= 0:
+        print("error: --burst-size must be >= 1 and --burst-period > 0",
+              file=sys.stderr)
+        return 2
 
+    def _arrivals() -> list:
+        if args.traffic == "bursty":
+            return bursty_arrival_times(
+                args.clips, args.burst_size, args.burst_period,
+                spread=args.burst_period / 10.0, seed=args.seed,
+            )
+        return poisson_arrival_times(
+            args.clips, args.arrival_rate, seed=args.seed
+        )
+
+    fleet = args.max_shards if args.autoscale else args.serve_workers
     events = list(args.kill_shard)
     if args.fault_seed is not None:
         horizon = args.fault_horizon
         if horizon <= 0:
-            arrivals_preview = poisson_arrival_times(
-                args.clips, args.arrival_rate, seed=args.seed
-            )
-            horizon = max(arrivals_preview[-1], 0.1)
+            horizon = max(_arrivals()[-1], 0.1)
         events.extend(FaultPlan.seeded(
             args.fault_seed,
-            shards_per_lane=args.serve_workers,
+            shards_per_lane=fleet,
             horizon=horizon,
         ).events)
     plan = FaultPlan(events=tuple(events), seed=args.fault_seed)
-    if plan and (args.serve_workers < 2 or args.admission != "shared"):
+    if plan and not args.autoscale and (
+            args.serve_workers < 2 or args.admission != "shared"):
         print(
             "error: fault injection needs sharded shared-admission "
-            "serving (--serve-workers >= 2 --admission shared) so a "
-            "surviving shard exists to fail over to",
+            "serving (--serve-workers >= 2 --admission shared, or an "
+            "--autoscale fleet) so a surviving shard exists to fail "
+            "over to",
             file=sys.stderr,
         )
         return 2
 
     spec, clips = _spec_and_clips(args)
-    arrivals = poisson_arrival_times(args.clips, args.arrival_rate, seed=args.seed)
+    arrivals = _arrivals()
     deadlines = (
         slack_deadlines(arrivals, args.deadline, seed=args.seed)
         if args.deadline > 0 else [None] * len(arrivals)
@@ -247,8 +273,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         for i, (clip, arrival, deadline)
         in enumerate(zip(clips, arrivals, deadlines))
     ]
-    runtime = ServingRuntime(
-        spec,
+    config = ServerConfig(
         max_batch=args.max_batch,
         serve_workers=args.serve_workers,
         shard_backend=args.shard_backend,
@@ -258,9 +283,23 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             heartbeat_timeout=args.heartbeat_timeout,
             max_respawns=args.max_respawns,
         ),
+        autoscale=(
+            AutoscalePolicy(
+                min_shards=args.min_shards, max_shards=args.max_shards
+            ) if args.autoscale else None
+        ),
+        virtual_time=args.virtual_time,
+        max_pending=args.max_pending,
     )
+    runtime = ServingRuntime(spec, config)
     report = runtime.serve(requests)
     print(format_table(["quantity", "value"], report.summary_rows()))
+    for event in report.scale_events:
+        print(
+            f"scale: lane {event.lane!r} {event.from_shards} -> "
+            f"{event.to_shards} shard(s) at t={event.time:.3f}s "
+            f"({event.reason}, depth {event.queue_depth})"
+        )
     for event in report.failover_events:
         print(
             f"failover: lane {event.lane!r} shard {event.shard} "
@@ -391,82 +430,133 @@ def build_parser() -> argparse.ArgumentParser:
         "serve",
         help="streaming serving simulation with continuous batching",
     )
-    serve.add_argument("--network", default="mini_fasterm",
-                       choices=["mini_alexnet", "mini_fasterm", "mini_faster16"])
-    serve.add_argument("--clips", type=int, default=32,
-                       help="requests in the simulated traffic")
-    serve.add_argument("--frames", type=int, default=16)
-    serve.add_argument("--scenario", default=None,
-                       help="restrict traffic to one scenario (default: mix)")
-    serve.add_argument("--seed", type=int, default=0)
-    serve.add_argument("--arrival-rate", type=float, default=200.0,
-                       help="Poisson arrival rate, clips/s")
-    serve.add_argument("--max-batch", type=int, default=8,
-                       help="serving slots per lane (continuous batch width)")
-    serve.add_argument("--serve-workers", type=int, default=1,
-                       help="shard lanes across N worker processes "
-                            "(1 = in-process serving)")
-    serve.add_argument("--shard-backend", default="auto",
-                       choices=["auto", "serial", "process"],
-                       help="worker pool for sharded serving (auto picks "
-                            "process on multi-core hosts; threads are "
-                            "refused — shards would share plan scratch)")
-    serve.add_argument("--admission", default="static",
-                       choices=["static", "shared"],
-                       help="sharded request assignment: static "
-                            "round-robin slices, or one shared admission "
-                            "queue per lane so idle shards steal pending "
-                            "requests (better tail latency under skew)")
-    serve.add_argument("--pipeline-depth", type=int, default=1,
-                       help="software-pipeline depth for serving steps "
-                            "(2 overlaps RFBME with the CNN stages; "
-                            "bit-identical; default 1)")
-    serve.add_argument("--speculate", action=argparse.BooleanOptionalAction,
-                       default=True,
-                       help="with --pipeline-depth 2, overlap across "
-                            "possible admissions/evictions too: the "
-                            "executor checkpoints policy state and rolls "
-                            "back + replays on a membership mismatch; "
-                            "the report shows engagement and rollback "
-                            "rates (--no-speculate = stable-only overlap)")
-    serve.add_argument("--threshold", type=float, default=2.0,
-                       help="adaptive match-error threshold")
-    serve.add_argument("--interval", type=int, default=0,
-                       help="use a static key-frame interval instead")
-    serve.add_argument("--rfbme", default=None,
-                       choices=["kernel", "batched", "loop"],
-                       help="RFBME host backend (default: fastest available)")
-    serve.add_argument("--cnn", default="planned",
-                       choices=["planned", "legacy"])
-    serve.add_argument("--dtype", default="float64",
-                       choices=["float64", "float32"])
-    serve.add_argument("--deadline", type=float, default=0.0,
-                       help="per-request first-output budget in seconds "
-                            "of slack past arrival; requests still queued "
-                            "when it lapses are shed with an explicit "
-                            "outcome (0 = no deadlines)")
-    serve.add_argument("--fault-seed", type=int, default=None,
-                       help="inject a seeded chaos plan (kill/stall/"
-                            "ack-drop) against the shards; needs "
-                            "--serve-workers >= 2 --admission shared")
-    serve.add_argument("--fault-horizon", type=float, default=0.0,
-                       help="window (s) seeded faults land in "
-                            "(default: up to the last arrival)")
-    serve.add_argument("--kill-shard", type=_parse_kill_shard,
-                       action="append", default=[], metavar="SHARD@T",
-                       help="kill one shard at T seconds (repeatable), "
-                            "e.g. --kill-shard 1@0.25")
-    serve.add_argument("--heartbeat-timeout", type=float, default=30.0,
-                       help="declare a silent shard dead after this many "
-                            "seconds and fail its requests over")
-    serve.add_argument("--max-respawns", type=int, default=1,
-                       help="replacement shards the supervisor may spawn "
-                            "before a shardless lane is a hard error")
-    serve.add_argument("--verify", action="store_true",
-                       help="re-run every clip serially and assert served "
-                            "results are bit-identical (keyed by request "
-                            "id, so shed requests are accounted, not "
-                            "silently skipped)")
+
+    traffic = serve.add_argument_group(
+        "traffic", "what arrives, when, and with what deadlines"
+    )
+    traffic.add_argument("--clips", type=int, default=32,
+                         help="requests in the simulated traffic")
+    traffic.add_argument("--frames", type=int, default=16)
+    traffic.add_argument("--scenario", default=None,
+                         help="restrict traffic to one scenario "
+                              "(default: mix)")
+    traffic.add_argument("--seed", type=int, default=0)
+    traffic.add_argument("--traffic", default="poisson",
+                         choices=["poisson", "bursty"],
+                         help="arrival process: smooth Poisson stream, or "
+                              "bursts of --burst-size clips every "
+                              "--burst-period seconds (the regime where "
+                              "--autoscale earns its keep)")
+    traffic.add_argument("--arrival-rate", type=float, default=200.0,
+                         help="Poisson arrival rate, clips/s")
+    traffic.add_argument("--burst-size", type=int, default=8,
+                         help="clips per burst for --traffic bursty")
+    traffic.add_argument("--burst-period", type=float, default=0.5,
+                         help="seconds between bursts for --traffic bursty")
+    traffic.add_argument("--deadline", type=float, default=0.0,
+                         help="per-request first-output budget in seconds "
+                              "of slack past arrival; requests still "
+                              "queued when it lapses are shed with an "
+                              "explicit outcome (0 = no deadlines)")
+
+    sharding = serve.add_argument_group(
+        "sharding", "how the fleet is shaped and requests admitted"
+    )
+    sharding.add_argument("--max-batch", type=int, default=8,
+                          help="serving slots per lane (continuous batch "
+                               "width)")
+    sharding.add_argument("--serve-workers", type=int, default=1,
+                          help="shard lanes across N worker processes "
+                               "(1 = in-process serving)")
+    sharding.add_argument("--shard-backend", default="auto",
+                          choices=["auto", "serial", "process"],
+                          help="worker pool for sharded serving (auto picks "
+                               "process on multi-core hosts; threads are "
+                               "refused — shards would share plan scratch)")
+    sharding.add_argument("--admission", default="static",
+                          choices=["static", "shared"],
+                          help="sharded request assignment: static "
+                               "round-robin slices, or one shared admission "
+                               "queue per lane so idle shards steal pending "
+                               "requests (better tail latency under skew)")
+    sharding.add_argument("--autoscale", action="store_true",
+                          help="grow/shrink each lane's shard fleet from "
+                               "observed queue depth and deadline slack "
+                               "between --min-shards and --max-shards "
+                               "(implies shared admission; served results "
+                               "stay bit-identical across scaling)")
+    sharding.add_argument("--min-shards", type=int, default=1,
+                          help="autoscale floor per lane (default 1)")
+    sharding.add_argument("--max-shards", type=int, default=4,
+                          help="autoscale ceiling per lane (default 4)")
+    sharding.add_argument("--max-pending", type=int, default=None,
+                          help="front-door admission watermark: pause "
+                               "ingesting past this many undispatched "
+                               "requests, resume at half (default: "
+                               "unbounded)")
+    sharding.add_argument("--virtual-time", action="store_true",
+                          help="release arrivals to process shards by "
+                               "logical timestamps instead of real sleeps "
+                               "so long simulated traces run at full "
+                               "speed (process backend)")
+
+    faults = serve.add_argument_group(
+        "faults", "deterministic fault injection and supervision"
+    )
+    faults.add_argument("--fault-seed", type=int, default=None,
+                        help="inject a seeded chaos plan (kill/stall/"
+                             "ack-drop) against the shards; needs "
+                             "--serve-workers >= 2 --admission shared "
+                             "(or --autoscale)")
+    faults.add_argument("--fault-horizon", type=float, default=0.0,
+                        help="window (s) seeded faults land in "
+                             "(default: up to the last arrival)")
+    faults.add_argument("--kill-shard", type=_parse_kill_shard,
+                        action="append", default=[], metavar="SHARD@T",
+                        help="kill one shard at T seconds (repeatable), "
+                             "e.g. --kill-shard 1@0.25")
+    faults.add_argument("--heartbeat-timeout", type=float, default=30.0,
+                        help="declare a silent shard dead after this many "
+                             "seconds and fail its requests over")
+    faults.add_argument("--max-respawns", type=int, default=1,
+                        help="replacement shards the supervisor may spawn "
+                             "before a shardless lane is a hard error")
+
+    engine = serve.add_argument_group(
+        "engine", "what executes each admitted clip"
+    )
+    engine.add_argument("--network", default="mini_fasterm",
+                        choices=["mini_alexnet", "mini_fasterm",
+                                 "mini_faster16"])
+    engine.add_argument("--pipeline-depth", type=int, default=1,
+                        help="software-pipeline depth for serving steps "
+                             "(2 overlaps RFBME with the CNN stages; "
+                             "bit-identical; default 1)")
+    engine.add_argument("--speculate", action=argparse.BooleanOptionalAction,
+                        default=True,
+                        help="with --pipeline-depth 2, overlap across "
+                             "possible admissions/evictions too: the "
+                             "executor checkpoints policy state and rolls "
+                             "back + replays on a membership mismatch; "
+                             "the report shows engagement and rollback "
+                             "rates (--no-speculate = stable-only overlap)")
+    engine.add_argument("--threshold", type=float, default=2.0,
+                        help="adaptive match-error threshold")
+    engine.add_argument("--interval", type=int, default=0,
+                        help="use a static key-frame interval instead")
+    engine.add_argument("--rfbme", default=None,
+                        choices=["kernel", "batched", "loop"],
+                        help="RFBME host backend (default: fastest "
+                             "available)")
+    engine.add_argument("--cnn", default="planned",
+                        choices=["planned", "legacy"])
+    engine.add_argument("--dtype", default="float64",
+                        choices=["float64", "float32"])
+    engine.add_argument("--verify", action="store_true",
+                        help="re-run every clip serially and assert served "
+                             "results are bit-identical (keyed by request "
+                             "id, so shed requests are accounted, not "
+                             "silently skipped)")
     serve.set_defaults(func=_cmd_serve)
 
     hw = sub.add_parser("hardware", help="VPU model numbers")

@@ -26,9 +26,21 @@ per-clip :class:`~repro.core.EVA2Pipeline` into a workload runtime:
   split into a :class:`Router` front end (admission, shape bucketing,
   :class:`LaneRoutingError` rejections) and :class:`LaneWorker` back
   ends that run the stage graph — in-process, or sharded across worker
-  processes with ``serve_workers=N`` (plan-per-worker ownership);
-  :class:`ServingReport` carries per-request latency/throughput
-  accounting with p50/p95/p99 tails and per-shard breakdowns.
+  processes (plan-per-worker ownership); configured by one validated
+  :class:`ServerConfig` and dispatched through the :class:`Backend`
+  protocol; :class:`ServingReport` carries per-request
+  latency/throughput accounting with p50/p95/p99 tails and per-shard
+  breakdowns.
+* :class:`FrontDoor` / :class:`RequestSource` — the elastic front
+  door: ``serve()`` accepts any request source (list, iterator or
+  generator, thread-fed :class:`QueueSource`, ``asyncio.Queue``) with
+  bounded in-flight admission (queue-depth watermarks, a named
+  :class:`BackpressureError` on push-side overflow), a pure-function
+  :class:`AutoscalePolicy` + :class:`Autoscaler` that grow and shrink
+  a lane's shard fleet from observed backlog depth and deadline slack
+  (:class:`ScaleEvent` log), and a virtual-time admission protocol
+  that releases arrivals to process shards by logical timestamps so
+  large simulated traces run at full speed.
 * :class:`WorkloadResult` — aggregate results plus throughput stats
   (frames/sec, key fraction, total adder ops).
 * :class:`FaultPlan` / :class:`ShardSupervisor` — fault-tolerant
@@ -39,8 +51,9 @@ per-clip :class:`~repro.core.EVA2Pipeline` into a workload runtime:
   failover accounting (:class:`FailoverEvent`) — recovery re-executes
   bit-identically because every clip's execution is deterministic.
 * :func:`synthetic_workload` / :func:`poisson_arrival_times` /
-  :func:`slack_deadlines` — deterministic mixed-scenario traffic,
-  arrival processes, and deadline assignment.
+  :func:`bursty_arrival_times` / :func:`slack_deadlines` —
+  deterministic mixed-scenario traffic, arrival processes, and
+  deadline assignment.
 
 Every execution path produces bit-identical per-clip results; the choice
 is purely a throughput knob.  ``benchmarks/bench_runtime_throughput.py``
@@ -53,6 +66,22 @@ from .batched import (
     WorkloadResult,
     execute_batched_step,
     run_workload,
+)
+from .frontdoor import (
+    AsyncQueueSource,
+    AutoscaleDecision,
+    AutoscalePolicy,
+    Autoscaler,
+    Backend,
+    BackpressureError,
+    FrontDoor,
+    IteratorSource,
+    ListSource,
+    QueueSource,
+    RequestSource,
+    ScaleEvent,
+    ServerConfig,
+    as_request_source,
 )
 from .scheduler import (
     ClipScheduler,
@@ -96,7 +125,12 @@ from .supervision import (
     ShedRecord,
     SupervisorConfig,
 )
-from .workload import poisson_arrival_times, slack_deadlines, synthetic_workload
+from .workload import (
+    bursty_arrival_times,
+    poisson_arrival_times,
+    slack_deadlines,
+    synthetic_workload,
+)
 
 __all__ = [
     "BatchedPipeline",
@@ -108,6 +142,20 @@ __all__ = [
     "ShardPool",
     "ShardCrashError",
     "ClipRequest",
+    "ServerConfig",
+    "Backend",
+    "FrontDoor",
+    "RequestSource",
+    "ListSource",
+    "IteratorSource",
+    "QueueSource",
+    "AsyncQueueSource",
+    "as_request_source",
+    "BackpressureError",
+    "AutoscalePolicy",
+    "AutoscaleDecision",
+    "Autoscaler",
+    "ScaleEvent",
     "DuplicateRequestError",
     "LaneRoutingError",
     "LaneWorker",
@@ -140,5 +188,6 @@ __all__ = [
     "SupervisorConfig",
     "synthetic_workload",
     "poisson_arrival_times",
+    "bursty_arrival_times",
     "slack_deadlines",
 ]

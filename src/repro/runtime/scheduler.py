@@ -21,14 +21,46 @@ import threading
 import time
 from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
 from dataclasses import dataclass
-from typing import List, Optional, Sequence
+from typing import Dict, List, Mapping, Optional, Sequence
 
 from ..core import EVA2Pipeline
 from ..core.pipeline import PipelineResult
 from ..video.generator import VideoClip
 from .spec import PipelineSpec
 
-__all__ = ["SchedulerConfig", "ClipScheduler", "ShardPool", "ShardCrashError"]
+__all__ = [
+    "SchedulerConfig",
+    "ClipScheduler",
+    "ShardPool",
+    "ShardCrashError",
+    "deal_shard_budget",
+]
+
+
+def deal_shard_budget(
+    lane_names: Sequence[str],
+    lane_counts: Mapping[str, int],
+    budget: int,
+) -> Dict[str, int]:
+    """Deal a worker budget round-robin across lanes, capped per lane.
+
+    Shards assigned here are concurrent queue consumers, so the total
+    never exceeds ``budget``, and a lane never receives more shards
+    than it has requests (``lane_counts``) — an extra shard could not
+    admit anything, and its executors/plan compile aren't free.  Used
+    by shared-admission serving to size each lane's fleet.
+    """
+    shards = {name: 0 for name in lane_names}
+    while budget > 0:
+        assigned = False
+        for name in lane_names:
+            if budget > 0 and shards[name] < lane_counts[name]:
+                shards[name] += 1
+                budget -= 1
+                assigned = True
+        if not assigned:
+            break
+    return shards
 
 
 class ShardCrashError(RuntimeError):

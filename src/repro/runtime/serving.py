@@ -71,11 +71,25 @@ supervisor against virtual clocks, and both honour a deterministic
 :class:`~repro.runtime.supervision.FaultPlan` for chaos testing.
 Failed-over work re-executes bit-identically — the serving contract
 makes recovery exactly replayable.
+
+Traffic enters through the *front door*
+(:mod:`repro.runtime.frontdoor`): ``serve()`` accepts any
+:class:`~repro.runtime.frontdoor.RequestSource` (a list is one adapter),
+ingestion is bounded by queue-depth watermarks
+(:class:`~repro.runtime.frontdoor.BackpressureError` on the push side),
+an :class:`~repro.runtime.frontdoor.AutoscalePolicy` can grow and
+shrink a lane's shard pool from observed queue depth and deadline
+slack, and configuration lives in one validated
+:class:`~repro.runtime.frontdoor.ServerConfig` (the historical keyword
+knobs survive as deprecated aliases).  ``serve()`` dispatches on a
+resolved :class:`~repro.runtime.frontdoor.Backend` — in-process loop,
+static shards, or shared admission — instead of branching inline.
 """
 
 from __future__ import annotations
 
 import time
+import warnings
 from collections import deque
 from dataclasses import dataclass, field
 from typing import (
@@ -95,7 +109,22 @@ from ..core.pipeline import FrameRecord, PipelineResult
 from ..core.stages import LaneSlot, LaneState, PlanHandle, StepBatch
 from ..video.generator import VideoClip
 from .batched import WorkloadResult
-from .scheduler import SchedulerConfig, ShardCrashError, ShardPool
+from .frontdoor import (
+    Autoscaler,
+    Backend,
+    FrontDoor,
+    ListSource,
+    RequestSource,
+    ScaleEvent,
+    ServerConfig,
+    as_request_source,
+)
+from .scheduler import (
+    SchedulerConfig,
+    ShardCrashError,
+    ShardPool,
+    deal_shard_budget,
+)
 from .spec import PipelineSpec
 from .stage_graph import StageExecutor, frame_lifecycle_graph
 from .supervision import (
@@ -114,6 +143,8 @@ __all__ = [
     "RequestRecord",
     "ServingReport",
     "ServingRuntime",
+    "ServerConfig",
+    "Backend",
     "Router",
     "LaneWorker",
     "LaneRoutingError",
@@ -315,6 +346,12 @@ class ServingReport:
     respawns: int = 0
     #: every detected shard failure, in detection order.
     failover_events: List[FailoverEvent] = field(default_factory=list)
+    #: every autoscaling decision that changed a lane's shard count,
+    #: in decision order (empty without an autoscale policy).
+    scale_events: List[ScaleEvent] = field(default_factory=list)
+    #: ingestion pauses: excursions past the front door's ``max_pending``
+    #: watermark (0 = unbounded or never reached).
+    backpressure_pauses: int = 0
 
     @property
     def num_requests(self) -> int:
@@ -441,6 +478,12 @@ class ServingReport:
         ]
         if missed:
             rows.append(["missed deadlines (served late)", len(missed)])
+        if self.scale_events:
+            peak = max(event.to_shards for event in self.scale_events)
+            rows.append(["scale events", len(self.scale_events)])
+            rows.append(["peak shards", peak])
+        if self.backpressure_pauses:
+            rows.append(["backpressure pauses", self.backpressure_pauses])
         if self.pipelined_steps or self.speculated:
             rows.append(["pipelined steps", self.pipelined_steps])
             rows.append(
@@ -738,11 +781,11 @@ class LaneWorker:
         """
         clock = clock or time.perf_counter
         self.executor.reset_stats()
-        pending: "deque[Tuple[int, ClipRequest]]" = deque(
-            sorted(assigned, key=lambda item: (item[1].arrival_time, item[0]))
-        )
+        # Router-less pair door: seqs are preassigned by the parent, so
+        # the shard replays its slice without validation or watermarks.
+        door = FrontDoor(_PairSource(assigned))
         done, wall, idle, steps, shed = _serve_loop(
-            [self], lambda request: self, pending, clock
+            [self], lambda request: self, door, clock
         )
         stats = self.executor.stats
         return _ShardOutcome(
@@ -771,6 +814,29 @@ class LaneWorker:
         self.queue.clear()
         if self.state.plan is not None:
             self.state.plan.resolve().shrink(1)
+
+
+class _PairSource(RequestSource):
+    """Replay preassigned ``(seq, request)`` pairs (a shard's slice).
+
+    Unlike :class:`~repro.runtime.frontdoor.ListSource`, seqs are the
+    parent's submission numbers, not list positions — the shard's
+    records must key by them so the aggregate stays in submission
+    order.
+    """
+
+    def __init__(self, pairs: Sequence[Tuple[int, ClipRequest]]):
+        super().__init__()
+        self._pairs = deque(sorted(
+            pairs, key=lambda item: (item[1].arrival_time, item[0])
+        ))
+
+    def _next_pair(self) -> Optional[Tuple[int, ClipRequest]]:
+        return self._pairs.popleft() if self._pairs else None
+
+    @property
+    def finished(self) -> bool:
+        return not self._pairs
 
 
 class Router:
@@ -958,6 +1024,8 @@ def _serve_work_stealing(
     fault_plan: Optional[FaultPlan] = None,
     supervisor: Optional[SupervisorConfig] = None,
     spawn_worker: Optional[Callable[[str, int], LaneWorker]] = None,
+    door: Optional[FrontDoor] = None,
+    autoscaler: Optional[Autoscaler] = None,
 ) -> Tuple[List[_ShardOutcome], List[ShedRecord], List[FailoverEvent],
            Dict[str, int]]:
     """Discrete-event serve loop: concurrent shards, shared lane queues.
@@ -990,6 +1058,18 @@ def _serve_work_stealing(
     ``spawn_worker`` while ``max_respawns`` budget remains; past that,
     remaining work raises an explicit
     :class:`~repro.runtime.scheduler.ShardCrashError` — never a hang.
+
+    With a ``door`` the lane backlogs are fed incrementally from the
+    front door (streaming sources serve without being drained up
+    front, and ingestion honours the door's watermark); with an
+    ``autoscaler`` each admission boundary also observes its lane —
+    backlog depth per live shard, earliest-deadline slack — and acts on
+    the policy's target: growth spawns a shard via ``spawn_worker``
+    (not counted as a respawn), shrinkage marks the least-loaded sibling
+    *draining* — it steps its residents to completion, admits nothing
+    new, and retires once empty.  Scaling never touches results: every
+    admitted request runs the same bit-identical serve regardless of
+    when its shard was spawned.
 
     Returns ``(outcomes, shed, failover events, counters)`` with one
     outcome per worker (dead and respawned shards included) in spawn
@@ -1036,12 +1116,13 @@ def _serve_work_stealing(
         for worker in workers
     }
     alive = set(workers)
+    draining: set = set()
     in_flight: Dict[int, _PendingEntry] = {}
     shed: List[ShedRecord] = []
     failover_events: List[FailoverEvent] = []
     counters = {"retries": 0, "failovers": 0, "respawns": 0}
 
-    def add_worker(lane: str, at: float) -> LaneWorker:
+    def add_worker(lane: str, at: float, scale: bool = False) -> LaneWorker:
         shard_index = max(w.shard for w in workers if w.name == lane) + 1
         replacement = spawn_worker(lane, shard_index)
         workers.append(replacement)
@@ -1055,7 +1136,8 @@ def _serve_work_stealing(
         stalls[replacement] = deque()
         drops[replacement] = deque()
         alive.add(replacement)
-        counters["respawns"] += 1
+        if not scale:  # autoscale growth is not failure recovery
+            counters["respawns"] += 1
         return replacement
 
     def fail_worker(worker: LaneWorker, death_time: float,
@@ -1093,26 +1175,51 @@ def _serve_work_stealing(
         ))
 
     while True:
+        if door is not None:
+            # Feed lane backlogs from the front door; depth is the
+            # queued-but-unadmitted total the watermark bounds.
+            depth = sum(len(entries) for entries in lane_pending.values())
+            for seq, request in door.take(depth):
+                lane = door.lane_of(request)
+                lane_pending[lane].append(_PendingEntry(
+                    seq=seq, request=request, lane=lane,
+                    available=request.arrival_time,
+                ))
         chosen = None
         chosen_key = None
         for worker in workers:
             if worker not in alive:
                 continue
-            entries = lane_pending[worker.name]
-            if worker.has_active():
+            if worker in draining:
+                if not worker.has_active():
+                    # Drained dry: retire from the fleet.
+                    alive.discard(worker)
+                    draining.discard(worker)
+                    continue
                 key = (virtual[worker], worker.name, worker.shard)
-            elif entries:
-                key = (
-                    max(virtual[worker],
-                        min(e.available for e in entries)),
-                    worker.name,
-                    worker.shard,
-                )
             else:
-                continue
+                entries = lane_pending[worker.name]
+                if worker.has_active():
+                    key = (virtual[worker], worker.name, worker.shard)
+                elif entries:
+                    key = (
+                        max(virtual[worker],
+                            min(e.available for e in entries)),
+                        worker.name,
+                        worker.shard,
+                    )
+                else:
+                    continue
             if chosen_key is None or key < chosen_key:
                 chosen, chosen_key = worker, key
         if chosen is None:
+            if door is not None and not door.exhausted:
+                # A live source with nothing submitted yet: the only
+                # place this loop touches real time — there is no
+                # virtual event to jump to until traffic exists.
+                if door.starved:
+                    time.sleep(0.001)
+                continue
             stranded = {
                 name: entries for name, entries in lane_pending.items()
                 if entries
@@ -1168,7 +1275,34 @@ def _serve_work_stealing(
         if newly_shed:
             lane_pending[worker.name] = entries = kept
             shed.extend(newly_shed)
-        while worker.has_free_slot():
+        if autoscaler is not None and worker not in draining:
+            # One observation per admission boundary: backlog depth per
+            # live shard plus the earliest pending deadline's slack.
+            live = [
+                w for w in alive
+                if w.name == worker.name and w not in draining
+            ]
+            slack = min(
+                (e.request.deadline - virtual[worker]
+                 for e in entries if e.request.deadline is not None),
+                default=None,
+            )
+            target = autoscaler.observe(
+                worker.name, len(live), len(entries), virtual[worker],
+                deadline_slack=slack,
+            )
+            if target > len(live) and spawn_worker is not None:
+                add_worker(worker.name, virtual[worker], scale=True)
+            elif target < len(live):
+                # Drain the least-loaded sibling (never the acting
+                # shard if another exists): it finishes its residents,
+                # admits nothing new, and retires once empty.
+                victim = min(
+                    [w for w in live if w is not worker] or live,
+                    key=lambda w: (len(w.active_residents()), -w.shard),
+                )
+                draining.add(victim)
+        while worker not in draining and worker.has_free_slot():
             due = [e for e in entries if e.available <= virtual[worker]]
             if not due:
                 break
@@ -1224,20 +1358,24 @@ def _serve_work_stealing(
 def _serve_loop(
     workers: Sequence[LaneWorker],
     route: Callable[[ClipRequest], LaneWorker],
-    pending: "deque[Tuple[int, ClipRequest]]",
+    door: FrontDoor,
     clock: Callable[[], float],
     overlap_timeline: bool = False,
 ) -> Tuple[Dict[int, RequestRecord], float, float, int, List[ShedRecord]]:
     """The continuous-batching serve loop over a set of lane workers.
 
-    ``pending`` must already be in arrival order.  Requests become
-    visible at their ``arrival_time``; admission and eviction happen at
-    step boundaries; when no worker has a resident and no arrival is
-    due, virtual time jumps to the next arrival instead of spinning.
-    Queued requests whose deadline passes before admission are shed at
-    the boundary (explicit :class:`ShedRecord`, never served late), and
-    admission among waiting requests is earliest-deadline-first —
-    deadline-less traffic keeps the historical FIFO order exactly.
+    Traffic arrives through the ``door`` (nondecreasing arrival order —
+    the source contract).  Requests become visible at their
+    ``arrival_time``; admission and eviction happen at step boundaries;
+    when no worker has a resident and no arrival is due, virtual time
+    jumps to the next arrival instead of spinning (a *live* source with
+    nothing submitted yet is the one place the loop waits in real
+    time).  The door's watermark bounds how much traffic is pulled
+    ahead of admission.  Queued requests whose deadline passes before
+    admission are shed at the boundary (explicit :class:`ShedRecord`,
+    never served late), and admission among waiting requests is
+    earliest-deadline-first — deadline-less traffic keeps the
+    historical FIFO order exactly.
     With ``overlap_timeline`` each pipelined step is charged its
     concurrent-overlap duration (:meth:`LaneWorker.overlap_credit`)
     instead of the host-serialized one, so latency accounting is
@@ -1255,12 +1393,12 @@ def _serve_loop(
     def now() -> float:
         return (clock() - start) + skipped - credited
 
-    while pending or any(
+    while not door.exhausted or any(
         worker.queue or worker.has_active() for worker in workers
     ):
         current = now()
-        while pending and pending[0][1].arrival_time <= current:
-            seq, request = pending.popleft()
+        depth = sum(len(worker.queue) for worker in workers)
+        for seq, request in door.take(depth, now=current):
             route(request).queue.append((seq, request))
         for worker in workers:
             if worker.queue and any(
@@ -1291,10 +1429,17 @@ def _serve_loop(
         if not any(worker.has_active() for worker in workers):
             # Idle with work still to come: skip ahead to the next
             # arrival instead of spinning.
-            if pending:
-                gap = pending[0][1].arrival_time - current
+            next_arrival = door.next_arrival()
+            if next_arrival is not None:
+                gap = next_arrival - current
                 if gap > 0:
                     skipped += gap
+            elif door.starved and not any(
+                worker.queue for worker in workers
+            ):
+                # Live source, nothing submitted yet: no virtual event
+                # exists to jump to, so wait briefly in real time.
+                time.sleep(0.001)
             continue
         for worker in workers:
             if not worker.has_active():
@@ -1356,86 +1501,116 @@ class ServingRuntime:
 
     ``clock`` is injectable (monotonic seconds) for deterministic tests
     and applies to unsharded and inline-shard serving; process shards
-    always use :func:`time.perf_counter`.
+    always use :func:`time.perf_counter` (unless ``virtual_time``
+    releases arrivals by logical timestamps).
+
+    Configuration lives in one validated
+    :class:`~repro.runtime.frontdoor.ServerConfig` —
+    ``ServingRuntime(spec, ServerConfig(...))``.  The historical
+    keyword knobs (``max_batch=...``, ``serve_workers=...``, …) still
+    work as deprecated aliases and emit one :class:`DeprecationWarning`
+    per construction.
     """
+
+    #: the legacy keyword knobs accepted as deprecated aliases.
+    _CONFIG_ALIASES = (
+        "max_batch", "clock", "serve_workers", "shard_backend",
+        "admission", "overlap_timeline", "fault_plan", "supervisor",
+    )
 
     def __init__(
         self,
         spec: Union[PipelineSpec, Mapping[str, PipelineSpec]],
-        max_batch: int = 8,
-        clock: Optional[Callable[[], float]] = None,
-        serve_workers: int = 1,
-        shard_backend: str = "auto",
-        admission: str = "static",
-        overlap_timeline: bool = False,
-        fault_plan: Optional[FaultPlan] = None,
-        supervisor: Optional[SupervisorConfig] = None,
+        config: Optional[Union[ServerConfig, int]] = None,
+        **legacy,
     ):
         if isinstance(spec, PipelineSpec):
             specs: Dict[str, PipelineSpec] = {"default": spec}
         else:
             specs = dict(spec)
-        if max_batch < 1:
-            raise ValueError(f"max_batch must be >= 1, got {max_batch}")
-        if serve_workers < 1:
-            raise ValueError(
-                f"serve_workers must be >= 1, got {serve_workers}"
-            )
-        if admission not in ("static", "shared"):
-            raise ValueError(
-                f"admission must be 'static' or 'shared', got {admission!r}"
-            )
-        if shard_backend == "thread":
-            # Thread shards of one lane would share the process-global
-            # cached network — and therefore one InferencePlan whose
-            # scratch buffers they'd mutate concurrently, breaking the
-            # bit-identity contract (and the GIL voids the throughput
-            # win anyway).  Refuse rather than serve wrong bits.
-            raise ValueError(
-                "shard_backend='thread' cannot shard serving: concurrent "
-                "thread shards would share one inference plan's scratch; "
-                "use 'process', 'serial', or 'auto'"
-            )
-        self.max_batch = int(max_batch)
-        self.serve_workers = int(serve_workers)
-        self.admission = admission
-        # Validates the backend name and centralizes pool resolution.
-        self.shard_config = SchedulerConfig(
-            workers=self.serve_workers, backend=shard_backend
-        )
-        self.clock = clock or time.perf_counter
-        #: charge pipelined steps their concurrent-overlap duration
-        #: (max of head/tail busy) instead of the host-serialized sum —
-        #: the cross-host timeline convention the serving benchmark's
-        #: speculation headline measures under (in-process serves only).
-        self.overlap_timeline = bool(overlap_timeline)
-        self.router = Router(specs)
-        #: failure-detection/recovery knobs; used by the shared-admission
-        #: backends (supervised process serving and the DES loop).
-        self.supervisor = supervisor or SupervisorConfig()
-        #: deterministic fault injection, honoured by both shared-
-        #: admission backends.  Requires sharded shared admission — the
-        #: other paths have no supervisor to recover, so injecting
-        #: faults there would mean silently dropping work.
-        self.fault_plan = fault_plan or FaultPlan()
-        if self.fault_plan:
-            if self.serve_workers < 2 or self.admission != "shared":
-                raise ValueError(
-                    "fault_plan requires serve_workers >= 2 and "
-                    "admission='shared' (the supervised backends); got "
-                    f"serve_workers={self.serve_workers}, "
-                    f"admission={self.admission!r}"
+        if config is not None and not isinstance(config, ServerConfig):
+            # Historical positional form: ServingRuntime(spec, max_batch).
+            if isinstance(config, int):
+                legacy.setdefault("max_batch", config)
+                config = None
+            else:
+                raise TypeError(
+                    f"config must be a ServerConfig, got "
+                    f"{type(config).__name__}"
                 )
-            unknown = [
-                lane for lane in self.fault_plan.lanes()
-                if lane not in self.router.specs
-            ]
+        if legacy:
+            unknown = sorted(
+                name for name in legacy if name not in self._CONFIG_ALIASES
+            )
             if unknown:
-                raise ValueError(
-                    f"fault_plan targets unknown lane(s) {unknown}; "
-                    f"registered lanes: {self.router.describe_lanes()}"
+                raise TypeError(
+                    f"unknown keyword argument(s) {unknown}; "
+                    f"ServingRuntime accepts a ServerConfig plus the "
+                    f"deprecated aliases {list(self._CONFIG_ALIASES)}"
                 )
+            if config is not None:
+                raise TypeError(
+                    "pass either a ServerConfig or the deprecated "
+                    "keyword aliases, not both"
+                )
+            warnings.warn(
+                "ServingRuntime(spec, max_batch=..., serve_workers=..., "
+                "...) keywords are deprecated; pass "
+                "ServingRuntime(spec, ServerConfig(...))",
+                DeprecationWarning,
+                stacklevel=2,
+            )
+            legacy.setdefault("fault_plan", None)
+            legacy.setdefault("supervisor", None)
+            config = ServerConfig(**legacy)
+        if config is None:
+            config = ServerConfig()
+        #: the validated :class:`ServerConfig` this runtime serves under.
+        self.config = config
+        self.router = Router(specs)
+        # Plan/lane validation happens here — the one place that always
+        # has the router — not in ServerConfig, which a caller may build
+        # long before any spec exists.
+        _validate_fault_plan(config, self.router)
         self._workers: Optional[Dict[str, LaneWorker]] = None
+
+    # -- config accessors (the knobs' historical names) ------------- #
+    @property
+    def max_batch(self) -> int:
+        return self.config.max_batch
+
+    @property
+    def serve_workers(self) -> int:
+        return self.config.serve_workers
+
+    @property
+    def admission(self) -> str:
+        return self.config.admission
+
+    @property
+    def overlap_timeline(self) -> bool:
+        return self.config.overlap_timeline
+
+    @property
+    def fault_plan(self) -> FaultPlan:
+        return self.config.fault_plan
+
+    @property
+    def supervisor(self) -> SupervisorConfig:
+        return self.config.supervisor
+
+    @property
+    def clock(self) -> Callable[[], float]:
+        return self.config.clock or time.perf_counter
+
+    @property
+    def shard_config(self) -> SchedulerConfig:
+        """Pool resolution, sized to the worker budget (autoscale's
+        ``max_shards`` when elastic, ``serve_workers`` otherwise)."""
+        return SchedulerConfig(
+            workers=self.config.pool_workers,
+            backend=self.config.shard_backend,
+        )
 
     # -------------------------------------------------------------- #
     @property
@@ -1457,47 +1632,52 @@ class ServingRuntime:
         """The in-process worker that would serve ``request``."""
         return self.lanes[self.router.lane_for(request)]
 
-    def serve(self, requests: Sequence[ClipRequest]) -> ServingReport:
-        """Serve every request; returns per-request accounting.
+    def resolve_backend(self) -> Backend:
+        """The one backend this config serves through.
 
-        Routing failures surface before any serving starts.  With
-        ``serve_workers > 1`` the requests are partitioned across lane
-        shards and served by the worker pool; otherwise the in-process
-        loop runs all lanes under one clock.
+        ``serve()`` dispatches here: the in-process loop (a single
+        worker per lane, no elasticity), static shard slices, or the
+        shared-admission family — which is also where autoscaling and
+        fault injection live, as backend capabilities.
         """
-        seen: Dict[object, int] = {}
-        for position, request in enumerate(requests):
-            self.router.lane_for(request)  # fail fast, before serving
-            try:
-                first = seen.setdefault(request.request_id, position)
-            except TypeError:
-                continue  # unhashable ids cannot be checked cheaply
-            if first != position:
-                raise DuplicateRequestError(
-                    f"duplicate request_id {request.request_id!r}: "
-                    f"submissions #{first} and #{position} both use it; "
-                    f"records are keyed by id, so aliased requests would "
-                    f"silently merge"
-                )
-        if self.serve_workers > 1:
-            return self._serve_sharded(requests)
-        return self._serve_in_process(requests)
+        if self.config.autoscale is None and self.config.serve_workers == 1:
+            return InProcessBackend(self)
+        if self.config.admission == "static":
+            return StaticShardBackend(self)
+        return SharedAdmissionBackend(self)
+
+    def serve(self, requests) -> ServingReport:
+        """Serve a request stream; returns per-request accounting.
+
+        ``requests`` is anything :func:`as_request_source` accepts: a
+        sequence (the historical path — routing and duplicate-id
+        failures surface before any serving starts), an iterator or
+        generator, an :class:`asyncio.Queue`, or a
+        :class:`~repro.runtime.frontdoor.RequestSource` such as a
+        bounded :class:`~repro.runtime.frontdoor.QueueSource`.  The
+        resolved backend then serves everything the front door yields.
+        """
+        source = as_request_source(requests)
+        door = FrontDoor(
+            source,
+            router=self.router,
+            max_pending=self.config.max_pending,
+            resume_pending=self.config.resume_pending,
+        )
+        try:
+            report = self.resolve_backend().serve(door)
+        finally:
+            source.close()
+        report.backpressure_pauses = door.backpressure_pauses
+        return report
 
     # -------------------------------------------------------------- #
-    def _serve_in_process(
-        self, requests: Sequence[ClipRequest]
-    ) -> ServingReport:
-        pending: "deque[Tuple[int, ClipRequest]]" = deque(
-            sorted(
-                enumerate(requests),
-                key=lambda item: (item[1].arrival_time, item[0]),
-            )
-        )
+    def _serve_in_process(self, door: FrontDoor) -> ServingReport:
         workers = list(self.lanes.values())
         for worker in workers:
             worker.executor.reset_stats()  # per-serve counters
         done, wall, idle, steps, shed = _serve_loop(
-            workers, self.lane_for, pending, self.clock,
+            workers, self.lane_for, door, self.clock,
             overlap_timeline=self.overlap_timeline,
         )
         return ServingReport(
@@ -1520,12 +1700,11 @@ class ServingRuntime:
             ),
         )
 
-    def _serve_sharded(self, requests: Sequence[ClipRequest]) -> ServingReport:
-        """Partition across lane shards and serve on the worker pool."""
-        per_lane = self.router.partition(requests)
+    def _serve_sharded(
+        self, per_lane: Dict[str, List[Tuple[int, ClipRequest]]]
+    ) -> ServingReport:
+        """Static assignment: slice each lane and serve on the pool."""
         shards_per_lane = -(-self.serve_workers // len(self.router.specs))
-        if self.admission == "shared":
-            return self._serve_shared(per_lane)
         tasks: List[_ShardTask] = []
         for name, lane_spec in self.router.specs.items():
             lane_spec.warm()  # workers load the cache, never race to train
@@ -1560,6 +1739,7 @@ class ServingRuntime:
         retries: int = 0,
         failovers: int = 0,
         respawns: int = 0,
+        scale_events: Sequence[ScaleEvent] = (),
     ) -> ServingReport:
         """One report from per-shard outcomes, under the concurrent
         model: the slowest shard bounds the run, and its idle time is
@@ -1589,12 +1769,14 @@ class ServingRuntime:
             failovers=failovers,
             respawns=respawns,
             failover_events=list(failover_events),
+            scale_events=list(scale_events),
         )
 
-    def _serve_shared(
-        self,
-        per_lane: Dict[str, List[Tuple[int, ClipRequest]]],
-    ) -> ServingReport:
+    def _spawn_lane_worker(self, lane: str, shard: int) -> LaneWorker:
+        return LaneWorker(lane, self.router.specs[lane],
+                          self.max_batch, shard=shard)
+
+    def _serve_shared(self, door: FrontDoor) -> ServingReport:
         """Sharded serving over shared per-lane admission queues.
 
         Inline (``serial``-resolved) runs simulate the concurrent shards
@@ -1603,10 +1785,21 @@ class ServingRuntime:
         per-shard timelines.  The ``process`` backend realizes the
         shared queue for real: the parent releases requests at their
         arrival times into manager queues that the shard processes pull
-        from (work stealing at request granularity, real clock).
+        from (work stealing at request granularity, real clock — or
+        logical timestamps under ``virtual_time``).
+
+        With an autoscale policy each lane starts at the policy's
+        ``min_shards`` and grows/shrinks from observed queue depth and
+        deadline slack; the inline form streams straight from the front
+        door, so an open (live) source can be served elastically without
+        being drained up front.
         """
+        config = self.config
         for lane_spec in self.router.specs.values():
             lane_spec.warm()  # workers load the cache, never race to train
+        if config.autoscale is not None:
+            return self._serve_autoscaled(door)
+        per_lane = door.drain_per_lane()
         # Shards here are *concurrent* queue consumers (the process pool
         # is sized to the task count), so — unlike the static path's
         # per-lane ceil — the total never exceeds serve_workers: the
@@ -1614,38 +1807,26 @@ class ServingRuntime:
         # lane's request count is never built (it could not admit
         # anything, and its executors/plan compile aren't free).
         lane_names = list(self.router.specs)
-        lane_shards = {name: 0 for name in lane_names}
-        budget = self.serve_workers
-        while budget > 0:
-            assigned = False
-            for name in lane_names:
-                if budget > 0 and lane_shards[name] < len(per_lane[name]):
-                    lane_shards[name] += 1
-                    budget -= 1
-                    assigned = True
-            if not assigned:
-                break
+        lane_shards = deal_shard_budget(
+            lane_names,
+            {name: len(per_lane[name]) for name in lane_names},
+            self.serve_workers,
+        )
         num_tasks = sum(lane_shards.values())
         if self.shard_config.resolve(num_tasks) == "process":
             return self._serve_shared_process(per_lane, lane_shards)
         workers = [
-            LaneWorker(name, self.router.specs[name], self.max_batch,
-                       shard=shard)
+            self._spawn_lane_worker(name, shard)
             for name, count in lane_shards.items()
             for shard in range(count)
         ]
         pending_by_lane = {
             name: list(per_lane[name]) for name in self.router.specs
         }
-
-        def spawn_worker(lane: str, shard: int) -> LaneWorker:
-            return LaneWorker(lane, self.router.specs[lane],
-                              self.max_batch, shard=shard)
-
         outcomes, shed, failover_events, counters = _serve_work_stealing(
             workers, pending_by_lane, self.clock,
             fault_plan=self.fault_plan, supervisor=self.supervisor,
-            spawn_worker=spawn_worker,
+            spawn_worker=self._spawn_lane_worker,
         )
         return self._aggregate_shards(
             outcomes, shed=shed, failover_events=failover_events,
@@ -1653,25 +1834,65 @@ class ServingRuntime:
             respawns=counters["respawns"],
         )
 
+    def _serve_autoscaled(self, door: FrontDoor) -> ServingReport:
+        """Elastic shared admission: min_shards per lane, policy-grown."""
+        config = self.config
+        policy = config.autoscale
+        autoscaler = Autoscaler(policy)
+        if self.shard_config.resolve(config.pool_workers) == "process":
+            # The supervisor owns spawn/drain; it needs the full trace
+            # for release scheduling, so streaming sources are drained
+            # (closed sources only — an open one raises in the door).
+            per_lane = door.drain_per_lane()
+            lane_shards = {
+                name: min(policy.min_shards, len(items)) if items else 0
+                for name, items in per_lane.items()
+            }
+            return self._serve_shared_process(
+                per_lane, lane_shards, autoscaler=autoscaler
+            )
+        workers = [
+            self._spawn_lane_worker(name, shard)
+            for name in self.router.specs
+            for shard in range(policy.min_shards)
+        ]
+        outcomes, shed, failover_events, counters = _serve_work_stealing(
+            workers, {name: [] for name in self.router.specs}, self.clock,
+            fault_plan=self.fault_plan, supervisor=self.supervisor,
+            spawn_worker=self._spawn_lane_worker,
+            door=door, autoscaler=autoscaler,
+        )
+        return self._aggregate_shards(
+            outcomes, shed=shed, failover_events=failover_events,
+            retries=counters["retries"], failovers=counters["failovers"],
+            respawns=counters["respawns"],
+            scale_events=autoscaler.events,
+        )
+
     def _serve_shared_process(
         self,
         per_lane: Dict[str, List[Tuple[int, ClipRequest]]],
         lane_shards: Dict[str, int],
+        autoscaler: Optional[Autoscaler] = None,
     ) -> ServingReport:
         """Shared admission on real processes, under shard supervision.
 
         The parent *is* the shared queue now: a
         :class:`~repro.runtime.supervision.ShardSupervisor` releases
-        requests at their arrival times (real clock), dispatches them
-        earliest-deadline-first to whichever shard of the lane has the
-        most free capacity, and recovers from crashed/stalled shards by
-        re-dispatching unacknowledged requests — bit-identical by the
-        serving contract.  Deadline shedding, failover, retries, and
-        respawns all land in the report's explicit counters.
+        requests at their arrival times (real clock — or by logical
+        timestamps under ``virtual_time``, jumping idle gaps instead of
+        sleeping them), dispatches them earliest-deadline-first to
+        whichever shard of the lane has the most free capacity, and
+        recovers from crashed/stalled shards by re-dispatching
+        unacknowledged requests — bit-identical by the serving
+        contract.  Deadline shedding, failover, retries, respawns, and
+        scale events all land in the report's explicit counters.
         """
         supervisor = ShardSupervisor(
             self.router.specs, self.max_batch,
             config=self.supervisor, fault_plan=self.fault_plan,
+            virtual_time=self.config.virtual_time,
+            autoscaler=autoscaler,
         )
         result = supervisor.serve(per_lane, lane_shards)
         return self._aggregate_shards(
@@ -1681,6 +1902,7 @@ class ServingRuntime:
             retries=result.retries,
             failovers=result.failovers,
             respawns=result.respawns,
+            scale_events=result.scale_events,
         )
 
     def close(self) -> None:
@@ -1688,3 +1910,79 @@ class ServingRuntime:
         if self._workers:
             for worker in self._workers.values():
                 worker.release()
+
+
+def _validate_fault_plan(config: ServerConfig, router: Router) -> None:
+    """Structural and lane validation for an injected fault plan.
+
+    The one home for both checks — it always has the router, so the
+    unknown-lane message can list ``Router.describe_lanes()`` (a bare
+    :class:`ServerConfig` cannot).  Faults require a supervised
+    backend: fixed shared-admission shards, or an elastic pool whose
+    ``max_shards`` leaves a survivor to fail over to.
+    """
+    if not config.fault_plan:
+        return
+    elastic = config.autoscale is not None and config.autoscale.max_shards >= 2
+    if (config.serve_workers < 2 and not elastic) \
+            or config.admission != "shared":
+        raise ValueError(
+            "fault_plan requires serve_workers >= 2 and "
+            "admission='shared' (the supervised backends); got "
+            f"serve_workers={config.serve_workers}, "
+            f"admission={config.admission!r}"
+        )
+    unknown = [
+        lane for lane in config.fault_plan.lanes()
+        if lane not in router.specs
+    ]
+    if unknown:
+        raise ValueError(
+            f"fault_plan targets unknown lane(s) {unknown}; "
+            f"registered lanes: {router.describe_lanes()}"
+        )
+
+
+class InProcessBackend(Backend):
+    """All lanes in one process under one virtual clock (PR 3 shape)."""
+
+    name = "in-process"
+    capabilities = frozenset(
+        {"streaming", "watermarks", "overlap-timeline", "virtual-time"}
+    )
+
+    def serve(self, door: FrontDoor) -> ServingReport:
+        return self.runtime._serve_in_process(door)
+
+
+class StaticShardBackend(Backend):
+    """Round-robin slices, fully independent shards (PR 4 shape).
+
+    Slices are fixed at dispatch time, so this backend needs the whole
+    trace up front — the door is drained, not streamed.
+    """
+
+    name = "static-shards"
+    capabilities = frozenset({"sharded"})
+
+    def serve(self, door: FrontDoor) -> ServingReport:
+        return self.runtime._serve_sharded(door.drain_per_lane())
+
+
+class SharedAdmissionBackend(Backend):
+    """Shared per-lane queues: work stealing, supervision, elasticity.
+
+    The capability home for everything that needs a shared queue —
+    fault injection, autoscaling, virtual-time process admission —
+    realized inline as a deterministic DES (``serial``-resolved) or on
+    supervised worker processes (``process``-resolved).
+    """
+
+    name = "shared-admission"
+    capabilities = frozenset(
+        {"sharded", "work-stealing", "fault-injection", "autoscale",
+         "streaming", "watermarks", "virtual-time"}
+    )
+
+    def serve(self, door: FrontDoor) -> ServingReport:
+        return self.runtime._serve_shared(door)

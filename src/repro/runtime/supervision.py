@@ -40,8 +40,20 @@ event queue; dispatches flow through per-shard inboxes)::
                      ("ack",   lane, shard, seq, record) per completion
                      ("done",  lane, shard, tail)        final counters
     parent -> child: ("go", t0)     release, clock base = parent time t0
+                     ("skip", dt)   virtual-time jump: advance clock dt
                      (seq, request) dispatch
                      None           retire sentinel
+
+Virtual-time admission (``ShardSupervisor(virtual_time=True)``): when
+every shard is idle and the next arrival is in the future, the parent
+*jumps* its logical clock to that arrival instead of sleeping, and
+broadcasts ``("skip", dt)`` so every shard advances its own clock by the
+same ``dt`` (a shard's clock base just moves back).  All deadlines,
+shedding, and admission stamps live on the logical timeline, so a large
+simulated trace serves in real time proportional to its busy time, not
+its simulated duration.  *Liveness* stays on the real clock — a jump
+must never read as heartbeat silence — and ack timeouts are unaffected
+because a jump only happens with zero dispatches in flight.
 """
 
 from __future__ import annotations
@@ -491,6 +503,8 @@ def _run_supervised_shard(task: SupervisedShardTask) -> None:
                 break
             if item is None:
                 draining = True
+            elif item[0] == "skip":
+                start -= float(item[1])  # virtual-time jump: clock leaps
             elif item[0] != "go":  # a duplicate release is inert
                 worker.admit(item[0], item[1], now())
         if worker.has_active():
@@ -521,6 +535,8 @@ def _run_supervised_shard(task: SupervisedShardTask) -> None:
             idle += time.perf_counter() - wait_start
             if item is None:
                 draining = True
+            elif item[0] == "skip":
+                start -= float(item[1])
             elif item[0] != "go":
                 worker.admit(item[0], item[1], now())
     stats = worker.executor.stats
@@ -547,6 +563,9 @@ class SupervisionResult:
     retries: int
     failovers: int
     respawns: int
+    #: autoscaling decisions that changed a lane's shard count (empty
+    #: without an autoscaler).
+    scale_events: List[object] = field(default_factory=list)
 
 
 @dataclass
@@ -561,6 +580,11 @@ class _ShardState:
     released: bool = False
     alive: bool = True
     done: bool = False
+    #: sentinel sent by the autoscaler: finishing residents, admits
+    #: nothing new, retires when empty.
+    draining: bool = False
+    #: last sign of life, on the REAL clock (``time.perf_counter()``) —
+    #: virtual-time jumps must never read as heartbeat silence.
     last_beat: float = 0.0
     tail: Optional[dict] = None
     in_flight: Dict[int, _PendingEntry] = field(default_factory=dict)
@@ -594,11 +618,21 @@ class ShardSupervisor:
         capacity: int,
         config: Optional[SupervisorConfig] = None,
         fault_plan: Optional[FaultPlan] = None,
+        virtual_time: bool = False,
+        autoscaler: Optional[object] = None,
     ):
         self.specs = dict(specs)
         self.capacity = capacity
         self.config = config or SupervisorConfig()
         self.plan = fault_plan or FaultPlan()
+        #: release arrivals by logical timestamps: idle gaps are jumped
+        #: (a ``("skip", dt)`` broadcast) instead of slept.
+        self.virtual_time = bool(virtual_time)
+        #: a :class:`~repro.runtime.frontdoor.Autoscaler`; when set, the
+        #: supervisor grows lanes through its spawn machinery and
+        #: shrinks them by draining idle shards (not charged against
+        #: ``max_respawns`` — scaling is not failure recovery).
+        self.autoscaler = autoscaler
 
     # ---------------------------------------------------------------- #
     def serve(
@@ -678,14 +712,15 @@ class ShardSupervisor:
                 self._state_of(shards, message[1], message[2]).ready = True
 
         base = time.perf_counter()
+        offset = [0.0]  # virtual seconds jumped over idle gaps
 
         def now() -> float:
-            return time.perf_counter() - base
+            return time.perf_counter() - base + offset[0]
 
         for state in shards:
             state.inbox.put(("go", now()))
             state.released = True
-            state.last_beat = now()
+            state.last_beat = time.perf_counter()
 
         pending: List[_PendingEntry] = [
             _PendingEntry(seq=seq, request=request, lane=lane,
@@ -699,6 +734,7 @@ class ShardSupervisor:
         counters = {"retries": 0, "failovers": 0, "respawns": 0}
         next_shard = dict(lane_shards)
         last_progress = now()
+        last_observe = 0.0  # real-clock autoscale observation throttle
 
         def fail_shard(state: _ShardState, reason: str) -> None:
             state.alive = False
@@ -716,6 +752,7 @@ class ShardSupervisor:
             lane_live = [
                 s for s in shards
                 if s.lane == state.lane and s.alive and not s.done
+                and not s.draining
             ]
             lane_work = seqs or any(
                 e.lane == state.lane for e in pending
@@ -739,19 +776,21 @@ class ShardSupervisor:
             """Apply one child message; True if it was progress."""
             kind = message[0]
             if kind == "beat":
-                self._state_of(shards, message[1], message[2]).last_beat = now()
+                self._state_of(
+                    shards, message[1], message[2]
+                ).last_beat = time.perf_counter()
                 return False
-            if kind == "ready":  # a respawned shard came up
+            if kind == "ready":  # a respawned or scaled-up shard came up
                 state = self._state_of(shards, message[1], message[2])
                 state.ready = True
                 state.inbox.put(("go", now()))
                 state.released = True
-                state.last_beat = now()
+                state.last_beat = time.perf_counter()
                 return True
             if kind == "ack":
                 _, lane, shard, seq, record = message
                 state = self._state_of(shards, lane, shard)
-                state.last_beat = now()
+                state.last_beat = time.perf_counter()
                 if seq in resolved:
                     return False  # duplicate of a retried request
                 entry = state.in_flight.pop(seq, None)
@@ -815,14 +854,68 @@ class ShardSupervisor:
                     fail_shard(state, "crash")
                     last_progress = now()
                 elif (state.released
-                        and now() - state.last_beat > config.heartbeat_timeout):
+                        and time.perf_counter() - state.last_beat
+                        > config.heartbeat_timeout):
+                    # Real-clock silence: virtual jumps never trip this.
                     fail_shard(state, "stall")
                     last_progress = now()
+            # Autoscale: observe each lane's due backlog and deadline
+            # slack on the real beat cadence.  Growth reuses the spawn
+            # machinery without charging the respawn budget; shrink
+            # marks the emptiest shard draining and sends its sentinel
+            # — the FIFO inbox guarantees earlier dispatches are served
+            # and acked before the child retires.
+            if (self.autoscaler is not None
+                    and time.perf_counter() - last_observe
+                    >= config.beat_interval):
+                last_observe = time.perf_counter()
+                current = now()
+                for lane in sorted(self.specs):
+                    live = [
+                        s for s in shards
+                        if s.lane == lane and s.alive and not s.done
+                        and not s.draining
+                    ]
+                    due = [
+                        e for e in pending
+                        if e.lane == lane and e.available <= current
+                    ]
+                    slack = min(
+                        (getattr(e.request, "deadline", None) - current
+                         for e in due
+                         if getattr(e.request, "deadline", None) is not None),
+                        default=None,
+                    )
+                    target = self.autoscaler.observe(
+                        lane, len(live), len(due), current,
+                        deadline_slack=slack,
+                    )
+                    if target > len(live):
+                        for _ in range(target - len(live)):
+                            spawn(lane, next_shard[lane])
+                            next_shard[lane] += 1
+                    elif target < len(live):
+                        victims = [s for s in live if s.released]
+                        for _ in range(len(live) - target):
+                            if not victims:
+                                break
+                            victim = min(
+                                victims,
+                                key=lambda s: (len(s.in_flight), -s.shard),
+                            )
+                            victims.remove(victim)
+                            victim.draining = True
+                            victim.inbox.put(None)
             # A lane with work but no shards left: explicit total loss.
+            # An autoscaled fleet self-heals instead — the policy clamp
+            # restores the lane to min_shards on the next observation,
+            # with drain_timeout as the backstop.
             lanes_with_work = {e.lane for e in pending} | {
                 s.lane for s in shards if s.in_flight
             }
             for lane in sorted(lanes_with_work):
+                if self.autoscaler is not None:
+                    break
                 if not any(
                     s.lane == lane and s.alive and not s.done for s in shards
                 ):
@@ -836,6 +929,20 @@ class ShardSupervisor:
                         f"(max_respawns={config.max_respawns})",
                         lost=lost,
                     )
+            # Virtual-time admission: with zero dispatches in flight
+            # anywhere and only future arrivals pending, jump the
+            # logical clock to the next arrival and broadcast the same
+            # gap to every released shard instead of sleeping it out.
+            if (self.virtual_time and pending
+                    and not any(s.in_flight for s in shards)):
+                earliest = min(e.available for e in pending)
+                if earliest > now():
+                    delta = earliest - now()
+                    offset[0] += delta
+                    for state in shards:
+                        if state.alive and state.released and not state.done:
+                            state.inbox.put(("skip", delta))
+                    last_progress = now()
             # Dispatch: deadline order, to the emptiest shard (credit =
             # capacity minus unacknowledged dispatches on that shard).
             current = now()
@@ -847,7 +954,7 @@ class ShardSupervisor:
                 candidates = [
                     s for s in shards
                     if s.lane == entry.lane and s.alive and s.released
-                    and not s.done
+                    and not s.done and not s.draining
                     and len(s.in_flight) < self.capacity
                 ]
                 if not candidates:
@@ -912,6 +1019,9 @@ class ShardSupervisor:
             retries=counters["retries"],
             failovers=counters["failovers"],
             respawns=counters["respawns"],
+            scale_events=list(
+                self.autoscaler.events
+            ) if self.autoscaler is not None else [],
         )
 
     # ---------------------------------------------------------------- #

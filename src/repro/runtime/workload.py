@@ -17,7 +17,12 @@ import numpy as np
 from ..video import generate_clip, scenario, scenario_names
 from ..video.generator import VideoClip
 
-__all__ = ["synthetic_workload", "poisson_arrival_times", "slack_deadlines"]
+__all__ = [
+    "synthetic_workload",
+    "poisson_arrival_times",
+    "bursty_arrival_times",
+    "slack_deadlines",
+]
 
 
 def synthetic_workload(
@@ -63,6 +68,45 @@ def poisson_arrival_times(
     rng = np.random.default_rng(seed)
     gaps = rng.exponential(1.0 / rate, size=num_arrivals)
     return [float(t) for t in np.cumsum(gaps)]
+
+
+def bursty_arrival_times(
+    num_arrivals: int,
+    burst_size: int,
+    period: float,
+    spread: float = 0.0,
+    seed: int = 0,
+) -> List[float]:
+    """Arrival instants of bursty traffic: ``burst_size`` near-simultaneous
+    arrivals every ``period`` seconds.
+
+    The antagonist of :func:`poisson_arrival_times`: instead of a smooth
+    memoryless stream, whole bursts land at once and the fleet idles in
+    between — the regime where a fixed shard count either over-provisions
+    the lulls or drowns in the bursts, and where the autoscaler earns its
+    keep.  Within a burst, arrivals are smeared over ``[0, spread)``
+    seconds (deterministic given ``seed``) so admission doesn't collapse
+    to one instant.  Arrivals are returned sorted.
+    """
+    if num_arrivals < 0:
+        raise ValueError(f"num_arrivals must be >= 0, got {num_arrivals}")
+    if burst_size < 1:
+        raise ValueError(f"burst_size must be >= 1, got {burst_size}")
+    if period <= 0:
+        raise ValueError(f"period must be > 0 seconds, got {period}")
+    if spread < 0:
+        raise ValueError(f"spread must be >= 0 seconds, got {spread}")
+    rng = np.random.default_rng(seed)
+    offsets = (
+        rng.uniform(0.0, spread, size=num_arrivals)
+        if spread > 0
+        else np.zeros(num_arrivals)
+    )
+    arrivals = [
+        float((i // burst_size) * period + offsets[i])
+        for i in range(num_arrivals)
+    ]
+    return sorted(arrivals)
 
 
 def slack_deadlines(

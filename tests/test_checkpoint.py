@@ -35,6 +35,7 @@ from repro.runtime import (
     Checkpointable,
     ClipRequest,
     PipelineSpec,
+    ServerConfig,
     ServingRuntime,
     StageExecutor,
     frame_lifecycle_graph,
@@ -304,7 +305,7 @@ class TestMissedRollbackIsCaught:
 
         def _serve():
             clock = _Clock()
-            runtime = ServingRuntime(spec, max_batch=3, clock=clock)
+            runtime = ServingRuntime(spec, ServerConfig(max_batch=3, clock=clock))
             requests = [
                 ClipRequest(request_id=i, clip=clip, arrival_time=t)
                 for i, (clip, t) in enumerate(zip(clips, arrivals))

@@ -32,6 +32,7 @@ from repro.core.sad_kernel import get_kernel
 from repro.runtime import (
     ClipRequest,
     PipelineSpec,
+    ServerConfig,
     ServingRuntime,
     run_workload,
     synthetic_workload,
@@ -169,7 +170,7 @@ def _spec(backend, policy, depth, speculate=True):
 
 
 def _serve(spec, clips, arrivals, capacity):
-    runtime = ServingRuntime(spec, max_batch=capacity, clock=FakeClock())
+    runtime = ServingRuntime(spec, ServerConfig(max_batch=capacity, clock=FakeClock()))
     return runtime.serve(_requests(clips, arrivals))
 
 
@@ -246,7 +247,7 @@ class TestForcedChurn:
     def test_rollback_events_are_named(self, churn_trace):
         clips, arrivals = churn_trace
         spec = _spec(None, "match_error", depth=2, speculate=True)
-        runtime = ServingRuntime(spec, max_batch=3, clock=FakeClock())
+        runtime = ServingRuntime(spec, ServerConfig(max_batch=3, clock=FakeClock()))
         runtime.serve(_requests(clips, arrivals))
         events = runtime.lanes["default"].executor.stats.events
         assert events, "forced-churn trace produced no rollback events"

@@ -34,6 +34,7 @@ from repro.runtime import (
     PipelineSpec,
     RequestShedError,
     SchedulerConfig,
+    ServerConfig,
     ServingRuntime,
     ShardCrashError,
     ShardPool,
@@ -106,7 +107,7 @@ def _serve_faulted(spec, requests, plan, supervisor=None, capacity=2,
     """A 2-shard shared-admission serve with ``plan`` injected."""
     runtime = ServingRuntime(
         spec,
-        max_batch=capacity,
+        ServerConfig(max_batch=capacity,
         serve_workers=2,
         shard_backend=backend,
         admission="shared",
@@ -114,7 +115,7 @@ def _serve_faulted(spec, requests, plan, supervisor=None, capacity=2,
         fault_plan=plan,
         supervisor=supervisor or SupervisorConfig(
             heartbeat_timeout=0.003, max_respawns=1
-        ),
+        )),
     )
     return runtime.serve(requests)
 
@@ -256,14 +257,14 @@ class TestInlineFaultDifferential:
     def test_fault_plan_requires_sharded_shared_admission(self, spec):
         plan = FaultPlan(events=(FaultEvent("kill", at=0.01),))
         with pytest.raises(ValueError, match="shared"):
-            ServingRuntime(spec, max_batch=2, fault_plan=plan)
+            ServingRuntime(spec, ServerConfig(max_batch=2, fault_plan=plan))
 
     def test_fault_plan_unknown_lane_rejected(self, spec):
         plan = FaultPlan(events=(FaultEvent("kill", at=0.01, lane="hd"),))
         with pytest.raises(ValueError, match="lane"):
             ServingRuntime(
-                spec, max_batch=2, serve_workers=2, admission="shared",
-                shard_backend="serial", fault_plan=plan,
+                spec, ServerConfig(max_batch=2, serve_workers=2, admission="shared",
+                shard_backend="serial", fault_plan=plan),
             )
 
 
@@ -332,14 +333,14 @@ class TestProcessChaos:
         requests = _requests(clips, arrivals=[0.0] * len(clips))
         runtime = ServingRuntime(
             spec,
-            max_batch=2,
+            ServerConfig(max_batch=2,
             serve_workers=2,
             shard_backend="process",
             admission="shared",
             fault_plan=plan,
             supervisor=SupervisorConfig(
                 heartbeat_timeout=5.0, max_respawns=0, drain_timeout=60.0
-            ),
+            )),
         )
         outcome = {}
 
@@ -380,7 +381,7 @@ class TestShedding:
             deadlines=[None, None, 0.004],
         )
         report = ServingRuntime(
-            spec, max_batch=2, clock=FakeClock()
+            spec, ServerConfig(max_batch=2, clock=FakeClock())
         ).serve(requests)
         assert report.num_shed == 1
         (record,) = report.shed
@@ -394,7 +395,7 @@ class TestShedding:
         blockers = synthetic_workload(2, num_frames=6, base_seed=11)
         late = synthetic_workload(1, num_frames=6, base_seed=31)
         report = ServingRuntime(
-            spec, max_batch=2, clock=FakeClock()
+            spec, ServerConfig(max_batch=2, clock=FakeClock())
         ).serve(_requests(
             blockers + late,
             arrivals=[0.0, 0.0, 0.002],
@@ -411,7 +412,7 @@ class TestShedding:
         # Admitted at the first boundary (before the deadline), first
         # output after it: a missed deadline, never a drop.
         report = ServingRuntime(
-            spec, max_batch=2, clock=FakeClock()
+            spec, ServerConfig(max_batch=2, clock=FakeClock())
         ).serve(_requests(clips, arrivals=[0.0], deadlines=[0.0015]))
         assert report.num_shed == 0
         (record,) = report.records
@@ -421,12 +422,12 @@ class TestShedding:
     def test_met_deadline_accounting(self, spec):
         clips = synthetic_workload(1, num_frames=6, base_seed=11)
         report = ServingRuntime(
-            spec, max_batch=2, clock=FakeClock()
+            spec, ServerConfig(max_batch=2, clock=FakeClock())
         ).serve(_requests(clips, arrivals=[0.0], deadlines=[10.0]))
         (record,) = report.records
         assert record.met_deadline is True
         no_deadline = ServingRuntime(
-            spec, max_batch=2, clock=FakeClock()
+            spec, ServerConfig(max_batch=2, clock=FakeClock())
         ).serve(_requests(clips, arrivals=[0.0]))
         assert no_deadline.records[0].met_deadline is None
 
@@ -441,7 +442,7 @@ class TestShedding:
             deadlines=[None, 10.0, 5.0],
         )
         report = ServingRuntime(
-            spec, max_batch=1, clock=FakeClock()
+            spec, ServerConfig(max_batch=1, clock=FakeClock())
         ).serve(requests)
         assert report.num_shed == 0
         by_id = {r.request_id: r for r in report.records}
@@ -463,7 +464,7 @@ class TestDuplicateRequestIds:
             request_id=0, clip=clips[2], arrival_time=0.004
         )
         with pytest.raises(DuplicateRequestError, match=r"#0.*#2"):
-            ServingRuntime(spec, max_batch=2).serve(requests)
+            ServingRuntime(spec, ServerConfig(max_batch=2)).serve(requests)
 
     def test_distinct_unhashable_ids_allowed(self, spec):
         clips = synthetic_workload(2, num_frames=2, base_seed=11)
@@ -472,7 +473,7 @@ class TestDuplicateRequestIds:
             for i, clip in enumerate(clips)
         ]
         report = ServingRuntime(
-            spec, max_batch=2, clock=FakeClock()
+            spec, ServerConfig(max_batch=2, clock=FakeClock())
         ).serve(requests)
         assert len(report.records) == 2
 

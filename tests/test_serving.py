@@ -16,6 +16,7 @@ from repro.runtime import (
     ClipRequest,
     LaneRoutingError,
     PipelineSpec,
+    ServerConfig,
     ServingRuntime,
     poisson_arrival_times,
     run_workload,
@@ -77,19 +78,19 @@ def _assert_identical(report, reference):
 class TestBitIdentity:
     def test_oversubscribed_server_matches_serial(self, spec, clips, serial_result):
         """More requests than slots: continuous refill, identical bits."""
-        report = ServingRuntime(spec, max_batch=3).serve(_requests(clips))
+        report = ServingRuntime(spec, ServerConfig(max_batch=3)).serve(_requests(clips))
         _assert_identical(report, serial_result)
 
     def test_single_slot_server_matches_serial(self, spec, clips, serial_result):
         """max_batch=1 degenerates to serial service, one clip at a time."""
-        report = ServingRuntime(spec, max_batch=1).serve(_requests(clips))
+        report = ServingRuntime(spec, ServerConfig(max_batch=1)).serve(_requests(clips))
         _assert_identical(report, serial_result)
         assert report.mean_occupancy == 1.0
 
     def test_staggered_arrivals_match_serial(self, spec, clips, serial_result):
         """Clips joining mid-flight (slots partially busy) change nothing."""
         arrivals = poisson_arrival_times(len(clips), rate=2000.0, seed=3)
-        report = ServingRuntime(spec, max_batch=4).serve(
+        report = ServingRuntime(spec, ServerConfig(max_batch=4)).serve(
             _requests(clips, arrivals)
         )
         _assert_identical(report, serial_result)
@@ -103,7 +104,7 @@ class TestBitIdentity:
             + synthetic_workload(2, num_frames=6, base_seed=8)
         )
         serial = run_workload(spec, mixed, batch=False)
-        report = ServingRuntime(spec, max_batch=3).serve(_requests(mixed))
+        report = ServingRuntime(spec, ServerConfig(max_batch=3)).serve(_requests(mixed))
         _assert_identical(report, serial)
 
     def test_memoize_network_serving(self):
@@ -112,7 +113,7 @@ class TestBitIdentity:
         spec.warm()
         clips = synthetic_workload(5, num_frames=5, base_seed=2)
         serial = run_workload(spec, clips, batch=False)
-        report = ServingRuntime(spec, max_batch=2).serve(_requests(clips))
+        report = ServingRuntime(spec, ServerConfig(max_batch=2)).serve(_requests(clips))
         _assert_identical(report, serial)
 
     def test_legacy_engine_serving(self, clips):
@@ -120,7 +121,7 @@ class TestBitIdentity:
         batch and stays bit-identical."""
         legacy = PipelineSpec(network=NETWORK, cnn_engine="legacy")
         serial = run_workload(legacy, clips, batch=False)
-        report = ServingRuntime(legacy, max_batch=3).serve(_requests(clips))
+        report = ServingRuntime(legacy, ServerConfig(max_batch=3)).serve(_requests(clips))
         _assert_identical(report, serial)
 
     def test_full_width_server_matches_serial(self, spec):
@@ -129,16 +130,16 @@ class TestBitIdentity:
         not just turn a benchmark job amber."""
         clips = synthetic_workload(20, num_frames=4, base_seed=17)
         serial = run_workload(spec, clips, batch=False)
-        report = ServingRuntime(spec, max_batch=16).serve(_requests(clips))
+        report = ServingRuntime(spec, ServerConfig(max_batch=16)).serve(_requests(clips))
         _assert_identical(report, serial)
 
     def test_batch_mates_do_not_change_results(self, spec, clips):
         """The same clip served alone and served amid shuffled traffic
         produces the same bits — the serving invariant stated directly."""
         target = clips[0]
-        alone = ServingRuntime(spec, max_batch=4).serve(_requests([target]))
+        alone = ServingRuntime(spec, ServerConfig(max_batch=4)).serve(_requests([target]))
         shuffled = list(clips[1:]) + [target]
-        crowded = ServingRuntime(spec, max_batch=4).serve(_requests(shuffled))
+        crowded = ServingRuntime(spec, ServerConfig(max_batch=4)).serve(_requests(shuffled))
         want = alone.records[0].result
         got = crowded.records[len(shuffled) - 1].result
         np.testing.assert_array_equal(got.outputs(), want.outputs())
@@ -153,7 +154,7 @@ class TestSharded:
                                                  serial_result):
         """One lane replicated into two shards (requests round-robin)."""
         runtime = ServingRuntime(
-            spec, max_batch=3, serve_workers=2, shard_backend="serial"
+            spec, ServerConfig(max_batch=3, serve_workers=2, shard_backend="serial")
         )
         report = runtime.serve(_requests(clips))
         _assert_identical(report, serial_result)
@@ -166,9 +167,9 @@ class TestSharded:
         """Two lanes, two workers: each lane becomes exactly one shard."""
         runtime = ServingRuntime(
             {"cam0": spec, "cam1": spec},
-            max_batch=3,
+            ServerConfig(max_batch=3,
             serve_workers=2,
-            shard_backend="serial",
+            shard_backend="serial"),
         )
         requests = [
             ClipRequest(i, clip, lane=f"cam{i % 2}")
@@ -185,7 +186,7 @@ class TestSharded:
         clips = synthetic_workload(4, num_frames=4, base_seed=23)
         serial = run_workload(spec, clips, batch=False)
         runtime = ServingRuntime(
-            spec, max_batch=2, serve_workers=2, shard_backend="process"
+            spec, ServerConfig(max_batch=2, serve_workers=2, shard_backend="process")
         )
         report = runtime.serve(_requests(clips))
         _assert_identical(report, serial)
@@ -202,13 +203,13 @@ class TestSharded:
         serial = run_workload(spec, mixed, batch=False)
         arrivals = poisson_arrival_times(len(mixed), rate=2000.0, seed=3)
         report = ServingRuntime(
-            spec, max_batch=2, serve_workers=2, shard_backend="serial"
+            spec, ServerConfig(max_batch=2, serve_workers=2, shard_backend="serial")
         ).serve(_requests(mixed, arrivals))
         _assert_identical(report, serial)
 
     def test_sharded_records_in_submission_order(self, spec, clips):
         report = ServingRuntime(
-            spec, max_batch=2, serve_workers=2, shard_backend="serial"
+            spec, ServerConfig(max_batch=2, serve_workers=2, shard_backend="serial")
         ).serve(_requests(clips))
         assert [record.request_id for record in report.records] == list(
             range(len(clips))
@@ -216,7 +217,7 @@ class TestSharded:
 
     def test_shard_accounting_aggregates(self, spec, clips):
         report = ServingRuntime(
-            spec, max_batch=2, serve_workers=2, shard_backend="serial"
+            spec, ServerConfig(max_batch=2, serve_workers=2, shard_backend="serial")
         ).serve(_requests(clips))
         assert report.total_frames == sum(len(clip) for clip in clips)
         assert report.steps == sum(shard.steps for shard in report.shards)
@@ -230,28 +231,28 @@ class TestSharded:
 
     def test_bad_serve_workers_rejected(self, spec):
         with pytest.raises(ValueError, match="serve_workers"):
-            ServingRuntime(spec, max_batch=2, serve_workers=0)
+            ServingRuntime(spec, ServerConfig(max_batch=2, serve_workers=0))
 
     def test_bad_shard_backend_rejected(self, spec):
         with pytest.raises(ValueError, match="backend"):
-            ServingRuntime(spec, max_batch=2, serve_workers=2,
-                           shard_backend="gpu")
+            ServingRuntime(spec, ServerConfig(max_batch=2, serve_workers=2,
+                           shard_backend="gpu"))
 
     def test_thread_backend_refused(self, spec):
         """Thread shards would share one plan's scratch (the cached
         network is process-global) and break bit identity — refused at
         construction, not discovered as wrong bits."""
         with pytest.raises(ValueError, match="thread"):
-            ServingRuntime(spec, max_batch=2, serve_workers=2,
-                           shard_backend="thread")
+            ServingRuntime(spec, ServerConfig(max_batch=2, serve_workers=2,
+                           shard_backend="thread"))
 
     def test_injected_clock_reaches_inline_shards(self, spec, clips):
         """shard_backend='serial' honours the injected clock, so sharded
         latency accounting is deterministic in tests."""
         clock = FakeClock()
         report = ServingRuntime(
-            spec, max_batch=2, clock=clock, serve_workers=2,
-            shard_backend="serial",
+            spec, ServerConfig(max_batch=2, clock=clock, serve_workers=2,
+            shard_backend="serial"),
         ).serve(_requests(clips[:4]))
         # FakeClock ticks 1ms per reading; real clocks would be ~µs.
         assert report.wall_seconds >= 0.001
@@ -275,7 +276,7 @@ class TestPipelinedServing:
 
     def test_oversubscribed_matches_serial(self, piped_spec, clips,
                                            serial_result):
-        report = ServingRuntime(piped_spec, max_batch=3).serve(
+        report = ServingRuntime(piped_spec, ServerConfig(max_batch=3)).serve(
             _requests(clips)
         )
         _assert_identical(report, serial_result)
@@ -288,7 +289,7 @@ class TestPipelinedServing:
         )
         serial = run_workload(piped_spec, mixed, batch=False)
         arrivals = poisson_arrival_times(len(mixed), rate=2000.0, seed=3)
-        report = ServingRuntime(piped_spec, max_batch=3).serve(
+        report = ServingRuntime(piped_spec, ServerConfig(max_batch=3)).serve(
             _requests(mixed, arrivals)
         )
         _assert_identical(report, serial)
@@ -296,13 +297,13 @@ class TestPipelinedServing:
     def test_sharded_pipelined_matches_serial(self, piped_spec, clips,
                                               serial_result):
         report = ServingRuntime(
-            piped_spec, max_batch=3, serve_workers=2, shard_backend="serial"
+            piped_spec, ServerConfig(max_batch=3, serve_workers=2, shard_backend="serial")
         ).serve(_requests(clips))
         _assert_identical(report, serial_result)
 
     def test_runtime_reusable_across_serves(self, piped_spec, clips,
                                             serial_result):
-        runtime = ServingRuntime(piped_spec, max_batch=4)
+        runtime = ServingRuntime(piped_spec, ServerConfig(max_batch=4))
         for _ in range(2):
             _assert_identical(runtime.serve(_requests(clips)), serial_result)
         runtime.close()  # joins any in-flight pipelined head
@@ -314,15 +315,15 @@ class TestPipelinedServing:
         per churn-free step and only invalidated by membership events."""
         equal = synthetic_workload(3, num_frames=8, base_seed=21)
         serial = run_workload(piped_spec, equal, batch=False)
-        runtime = ServingRuntime(piped_spec, max_batch=3,
-                                 clock=FakeClock())
+        runtime = ServingRuntime(piped_spec, ServerConfig(max_batch=3,
+                                 clock=FakeClock()))
         report = runtime.serve(_requests(equal))
         _assert_identical(report, serial)
         assert runtime.lanes["default"]._membership_scans == 1
 
     def test_sequential_lane_never_scans_membership(self, spec, clips):
         """pipeline_depth=1 never consults the stability predicate."""
-        runtime = ServingRuntime(spec, max_batch=3, clock=FakeClock())
+        runtime = ServingRuntime(spec, ServerConfig(max_batch=3, clock=FakeClock()))
         runtime.serve(_requests(clips))
         assert runtime.lanes["default"]._membership_scans == 0
 
@@ -349,8 +350,8 @@ class TestSpeculationMetrics:
         """Full occupancy + equal lengths: every overlap is definite, so
         the speculation counters stay zero while engagement is high."""
         equal = synthetic_workload(3, num_frames=8, base_seed=21)
-        report = ServingRuntime(piped_spec, max_batch=3,
-                                clock=FakeClock()).serve(_requests(equal))
+        report = ServingRuntime(piped_spec, ServerConfig(max_batch=3,
+                                clock=FakeClock())).serve(_requests(equal))
         assert report.speculated == 0
         assert report.rollbacks == 0
         assert report.rollback_rate == 0.0
@@ -359,8 +360,8 @@ class TestSpeculationMetrics:
 
     def test_forced_churn_rolls_back(self, piped_spec, churny):
         clips, arrivals = churny
-        report = ServingRuntime(piped_spec, max_batch=3,
-                                clock=FakeClock()).serve(
+        report = ServingRuntime(piped_spec, ServerConfig(max_batch=3,
+                                clock=FakeClock())).serve(
             _requests(clips, arrivals)
         )
         assert report.speculated > 0
@@ -372,8 +373,8 @@ class TestSpeculationMetrics:
 
     def test_summary_rows_surface_speculation(self, piped_spec, churny):
         clips, arrivals = churny
-        report = ServingRuntime(piped_spec, max_batch=3,
-                                clock=FakeClock()).serve(
+        report = ServingRuntime(piped_spec, ServerConfig(max_batch=3,
+                                clock=FakeClock())).serve(
             _requests(clips, arrivals)
         )
         labels = [row[0] for row in report.summary_rows()]
@@ -382,7 +383,7 @@ class TestSpeculationMetrics:
             assert label in labels
 
     def test_sequential_report_omits_speculation_rows(self, spec, clips):
-        report = ServingRuntime(spec, max_batch=3).serve(_requests(clips))
+        report = ServingRuntime(spec, ServerConfig(max_batch=3)).serve(_requests(clips))
         assert report.pipelined_steps == 0
         assert report.speculated == 0
         assert report.speculation_engagement == 0.0
@@ -395,8 +396,8 @@ class TestSpeculationMetrics:
         are carried on ShardInfo and summed into the lane report."""
         clips, arrivals = churny
         report = ServingRuntime(
-            piped_spec, max_batch=2, serve_workers=2,
-            shard_backend="serial",
+            piped_spec, ServerConfig(max_batch=2, serve_workers=2,
+            shard_backend="serial"),
         ).serve(_requests(clips, arrivals))
         assert len(report.shards) == 2
         for field in ("pipelined_steps", "speculated", "rollbacks"):
@@ -414,8 +415,8 @@ class TestSharedAdmission:
     def test_inline_two_shards_match_serial(self, spec, clips,
                                             serial_result):
         report = ServingRuntime(
-            spec, max_batch=2, serve_workers=2, shard_backend="serial",
-            admission="shared",
+            spec, ServerConfig(max_batch=2, serve_workers=2, shard_backend="serial",
+            admission="shared"),
         ).serve(_requests(clips))
         _assert_identical(report, serial_result)
         assert report.admission == "shared"
@@ -426,10 +427,10 @@ class TestSharedAdmission:
                                                   serial_result):
         runtime = ServingRuntime(
             {"cam0": spec, "cam1": spec},
-            max_batch=3,
+            ServerConfig(max_batch=3,
             serve_workers=2,
             shard_backend="serial",
-            admission="shared",
+            admission="shared"),
         )
         requests = [
             ClipRequest(i, clip, lane=f"cam{i % 2}")
@@ -448,8 +449,8 @@ class TestSharedAdmission:
         clips = [clip for pair in zip(longs, shorts) for clip in pair]
         serial = run_workload(spec, clips, batch=False)
         report = ServingRuntime(
-            spec, max_batch=2, serve_workers=2, shard_backend="serial",
-            admission="shared",
+            spec, ServerConfig(max_batch=2, serve_workers=2, shard_backend="serial",
+            admission="shared"),
         ).serve(_requests(clips))
         _assert_identical(report, serial)
         frames = sorted(shard.frames for shard in report.shards)
@@ -462,8 +463,8 @@ class TestSharedAdmission:
         clips = synthetic_workload(4, num_frames=4, base_seed=23)
         serial = run_workload(spec, clips, batch=False)
         report = ServingRuntime(
-            spec, max_batch=2, serve_workers=2, shard_backend="process",
-            admission="shared",
+            spec, ServerConfig(max_batch=2, serve_workers=2, shard_backend="process",
+            admission="shared"),
         ).serve(_requests(clips))
         _assert_identical(report, serial)
         assert report.serve_workers == 2
@@ -471,8 +472,8 @@ class TestSharedAdmission:
 
     def test_shared_accounting_aggregates(self, spec, clips):
         report = ServingRuntime(
-            spec, max_batch=2, serve_workers=2, shard_backend="serial",
-            admission="shared",
+            spec, ServerConfig(max_batch=2, serve_workers=2, shard_backend="serial",
+            admission="shared"),
         ).serve(_requests(clips))
         assert report.total_frames == sum(len(clip) for clip in clips)
         assert report.steps == sum(shard.steps for shard in report.shards)
@@ -484,8 +485,8 @@ class TestSharedAdmission:
 
     def test_records_in_submission_order(self, spec, clips):
         report = ServingRuntime(
-            spec, max_batch=2, serve_workers=2, shard_backend="serial",
-            admission="shared",
+            spec, ServerConfig(max_batch=2, serve_workers=2, shard_backend="serial",
+            admission="shared"),
         ).serve(_requests(clips))
         assert [record.request_id for record in report.records] == list(
             range(len(clips))
@@ -493,8 +494,8 @@ class TestSharedAdmission:
 
     def test_arrival_times_respected(self, spec, clips):
         report = ServingRuntime(
-            spec, max_batch=2, clock=FakeClock(), serve_workers=2,
-            shard_backend="serial", admission="shared",
+            spec, ServerConfig(max_batch=2, clock=FakeClock(), serve_workers=2,
+            shard_backend="serial", admission="shared"),
         ).serve(_requests(clips[:4], [0.0, 0.0, 5.0, 5.0]))
         for record in report.records:
             assert record.admit_time >= record.arrival_time
@@ -507,10 +508,10 @@ class TestSharedAdmission:
         — unlike static's per-lane ceil, which may queue excess tasks."""
         runtime = ServingRuntime(
             {"cam0": spec, "cam1": spec},
-            max_batch=2,
+            ServerConfig(max_batch=2,
             serve_workers=3,
             shard_backend="serial",
-            admission="shared",
+            admission="shared"),
         )
         requests = [
             ClipRequest(i, clip, lane=f"cam{i % 2}")
@@ -523,20 +524,20 @@ class TestSharedAdmission:
     def test_shared_report_admission_field(self, spec, clips):
         """Every serve path stamps the configured admission mode."""
         in_process = ServingRuntime(
-            spec, max_batch=3, admission="shared"
+            spec, ServerConfig(max_batch=3, admission="shared")
         ).serve(_requests(clips[:2]))
         assert in_process.admission == "shared"
 
     def test_bad_admission_rejected(self, spec):
         with pytest.raises(ValueError, match="admission"):
-            ServingRuntime(spec, max_batch=2, admission="dynamic")
+            ServingRuntime(spec, ServerConfig(max_batch=2, admission="dynamic"))
 
     def test_shared_with_one_worker_is_in_process(self, spec, clips,
                                                   serial_result):
         """serve_workers=1 has a single worker per lane — shared and
         static admission coincide, served by the in-process loop."""
         report = ServingRuntime(
-            spec, max_batch=3, admission="shared"
+            spec, ServerConfig(max_batch=3, admission="shared")
         ).serve(_requests(clips))
         _assert_identical(report, serial_result)
         assert report.serve_workers == 1
@@ -544,7 +545,7 @@ class TestSharedAdmission:
 
 class TestPercentiles:
     def test_latency_percentiles_keys_and_order(self, spec, clips):
-        report = ServingRuntime(spec, max_batch=2).serve(_requests(clips))
+        report = ServingRuntime(spec, ServerConfig(max_batch=2)).serve(_requests(clips))
         percentiles = report.latency_percentiles()
         assert sorted(percentiles) == [
             "enqueue_p50", "enqueue_p95", "enqueue_p99",
@@ -555,13 +556,13 @@ class TestPercentiles:
         assert percentiles["ttff_p50"] <= percentiles["ttff_p99"]
 
     def test_percentiles_surface_in_summary(self, spec, clips):
-        report = ServingRuntime(spec, max_batch=2).serve(_requests(clips))
+        report = ServingRuntime(spec, ServerConfig(max_batch=2)).serve(_requests(clips))
         labels = {row[0] for row in report.summary_rows()}
         for label in ("enqueue p50 ms", "enqueue p99 ms", "ttff p99 ms"):
             assert label in labels
 
     def test_empty_report_has_no_percentiles(self, spec):
-        report = ServingRuntime(spec, max_batch=2).serve([])
+        report = ServingRuntime(spec, ServerConfig(max_batch=2)).serve([])
         assert report.latency_percentiles() == {}
 
     def test_zero_completed_requests_explicit_empty(self):
@@ -586,7 +587,7 @@ class TestPercentiles:
 class TestAdmission:
     def test_fifo_admission_within_lane(self, spec, clips):
         """With one slot, service order is arrival order."""
-        runtime = ServingRuntime(spec, max_batch=1, clock=FakeClock())
+        runtime = ServingRuntime(spec, ServerConfig(max_batch=1, clock=FakeClock()))
         arrivals = [0.0, 0.0, 0.0, 0.0]
         report = runtime.serve(_requests(clips[:4], arrivals))
         finishes = [record.finish_time for record in report.records]
@@ -597,7 +598,7 @@ class TestAdmission:
     def test_arrival_times_respected(self, spec, clips):
         """A request is never admitted before it arrives."""
         arrivals = [0.0, 5.0, 10.0]
-        report = ServingRuntime(spec, max_batch=4, clock=FakeClock()).serve(
+        report = ServingRuntime(spec, ServerConfig(max_batch=4, clock=FakeClock())).serve(
             _requests(clips[:3], arrivals)
         )
         for record in report.records:
@@ -608,7 +609,7 @@ class TestAdmission:
         """Widely spaced arrivals: virtual time jumps, busy time stays
         small, and the gap lands in idle_seconds."""
         arrivals = [0.0, 100.0]
-        report = ServingRuntime(spec, max_batch=2, clock=FakeClock()).serve(
+        report = ServingRuntime(spec, ServerConfig(max_batch=2, clock=FakeClock())).serve(
             _requests(clips[:2], arrivals)
         )
         assert report.idle_seconds >= 99.0
@@ -618,7 +619,7 @@ class TestAdmission:
     def test_queue_wait_appears_in_enqueue_latency(self, spec, clips):
         """With one slot and simultaneous arrivals, later requests wait
         at least one full service time."""
-        report = ServingRuntime(spec, max_batch=1, clock=FakeClock()).serve(
+        report = ServingRuntime(spec, ServerConfig(max_batch=1, clock=FakeClock())).serve(
             _requests(clips[:3])
         )
         latencies = report.enqueue_latencies()
@@ -626,7 +627,7 @@ class TestAdmission:
 
     def test_records_in_submission_order(self, spec, clips):
         arrivals = [3.0, 0.0, 1.0]
-        report = ServingRuntime(spec, max_batch=1, clock=FakeClock()).serve(
+        report = ServingRuntime(spec, ServerConfig(max_batch=1, clock=FakeClock())).serve(
             _requests(clips[:3], arrivals)
         )
         assert [record.request_id for record in report.records] == [0, 1, 2]
@@ -640,7 +641,7 @@ class TestLanes:
         memo = PipelineSpec(network="mini_alexnet")
         for lane_spec in (warp, memo):
             lane_spec.warm()
-        runtime = ServingRuntime({"warp": warp, "memo": memo}, max_batch=2)
+        runtime = ServingRuntime({"warp": warp, "memo": memo}, ServerConfig(max_batch=2))
         requests = [
             ClipRequest(i, clip, lane="warp" if i % 2 else "memo")
             for i, clip in enumerate(clips[:6])
@@ -661,13 +662,13 @@ class TestLanes:
             )
 
     def test_shape_mismatch_rejected(self, spec, clips):
-        runtime = ServingRuntime(spec, max_batch=2)
+        runtime = ServingRuntime(spec, ServerConfig(max_batch=2))
         bad = ClipRequest(0, _shrunk(clips[0]), lane="default")
         with pytest.raises(ValueError, match="serves"):
             runtime.serve([bad])
 
     def test_unrouteable_shape_rejected(self, spec, clips):
-        runtime = ServingRuntime(spec, max_batch=2)
+        runtime = ServingRuntime(spec, ServerConfig(max_batch=2))
         with pytest.raises(ValueError, match="no lane serves"):
             runtime.serve([ClipRequest(0, _shrunk(clips[0]))])
 
@@ -678,14 +679,14 @@ class TestLanes:
             "a": PipelineSpec(network=NETWORK),
             "b": PipelineSpec(network="mini_alexnet"),
         }
-        runtime = ServingRuntime(specs, max_batch=2)
+        runtime = ServingRuntime(specs, ServerConfig(max_batch=2))
         with pytest.raises(ValueError, match="set ClipRequest.lane"):
             runtime.serve([ClipRequest(0, clips[0])])
         report = runtime.serve([ClipRequest(0, clips[0], lane="a")])
         assert report.records[0].lane == "a"
 
     def test_unknown_lane_rejected(self, spec, clips):
-        runtime = ServingRuntime(spec, max_batch=2)
+        runtime = ServingRuntime(spec, ServerConfig(max_batch=2))
         with pytest.raises(KeyError):
             runtime.serve([ClipRequest(0, clips[0], lane="express")])
 
@@ -697,7 +698,7 @@ class TestLanes:
             "warp": PipelineSpec(network=NETWORK),
             "memo": PipelineSpec(network="mini_alexnet"),
         }
-        runtime = ServingRuntime(specs, max_batch=2)
+        runtime = ServingRuntime(specs, ServerConfig(max_batch=2))
         shape = str(tuple(clips[0].frames.shape[1:]))
 
         with pytest.raises(LaneRoutingError) as unknown:
@@ -722,7 +723,7 @@ class TestLanes:
     def test_routing_error_catchable_as_keyerror_and_valueerror(self, spec,
                                                                 clips):
         """Back-compat: the old error types still catch the new one."""
-        runtime = ServingRuntime(spec, max_batch=2)
+        runtime = ServingRuntime(spec, ServerConfig(max_batch=2))
         bad = [ClipRequest(0, clips[0], lane="express")]
         for exc_type in (KeyError, ValueError, LaneRoutingError):
             with pytest.raises(exc_type):
@@ -731,7 +732,7 @@ class TestLanes:
 
 class TestLifecycle:
     def test_close_shrinks_plan_and_clears_slots(self, spec, clips):
-        runtime = ServingRuntime(spec, max_batch=4)
+        runtime = ServingRuntime(spec, ServerConfig(max_batch=4))
         runtime.serve(_requests(clips[:4]))
         lane = runtime.lanes["default"]
         assert lane.plan.max_batch >= 4
@@ -743,25 +744,25 @@ class TestLifecycle:
         assert report.num_requests == 2
 
     def test_runtime_reusable_across_serve_calls(self, spec, clips, serial_result):
-        runtime = ServingRuntime(spec, max_batch=3)
+        runtime = ServingRuntime(spec, ServerConfig(max_batch=3))
         first = runtime.serve(_requests(clips))
         second = runtime.serve(_requests(clips))
         _assert_identical(first, serial_result)
         _assert_identical(second, serial_result)
 
     def test_empty_request_list(self, spec):
-        report = ServingRuntime(spec, max_batch=2).serve([])
+        report = ServingRuntime(spec, ServerConfig(max_batch=2)).serve([])
         assert report.num_requests == 0
         assert report.total_frames == 0
         assert report.steps == 0
 
     def test_occupancy_tracks_load(self, spec, clips):
         """All-at-once traffic onto ample slots runs near-full occupancy."""
-        report = ServingRuntime(spec, max_batch=4).serve(_requests(clips[:4]))
+        report = ServingRuntime(spec, ServerConfig(max_batch=4)).serve(_requests(clips[:4]))
         assert report.mean_occupancy == pytest.approx(4.0)
 
     def test_report_stats_consistent(self, spec, clips):
-        report = ServingRuntime(spec, max_batch=3).serve(_requests(clips))
+        report = ServingRuntime(spec, ServerConfig(max_batch=3)).serve(_requests(clips))
         assert report.total_frames == sum(len(clip) for clip in clips)
         assert report.frames_per_second > 0
         assert report.max_batch == 3
@@ -783,7 +784,7 @@ class TestValidation:
 
     def test_bad_max_batch_rejected(self, spec):
         with pytest.raises(ValueError):
-            ServingRuntime(spec, max_batch=0)
+            ServingRuntime(spec, ServerConfig(max_batch=0))
 
     def test_no_lanes_rejected(self):
         with pytest.raises(ValueError):
