@@ -96,6 +96,8 @@ def normalized_metrics(data: dict) -> Dict[str, float]:
                 "chaos p99 TTFF retention (x fault-free)",
             "autoscale_p99_speedup":
                 "autoscaled p99 TTFF speedup under bursts (x fixed 2-shard)",
+            "prefix_speedup":
+                "prefix service coalesced+cached (x per-lane)",
         }
         for key, label in optional.items():
             if key in data:

@@ -79,6 +79,15 @@ instead of real sleeps — a ~60-second simulated trace must complete in
 **well under half** its simulated duration (the gated metric is the
 real-vs-simulated speedup, capped so faster hosts don't inflate it).
 
+The ninth headline is **the prefix service**: two lanes serving the
+same repeated-scene clips with every frame a key frame — the regime
+where per-lane execution runs one CNN prefix call per lane per step and
+recomputes identical pixels over and over.  With cross-lane coalescing
+and the content-addressed prefix cache on, throughput must reach
+**>= 1.2x** the per-lane (coalescing and cache off) run, with at least
+one fused batch executed, a substantial cache hit rate, and every
+served clip still bit-identical to its serial run on both sides.
+
 Results land in ``BENCH_serving.json`` at the repo root next to
 ``BENCH_runtime.json`` (write/merge discipline shared via
 ``benchmarks/_common.py``); the perf gate compares every headline ratio
@@ -106,6 +115,7 @@ from repro.runtime import (
     bursty_arrival_times,
     poisson_arrival_times,
     run_workload,
+    static_stretch_workload,
     synthetic_workload,
 )
 
@@ -144,6 +154,10 @@ AUTOSCALE_P99_FLOOR = 1.2
 #: virtual-time bar: a simulated trace must finish in well under half
 #: its simulated duration (i.e. speedup over real-time admission >= 2x).
 VIRTUAL_TIME_MIN_SPEEDUP = 2.0
+#: prefix-service bar: coalesced + content-cached serving throughput vs
+#: the per-lane (coalescing and cache off) run on a two-lane coincident
+#: key-frame workload with repeated-scene traffic.
+PREFIX_SPEEDUP_FLOOR = 1.2
 JSON_PATH = bench_json_path("serving")
 
 #: accumulates all tests' results; the last one to run writes the JSON.
@@ -168,6 +182,9 @@ _JSON_KEYS = (
     "fixed2_p99_ttff_ms", "autoscale_p99_ttff_ms", "autoscale_p99_speedup",
     "autoscale_peak_shards", "autoscale_scale_events", "virtual_workload",
     "virtual_simulated_s", "virtual_elapsed_s", "virtual_time_speedup",
+    "prefix_workload", "per_lane_fps", "coalesced_cached_fps",
+    "prefix_speedup", "prefix_fused_batches", "prefix_cache_hits",
+    "prefix_cache_misses", "prefix_hit_rate", "prefix_saved_mmacs",
 )
 
 
@@ -991,6 +1008,125 @@ def test_virtual_time_admission(spec):
         f"{simulated:.0f}s simulated trace ({speedup:.1f}x); it must "
         f"finish in well under half the simulated duration "
         f"(>= {VIRTUAL_TIME_MIN_SPEEDUP:.0f}x)"
+    )
+
+
+def test_prefix_service_cross_lane_throughput():
+    """Coalesced + cached serving must beat per-lane by >= 1.2x.
+
+    The workload is engineered for coincident, repetitive prefix work —
+    the regime the prefix service exists for: two lanes carry the *same*
+    repeated-scene clips (``static_stretch_workload``, each frame held
+    for 4 steps), every request arrives at t=0 so the lanes run
+    co-active rounds, and ``policy="always"`` makes every frame a key
+    frame, so each round issues one coincident prefix request per lane.
+
+    Per-lane (baseline): ``prefix_coalesce=False, prefix_cache_mb=0`` —
+    one ``run_prefix`` call per lane per round, every frame recomputed.
+    Coalesced + cached (contender): the round's key rows from both lanes
+    fuse into one batched call, and repeated pixels (the stretch repeats
+    plus the cross-lane duplicates) come straight from the
+    content-addressed cache.  Both sides are asserted bit-identical to
+    the serial run before any throughput is compared; the contender must
+    additionally show at least one fused batch and a majority hit rate.
+    """
+    num_clips, frames, stretch = 8, 16, 4
+    prefix_spec = PipelineSpec(network=NETWORK, policy="always")
+    prefix_spec.warm()
+    clips = static_stretch_workload(
+        num_clips, num_frames=frames, stretch=stretch, base_seed=41
+    )
+    # Each clip is served on *both* lanes: requests 2i/2i+1 carry clip i
+    # on cam0/cam1, so the lanes' key frames coincide bit-for-bit.
+    doubled = [clip for clip in clips for _ in range(2)]
+    serial = run_workload(prefix_spec, doubled, batch=False)
+    requests = [
+        ClipRequest(
+            request_id=i, clip=clip, arrival_time=0.0, lane=f"cam{i % 2}"
+        )
+        for i, clip in enumerate(doubled)
+    ]
+    lanes = {"cam0": prefix_spec, "cam1": prefix_spec}
+
+    per_lane_runtime = ServingRuntime(
+        lanes,
+        ServerConfig(max_batch=8, prefix_coalesce=False, prefix_cache_mb=0.0),
+    )
+    per_lane = max(
+        (per_lane_runtime.serve(requests) for _ in range(2)),
+        key=lambda r: r.frames_per_second,
+    )
+    fused_runtime = ServingRuntime(
+        lanes,
+        ServerConfig(max_batch=8, prefix_coalesce=True, prefix_cache_mb=64.0),
+    )
+    fused = max(
+        (fused_runtime.serve(requests) for _ in range(2)),
+        key=lambda r: r.frames_per_second,
+    )
+
+    # Correctness first, on both sides: the service is pure scheduling.
+    for report in (per_lane, fused):
+        served = report.workload_result()
+        assert served.matches(serial), (
+            "prefix-service serving diverged from serial execution"
+        )
+        for got, want in zip(served.results, serial.results):
+            np.testing.assert_array_equal(got.outputs(), want.outputs())
+            np.testing.assert_array_equal(got.key_mask(), want.key_mask())
+    assert per_lane.prefix_fused_batches == 0
+    assert per_lane.prefix_cache_hits == 0
+    assert fused.prefix_fused_batches > 0, "no cross-lane batch was fused"
+    assert fused.prefix_cache_hits > 0, "the prefix cache never hit"
+    assert fused.prefix_hit_rate >= 0.5, (
+        f"hit rate {fused.prefix_hit_rate:.2f} on repeated-scene traffic"
+    )
+
+    speedup = fused.frames_per_second / per_lane.frames_per_second
+    register_table(
+        f"prefix service ({num_clips} repeated-scene clips x 2 lanes, "
+        f"stretch={stretch}, policy=always, {NETWORK})",
+        ["quantity", "value"],
+        [
+            ["per-lane f/s", round(per_lane.frames_per_second, 1)],
+            ["coalesced+cached f/s", round(fused.frames_per_second, 1)],
+            ["speedup", f"{speedup:.2f}x"],
+            ["fused batches", fused.prefix_fused_batches],
+            [
+                "cache hits/misses",
+                f"{fused.prefix_cache_hits}/{fused.prefix_cache_misses}",
+            ],
+            ["hit rate", round(fused.prefix_hit_rate, 3)],
+            ["prefix MMACs saved", round(fused.prefix_saved_macs / 1e6, 1)],
+            ["identical to serial", "yes"],
+        ],
+    )
+    _RESULTS.update(
+        {
+            "prefix_workload": {
+                "clips": num_clips,
+                "lanes": 2,
+                "frames_per_clip": frames,
+                "stretch": stretch,
+                "policy": "always",
+                "max_batch": 8,
+                "prefix_cache_mb": 64.0,
+            },
+            "per_lane_fps": round(per_lane.frames_per_second, 2),
+            "coalesced_cached_fps": round(fused.frames_per_second, 2),
+            "prefix_speedup": round(speedup, 3),
+            "prefix_fused_batches": fused.prefix_fused_batches,
+            "prefix_cache_hits": fused.prefix_cache_hits,
+            "prefix_cache_misses": fused.prefix_cache_misses,
+            "prefix_hit_rate": round(fused.prefix_hit_rate, 3),
+            "prefix_saved_mmacs": round(fused.prefix_saved_macs / 1e6, 1),
+        }
+    )
+    _write_json()
+
+    assert speedup >= PREFIX_SPEEDUP_FLOOR, (
+        f"coalesced+cached serving is {speedup:.2f}x the per-lane run; "
+        f"the prefix-service bar is {PREFIX_SPEEDUP_FLOOR:.2f}x"
     )
 
 

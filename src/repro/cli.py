@@ -21,10 +21,13 @@ Commands:
                   load shedding (``--deadline``), deterministic fault
                   injection (``--fault-seed``, ``--kill-shard``) under
                   shard supervision (``--heartbeat-timeout``,
-                  ``--max-respawns``), and optional ``--verify`` against
-                  the serial pipeline (shed-aware, keyed by request id).
-                  Flags are grouped: traffic / sharding / faults /
-                  engine.
+                  ``--max-respawns``), a cross-lane prefix service that
+                  fuses coincident key-frame CNN prefixes and optionally
+                  caches them by content (``--prefix-cache``,
+                  ``--no-prefix-coalesce``), and optional ``--verify``
+                  against the serial pipeline (shed-aware, keyed by
+                  request id).  Flags are grouped: traffic / sharding /
+                  faults / engine.
 * ``hardware``  — the Fig. 12 / Fig. 13 numbers for a real network.
 * ``firstorder``— the §IV-A op-count comparison.
 """
@@ -153,7 +156,10 @@ def _run_workload(args: argparse.Namespace, mode: str) -> int:
     scheduler = (
         SchedulerConfig(workers=args.workers) if args.workers > 1 else None
     )
-    result = run_workload(spec, clips, batch=args.batch, scheduler=scheduler)
+    result = run_workload(
+        spec, clips, batch=args.batch, scheduler=scheduler,
+        prefix_cache_mb=args.prefix_cache_mb if args.prefix_cache else 0.0,
+    )
     print(format_table(["quantity", "value"], result.summary_rows()))
     if mode == "warp":
         score = detection_score(result.results, clips)
@@ -290,6 +296,8 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         ),
         virtual_time=args.virtual_time,
         max_pending=args.max_pending,
+        prefix_coalesce=args.prefix_coalesce,
+        prefix_cache_mb=args.prefix_cache_mb if args.prefix_cache else 0.0,
     )
     runtime = ServingRuntime(spec, config)
     report = runtime.serve(requests)
@@ -424,6 +432,15 @@ def build_parser() -> argparse.ArgumentParser:
                           "checkpoint, overlap, roll back + replay on a "
                           "mismatch; bit-identical either way "
                           "(--no-speculate restores stable-only overlap)")
+    run.add_argument("--prefix-cache", action=argparse.BooleanOptionalAction,
+                     default=False,
+                     help="content-addressed CNN prefix cache for lockstep "
+                          "workloads: key frames with pixels already seen "
+                          "reuse the stored prefix activation "
+                          "(bit-identical by construction; default off)")
+    run.add_argument("--prefix-cache-mb", type=float, default=64.0,
+                     help="prefix cache LRU budget in MB (with "
+                          "--prefix-cache; default 64)")
     run.set_defaults(func=_cmd_run)
 
     serve = sub.add_parser(
@@ -552,6 +569,21 @@ def build_parser() -> argparse.ArgumentParser:
                         choices=["planned", "legacy"])
     engine.add_argument("--dtype", default="float64",
                         choices=["float64", "float32"])
+    engine.add_argument("--prefix-coalesce",
+                        action=argparse.BooleanOptionalAction, default=True,
+                        help="fuse coincident key-frame prefix runs from "
+                             "all lanes of a step into one batched CNN "
+                             "call (bit-identical; default on)")
+    engine.add_argument("--prefix-cache",
+                        action=argparse.BooleanOptionalAction, default=False,
+                        help="content-addressed prefix cache: key frames "
+                             "whose pixels were already run through this "
+                             "network's prefix reuse the stored activation "
+                             "(bit-identical; invalidated on weight swaps; "
+                             "default off)")
+    engine.add_argument("--prefix-cache-mb", type=float, default=64.0,
+                        help="prefix cache LRU budget in MB (with "
+                             "--prefix-cache; default 64)")
     engine.add_argument("--verify", action="store_true",
                         help="re-run every clip serially and assert served "
                              "results are bit-identical (keyed by request "

@@ -333,6 +333,11 @@ class StepBatch:
     ``engine`` overrides the lane engine for this step's ``rfbme`` (the
     pipelined executor's scratch double buffer); ``None`` uses
     ``state.engine``.
+
+    ``prefix_service`` routes ``cnn_prefix`` through a shared
+    :class:`~repro.runtime.prefix_service.PrefixService` (cross-lane
+    fused batches + content-addressed cache); ``None`` keeps the
+    direct per-batch ``plan.run_prefix`` call.
     """
 
     state: LaneState
@@ -341,6 +346,7 @@ class StepBatch:
     plan: Optional[object] = None
     cursors: Optional[Sequence[int]] = None
     engine: Optional[RFBMEEngine] = None
+    prefix_service: Optional[object] = None
 
     def __len__(self) -> int:
         return len(self.positions)
@@ -413,9 +419,12 @@ def stage_cnn_prefix(
     keys = [k for k, is_key in enumerate(decisions) if is_key]
     if not keys:
         return None
-    target = batch.slot(keys[0]).executor.target
-    frames = np.stack([batch.frames[k] for k in keys])[:, None]
-    key_acts = batch.plan.run_prefix(frames, target)
+    if batch.prefix_service is not None:
+        key_acts = batch.prefix_service.run_prefix(batch, keys)
+    else:
+        target = batch.slot(keys[0]).executor.target
+        frames = np.stack([batch.frames[k] for k in keys])[:, None]
+        key_acts = batch.plan.run_prefix(frames, target)
     for row, k in enumerate(keys):
         batch.slot(k).executor.adopt_key(batch.frames[k], key_acts[row])
     return key_acts

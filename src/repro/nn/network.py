@@ -36,6 +36,11 @@ class Network:
         #: compiled inference plans keyed by dtype name (capacity grows in
         #: place); see :meth:`inference_plan`.
         self._plans: Dict[str, "InferencePlan"] = {}
+        #: monotonically increasing weight snapshot id.  Bumped whenever
+        #: cached derived state becomes stale (``invalidate_plans``, hit
+        #: by ``load_state_dict``), so content-addressed caches keyed on
+        #: it invalidate across live weight swaps without draining.
+        self.weight_version = 0
 
     # ------------------------------------------------------------------ #
     # structure queries
@@ -163,8 +168,10 @@ class Network:
 
     def invalidate_plans(self) -> None:
         """Drop cached inference plans (needed after parameter rebinding;
-        float32 plans also snapshot weights at compile time)."""
+        float32 plans also snapshot weights at compile time) and bump the
+        weight version so content-addressed activation caches expire."""
         self._plans.clear()
+        self.weight_version += 1
 
     def backward(self, grad_out: np.ndarray) -> np.ndarray:
         """Backprop through the whole network (after a train-mode forward)."""

@@ -50,9 +50,17 @@ per-clip :class:`~repro.core.EVA2Pipeline` into a workload runtime:
   (:class:`RequestShedError` / :class:`ShedRecord`), and explicit
   failover accounting (:class:`FailoverEvent`) — recovery re-executes
   bit-identically because every clip's execution is deterministic.
-* :func:`synthetic_workload` / :func:`poisson_arrival_times` /
-  :func:`bursty_arrival_times` / :func:`slack_deadlines` —
-  deterministic mixed-scenario traffic, arrival processes, and
+* :class:`PrefixService` — the cross-lane prefix service: within a
+  step, coincident key-frame CNN prefix requests from every lane
+  sharing a plan fuse into one batched ``run_prefix`` call, and an
+  optional content-addressed LRU cache (keyed by frame bytes + weight
+  version) returns stored prefix activations for repeated pixels —
+  both bit-identical by construction, with fused-batch and hit/miss
+  counters surfaced on :class:`ServingReport` (:class:`PrefixStats`).
+* :func:`synthetic_workload` / :func:`static_stretch_workload` /
+  :func:`poisson_arrival_times` / :func:`bursty_arrival_times` /
+  :func:`slack_deadlines` — deterministic mixed-scenario traffic
+  (plain or duplicate-frame repeated scenes), arrival processes, and
   deadline assignment.
 
 Every execution path produces bit-identical per-clip results; the choice
@@ -100,6 +108,7 @@ from .serving import (
     ServingRuntime,
     ShardInfo,
 )
+from .prefix_service import PrefixService, PrefixStats
 from .spec import PAPER_MODES, PipelineSpec
 from .stage_graph import (
     Checkpointable,
@@ -129,6 +138,7 @@ from .workload import (
     bursty_arrival_times,
     poisson_arrival_times,
     slack_deadlines,
+    static_stretch_workload,
     synthetic_workload,
 )
 
@@ -186,7 +196,10 @@ __all__ = [
     "ShedRecord",
     "ShardSupervisor",
     "SupervisorConfig",
+    "PrefixService",
+    "PrefixStats",
     "synthetic_workload",
+    "static_stretch_workload",
     "poisson_arrival_times",
     "bursty_arrival_times",
     "slack_deadlines",

@@ -50,6 +50,7 @@ import numpy as np
 from ..core.pipeline import FrameRecord, PipelineResult
 from ..core.stages import LaneSlot, LaneState, PlanHandle, StepBatch
 from ..video.generator import VideoClip
+from .prefix_service import PrefixService
 from .scheduler import ClipScheduler, SchedulerConfig
 from .spec import PipelineSpec
 from .stage_graph import StageExecutor, frame_lifecycle_graph
@@ -113,6 +114,16 @@ class WorkloadResult:
     steps: int = 0
     #: steps whose head was precomputed by the pipelined executor.
     pipelined_steps: int = 0
+    #: prefix executions that fused requests from more than one lane.
+    prefix_fused_batches: int = 0
+    #: content-addressed prefix cache hits (0 when the cache is off).
+    prefix_cache_hits: int = 0
+    #: prefix cache misses (counted only when a cache is configured).
+    prefix_cache_misses: int = 0
+    #: entries evicted from the prefix cache by the LRU bound.
+    prefix_cache_evictions: int = 0
+    #: prefix MACs skipped by cache hits (hardware-model accounting).
+    prefix_saved_macs: int = 0
 
     @property
     def pipeline_engagement(self) -> float:
@@ -189,6 +200,23 @@ class WorkloadResult:
             [["pipelined steps", f"{self.pipelined_steps}/{self.steps}"]]
             if self.pipelined_steps
             else []
+        ) + (
+            [["prefix batches fused", self.prefix_fused_batches]]
+            if self.prefix_fused_batches
+            else []
+        ) + (
+            [
+                [
+                    "prefix cache hits/misses",
+                    f"{self.prefix_cache_hits}/{self.prefix_cache_misses}",
+                ]
+            ]
+            if self.prefix_cache_hits or self.prefix_cache_misses
+            else []
+        ) + (
+            [["prefix MMACs saved", round(self.prefix_saved_macs / 1e6, 1)]]
+            if self.prefix_saved_macs
+            else []
         )
 
 
@@ -206,6 +234,14 @@ class BatchedPipeline:
     ``t+1``'s RFBME/decisions overlap step ``t``'s warp/suffix/record on
     a double-buffered engine.  Lockstep batches are static, so every
     step pipelines; results are bit-identical at any depth.
+
+    ``prefix_cache_mb`` > 0 attaches a content-addressed
+    :class:`~repro.runtime.prefix_service.PrefixService` cache to every
+    step: key frames whose pixels were already run through this
+    network's prefix reuse the stored activation (bit-identical by
+    construction).  Lockstep already batches coincident key frames
+    within a step, so the service runs with coalescing off — the cache
+    is the knob that pays here.
     """
 
     def __init__(
@@ -213,6 +249,7 @@ class BatchedPipeline:
         spec: PipelineSpec,
         cnn_batching: Optional[bool] = None,
         pipeline_depth: Optional[int] = None,
+        prefix_cache_mb: float = 0.0,
     ):
         if cnn_batching is None:
             cnn_batching = spec.cnn_engine == "planned"
@@ -230,6 +267,11 @@ class BatchedPipeline:
             raise ValueError(
                 f"pipeline_depth must be >= 1, got {self.pipeline_depth}"
             )
+        if prefix_cache_mb < 0:
+            raise ValueError(
+                f"prefix_cache_mb must be >= 0, got {prefix_cache_mb}"
+            )
+        self.prefix_cache_mb = float(prefix_cache_mb)
 
     def run_workload(self, clips: Sequence[VideoClip]) -> WorkloadResult:
         """Process every clip; bit-identical to the serial path."""
@@ -257,6 +299,13 @@ class BatchedPipeline:
         graph = frame_lifecycle_graph(planned=self.cnn_batching)
         executor = StageExecutor(graph, pipeline_depth=self.pipeline_depth)
         plan = state.plan.resolve(len(clips)) if state.plan and clips else None
+        # Lockstep already fuses coincident key frames within a step, so
+        # the service is pure cache here (coalesce off).
+        service = (
+            PrefixService(coalesce=False, cache_mb=self.prefix_cache_mb)
+            if self.prefix_cache_mb > 0 and plan is not None
+            else None
+        )
 
         # The whole step stream is known statically (clip lengths fix the
         # positions, frame index == cursor), so batches are built up
@@ -280,6 +329,7 @@ class BatchedPipeline:
                     plan=plan,
                     cursors=[index] * len(positions),
                     engine=shadow if index % 2 else None,
+                    prefix_service=service,
                 )
             )
 
@@ -303,6 +353,11 @@ class BatchedPipeline:
             path="lockstep",
             steps=executor.stats.steps,
             pipelined_steps=executor.stats.pipelined_steps,
+            prefix_fused_batches=service.stats.fused_batches if service else 0,
+            prefix_cache_hits=service.stats.hits if service else 0,
+            prefix_cache_misses=service.stats.misses if service else 0,
+            prefix_cache_evictions=service.stats.evictions if service else 0,
+            prefix_saved_macs=service.stats.saved_macs if service else 0,
         )
 
 
@@ -312,6 +367,7 @@ def run_workload(
     batch: bool = True,
     scheduler: Optional[SchedulerConfig] = None,
     cnn_batching: Optional[bool] = None,
+    prefix_cache_mb: float = 0.0,
 ) -> WorkloadResult:
     """Execute a workload on the path implied by the arguments.
 
@@ -319,8 +375,10 @@ def run_workload(
     :class:`~repro.runtime.scheduler.ClipScheduler`; otherwise ``batch``
     picks lockstep (default) or plain serial execution.
     ``cnn_batching`` forwards to :class:`BatchedPipeline` (None = batch
-    the CNN whenever the spec's planned engine allows it).  Every path
-    returns identical per-clip results.
+    the CNN whenever the spec's planned engine allows it), as does
+    ``prefix_cache_mb`` (> 0 enables the content-addressed prefix cache
+    on the lockstep path; serial and scheduled paths ignore it).  Every
+    path returns identical per-clip results.
     """
     if scheduler is not None and scheduler.workers > 1:
         start = time.perf_counter()
@@ -333,7 +391,9 @@ def run_workload(
             workers=scheduler.workers,
         )
     if batch:
-        return BatchedPipeline(spec, cnn_batching=cnn_batching).run_workload(clips)
+        return BatchedPipeline(
+            spec, cnn_batching=cnn_batching, prefix_cache_mb=prefix_cache_mb
+        ).run_workload(clips)
     start = time.perf_counter()
     results = spec.build().run_clips(clips)
     wall = time.perf_counter() - start

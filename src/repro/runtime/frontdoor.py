@@ -663,6 +663,15 @@ class ServerConfig:
     max_pending: Optional[int] = None
     #: … and resume once the queue drains to this (default: half).
     resume_pending: Optional[int] = None
+    #: fuse coincident key-frame CNN prefixes across lanes (and across
+    #: inline-DES simulated shards) into one ``run_prefix`` batch per
+    #: step.  Bit-identical either way; False restores per-lane calls.
+    prefix_coalesce: bool = True
+    #: content-addressed prefix activation cache budget in MiB (0 = off).
+    #: Keyed by frame digest + network weight version, so repeated
+    #: frames skip the prefix entirely and live weight swaps invalidate
+    #: without draining.
+    prefix_cache_mb: float = 0.0
 
     def __post_init__(self):
         if self.max_batch < 1:
@@ -706,6 +715,15 @@ class ServerConfig:
             # pool is meaningless there; autoscaling implies the shared
             # per-lane queue.
             object.__setattr__(self, "admission", "shared")
+        object.__setattr__(self, "prefix_coalesce",
+                           bool(self.prefix_coalesce))
+        object.__setattr__(self, "prefix_cache_mb",
+                           float(self.prefix_cache_mb))
+        if self.prefix_cache_mb < 0:
+            raise ValueError(
+                f"prefix_cache_mb must be >= 0 (0 = off), got "
+                f"{self.prefix_cache_mb}"
+            )
         if self.max_pending is not None and self.max_pending < 1:
             raise ValueError(
                 f"max_pending must be >= 1 (None = unbounded), got "

@@ -119,6 +119,7 @@ from .frontdoor import (
     ServerConfig,
     as_request_source,
 )
+from .prefix_service import PrefixService, PrefixStats
 from .scheduler import (
     SchedulerConfig,
     ShardCrashError,
@@ -297,6 +298,15 @@ class ShardInfo:
     speculated: int = 0
     #: speculative launches rolled back (membership mismatch/abandon).
     rollbacks: int = 0
+    #: fused prefix batches this shard's service executed (0 when the
+    #: shard ran without a prefix service or nothing coincided).
+    prefix_fused_batches: int = 0
+    #: prefix-cache hits / misses / evictions on this shard's service.
+    prefix_cache_hits: int = 0
+    prefix_cache_misses: int = 0
+    prefix_cache_evictions: int = 0
+    #: prefix MACs the cache hits avoided.
+    prefix_saved_macs: int = 0
 
     @property
     def frames_per_second(self) -> float:
@@ -352,6 +362,17 @@ class ServingReport:
     #: ingestion pauses: excursions past the front door's ``max_pending``
     #: watermark (0 = unbounded or never reached).
     backpressure_pauses: int = 0
+    #: fused ``run_prefix`` batches: coincident key frames from more
+    #: than one lane/shard executed as one plan call (0 with the prefix
+    #: service off or nothing coinciding).
+    prefix_fused_batches: int = 0
+    #: content-addressed prefix-cache hits / misses / evictions
+    #: (0/0/0 with ``prefix_cache_mb=0``).
+    prefix_cache_hits: int = 0
+    prefix_cache_misses: int = 0
+    prefix_cache_evictions: int = 0
+    #: prefix MACs the cache hits avoided recomputing.
+    prefix_saved_macs: int = 0
 
     @property
     def num_requests(self) -> int:
@@ -403,6 +424,12 @@ class ServingReport:
         """Fraction of speculative launches that were rolled back."""
         return self.rollbacks / self.speculated if self.speculated else 0.0
 
+    @property
+    def prefix_hit_rate(self) -> float:
+        """Fraction of prefix-cache lookups answered from the cache."""
+        lookups = self.prefix_cache_hits + self.prefix_cache_misses
+        return self.prefix_cache_hits / lookups if lookups else 0.0
+
     def enqueue_latencies(self) -> np.ndarray:
         return np.array([record.enqueue_latency for record in self.records])
 
@@ -447,6 +474,11 @@ class ServingReport:
             wall_seconds=self.wall_seconds,
             path="serving",
             workers=self.serve_workers,
+            prefix_fused_batches=self.prefix_fused_batches,
+            prefix_cache_hits=self.prefix_cache_hits,
+            prefix_cache_misses=self.prefix_cache_misses,
+            prefix_cache_evictions=self.prefix_cache_evictions,
+            prefix_saved_macs=self.prefix_saved_macs,
         )
 
     def summary_rows(self) -> List[List[object]]:
@@ -492,8 +524,27 @@ class ServingReport:
             )
             rows.append(["rollbacks", self.rollbacks])
             rows.append(["rollback rate", round(self.rollback_rate, 3)])
+        if (self.prefix_fused_batches or self.prefix_cache_hits
+                or self.prefix_cache_misses):
+            rows.append(["prefix batches fused", self.prefix_fused_batches])
+            rows.append(
+                ["prefix cache hits/misses",
+                 f"{self.prefix_cache_hits}/{self.prefix_cache_misses}"]
+            )
+            rows.append(["prefix hit rate", round(self.prefix_hit_rate, 3)])
+            if self.prefix_cache_evictions:
+                rows.append(
+                    ["prefix cache evictions", self.prefix_cache_evictions]
+                )
+            if self.prefix_saved_macs:
+                rows.append(
+                    ["prefix MMACs saved",
+                     round(self.prefix_saved_macs / 1e6, 1)]
+                )
         for key, value in self.latency_percentiles().items():
-            prefix, pct = key.split("_")
+            # rsplit: percentile keys are "<metric>_p<NN>" and a metric
+            # name may itself contain underscores.
+            prefix, pct = key.rsplit("_", 1)
             rows.append([f"{prefix} {pct} ms", round(value * 1e3, 2)])
         for shard in self.shards:
             rows.append(
@@ -539,11 +590,20 @@ class LaneWorker:
     """
 
     def __init__(self, name: str, spec: PipelineSpec, capacity: int,
-                 shard: int = 0):
+                 shard: int = 0, prefix_coalesce: bool = True,
+                 prefix_cache_mb: float = 0.0):
         self.name = name
         self.spec = spec
         self.capacity = capacity
         self.shard = shard
+        #: the worker's prefix service (fused key-frame batches +
+        #: content-addressed cache).  Built per worker here; runtime
+        #: serve paths that share one service across workers — the
+        #: in-process loop and the inline DES — overwrite the attribute
+        #: with the shared instance before serving.
+        self.prefix_service = PrefixService(
+            coalesce=prefix_coalesce, cache_mb=prefix_cache_mb
+        )
         network = spec.shared_network()
         self.frame_shape: Tuple[int, int] = tuple(network.input_shape[1:])
         # Slots hold warm executors for the worker's lifetime; admitted
@@ -572,6 +632,9 @@ class LaneWorker:
         self.speculate = spec.speculate and self.executor.speculation_safe
         #: the pipelined next-step batch (its head stages already ran).
         self._pending: Optional[StepBatch] = None
+        #: the in-flight (batch, positions, env) between ``begin_step``
+        #: and its ``finish_step``.
+        self._round = None
         #: lazy double-buffer engine for pipelined RFBME.
         self._shadow_engine = None
         #: memoised ``[occupancy, min frames remaining]`` behind the
@@ -628,6 +691,7 @@ class LaneWorker:
             ),
             cursors=[self.state.slots[i].cursor + advance for i in positions],
             engine=engine,
+            prefix_service=self.prefix_service,
         )
 
     def _membership_stable(self, positions: List[int]) -> bool:
@@ -677,6 +741,20 @@ class LaneWorker:
         membership the executor rolls the speculation back and replays
         (bit-identical, the overlap is merely forfeited for that step).
         """
+        self.begin_step(register=False)
+        return self.finish_step()
+
+    def begin_step(self, register: bool = True) -> None:
+        """Phase 1 of a serve round: head stages + this step's decisions.
+
+        Resolves the step batch (reusing or discarding a pipelined
+        handoff), runs the stage executor up to the coalescing barrier —
+        so the step's key-frame decisions are final, including any
+        speculation rollback — and, with ``register=True``, registers
+        the key rows with the worker's prefix service for the round's
+        :meth:`~repro.runtime.prefix_service.PrefixService.flush`.  Must
+        be paired with exactly one :meth:`finish_step`.
+        """
         positions = [
             i for i, resident in enumerate(self.residents) if resident is not None
         ]
@@ -695,6 +773,15 @@ class LaneWorker:
                 batch = self._build_batch(positions)
         if batch is None:
             batch = self._build_batch(positions)
+        env = self.executor.begin_step(batch)
+        self._round = (batch, positions, env)
+        if register and self.prefix_service is not None:
+            self.prefix_service.prepare(batch, env.get("decisions"))
+
+    def finish_step(self) -> List[_Resident]:
+        """Phase 2 of a serve round: CNN stages, handoff, bookkeeping."""
+        batch, positions, env = self._round
+        self._round = None
         next_batch = None
         speculative = False
         if self.executor.pipelined:
@@ -723,8 +810,8 @@ class LaneWorker:
                 next_batch = self._build_batch(survivors, advance=1,
                                                engine=alternate)
                 self._pending = next_batch
-        env = self.executor.step(batch, next_batch=next_batch,
-                                 speculative=speculative)
+        self.executor.finish_step(env, next_batch=next_batch,
+                                  speculative=speculative)
         finished: List[_Resident] = []
         for k, i in enumerate(positions):
             resident = self.residents[i]
@@ -781,13 +868,20 @@ class LaneWorker:
         """
         clock = clock or time.perf_counter
         self.executor.reset_stats()
+        if self.prefix_service is not None:
+            self.prefix_service.reset_stats()
         # Router-less pair door: seqs are preassigned by the parent, so
         # the shard replays its slice without validation or watermarks.
         door = FrontDoor(_PairSource(assigned))
         done, wall, idle, steps, shed = _serve_loop(
-            [self], lambda request: self, door, clock
+            [self], lambda request: self, door, clock,
+            prefix_service=self.prefix_service,
         )
         stats = self.executor.stats
+        prefix = (
+            self.prefix_service.stats if self.prefix_service is not None
+            else None
+        )
         return _ShardOutcome(
             lane=self.name,
             shard=self.shard,
@@ -799,11 +893,17 @@ class LaneWorker:
             speculated=stats.speculated,
             rollbacks=stats.rollbacks,
             shed=shed,
+            prefix_fused_batches=prefix.fused_batches if prefix else 0,
+            prefix_cache_hits=prefix.hits if prefix else 0,
+            prefix_cache_misses=prefix.misses if prefix else 0,
+            prefix_cache_evictions=prefix.evictions if prefix else 0,
+            prefix_saved_macs=prefix.saved_macs if prefix else 0,
         )
 
     def release(self) -> None:
         """Drop resident state and hand plan scratch back."""
         self._pending = None
+        self._round = None
         self._stable_cache = None
         self.executor.close()  # rolls back any abandoned speculation
         for index, resident in enumerate(self.residents):
@@ -928,6 +1028,13 @@ class _ShardOutcome:
     rollbacks: int = 0
     #: requests this shard shed at its admission boundary.
     shed: List[ShedRecord] = field(default_factory=list)
+    #: per-shard prefix-service counters (0s when shards shared one
+    #: service — the aggregate then reads the service directly).
+    prefix_fused_batches: int = 0
+    prefix_cache_hits: int = 0
+    prefix_cache_misses: int = 0
+    prefix_cache_evictions: int = 0
+    prefix_saved_macs: int = 0
 
     def info(self) -> ShardInfo:
         """This outcome's report row — the one place it is derived."""
@@ -944,6 +1051,11 @@ class _ShardOutcome:
             pipelined_steps=self.pipelined_steps,
             speculated=self.speculated,
             rollbacks=self.rollbacks,
+            prefix_fused_batches=self.prefix_fused_batches,
+            prefix_cache_hits=self.prefix_cache_hits,
+            prefix_cache_misses=self.prefix_cache_misses,
+            prefix_cache_evictions=self.prefix_cache_evictions,
+            prefix_saved_macs=self.prefix_saved_macs,
         )
 
 
@@ -956,6 +1068,10 @@ class _ShardTask:
     spec: PipelineSpec
     capacity: int
     assigned: Tuple[Tuple[int, ClipRequest], ...]
+    #: prefix-service knobs, rebuilt per process (a cache never crosses
+    #: a process boundary — each shard owns its own).
+    prefix_coalesce: bool = True
+    prefix_cache_mb: float = 0.0
 
 
 def _run_shard(task: _ShardTask) -> _ShardOutcome:
@@ -966,7 +1082,11 @@ def _run_shard(task: _ShardTask) -> _ShardOutcome:
     capacity) happens before the shard's clock starts, so shard busy
     time measures serving, not setup.
     """
-    worker = LaneWorker(task.lane, task.spec, task.capacity, shard=task.shard)
+    worker = LaneWorker(
+        task.lane, task.spec, task.capacity, shard=task.shard,
+        prefix_coalesce=task.prefix_coalesce,
+        prefix_cache_mb=task.prefix_cache_mb,
+    )
     return worker.serve_shard(task.assigned)
 
 
@@ -1026,6 +1146,7 @@ def _serve_work_stealing(
     spawn_worker: Optional[Callable[[str, int], LaneWorker]] = None,
     door: Optional[FrontDoor] = None,
     autoscaler: Optional[Autoscaler] = None,
+    prefix_service: Optional[PrefixService] = None,
 ) -> Tuple[List[_ShardOutcome], List[ShedRecord], List[FailoverEvent],
            Dict[str, int]]:
     """Discrete-event serve loop: concurrent shards, shared lane queues.
@@ -1070,6 +1191,17 @@ def _serve_work_stealing(
     new, and retires once empty.  Scaling never touches results: every
     admitted request runs the same bit-identical serve regardless of
     when its shard was spawned.
+
+    With a ``prefix_service`` the simulation also coalesces *across
+    simulated shards*: when other live, active shards are tied with the
+    acting shard at exactly its event time (the lockstep the injected
+    deterministic clocks produce), the whole cohort steps as one
+    two-phase round — every member's key decisions first, one fused
+    prefix flush, then every member's CNN stages — and each member is
+    charged the full round duration (tied shards stay tied, keeping
+    event order deterministic).  The shared service also shares its
+    content cache across all simulated shards.  Results are
+    bit-identical either way.
 
     Returns ``(outcomes, shed, failover events, counters)`` with one
     outcome per worker (dead and respawned shards included) in spawn
@@ -1312,32 +1444,68 @@ def _serve_work_stealing(
             in_flight[entry.seq] = entry
         if not worker.has_active():
             continue
-        step_start = clock()
-        finished = worker.step()
-        duration = clock() - step_start
-        virtual[worker] += duration
-        busy[worker] += duration
-        steps[worker] += 1
-        mean_step[worker] = duration
-        _finalize_step(worker, finished, virtual[worker], records[worker])
-        for resident in finished:
-            entry = in_flight.pop(resident.seq)
-            if drops[worker] and drops[worker][0].at <= virtual[worker]:
-                # The ack is lost: the completed record never reaches
-                # the supervisor, which re-dispatches after ack_timeout.
-                drops[worker].popleft()
-                del records[worker][resident.seq]
-                entry.attempts += 1
-                entry.outcome = "retried"
-                entry.available = (
-                    virtual[worker] + config.resolved_ack_timeout
-                )
-                lane_pending[worker.name].append(entry)
-                counters["retries"] += 1
-            else:
-                record = records[worker][resident.seq]
-                record.outcome = entry.outcome
-                record.attempts = entry.attempts
+
+        def account(member: LaneWorker, finished: List[_Resident],
+                    duration: float) -> None:
+            """Charge one stepped shard and settle its departures."""
+            virtual[member] += duration
+            busy[member] += duration
+            steps[member] += 1
+            mean_step[member] = duration
+            _finalize_step(member, finished, virtual[member],
+                           records[member])
+            for resident in finished:
+                entry = in_flight.pop(resident.seq)
+                if drops[member] and drops[member][0].at <= virtual[member]:
+                    # The ack is lost: the completed record never
+                    # reaches the supervisor, which re-dispatches after
+                    # ack_timeout.
+                    drops[member].popleft()
+                    del records[member][resident.seq]
+                    entry.attempts += 1
+                    entry.outcome = "retried"
+                    entry.available = (
+                        virtual[member] + config.resolved_ack_timeout
+                    )
+                    lane_pending[member.name].append(entry)
+                    counters["retries"] += 1
+                else:
+                    record = records[member][resident.seq]
+                    record.outcome = entry.outcome
+                    record.attempts = entry.attempts
+
+        cohort = [worker]
+        if prefix_service is not None and prefix_service.coalesce:
+            # Live, active shards tied at exactly this event time step
+            # as one fused round (no pending fault may be due: fault
+            # firing stays at the shard's own turn).
+            cohort += [
+                other for other in workers
+                if other is not worker
+                and other in alive
+                and other.has_active()
+                and virtual[other] == event_time
+                and not (kills[other] and kills[other][0].at <= event_time)
+                and not (stalls[other] and stalls[other][0].at <= event_time)
+            ]
+        if len(cohort) > 1:
+            step_start = clock()
+            for member in cohort:
+                member.begin_step()
+            prefix_service.flush()
+            round_finished = [
+                (member, member.finish_step()) for member in cohort
+            ]
+            duration = clock() - step_start
+            # Concurrent-barrier model: every member pays the full
+            # round, so tied shards stay tied (deterministic order).
+            for member, finished in round_finished:
+                account(member, finished, duration)
+        else:
+            step_start = clock()
+            finished = worker.step()
+            duration = clock() - step_start
+            account(worker, finished, duration)
     outcomes = [
         _ShardOutcome(
             lane=worker.name,
@@ -1361,6 +1529,7 @@ def _serve_loop(
     door: FrontDoor,
     clock: Callable[[], float],
     overlap_timeline: bool = False,
+    prefix_service: Optional[PrefixService] = None,
 ) -> Tuple[Dict[int, RequestRecord], float, float, int, List[ShedRecord]]:
     """The continuous-batching serve loop over a set of lane workers.
 
@@ -1380,6 +1549,19 @@ def _serve_loop(
     concurrent-overlap duration (:meth:`LaneWorker.overlap_credit`)
     instead of the host-serialized one, so latency accounting is
     comparable across hosts with any core count.
+
+    ``prefix_service`` — the workers' shared
+    :class:`~repro.runtime.prefix_service.PrefixService` (every worker's
+    ``prefix_service`` attribute must be this instance) — turns each
+    multi-worker step round into two phases: every active worker
+    ``begin_step`` calls (head stages + key decisions), the service
+    flushes once (fusing coincident key-frame prefixes across lanes
+    into one plan call and answering repeats from the content cache),
+    then every worker ``finish_step`` calls.  Bit-identical to per-worker
+    stepping; with one active worker (or ``overlap_timeline``, whose
+    per-step wall attribution a shared flush would blur) the loop
+    falls back to plain ``step()`` and the service still serves its
+    cache on the direct path.
     Returns ``(records by seq, busy seconds, idle seconds, steps,
     shed)``.
     """
@@ -1441,9 +1623,24 @@ def _serve_loop(
                 # exists to jump to, so wait briefly in real time.
                 time.sleep(0.001)
             continue
-        for worker in workers:
-            if not worker.has_active():
-                continue
+        active = [worker for worker in workers if worker.has_active()]
+        if (
+            prefix_service is not None
+            and prefix_service.coalesce
+            and not overlap_timeline
+            and len(active) > 1
+        ):
+            # Two-phase round: decisions for every lane first, one
+            # fused/cached prefix flush, then the CNN stages per lane.
+            for worker in active:
+                worker.begin_step()
+            prefix_service.flush()
+            for worker in active:
+                finished = worker.finish_step()
+                steps += 1
+                _finalize_step(worker, finished, now(), done)
+            continue
+        for worker in active:
             if overlap_timeline:
                 step_start = now()
                 cpu_start = time.thread_time()
@@ -1573,6 +1770,9 @@ class ServingRuntime:
         # long before any spec exists.
         _validate_fault_plan(config, self.router)
         self._workers: Optional[Dict[str, LaneWorker]] = None
+        #: the shared prefix service of an in-flight inline DES serve
+        #: (respawned/scaled shards spawned mid-serve must join it).
+        self._des_prefix_service: Optional[PrefixService] = None
 
     # -- config accessors (the knobs' historical names) ------------- #
     @property
@@ -1623,10 +1823,21 @@ class ServingRuntime:
         """
         if self._workers is None:
             self._workers = {
-                name: LaneWorker(name, lane_spec, self.max_batch)
+                name: LaneWorker(
+                    name, lane_spec, self.max_batch,
+                    prefix_coalesce=self.config.prefix_coalesce,
+                    prefix_cache_mb=self.config.prefix_cache_mb,
+                )
                 for name, lane_spec in self.router.specs.items()
             }
         return self._workers
+
+    def _build_prefix_service(self) -> PrefixService:
+        """A fresh shared service for one serve (per-serve counters)."""
+        return PrefixService(
+            coalesce=self.config.prefix_coalesce,
+            cache_mb=self.config.prefix_cache_mb,
+        )
 
     def lane_for(self, request: ClipRequest) -> LaneWorker:
         """The in-process worker that would serve ``request``."""
@@ -1674,11 +1885,16 @@ class ServingRuntime:
     # -------------------------------------------------------------- #
     def _serve_in_process(self, door: FrontDoor) -> ServingReport:
         workers = list(self.lanes.values())
+        # One shared service across every in-process lane: coincident
+        # key frames fuse cross-lane and the content cache is global.
+        service = self._build_prefix_service()
         for worker in workers:
             worker.executor.reset_stats()  # per-serve counters
+            worker.prefix_service = service
         done, wall, idle, steps, shed = _serve_loop(
             workers, self.lane_for, door, self.clock,
             overlap_timeline=self.overlap_timeline,
+            prefix_service=service,
         )
         return ServingReport(
             records=[done[seq] for seq in sorted(done)],
@@ -1698,6 +1914,11 @@ class ServingRuntime:
             rollbacks=sum(
                 worker.executor.stats.rollbacks for worker in workers
             ),
+            prefix_fused_batches=service.stats.fused_batches,
+            prefix_cache_hits=service.stats.hits,
+            prefix_cache_misses=service.stats.misses,
+            prefix_cache_evictions=service.stats.evictions,
+            prefix_saved_macs=service.stats.saved_macs,
         )
 
     def _serve_sharded(
@@ -1714,15 +1935,22 @@ class ServingRuntime:
                 if not assigned:
                     continue  # an empty shard has nothing to build
                 tasks.append(
-                    _ShardTask(name, shard, lane_spec, self.max_batch, assigned)
+                    _ShardTask(
+                        name, shard, lane_spec, self.max_batch, assigned,
+                        prefix_coalesce=self.config.prefix_coalesce,
+                        prefix_cache_mb=self.config.prefix_cache_mb,
+                    )
                 )
         if self.shard_config.resolve(len(tasks)) == "serial":
             # Inline shards run in this process, so the injected clock
             # (deterministic tests) is honoured; each shard still gets
-            # its own serve loop and its own busy/idle accounting.
+            # its own serve loop and its own busy/idle accounting (and,
+            # mirroring the process backend, its own prefix cache).
             outcomes = [
                 LaneWorker(
-                    task.lane, task.spec, task.capacity, shard=task.shard
+                    task.lane, task.spec, task.capacity, shard=task.shard,
+                    prefix_coalesce=task.prefix_coalesce,
+                    prefix_cache_mb=task.prefix_cache_mb,
                 ).serve_shard(task.assigned, clock=self.clock)
                 for task in tasks
             ]
@@ -1740,11 +1968,16 @@ class ServingRuntime:
         failovers: int = 0,
         respawns: int = 0,
         scale_events: Sequence[ScaleEvent] = (),
+        prefix: Optional[PrefixStats] = None,
     ) -> ServingReport:
         """One report from per-shard outcomes, under the concurrent
         model: the slowest shard bounds the run, and its idle time is
         the one paired with that wall (mixing fields from different
-        shards would describe a timeline no shard had)."""
+        shards would describe a timeline no shard had).
+
+        ``prefix`` carries the counters of a service *shared* across
+        the shards (the inline DES); without it the per-shard counters
+        are summed (independent services, the static/process paths)."""
         done: Dict[int, RequestRecord] = {}
         all_shed = list(shed)
         for outcome in outcomes:
@@ -1770,11 +2003,38 @@ class ServingRuntime:
             respawns=respawns,
             failover_events=list(failover_events),
             scale_events=list(scale_events),
+            prefix_fused_batches=(
+                prefix.fused_batches if prefix is not None
+                else sum(s.prefix_fused_batches for s in shards)
+            ),
+            prefix_cache_hits=(
+                prefix.hits if prefix is not None
+                else sum(s.prefix_cache_hits for s in shards)
+            ),
+            prefix_cache_misses=(
+                prefix.misses if prefix is not None
+                else sum(s.prefix_cache_misses for s in shards)
+            ),
+            prefix_cache_evictions=(
+                prefix.evictions if prefix is not None
+                else sum(s.prefix_cache_evictions for s in shards)
+            ),
+            prefix_saved_macs=(
+                prefix.saved_macs if prefix is not None
+                else sum(s.prefix_saved_macs for s in shards)
+            ),
         )
 
     def _spawn_lane_worker(self, lane: str, shard: int) -> LaneWorker:
-        return LaneWorker(lane, self.router.specs[lane],
-                          self.max_batch, shard=shard)
+        worker = LaneWorker(lane, self.router.specs[lane],
+                            self.max_batch, shard=shard,
+                            prefix_coalesce=self.config.prefix_coalesce,
+                            prefix_cache_mb=self.config.prefix_cache_mb)
+        if self._des_prefix_service is not None:
+            # Mid-serve spawns (respawn, autoscale growth) join the
+            # DES-wide shared service: one cache, fused cohorts.
+            worker.prefix_service = self._des_prefix_service
+        return worker
 
     def _serve_shared(self, door: FrontDoor) -> ServingReport:
         """Sharded serving over shared per-lane admission queues.
@@ -1815,23 +2075,30 @@ class ServingRuntime:
         num_tasks = sum(lane_shards.values())
         if self.shard_config.resolve(num_tasks) == "process":
             return self._serve_shared_process(per_lane, lane_shards)
-        workers = [
-            self._spawn_lane_worker(name, shard)
-            for name, count in lane_shards.items()
-            for shard in range(count)
-        ]
-        pending_by_lane = {
-            name: list(per_lane[name]) for name in self.router.specs
-        }
-        outcomes, shed, failover_events, counters = _serve_work_stealing(
-            workers, pending_by_lane, self.clock,
-            fault_plan=self.fault_plan, supervisor=self.supervisor,
-            spawn_worker=self._spawn_lane_worker,
-        )
+        service = self._build_prefix_service()
+        self._des_prefix_service = service
+        try:
+            workers = [
+                self._spawn_lane_worker(name, shard)
+                for name, count in lane_shards.items()
+                for shard in range(count)
+            ]
+            pending_by_lane = {
+                name: list(per_lane[name]) for name in self.router.specs
+            }
+            outcomes, shed, failover_events, counters = _serve_work_stealing(
+                workers, pending_by_lane, self.clock,
+                fault_plan=self.fault_plan, supervisor=self.supervisor,
+                spawn_worker=self._spawn_lane_worker,
+                prefix_service=service,
+            )
+        finally:
+            self._des_prefix_service = None
         return self._aggregate_shards(
             outcomes, shed=shed, failover_events=failover_events,
             retries=counters["retries"], failovers=counters["failovers"],
             respawns=counters["respawns"],
+            prefix=service.stats,
         )
 
     def _serve_autoscaled(self, door: FrontDoor) -> ServingReport:
@@ -1851,22 +2118,29 @@ class ServingRuntime:
             return self._serve_shared_process(
                 per_lane, lane_shards, autoscaler=autoscaler
             )
-        workers = [
-            self._spawn_lane_worker(name, shard)
-            for name in self.router.specs
-            for shard in range(policy.min_shards)
-        ]
-        outcomes, shed, failover_events, counters = _serve_work_stealing(
-            workers, {name: [] for name in self.router.specs}, self.clock,
-            fault_plan=self.fault_plan, supervisor=self.supervisor,
-            spawn_worker=self._spawn_lane_worker,
-            door=door, autoscaler=autoscaler,
-        )
+        service = self._build_prefix_service()
+        self._des_prefix_service = service
+        try:
+            workers = [
+                self._spawn_lane_worker(name, shard)
+                for name in self.router.specs
+                for shard in range(policy.min_shards)
+            ]
+            outcomes, shed, failover_events, counters = _serve_work_stealing(
+                workers, {name: [] for name in self.router.specs}, self.clock,
+                fault_plan=self.fault_plan, supervisor=self.supervisor,
+                spawn_worker=self._spawn_lane_worker,
+                door=door, autoscaler=autoscaler,
+                prefix_service=service,
+            )
+        finally:
+            self._des_prefix_service = None
         return self._aggregate_shards(
             outcomes, shed=shed, failover_events=failover_events,
             retries=counters["retries"], failovers=counters["failovers"],
             respawns=counters["respawns"],
             scale_events=autoscaler.events,
+            prefix=service.stats,
         )
 
     def _serve_shared_process(
@@ -1893,6 +2167,8 @@ class ServingRuntime:
             config=self.supervisor, fault_plan=self.fault_plan,
             virtual_time=self.config.virtual_time,
             autoscaler=autoscaler,
+            prefix_coalesce=self.config.prefix_coalesce,
+            prefix_cache_mb=self.config.prefix_cache_mb,
         )
         result = supervisor.serve(per_lane, lane_shards)
         return self._aggregate_shards(

@@ -457,6 +457,19 @@ class StageExecutor:
         self.head = head
         self.mid = mid
         self.tail = tail
+        # The coalescing barrier: a serve round may pause between a
+        # step's key decisions and its CNN stages so a shared
+        # PrefixService can fuse coincident key frames across lanes
+        # (see begin_step/finish_step).  Everything before the barrier
+        # runs in phase 1, everything from it onward in phase 2; graphs
+        # without a ``cnn_prefix`` stage put all of mid in phase 1.
+        barrier = next(
+            (i for i, stage in enumerate(self.mid)
+             if stage.name == "cnn_prefix"),
+            len(self.mid),
+        )
+        self._mid_pre = tuple(self.mid[:barrier])
+        self._mid_post = tuple(self.mid[barrier:])
         #: (batch, future, checkpoint, busy_cell) of the in-flight head;
         #: the checkpoint is None for a definite (non-speculative)
         #: handoff, and busy_cell receives the head's measured busy
@@ -659,9 +672,47 @@ class StageExecutor:
         bit-identical either way, a miss just forfeits the overlap.
         Pass ``next_batch=None`` when there is nothing to pipeline.
         """
+        env = self.begin_step(batch, seed)
+        return self.finish_step(
+            env, next_batch=next_batch, speculative=speculative
+        )
+
+    def begin_step(
+        self,
+        batch: StepBatch,
+        seed: Optional[Mapping[str, object]] = None,
+    ) -> Dict[str, object]:
+        """Phase 1 of a two-phase step: everything up to the coalescing
+        barrier.
+
+        Joins (or runs inline) the head stages and the pre-barrier slice
+        of ``mid``, so on the lifecycle graphs the returned env already
+        holds this step's final ``decisions`` — including any rollback +
+        replay a mispredicted speculative head required.  A serve round
+        may ``begin_step`` every lane, hand their key-frame requests to
+        a shared :class:`~repro.runtime.prefix_service.PrefixService`,
+        flush it once, and only then :meth:`finish_step` each lane.
+        :meth:`step` is exactly ``begin_step`` + ``finish_step``, so the
+        two-phase round is bit-identical to sequential stepping.
+        """
         self.stats.steps += 1
         env = self._join(batch, seed)
-        self.graph._run_stages(self.mid, env)
+        self.graph._run_stages(self._mid_pre, env)
+        return env
+
+    def finish_step(
+        self,
+        env: Dict[str, object],
+        next_batch: Optional[StepBatch] = None,
+        speculative: bool = False,
+    ) -> Dict[str, object]:
+        """Phase 2 of a two-phase step: the barrier onward.
+
+        Runs the CNN stages (``cnn_prefix`` consults the batch's prefix
+        service, if any, for rows staged by the round's flush), launches
+        the next head per :meth:`step`'s contract, then runs the tail.
+        """
+        self.graph._run_stages(self._mid_post, env)
         if next_batch is not None and self.pipelined:
             if speculative and not self.speculation_safe:
                 raise PipelineContractError(

@@ -438,6 +438,10 @@ class SupervisedShardTask:
     #: this shard's slice of the fault plan, on its post-release clock.
     faults: Tuple[FaultEvent, ...] = ()
     beat_interval: float = 0.05
+    #: prefix-service knobs (each process owns an independent cache;
+    #: counters come home in the shard's tail message).
+    prefix_coalesce: bool = True
+    prefix_cache_mb: float = 0.0
 
 
 def _run_supervised_shard(task: SupervisedShardTask) -> None:
@@ -460,7 +464,11 @@ def _run_supervised_shard(task: SupervisedShardTask) -> None:
 
     from .serving import LaneWorker, _finalize_step
 
-    worker = LaneWorker(task.lane, task.spec, task.capacity, shard=task.shard)
+    worker = LaneWorker(
+        task.lane, task.spec, task.capacity, shard=task.shard,
+        prefix_coalesce=task.prefix_coalesce,
+        prefix_cache_mb=task.prefix_cache_mb,
+    )
     task.events.put(("ready", task.lane, task.shard, os.getpid()))
     go = task.inbox.get()  # parent always answers with go or a sentinel
     if go is None:
@@ -540,6 +548,7 @@ def _run_supervised_shard(task: SupervisedShardTask) -> None:
             elif item[0] != "go":
                 worker.admit(item[0], item[1], now())
     stats = worker.executor.stats
+    prefix = worker.prefix_service.stats
     task.events.put(("done", task.lane, task.shard, {
         "wall": busy,
         "idle": idle,
@@ -547,6 +556,11 @@ def _run_supervised_shard(task: SupervisedShardTask) -> None:
         "pipelined": stats.pipelined_steps,
         "speculated": stats.speculated,
         "rollbacks": stats.rollbacks,
+        "prefix_fused": prefix.fused_batches,
+        "prefix_hits": prefix.hits,
+        "prefix_misses": prefix.misses,
+        "prefix_evictions": prefix.evictions,
+        "prefix_saved_macs": prefix.saved_macs,
     }))
 
 
@@ -620,11 +634,16 @@ class ShardSupervisor:
         fault_plan: Optional[FaultPlan] = None,
         virtual_time: bool = False,
         autoscaler: Optional[object] = None,
+        prefix_coalesce: bool = True,
+        prefix_cache_mb: float = 0.0,
     ):
         self.specs = dict(specs)
         self.capacity = capacity
         self.config = config or SupervisorConfig()
         self.plan = fault_plan or FaultPlan()
+        #: prefix-service knobs forwarded to every shard process.
+        self.prefix_coalesce = bool(prefix_coalesce)
+        self.prefix_cache_mb = float(prefix_cache_mb)
         #: release arrivals by logical timestamps: idle gaps are jumped
         #: (a ``("skip", dt)`` broadcast) instead of slept.
         self.virtual_time = bool(virtual_time)
@@ -658,6 +677,8 @@ class ShardSupervisor:
                     events=events,
                     faults=self.plan.for_shard(lane, shard),
                     beat_interval=self.config.beat_interval,
+                    prefix_coalesce=self.prefix_coalesce,
+                    prefix_cache_mb=self.prefix_cache_mb,
                 )
                 process = multiprocessing.Process(
                     target=_run_supervised_shard, args=(task,), daemon=True
@@ -1011,6 +1032,11 @@ class ShardSupervisor:
                 pipelined_steps=tail.get("pipelined", 0),
                 speculated=tail.get("speculated", 0),
                 rollbacks=tail.get("rollbacks", 0),
+                prefix_fused_batches=tail.get("prefix_fused", 0),
+                prefix_cache_hits=tail.get("prefix_hits", 0),
+                prefix_cache_misses=tail.get("prefix_misses", 0),
+                prefix_cache_evictions=tail.get("prefix_evictions", 0),
+                prefix_saved_macs=tail.get("prefix_saved_macs", 0),
             ))
         return SupervisionResult(
             outcomes=outcomes,

@@ -19,6 +19,7 @@ from ..video.generator import VideoClip
 
 __all__ = [
     "synthetic_workload",
+    "static_stretch_workload",
     "poisson_arrival_times",
     "bursty_arrival_times",
     "slack_deadlines",
@@ -50,6 +51,56 @@ def synthetic_workload(
         )
         for i in range(num_clips)
     ]
+
+
+def static_stretch_workload(
+    num_clips: int,
+    num_frames: int = 16,
+    stretch: int = 4,
+    scenarios: Optional[Sequence[str]] = None,
+    base_seed: int = 0,
+) -> List[VideoClip]:
+    """A workload whose clips hold every frame for ``stretch`` steps.
+
+    Each clip is a normal :func:`synthetic_workload` clip *time-stretched*:
+    only ``ceil(num_frames / stretch)`` distinct frames are generated and
+    each one (with its annotation) repeats ``stretch`` times — a
+    repeated-scene trace, the synthetic analogue of near-frozen security
+    footage or a paused feed.  Byte-identical consecutive frames are
+    guaranteed by construction (the repeats are the same array rows), so
+    this is the canonical duplicate-frame traffic for the
+    content-addressed prefix cache: every key frame after the first of a
+    stretch run hits.  Deterministic given ``base_seed``; ``stretch=1``
+    degenerates to :func:`synthetic_workload`.
+    """
+    if num_frames < 1:
+        raise ValueError(f"num_frames must be >= 1, got {num_frames}")
+    if stretch < 1:
+        raise ValueError(f"stretch must be >= 1, got {stretch}")
+    distinct = -(-num_frames // stretch)  # ceil
+    base = synthetic_workload(
+        num_clips,
+        num_frames=distinct,
+        scenarios=scenarios,
+        base_seed=base_seed,
+    )
+    stretched = []
+    for clip in base:
+        frames = np.repeat(clip.frames, stretch, axis=0)[:num_frames]
+        annotations = [
+            annotation
+            for annotation in clip.annotations
+            for _ in range(stretch)
+        ][:num_frames]
+        stretched.append(
+            VideoClip(
+                frames=frames,
+                annotations=annotations,
+                scenario=clip.scenario,
+                fps=clip.fps,
+            )
+        )
+    return stretched
 
 
 def poisson_arrival_times(

@@ -2,7 +2,7 @@
 
 from .dataset import ClipSet, build_clipset, frames_and_labels, training_arrays
 from .generator import FRAME_PERIOD_MS, Annotation, VideoClip, generate_clip
-from .scenes import SCENARIOS, SceneConfig, scenario, scenario_names
+from .scenes import SCENARIOS, SceneConfig, frozen_scene, scenario, scenario_names
 from .sprites import NUM_CLASSES, SHAPE_NAMES
 
 __all__ = [
@@ -16,6 +16,7 @@ __all__ = [
     "generate_clip",
     "SCENARIOS",
     "SceneConfig",
+    "frozen_scene",
     "scenario",
     "scenario_names",
     "NUM_CLASSES",

@@ -27,7 +27,13 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, Tuple
 
-__all__ = ["SceneConfig", "SCENARIOS", "scenario", "scenario_names"]
+__all__ = [
+    "SceneConfig",
+    "SCENARIOS",
+    "scenario",
+    "scenario_names",
+    "frozen_scene",
+]
 
 
 @dataclass(frozen=True)
@@ -96,6 +102,30 @@ SCENARIOS: Dict[str, SceneConfig] = {
     "slow": SceneConfig(name="slow", speed=(0.2, 0.6)),
     "static": SceneConfig(name="static", speed=(0.0, 0.0), noise_sigma=0.005),
 }
+
+
+def frozen_scene(name: str = "frozen", **overrides) -> SceneConfig:
+    """A scene whose frames are *byte-identical* across time.
+
+    Every time-varying knob is zeroed — object speed, sensor noise,
+    lighting drift, camera pan — so the generator renders the same frame
+    for every index.  This is deliberately *not* in :data:`SCENARIOS`
+    (the library ``static`` scenario keeps sensor noise, because real
+    "static" cameras still have it); it exists for duplicate-frame
+    traffic — repeated-scene workloads that exercise the
+    content-addressed prefix cache with guaranteed digests collisions.
+    ``overrides`` forward to :class:`SceneConfig` (geometry, contrast).
+    """
+    params = dict(
+        speed=(0.0, 0.0),
+        noise_sigma=0.0,
+        lighting_amplitude=0.0,
+        pan_speed=(0.0, 0.0),
+        direction_change_prob=0.0,
+        acceleration=0.0,
+    )
+    params.update(overrides)
+    return SceneConfig(name=name, **params)
 
 
 def scenario(name: str) -> SceneConfig:

@@ -565,6 +565,25 @@ class TestPercentiles:
         report = ServingRuntime(spec, ServerConfig(max_batch=2)).serve([])
         assert report.latency_percentiles() == {}
 
+    def test_underscored_metric_names_round_trip(self, spec, clips,
+                                                 monkeypatch):
+        """Percentile keys are ``<metric>_p<NN>`` and a metric name may
+        itself contain underscores: the summary split must peel only the
+        *last* segment (a ``split("_")`` regression once rendered
+        ``queue_wait_p50`` as ``queue wait_p50``)."""
+        from repro.runtime.serving import ServingReport
+
+        report = ServingRuntime(spec, ServerConfig(max_batch=2)).serve(
+            _requests(clips)
+        )
+        monkeypatch.setattr(
+            ServingReport, "latency_percentiles",
+            lambda self: {"queue_wait_p50": 0.0015, "ttff_p99": 0.2},
+        )
+        rows = dict((row[0], row[1]) for row in report.summary_rows())
+        assert rows["queue_wait p50 ms"] == 1.5
+        assert rows["ttff p99 ms"] == 200.0
+
     def test_zero_completed_requests_explicit_empty(self):
         """A report with zero completed requests returns the explicit
         empty dict — never an np.percentile crash on empty samples —
