@@ -98,6 +98,8 @@ def normalized_metrics(data: dict) -> Dict[str, float]:
                 "autoscaled p99 TTFF speedup under bursts (x fixed 2-shard)",
             "prefix_speedup":
                 "prefix service coalesced+cached (x per-lane)",
+            "quantized_speedup":
+                "int8 lane on CNN-bound workload (x float32)",
         }
         for key, label in optional.items():
             if key in data:

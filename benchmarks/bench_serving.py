@@ -88,6 +88,16 @@ and the content-addressed prefix cache on, throughput must reach
 one fused batch executed, a substantial cache hit rate, and every
 served clip still bit-identical to its serial run on both sides.
 
+The tenth headline is **the quantized inference lane**: the same
+16-clip workload with every frame a key frame, served by the int8
+planned lane vs the float32 lane.  All-key-frames is the CNN-bound
+regime — under the default match-error policy both lanes share the same
+RFBME + warp floor, which dilutes the datapath speedup the quantized
+engine delivers — so it isolates the component the dtype actually
+changes.  int8 throughput must reach **>= 1.3x** float32's while the
+outputs meet the plan's calibrated tolerance contract against the
+float64 reference (max-abs bound, top-1 agreement >= 0.98).
+
 Results land in ``BENCH_serving.json`` at the repo root next to
 ``BENCH_runtime.json`` (write/merge discipline shared via
 ``benchmarks/_common.py``); the perf gate compares every headline ratio
@@ -158,6 +168,16 @@ VIRTUAL_TIME_MIN_SPEEDUP = 2.0
 #: the per-lane (coalescing and cache off) run on a two-lane coincident
 #: key-frame workload with repeated-scene traffic.
 PREFIX_SPEEDUP_FLOOR = 1.2
+#: quantized bar: int8 lockstep throughput vs float32 on the CNN-bound
+#: (policy=always) 16-clip workload.  The VNNI conv pipeline measures
+#: ~1.5-1.6x on this workload; 1.3x leaves jitter headroom while still
+#: requiring the integer datapath to actually engage.
+QUANTIZED_SPEEDUP_FLOOR = 1.3
+#: the top-1 leg of the quantized tolerance contract, judged on the
+#: workload against the float64 reference (never on the calibration
+#: noise samples, whose near-zero logit margins make argmax a coin
+#: flip).
+QUANTIZED_TOP1_FLOOR = 0.98
 JSON_PATH = bench_json_path("serving")
 
 #: accumulates all tests' results; the last one to run writes the JSON.
@@ -185,6 +205,10 @@ _JSON_KEYS = (
     "prefix_workload", "per_lane_fps", "coalesced_cached_fps",
     "prefix_speedup", "prefix_fused_batches", "prefix_cache_hits",
     "prefix_cache_misses", "prefix_hit_rate", "prefix_saved_mmacs",
+    "quantized_workload", "float32_always_fps", "int8_always_fps",
+    "quantized_speedup", "quantized_max_abs_error",
+    "quantized_tolerance_bound", "quantized_top1",
+    "quantized_mac_energy_ratio", "quantized_traffic_ratio",
 )
 
 
@@ -1127,6 +1151,117 @@ def test_prefix_service_cross_lane_throughput():
     assert speedup >= PREFIX_SPEEDUP_FLOOR, (
         f"coalesced+cached serving is {speedup:.2f}x the per-lane run; "
         f"the prefix-service bar is {PREFIX_SPEEDUP_FLOOR:.2f}x"
+    )
+
+
+def test_quantized_lane_throughput_and_tolerance():
+    """The tenth headline: the int8 planned lane vs float32.
+
+    Measured with ``policy="always"`` — every frame a key frame —
+    because that is the CNN-bound regime.  Under the default match-error
+    policy both dtypes pay the identical RFBME + warp cost every step,
+    a floor that dominates wall clock and dilutes the lane ratio to
+    ~1.2x even when the CNN itself runs 2x faster; all-key-frames
+    removes the shared floor and measures the component the dtype
+    actually changes (the same per-component methodology the paper uses
+    for its datapath numbers).
+
+    Accuracy is judged on the *same* workload against the float64
+    reference, asserting both legs of the documented tolerance
+    contract: max-abs error within the plan's calibrated bound and
+    top-1 agreement >= 0.98.  The throughput bar applies only where the
+    compiled kernel (and its VNNI integer GEMM) is available — without
+    it the int8 lane is a correct-but-unaccelerated fallback and only
+    the tolerance legs are enforced.
+    """
+    clips = synthetic_workload(
+        MAX_BATCH, num_frames=FRAMES_PER_CLIP, base_seed=0
+    )
+    specs = {
+        dtype: PipelineSpec(network=NETWORK, policy="always", dtype=dtype)
+        for dtype in ("float64", "float32", "int8")
+    }
+    for lane_spec in specs.values():
+        lane_spec.warm()
+    reference = run_workload(specs["float64"], clips, batch=True)
+    f32 = max(
+        (run_workload(specs["float32"], clips, batch=True) for _ in range(3)),
+        key=lambda result: result.frames_per_second,
+    )
+    q8 = max(
+        (run_workload(specs["int8"], clips, batch=True) for _ in range(3)),
+        key=lambda result: result.frames_per_second,
+    )
+
+    # Tolerance contract first — it binds regardless of host kernels.
+    tolerance = (
+        specs["int8"].shared_network().inference_plan(1, "int8").tolerance
+    )
+    ref_out = reference.outputs()
+    q8_out = q8.outputs()
+    max_err = float(np.max(np.abs(q8_out - ref_out)))
+    top1 = float(np.mean(q8_out.argmax(axis=1) == ref_out.argmax(axis=1)))
+    assert max_err <= tolerance.max_abs_error, (
+        f"int8 max-abs error {max_err:.4f} exceeds the plan's calibrated "
+        f"bound {tolerance.max_abs_error:.4f}"
+    )
+    assert top1 >= QUANTIZED_TOP1_FLOOR, (
+        f"int8 top-1 agreement {top1:.4f} vs float64 is below "
+        f"{QUANTIZED_TOP1_FLOOR}"
+    )
+
+    from repro.core.sad_kernel import get_kernel
+
+    kernel = get_kernel()
+    accelerated = kernel is not None and kernel.has_vnni
+    speedup = q8.frames_per_second / f32.frames_per_second
+    savings = q8.quant_savings
+    register_table(
+        f"quantized lane ({MAX_BATCH} clips x {FRAMES_PER_CLIP} frames, "
+        f"policy=always, {NETWORK})",
+        ["quantity", "value"],
+        [
+            ["float32 f/s", round(f32.frames_per_second, 1)],
+            ["int8 f/s", round(q8.frames_per_second, 1)],
+            ["speedup", f"{speedup:.2f}x"],
+            ["max abs error", round(max_err, 4)],
+            ["tolerance bound", round(tolerance.max_abs_error, 4)],
+            ["top-1 agreement", round(top1, 4)],
+            ["est. MAC energy ratio", round(savings.mac_energy_ratio, 2)],
+            ["est. traffic ratio", round(savings.traffic_ratio, 2)],
+        ],
+    )
+    _RESULTS.update(
+        {
+            "quantized_workload": {
+                "clips": MAX_BATCH,
+                "frames_per_clip": FRAMES_PER_CLIP,
+                "policy": "always",
+            },
+            "float32_always_fps": round(f32.frames_per_second, 2),
+            "int8_always_fps": round(q8.frames_per_second, 2),
+            "quantized_max_abs_error": round(max_err, 4),
+            "quantized_tolerance_bound": round(tolerance.max_abs_error, 4),
+            "quantized_top1": round(top1, 4),
+            "quantized_mac_energy_ratio": round(savings.mac_energy_ratio, 2),
+            "quantized_traffic_ratio": round(savings.traffic_ratio, 2),
+        }
+    )
+    if accelerated:
+        # The ratio only means something where the integer datapath ran;
+        # a fallback host would hand the perf gate an apples-to-oranges
+        # ~1.0 against a VNNI baseline.
+        _RESULTS["quantized_speedup"] = round(speedup, 3)
+    _write_json()
+
+    if not accelerated:
+        pytest.skip(
+            "compiled kernel/VNNI unavailable: int8 runs as a correct "
+            "fallback; throughput bar not applicable"
+        )
+    assert speedup >= QUANTIZED_SPEEDUP_FLOOR, (
+        f"int8 lane is {speedup:.2f}x the float32 lane on the CNN-bound "
+        f"workload; the quantized bar is {QUANTIZED_SPEEDUP_FLOOR:.2f}x"
     )
 
 

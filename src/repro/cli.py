@@ -343,6 +343,66 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         )
         print("\nevery served clip bit-identical to its serial run: "
               f"yes{suffix}")
+    if args.verify_tolerance:
+        return _verify_tolerance(spec, clips, requests, report)
+    return 0
+
+
+def _verify_tolerance(spec, clips, requests, report) -> int:
+    """Check a quantized serve against its plan's tolerance contract.
+
+    Reruns the workload serially on the float64 reference lane and
+    asserts both legs of the contract the quantized plan calibrated at
+    compile time: every served output within ``max_abs_error`` of the
+    reference, and per-frame argmax agreement at or above
+    ``top1_agreement``.  A disagreement on a frame whose reference
+    top-1/top-2 margin is below twice the error bound counts as
+    agreement: an output within the promised max-abs error can
+    legitimately flip such a near-tie, so only flips the bound cannot
+    explain are contract violations.  Returns a process exit code.
+    """
+    import numpy as np
+    from dataclasses import replace
+
+    from .runtime import run_workload
+    from .nn.inference import QUANT_DTYPES, resolve_plan_dtype
+
+    family = resolve_plan_dtype(spec.dtype)
+    if family not in QUANT_DTYPES:
+        print(
+            f"error: --verify-tolerance needs a quantized --dtype "
+            f"({'/'.join(QUANT_DTYPES)}), got {family!r}",
+            file=sys.stderr,
+        )
+        return 2
+    tolerance = spec.shared_network().inference_plan(1, family).tolerance
+    reference = run_workload(
+        replace(spec, dtype="float64"), clips, batch=False
+    )
+    expected = {
+        request.request_id: result
+        for request, result in zip(requests, reference.results)
+    }
+    max_err = 0.0
+    agree = total = 0
+    for record in report.records:
+        served = record.result.outputs()
+        ref = expected[record.request_id].outputs()
+        max_err = max(max_err, float(np.max(np.abs(served - ref))))
+        matched = served.argmax(axis=1) == ref.argmax(axis=1)
+        top2 = np.sort(ref, axis=1)[:, -2:]
+        ambiguous = (top2[:, 1] - top2[:, 0]) <= 2 * tolerance.max_abs_error
+        agree += int(np.sum(matched | ambiguous))
+        total += served.shape[0]
+    top1 = agree / total if total else 1.0
+    print(f"\ntolerance contract ({family}): "
+          f"max abs error {max_err:.4f} (bound {tolerance.max_abs_error:.4f}), "
+          f"top-1 agreement {top1:.4f} (bound {tolerance.top1_agreement})")
+    if max_err > tolerance.max_abs_error or top1 < tolerance.top1_agreement:
+        print("ERROR: served outputs violate the tolerance contract",
+              file=sys.stderr)
+        return 1
+    print("tolerance contract met")
     return 0
 
 
@@ -418,9 +478,11 @@ def build_parser() -> argparse.ArgumentParser:
                      help="CNN engine: compiled inference plan (default, "
                           "bit-identical) or the layer-by-layer legacy path")
     run.add_argument("--dtype", default="float64",
-                     choices=["float64", "float32"],
+                     choices=["float64", "float32", "int8", "q16"],
                      help="CNN arithmetic; float32 trades bit-exactness "
-                          "for throughput (planned engine only)")
+                          "for throughput, int8/q16 run the calibrated "
+                          "fixed-point lane under an explicit tolerance "
+                          "contract (planned engine only)")
     run.add_argument("--pipeline-depth", type=int, default=1,
                      help="software-pipeline depth for lockstep steps: 2 "
                           "overlaps step t+1's RFBME/decision with step "
@@ -568,7 +630,7 @@ def build_parser() -> argparse.ArgumentParser:
     engine.add_argument("--cnn", default="planned",
                         choices=["planned", "legacy"])
     engine.add_argument("--dtype", default="float64",
-                        choices=["float64", "float32"])
+                        choices=["float64", "float32", "int8", "q16"])
     engine.add_argument("--prefix-coalesce",
                         action=argparse.BooleanOptionalAction, default=True,
                         help="fuse coincident key-frame prefix runs from "
@@ -589,6 +651,12 @@ def build_parser() -> argparse.ArgumentParser:
                              "results are bit-identical (keyed by request "
                              "id, so shed requests are accounted, not "
                              "silently skipped)")
+    engine.add_argument("--verify-tolerance", action="store_true",
+                        help="quantized dtypes only: re-run every clip on "
+                             "the float64 reference lane and assert the "
+                             "served outputs meet the plan's calibrated "
+                             "tolerance contract (max-abs error bound and "
+                             "top-1 agreement)")
     serve.set_defaults(func=_cmd_serve)
 
     hw = sub.add_parser("hardware", help="VPU model numbers")

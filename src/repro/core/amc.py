@@ -32,7 +32,8 @@ __all__ = ["AMCConfig", "AMCExecutor", "PredictionStats"]
 
 _MODES = ("warp", "memoize")
 _CNN_ENGINES = ("planned", "legacy")
-_DTYPES = ("float64", "float32")
+_DTYPES = ("float64", "float32", "int8", "q16")
+_PLANNED_ONLY_DTYPES = ("float32", "int8", "q16")
 
 
 @dataclass(frozen=True)
@@ -60,9 +61,12 @@ class AMCConfig:
     #: compiled :class:`~repro.nn.inference.InferencePlan` (bit-identical,
     #: faster); "legacy" keeps the layer-by-layer training-path forward.
     cnn_engine: str = "planned"
-    #: CNN arithmetic: "float64" (default, bit-identical contract) or
-    #: "float32" (planned engine only; a throughput/accuracy trade
-    #: verified by tolerance tests, not bit equality).
+    #: CNN arithmetic: "float64" (default, bit-identical contract),
+    #: "float32" (planned engine only; tolerance-verified), or the
+    #: quantized lanes "int8" / "q16" (planned engine only; calibrated
+    #: fixed-point plans with an explicit
+    #: :class:`~repro.nn.quantize.QuantTolerance` contract — the
+    #: paper's accuracy-for-throughput knob).
     dtype: str = "float64"
     #: runtime step pipelining: 1 executes the frame lifecycle
     #: sequentially per step; 2 lets the stage executor software-pipeline
@@ -100,9 +104,9 @@ class AMCConfig:
             raise ValueError(
                 f"dtype must be one of {_DTYPES}, got {self.dtype!r}"
             )
-        if self.dtype == "float32" and self.cnn_engine != "planned":
+        if self.dtype in _PLANNED_ONLY_DTYPES and self.cnn_engine != "planned":
             raise ValueError(
-                "dtype='float32' requires the planned CNN engine"
+                f"dtype={self.dtype!r} requires the planned CNN engine"
             )
         if self.pipeline_depth < 1:
             raise ValueError(

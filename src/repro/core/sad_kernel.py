@@ -22,6 +22,10 @@ The entry points share one shared object:
   batch.
 * ``gather_rows`` — the flat im2col gather behind the planned CNN
   inference engine.
+* ``gather_rows_q8`` / ``gather_rows_q16`` — the same gather over int8
+  and int16 sources, widening to the quantized lanes' GEMM operand type
+  (float32 / float64) in the same pass, so the quantized planned engine
+  pays one memory sweep where np.take plus an astype would pay two.
 * ``tile_sad`` — the original scalar producer in offset-major layout
   (``out[oi][oj][ty][tx]``), kept verbatim as the ``"pr1"`` host-profile
   baseline that the runtime benchmarks measure speedups against.
@@ -63,6 +67,7 @@ MAX_TILE = 8
 
 _SOURCE = r"""
 #include <math.h>
+#include <string.h>
 #if defined(__AVX512F__)
 #include <immintrin.h>
 #endif
@@ -314,6 +319,367 @@ void gather_rows(const double *src, long src_len,
     }
 }
 
+/* Quantized-lane gathers: identical indexing to gather_rows, but the
+ * source rows are int8/int16 activations and the output widens to the
+ * float type the quantized GEMM consumes (the integer values survive
+ * the widening exactly, so the GEMM still accumulates integers).  One
+ * pass replaces np.take-then-astype's two. */
+void gather_rows_q8(const signed char *src, long src_len,
+                    const long *idx, long n_idx,
+                    long batch, float *out)
+{
+    for (long b = 0; b < batch; ++b) {
+        const signed char *s = src + b * src_len;
+        float *o = out + b * n_idx;
+        for (long k = 0; k < n_idx; ++k)
+            o[k] = (float) s[idx[k]];
+    }
+}
+
+void gather_rows_q16(const short *src, long src_len,
+                     const long *idx, long n_idx,
+                     long batch, double *out)
+{
+    for (long b = 0; b < batch; ++b) {
+        const short *s = src + b * src_len;
+        double *o = out + b * n_idx;
+        for (long k = 0; k < n_idx; ++k)
+            o[k] = (double) s[idx[k]];
+    }
+}
+
+void gather_rows_q16f(const short *src, long src_len,
+                      const long *idx, long n_idx,
+                      long batch, float *out)
+{
+    for (long b = 0; b < batch; ++b) {
+        const short *s = src + b * src_len;
+        float *o = out + b * n_idx;
+        for (long k = 0; k < n_idx; ++k)
+            o[k] = (float) s[idx[k]];
+    }
+}
+
+/* Quantized-lane requantization: fold the quantized bias into an
+ * integer-exact GEMM output and scale it into the next layer's raws.
+ * bias/mult are per output channel (the GEMM output's last axis);
+ * rint semantics match np.rint (round half to even — the default FP
+ * rounding mode) and the bias add is integer-exact, so one pass here
+ * is bitwise the NumPy add/multiply/rint/clip/cast chain it replaces.
+ *
+ * The per-channel operands repeat with period `cols` (8-32 for the
+ * repo's conv layers) — too short a trip count to vectorize.  The
+ * fast path therefore expands them into REQUANT_UNROLL repetitions on
+ * the stack and walks the output flat, so the hot loop runs a few
+ * hundred iterations of contiguous loads and vectorizes (AVX-512
+ * vrndscaleps on the build hosts this repo targets). */
+#define REQUANT_UNROLL 16
+#define REQUANT_MAX_COLS 256
+
+void requant_rows_q8(const float *src, long rows, long cols,
+                     const float *bias, const float *mult,
+                     float lo, float hi, signed char *out)
+{
+    if (cols <= REQUANT_MAX_COLS) {
+        float bpat[REQUANT_MAX_COLS * REQUANT_UNROLL];
+        float mpat[REQUANT_MAX_COLS * REQUANT_UNROLL];
+        long plen = cols * REQUANT_UNROLL;
+        for (long j = 0; j < plen; ++j) {
+            bpat[j] = bias[j % cols];
+            mpat[j] = mult[j % cols];
+        }
+        long n = rows * cols, i = 0;
+        for (; i + plen <= n; i += plen) {
+            const float *s = src + i;
+            signed char *o = out + i;
+            for (long j = 0; j < plen; ++j) {
+                float v = rintf((s[j] + bpat[j]) * mpat[j]);
+                v = v < lo ? lo : (v > hi ? hi : v);
+                o[j] = (signed char) v;
+            }
+        }
+        for (; i < n; ++i) {
+            float v = rintf((src[i] + bias[i % cols]) * mult[i % cols]);
+            v = v < lo ? lo : (v > hi ? hi : v);
+            out[i] = (signed char) v;
+        }
+        return;
+    }
+    for (long r = 0; r < rows; ++r) {
+        const float *s = src + r * cols;
+        signed char *o = out + r * cols;
+        for (long c = 0; c < cols; ++c) {
+            float v = rintf((s[c] + bias[c]) * mult[c]);
+            v = v < lo ? lo : (v > hi ? hi : v);
+            o[c] = (signed char) v;
+        }
+    }
+}
+
+void requant_rows_q16f(const float *src, long rows, long cols,
+                       const float *bias, const float *mult,
+                       float lo, float hi, short *out)
+{
+    if (cols <= REQUANT_MAX_COLS) {
+        float bpat[REQUANT_MAX_COLS * REQUANT_UNROLL];
+        float mpat[REQUANT_MAX_COLS * REQUANT_UNROLL];
+        long plen = cols * REQUANT_UNROLL;
+        for (long j = 0; j < plen; ++j) {
+            bpat[j] = bias[j % cols];
+            mpat[j] = mult[j % cols];
+        }
+        long n = rows * cols, i = 0;
+        for (; i + plen <= n; i += plen) {
+            const float *s = src + i;
+            short *o = out + i;
+            for (long j = 0; j < plen; ++j) {
+                float v = rintf((s[j] + bpat[j]) * mpat[j]);
+                v = v < lo ? lo : (v > hi ? hi : v);
+                o[j] = (short) v;
+            }
+        }
+        for (; i < n; ++i) {
+            float v = rintf((src[i] + bias[i % cols]) * mult[i % cols]);
+            v = v < lo ? lo : (v > hi ? hi : v);
+            out[i] = (short) v;
+        }
+        return;
+    }
+    for (long r = 0; r < rows; ++r) {
+        const float *s = src + r * cols;
+        short *o = out + r * cols;
+        for (long c = 0; c < cols; ++c) {
+            float v = rintf((s[c] + bias[c]) * mult[c]);
+            v = v < lo ? lo : (v > hi ? hi : v);
+            o[c] = (short) v;
+        }
+    }
+}
+
+void requant_rows_q16(const double *src, long rows, long cols,
+                      const double *bias, const double *mult,
+                      double lo, double hi, short *out)
+{
+    if (cols <= REQUANT_MAX_COLS) {
+        double bpat[REQUANT_MAX_COLS * REQUANT_UNROLL];
+        double mpat[REQUANT_MAX_COLS * REQUANT_UNROLL];
+        long plen = cols * REQUANT_UNROLL;
+        for (long j = 0; j < plen; ++j) {
+            bpat[j] = bias[j % cols];
+            mpat[j] = mult[j % cols];
+        }
+        long n = rows * cols, i = 0;
+        for (; i + plen <= n; i += plen) {
+            const double *s = src + i;
+            short *o = out + i;
+            for (long j = 0; j < plen; ++j) {
+                double v = rint((s[j] + bpat[j]) * mpat[j]);
+                v = v < lo ? lo : (v > hi ? hi : v);
+                o[j] = (short) v;
+            }
+        }
+        for (; i < n; ++i) {
+            double v = rint((src[i] + bias[i % cols]) * mult[i % cols]);
+            v = v < lo ? lo : (v > hi ? hi : v);
+            out[i] = (short) v;
+        }
+        return;
+    }
+    for (long r = 0; r < rows; ++r) {
+        const double *s = src + r * cols;
+        short *o = out + r * cols;
+        for (long c = 0; c < cols; ++c) {
+            double v = rint((s[c] + bias[c]) * mult[c]);
+            v = v < lo ? lo : (v > hi ? hi : v);
+            o[c] = (short) v;
+        }
+    }
+}
+
+/* Entry quantization: float32 activations to raws in one pass (scale
+ * is a power of two, so the multiply is exact in any precision). */
+void quantize_q8(const float *src, long n, float scale,
+                 float lo, float hi, signed char *out)
+{
+    for (long i = 0; i < n; ++i) {
+        float v = rintf(src[i] * scale);
+        v = v < lo ? lo : (v > hi ? hi : v);
+        out[i] = (signed char) v;
+    }
+}
+
+void quantize_q16(const float *src, long n, float scale,
+                  float lo, float hi, short *out)
+{
+    for (long i = 0; i < n; ++i) {
+        float v = rintf(src[i] * scale);
+        v = v < lo ? lo : (v > hi ? hi : v);
+        out[i] = (short) v;
+    }
+}
+
+/* im2col gather for the int8 VNNI GEMM: per-sample row structure with
+ * the activation offset applied in flight.  out row (b*rows + r) gets
+ * src[b][idx[r*k .. r*k+k-1]] ^ 0x80 (two's-complement int8 + 128 ==
+ * xor with the sign bit) in its first k bytes; the kp-k pad bytes are
+ * never written (the caller zeroes the buffer once — zero u8 activation
+ * times zero weight pad contributes nothing). */
+void gather_cols_q8u(const signed char *src, long src_len,
+                     const long *idx, long rows, long k,
+                     long batch, long kp, unsigned char *out)
+{
+    for (long b = 0; b < batch; ++b) {
+        const signed char *s = src + b * src_len;
+        for (long r = 0; r < rows; ++r) {
+            const long *ir = idx + r * k;
+            unsigned char *o = out + (b * rows + r) * kp;
+            for (long j = 0; j < k; ++j)
+                o[j] = (unsigned char) (s[ir[j]] ^ 0x80);
+        }
+    }
+}
+
+/* int8 convolution GEMM with fused requantization (AVX512-VNNI).
+ *
+ * a:  (m, k4*4) uint8 activations offset by +128, zero-padded past the
+ *     true reduction depth.
+ * bp: packed int8 weights, k4 groups x 32 channels x 4 consecutive
+ *     k-positions (vpdpbusd's operand shape), zero-padded in both axes.
+ * bias/mult: 32 floats per channel; bias already carries the
+ *     -128 * sum_k(w) correction for the activation offset, so the
+ *     int32 accumulator equals acc_true + 128*colsum and
+ *     (float)acc + bias reproduces the reference (acc_true + bias_q)
+ *     exactly (all quantities are integers below 2^24).
+ * out: (m, out_stride) int8, first n columns written.
+ *
+ * vpdpbusd accumulates u8 x s8 dot-4s into int32 — exact integer
+ * arithmetic, so any summation order matches the NumPy reference
+ * bitwise.  The requant epilogue (cvt, +bias, *mult, round-to-even,
+ * clip, narrow) is the same chain as requant_rows_q8 in vector form.
+ */
+#if defined(__AVX512VNNI__) && defined(__AVX512F__)
+int have_vnni(void) { return 1; }
+
+static inline void requant_store_q8(__m512i acc0, __m512i acc1,
+                                    __m512 vb0, __m512 vb1,
+                                    __m512 vm0, __m512 vm1,
+                                    __m512 vlo, __m512 vhi,
+                                    long n, signed char *dst)
+{
+    __m512 f0 = _mm512_mul_ps(
+        _mm512_add_ps(_mm512_cvtepi32_ps(acc0), vb0), vm0);
+    __m512 f1 = _mm512_mul_ps(
+        _mm512_add_ps(_mm512_cvtepi32_ps(acc1), vb1), vm1);
+    f0 = _mm512_roundscale_ps(f0, 0x08);
+    f1 = _mm512_roundscale_ps(f1, 0x08);
+    f0 = _mm512_min_ps(_mm512_max_ps(f0, vlo), vhi);
+    f1 = _mm512_min_ps(_mm512_max_ps(f1, vlo), vhi);
+    signed char tmp[32];
+    _mm_storeu_si128((__m128i *) tmp,
+                     _mm512_cvtepi32_epi8(_mm512_cvtps_epi32(f0)));
+    _mm_storeu_si128((__m128i *) (tmp + 16),
+                     _mm512_cvtepi32_epi8(_mm512_cvtps_epi32(f1)));
+    memcpy(dst, tmp, n);
+}
+
+static inline void requant_store_q16(__m512i acc0, __m512i acc1,
+                                     __m512 vb0, __m512 vb1,
+                                     __m512 vm0, __m512 vm1,
+                                     __m512 vlo, __m512 vhi,
+                                     long n, short *dst)
+{
+    __m512 f0 = _mm512_mul_ps(
+        _mm512_add_ps(_mm512_cvtepi32_ps(acc0), vb0), vm0);
+    __m512 f1 = _mm512_mul_ps(
+        _mm512_add_ps(_mm512_cvtepi32_ps(acc1), vb1), vm1);
+    f0 = _mm512_roundscale_ps(f0, 0x08);
+    f1 = _mm512_roundscale_ps(f1, 0x08);
+    f0 = _mm512_min_ps(_mm512_max_ps(f0, vlo), vhi);
+    f1 = _mm512_min_ps(_mm512_max_ps(f1, vlo), vhi);
+    short tmp[32];
+    _mm256_storeu_si256((__m256i *) tmp,
+                        _mm512_cvtepi32_epi16(_mm512_cvtps_epi32(f0)));
+    _mm256_storeu_si256((__m256i *) (tmp + 16),
+                        _mm512_cvtepi32_epi16(_mm512_cvtps_epi32(f1)));
+    memcpy(dst, tmp, n * sizeof(short));
+}
+
+#define VNNI_GEMM_BODY(REQUANT_STORE, OUT_T)                               \
+    const __m512 vlo = _mm512_set1_ps(lo), vhi = _mm512_set1_ps(hi);       \
+    const __m512 vb0 = _mm512_loadu_ps(bias);                              \
+    const __m512 vb1 = _mm512_loadu_ps(bias + 16);                         \
+    const __m512 vm0 = _mm512_loadu_ps(mult);                              \
+    const __m512 vm1 = _mm512_loadu_ps(mult + 16);                         \
+    long i = 0;                                                            \
+    for (; i + 4 <= m; i += 4) {                                           \
+        const unsigned *a0 = (const unsigned *) (a + (i + 0) * k4 * 4);    \
+        const unsigned *a1 = (const unsigned *) (a + (i + 1) * k4 * 4);    \
+        const unsigned *a2 = (const unsigned *) (a + (i + 2) * k4 * 4);    \
+        const unsigned *a3 = (const unsigned *) (a + (i + 3) * k4 * 4);    \
+        __m512i c00 = _mm512_setzero_si512(), c01 = _mm512_setzero_si512();\
+        __m512i c10 = _mm512_setzero_si512(), c11 = _mm512_setzero_si512();\
+        __m512i c20 = _mm512_setzero_si512(), c21 = _mm512_setzero_si512();\
+        __m512i c30 = _mm512_setzero_si512(), c31 = _mm512_setzero_si512();\
+        for (long g = 0; g < k4; ++g) {                                    \
+            __m512i b0 = _mm512_loadu_si512(bp + g * 128);                 \
+            __m512i b1 = _mm512_loadu_si512(bp + g * 128 + 64);            \
+            __m512i v0 = _mm512_set1_epi32(a0[g]);                         \
+            __m512i v1 = _mm512_set1_epi32(a1[g]);                         \
+            __m512i v2 = _mm512_set1_epi32(a2[g]);                         \
+            __m512i v3 = _mm512_set1_epi32(a3[g]);                         \
+            c00 = _mm512_dpbusd_epi32(c00, v0, b0);                        \
+            c01 = _mm512_dpbusd_epi32(c01, v0, b1);                        \
+            c10 = _mm512_dpbusd_epi32(c10, v1, b0);                        \
+            c11 = _mm512_dpbusd_epi32(c11, v1, b1);                        \
+            c20 = _mm512_dpbusd_epi32(c20, v2, b0);                        \
+            c21 = _mm512_dpbusd_epi32(c21, v2, b1);                        \
+            c30 = _mm512_dpbusd_epi32(c30, v3, b0);                        \
+            c31 = _mm512_dpbusd_epi32(c31, v3, b1);                        \
+        }                                                                  \
+        REQUANT_STORE(c00, c01, vb0, vb1, vm0, vm1, vlo, vhi, n,           \
+                      out + (i + 0) * out_stride);                         \
+        REQUANT_STORE(c10, c11, vb0, vb1, vm0, vm1, vlo, vhi, n,           \
+                      out + (i + 1) * out_stride);                         \
+        REQUANT_STORE(c20, c21, vb0, vb1, vm0, vm1, vlo, vhi, n,           \
+                      out + (i + 2) * out_stride);                         \
+        REQUANT_STORE(c30, c31, vb0, vb1, vm0, vm1, vlo, vhi, n,           \
+                      out + (i + 3) * out_stride);                         \
+    }                                                                      \
+    for (; i < m; ++i) {                                                   \
+        const unsigned *a0 = (const unsigned *) (a + i * k4 * 4);          \
+        __m512i c0 = _mm512_setzero_si512(), c1 = _mm512_setzero_si512();  \
+        for (long g = 0; g < k4; ++g) {                                    \
+            __m512i v0 = _mm512_set1_epi32(a0[g]);                         \
+            c0 = _mm512_dpbusd_epi32(                                      \
+                c0, v0, _mm512_loadu_si512(bp + g * 128));                 \
+            c1 = _mm512_dpbusd_epi32(                                      \
+                c1, v0, _mm512_loadu_si512(bp + g * 128 + 64));            \
+        }                                                                  \
+        REQUANT_STORE(c0, c1, vb0, vb1, vm0, vm1, vlo, vhi, n,             \
+                      out + i * out_stride);                               \
+    }
+
+void gemm_requant_u8s8(const unsigned char *a, long m, long k4,
+                       const signed char *bp, long n,
+                       const float *bias, const float *mult,
+                       float lo, float hi,
+                       signed char *out, long out_stride)
+{
+    VNNI_GEMM_BODY(requant_store_q8, signed char)
+}
+
+void gemm_requant_u8s8_o16(const unsigned char *a, long m, long k4,
+                           const signed char *bp, long n,
+                           const float *bias, const float *mult,
+                           float lo, float hi,
+                           short *out, long out_stride)
+{
+    VNNI_GEMM_BODY(requant_store_q16, short)
+}
+#else
+int have_vnni(void) { return 0; }
+#endif
+
 /* PR 1 producer, kept verbatim: offset-major out[oi][oj][ty][tx]. */
 void tile_sad(const double *pad, long pad_w,
               const double *cur, long cur_w,
@@ -398,6 +764,81 @@ class SADKernel:
         self._fn_gather.restype = None
         self._fn_gather.argtypes = [
             dptr, ctypes.c_long, lptr, ctypes.c_long, ctypes.c_long, dptr,
+        ]
+        fptr = ctypes.POINTER(ctypes.c_float)
+        sptr = ctypes.POINTER(ctypes.c_short)
+        cptr = ctypes.POINTER(ctypes.c_byte)
+        self._fn_gather_q8 = lib.gather_rows_q8
+        self._fn_gather_q8.restype = None
+        self._fn_gather_q8.argtypes = [
+            cptr, ctypes.c_long, lptr, ctypes.c_long, ctypes.c_long, fptr,
+        ]
+        self._fn_gather_q16 = lib.gather_rows_q16
+        self._fn_gather_q16.restype = None
+        self._fn_gather_q16.argtypes = [
+            sptr, ctypes.c_long, lptr, ctypes.c_long, ctypes.c_long, dptr,
+        ]
+        self._fn_gather_q16f = lib.gather_rows_q16f
+        self._fn_gather_q16f.restype = None
+        self._fn_gather_q16f.argtypes = [
+            sptr, ctypes.c_long, lptr, ctypes.c_long, ctypes.c_long, fptr,
+        ]
+        self._fn_requant_q8 = lib.requant_rows_q8
+        self._fn_requant_q8.restype = None
+        self._fn_requant_q8.argtypes = [
+            fptr, ctypes.c_long, ctypes.c_long, fptr, fptr,
+            ctypes.c_float, ctypes.c_float, cptr,
+        ]
+        self._fn_requant_q16f = lib.requant_rows_q16f
+        self._fn_requant_q16f.restype = None
+        self._fn_requant_q16f.argtypes = [
+            fptr, ctypes.c_long, ctypes.c_long, fptr, fptr,
+            ctypes.c_float, ctypes.c_float, sptr,
+        ]
+        self._fn_requant_q16 = lib.requant_rows_q16
+        self._fn_requant_q16.restype = None
+        self._fn_requant_q16.argtypes = [
+            dptr, ctypes.c_long, ctypes.c_long, dptr, dptr,
+            ctypes.c_double, ctypes.c_double, sptr,
+        ]
+        uptr = ctypes.POINTER(ctypes.c_ubyte)
+        self._fn_gather_cols_q8u = lib.gather_cols_q8u
+        self._fn_gather_cols_q8u.restype = None
+        self._fn_gather_cols_q8u.argtypes = [
+            cptr, ctypes.c_long, lptr, ctypes.c_long, ctypes.c_long,
+            ctypes.c_long, ctypes.c_long, uptr,
+        ]
+        lib.have_vnni.restype = ctypes.c_int
+        #: AVX512-VNNI int8 GEMM compiled in?  The quantized lanes route
+        #: through :meth:`gemm_requant_u8s8` only when true; the math is
+        #: identical either way (integer-exact), only the speed differs.
+        self.has_vnni = bool(lib.have_vnni())
+        if self.has_vnni:
+            self._fn_gemm_u8s8 = lib.gemm_requant_u8s8
+            self._fn_gemm_u8s8.restype = None
+            self._fn_gemm_u8s8.argtypes = [
+                uptr, ctypes.c_long, ctypes.c_long, cptr, ctypes.c_long,
+                fptr, fptr, ctypes.c_float, ctypes.c_float,
+                cptr, ctypes.c_long,
+            ]
+            self._fn_gemm_u8s8_o16 = lib.gemm_requant_u8s8_o16
+            self._fn_gemm_u8s8_o16.restype = None
+            self._fn_gemm_u8s8_o16.argtypes = [
+                uptr, ctypes.c_long, ctypes.c_long, cptr, ctypes.c_long,
+                fptr, fptr, ctypes.c_float, ctypes.c_float,
+                sptr, ctypes.c_long,
+            ]
+        self._fn_quantize_q8 = lib.quantize_q8
+        self._fn_quantize_q8.restype = None
+        self._fn_quantize_q8.argtypes = [
+            fptr, ctypes.c_long, ctypes.c_float,
+            ctypes.c_float, ctypes.c_float, cptr,
+        ]
+        self._fn_quantize_q16 = lib.quantize_q16
+        self._fn_quantize_q16.restype = None
+        self._fn_quantize_q16.argtypes = [
+            fptr, ctypes.c_long, ctypes.c_float,
+            ctypes.c_float, ctypes.c_float, sptr,
         ]
         self._fn_consume = lib.rfbme_consume
         self._fn_consume.restype = None
@@ -504,6 +945,169 @@ class SADKernel:
             idx.ctypes.data_as(ctypes.POINTER(ctypes.c_long)), idx.shape[0],
             src.shape[0],
             out.ctypes.data_as(dptr),
+        )
+        return out
+
+    def gather_rows_q8(
+        self, src: np.ndarray, idx: np.ndarray, out: np.ndarray
+    ) -> np.ndarray:
+        """out[b, k] = float32(src[b, idx[k]]) for C-contiguous int8 ``src``
+        (``idx`` int64, ``out`` float32) — the int8 lane's fused
+        gather-and-widen."""
+        self._fn_gather_q8(
+            src.ctypes.data_as(ctypes.POINTER(ctypes.c_byte)), src.shape[1],
+            idx.ctypes.data_as(ctypes.POINTER(ctypes.c_long)), idx.shape[0],
+            src.shape[0],
+            out.ctypes.data_as(ctypes.POINTER(ctypes.c_float)),
+        )
+        return out
+
+    def gather_rows_q16(
+        self, src: np.ndarray, idx: np.ndarray, out: np.ndarray
+    ) -> np.ndarray:
+        """out[b, k] = float64(src[b, idx[k]]) for C-contiguous int16
+        ``src`` (``idx`` int64, ``out`` float64) — the q16 lane's fused
+        gather-and-widen."""
+        self._fn_gather_q16(
+            src.ctypes.data_as(ctypes.POINTER(ctypes.c_short)), src.shape[1],
+            idx.ctypes.data_as(ctypes.POINTER(ctypes.c_long)), idx.shape[0],
+            src.shape[0],
+            out.ctypes.data_as(ctypes.POINTER(ctypes.c_double)),
+        )
+        return out
+
+    def gather_rows_q16f(
+        self, src: np.ndarray, idx: np.ndarray, out: np.ndarray
+    ) -> np.ndarray:
+        """out[b, k] = float32(src[b, idx[k]]) for C-contiguous int16
+        ``src`` (``idx`` int64, ``out`` float32) — the int8 lane's
+        gather for its wider-than-8-bit activations."""
+        self._fn_gather_q16f(
+            src.ctypes.data_as(ctypes.POINTER(ctypes.c_short)), src.shape[1],
+            idx.ctypes.data_as(ctypes.POINTER(ctypes.c_long)), idx.shape[0],
+            src.shape[0],
+            out.ctypes.data_as(ctypes.POINTER(ctypes.c_float)),
+        )
+        return out
+
+    def requant_rows_q8(
+        self, src: np.ndarray, bias: np.ndarray, mult: np.ndarray,
+        lo: float, hi: float, out: np.ndarray,
+    ) -> np.ndarray:
+        """out = int8(clip(rint((src + bias) * mult), lo, hi)) with
+        per-column ``bias``/``mult`` — src float32 2-D ``(rows, cols)``,
+        one pass.  Bitwise the NumPy add/multiply/rint/clip/cast chain."""
+        fptr = ctypes.POINTER(ctypes.c_float)
+        self._fn_requant_q8(
+            src.ctypes.data_as(fptr), src.shape[0], src.shape[1],
+            bias.ctypes.data_as(fptr), mult.ctypes.data_as(fptr), lo, hi,
+            out.ctypes.data_as(ctypes.POINTER(ctypes.c_byte)),
+        )
+        return out
+
+    def requant_rows_q16f(
+        self, src: np.ndarray, bias: np.ndarray, mult: np.ndarray,
+        lo: float, hi: float, out: np.ndarray,
+    ) -> np.ndarray:
+        """int16-output variant of :meth:`requant_rows_q8` (float32 src)."""
+        fptr = ctypes.POINTER(ctypes.c_float)
+        self._fn_requant_q16f(
+            src.ctypes.data_as(fptr), src.shape[0], src.shape[1],
+            bias.ctypes.data_as(fptr), mult.ctypes.data_as(fptr), lo, hi,
+            out.ctypes.data_as(ctypes.POINTER(ctypes.c_short)),
+        )
+        return out
+
+    def requant_rows_q16(
+        self, src: np.ndarray, bias: np.ndarray, mult: np.ndarray,
+        lo: float, hi: float, out: np.ndarray,
+    ) -> np.ndarray:
+        """int16 variant of :meth:`requant_rows_q8` over float64 ``src``."""
+        dptr = ctypes.POINTER(ctypes.c_double)
+        self._fn_requant_q16(
+            src.ctypes.data_as(dptr), src.shape[0], src.shape[1],
+            bias.ctypes.data_as(dptr), mult.ctypes.data_as(dptr), lo, hi,
+            out.ctypes.data_as(ctypes.POINTER(ctypes.c_short)),
+        )
+        return out
+
+    def gather_cols_q8u(
+        self, src: np.ndarray, idx: np.ndarray, rows: int, k: int,
+        out: np.ndarray,
+    ) -> np.ndarray:
+        """Row-structured im2col gather for the VNNI GEMM.
+
+        ``src`` is ``(batch, src_len)`` int8, ``idx`` the per-row
+        ``rows * k`` gather indices, ``out`` a ``(batch * rows, kp)``
+        uint8 buffer whose pad columns (``kp - k``) the caller keeps
+        zeroed.  Each gathered byte is offset by +128 into uint8 (the
+        vpdpbusd operand form)."""
+        self._fn_gather_cols_q8u(
+            src.ctypes.data_as(ctypes.POINTER(ctypes.c_byte)), src.shape[1],
+            idx.ctypes.data_as(ctypes.POINTER(ctypes.c_long)), rows, k,
+            src.shape[0], out.shape[1],
+            out.ctypes.data_as(ctypes.POINTER(ctypes.c_ubyte)),
+        )
+        return out
+
+    def gemm_requant_u8s8(
+        self, a: np.ndarray, bp: np.ndarray, n: int, bias: np.ndarray,
+        mult: np.ndarray, lo: float, hi: float, out: np.ndarray,
+    ) -> np.ndarray:
+        """Fused int8 GEMM + requantization (AVX512-VNNI; check
+        :attr:`has_vnni` first).
+
+        ``a`` is the ``(m, k4*4)`` uint8 activation matrix (offset
+        +128), ``bp`` the packed ``(k4, 32, 4)`` int8 weights, ``bias``
+        / ``mult`` 32-channel float32 vectors with the activation-offset
+        correction already folded into ``bias``.  ``out`` is int8 (or
+        int16 — picked by dtype) of ``(m, out_stride)``; the first ``n``
+        channels of each row are written.  Bitwise equal to the exact
+        integer GEMM + the NumPy requant chain.
+        """
+        fptr = ctypes.POINTER(ctypes.c_float)
+        fn = (
+            self._fn_gemm_u8s8
+            if out.dtype == np.int8
+            else self._fn_gemm_u8s8_o16
+        )
+        fn(
+            a.ctypes.data_as(ctypes.POINTER(ctypes.c_ubyte)),
+            a.shape[0], a.shape[1] // 4,
+            bp.ctypes.data_as(ctypes.POINTER(ctypes.c_byte)), n,
+            bias.ctypes.data_as(fptr), mult.ctypes.data_as(fptr), lo, hi,
+            out.ctypes.data_as(
+                ctypes.POINTER(
+                    ctypes.c_byte if out.dtype == np.int8 else ctypes.c_short
+                )
+            ),
+            out.shape[1],
+        )
+        return out
+
+    def quantize_q8(
+        self, src: np.ndarray, scale: float, lo: float, hi: float,
+        out: np.ndarray,
+    ) -> np.ndarray:
+        """out = int8(clip(rint(src * scale), lo, hi)) — flat float32
+        ``src`` to raws in one pass (``scale`` a power of two, so the
+        multiply is exact and matches the float64 NumPy path)."""
+        self._fn_quantize_q8(
+            src.ctypes.data_as(ctypes.POINTER(ctypes.c_float)), src.size,
+            scale, lo, hi,
+            out.ctypes.data_as(ctypes.POINTER(ctypes.c_byte)),
+        )
+        return out
+
+    def quantize_q16(
+        self, src: np.ndarray, scale: float, lo: float, hi: float,
+        out: np.ndarray,
+    ) -> np.ndarray:
+        """int16 variant of :meth:`quantize_q8`."""
+        self._fn_quantize_q16(
+            src.ctypes.data_as(ctypes.POINTER(ctypes.c_float)), src.size,
+            scale, lo, hi,
+            out.ctypes.data_as(ctypes.POINTER(ctypes.c_short)),
         )
         return out
 
@@ -731,6 +1335,126 @@ def _self_check(kernel: SADKernel) -> bool:
     got = np.empty((3, 200))
     kernel.gather_rows(src, idx, got)
     if not np.array_equal(got, np.take(src, idx, axis=1)):
+        return False
+    src8 = np.ascontiguousarray(
+        rng.integers(-128, 128, (3, 500)), dtype=np.int8
+    )
+    got8 = np.empty((3, 200), dtype=np.float32)
+    kernel.gather_rows_q8(src8, idx, got8)
+    if not np.array_equal(got8, np.take(src8, idx, axis=1).astype(np.float32)):
+        return False
+    src16 = np.ascontiguousarray(
+        rng.integers(-32768, 32768, (3, 500)), dtype=np.int16
+    )
+    got16 = np.empty((3, 200))
+    kernel.gather_rows_q16(src16, idx, got16)
+    if not np.array_equal(got16, np.take(src16, idx, axis=1).astype(np.float64)):
+        return False
+    got16f = np.empty((3, 200), dtype=np.float32)
+    kernel.gather_rows_q16f(src16, idx, got16f)
+    if not np.array_equal(got16f, np.take(src16, idx, axis=1).astype(np.float32)):
+        return False
+    # Requant: both the pattern-expanded fast path (cols <= 256) and the
+    # wide-cols fallback must be bitwise the NumPy chain.
+    for rows, cols in ((40, 24), (7, 300)):
+        acc32 = np.ascontiguousarray(
+            rng.integers(-60000, 60000, (rows, cols)).astype(np.float32)
+        )
+        bias32 = np.ascontiguousarray(
+            rng.integers(-3000, 3000, cols).astype(np.float32)
+        )
+        mult32 = np.ascontiguousarray(
+            (2.0 ** rng.integers(-12, -2, cols)).astype(np.float32)
+        )
+        want_r = np.rint((acc32 + bias32) * mult32)
+        np.clip(want_r, -128, 127, out=want_r)
+        got_r8 = np.empty((rows, cols), dtype=np.int8)
+        kernel.requant_rows_q8(acc32, bias32, mult32, -128.0, 127.0, got_r8)
+        if not np.array_equal(got_r8, want_r.astype(np.int8)):
+            return False
+        np.clip(np.rint((acc32 + bias32) * mult32), -32768, 32767, out=want_r)
+        got_r16f = np.empty((rows, cols), dtype=np.int16)
+        kernel.requant_rows_q16f(
+            acc32, bias32, mult32, -32768.0, 32767.0, got_r16f
+        )
+        if not np.array_equal(got_r16f, want_r.astype(np.int16)):
+            return False
+        acc64 = np.ascontiguousarray(
+            rng.integers(-(2**28), 2**28, (rows, cols)).astype(np.float64)
+        )
+        bias64 = np.ascontiguousarray(
+            rng.integers(-(2**20), 2**20, cols).astype(np.float64)
+        )
+        mult64 = np.ascontiguousarray(2.0 ** rng.integers(-20, -6, cols))
+        want_r = np.rint((acc64 + bias64) * mult64)
+        np.clip(want_r, -32768, 32767, out=want_r)
+        got_r16 = np.empty((rows, cols), dtype=np.int16)
+        kernel.requant_rows_q16(
+            acc64, bias64, mult64, -32768.0, 32767.0, got_r16
+        )
+        if not np.array_equal(got_r16, want_r.astype(np.int16)):
+            return False
+    rows_g, kg, kp = 37, 30, 32
+    idxg = np.ascontiguousarray(
+        rng.integers(0, 500, rows_g * kg), dtype=np.int64
+    )
+    got_u = np.zeros((3 * rows_g, kp), dtype=np.uint8)
+    kernel.gather_cols_q8u(src8, idxg, rows_g, kg, got_u)
+    want_u = np.zeros((3 * rows_g, kp), dtype=np.uint8)
+    want_u[:, :kg] = (
+        np.take(src8, idxg, axis=1).astype(np.int16) + 128
+    ).reshape(3 * rows_g, kg).astype(np.uint8)
+    if not np.array_equal(got_u, want_u):
+        return False
+    if kernel.has_vnni:
+        for m, k, n in ((37, 30, 24), (8, 216, 16), (5, 4, 32)):
+            k4 = (k + 3) // 4
+            a_s = rng.integers(-128, 128, (m, k)).astype(np.int8)
+            w_t = rng.integers(-128, 128, (n, k)).astype(np.int8)
+            bias = rng.integers(-3000, 3000, n).astype(np.float64)
+            mult = (2.0 ** rng.integers(-12, -6, n)).astype(np.float32)
+            a_u = np.zeros((m, k4 * 4), dtype=np.uint8)
+            a_u[:, :k] = (a_s.astype(np.int16) + 128).astype(np.uint8)
+            wt_pad = np.zeros((32, k4 * 4), dtype=np.int8)
+            wt_pad[:n, :k] = w_t
+            bp = np.ascontiguousarray(
+                wt_pad.reshape(32, k4, 4).transpose(1, 0, 2)
+            )
+            colsum = w_t.astype(np.int64).sum(axis=1)
+            bias_eff = np.zeros(32, dtype=np.float32)
+            bias_eff[:n] = (bias - 128.0 * colsum).astype(np.float32)
+            mult_pad = np.zeros(32, dtype=np.float32)
+            mult_pad[:n] = mult
+            ref = a_s.astype(np.int32) @ w_t.T.astype(np.int32)
+            chain = np.rint(
+                (ref.astype(np.float32) + bias.astype(np.float32)) * mult
+            )
+            got_g8 = np.empty((m, n), dtype=np.int8)
+            kernel.gemm_requant_u8s8(
+                a_u, bp, n, bias_eff, mult_pad, -128.0, 127.0, got_g8
+            )
+            if not np.array_equal(
+                got_g8, np.clip(chain, -128, 127).astype(np.int8)
+            ):
+                return False
+            got_g16 = np.empty((m, n), dtype=np.int16)
+            kernel.gemm_requant_u8s8(
+                a_u, bp, n, bias_eff, mult_pad, -32768.0, 32767.0, got_g16
+            )
+            if not np.array_equal(
+                got_g16, np.clip(chain, -32768, 32767).astype(np.int16)
+            ):
+                return False
+    act = np.ascontiguousarray((rng.random(300) * 8 - 4).astype(np.float32))
+    want_q = np.clip(np.rint(act.astype(np.float64) * 32.0), -128, 127)
+    got_q8 = np.empty(300, dtype=np.int8)
+    kernel.quantize_q8(act, 32.0, -128.0, 127.0, got_q8)
+    if not np.array_equal(got_q8, want_q.astype(np.int8)):
+        return False
+    want_q = np.clip(np.rint(act.astype(np.float64) * 4096.0), -32768, 32767)
+    got_q16 = np.empty(300, dtype=np.int16)
+    kernel.quantize_q16(act, 4096.0, -32768.0, 32767.0, got_q16)
+    if not np.array_equal(got_q16, want_q.astype(np.int16)):
         return False
     return _check_consumer(kernel, rng)
 

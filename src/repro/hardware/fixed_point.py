@@ -11,10 +11,18 @@ structure as the paper's weighting units.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Iterable, Tuple
 
 import numpy as np
 
-__all__ = ["QFormat", "Q8_8", "UQ0_16"]
+__all__ = [
+    "QFormat",
+    "Q8_8",
+    "UQ0_16",
+    "QuantSavings",
+    "mac_energy_pj",
+    "estimate_quantized_savings",
+]
 
 
 @dataclass(frozen=True)
@@ -107,3 +115,96 @@ Q8_8 = QFormat(int_bits=8, frac_bits=7, signed=True)
 
 #: Motion-vector fractional bits (u, v in [0, 1)): unsigned pure fraction.
 UQ0_16 = QFormat(int_bits=0, frac_bits=16, signed=False)
+
+
+# --------------------------------------------------------------------- #
+# quantized-lane cost model
+
+#: Mantissa width of a float32 multiply — the effective multiplier the
+#: float lanes pay per MAC (exponent/normalisation overhead is folded
+#: into :func:`mac_energy_pj`'s float handling below).
+_FLOAT32_MANTISSA_BITS = 24
+
+
+def mac_energy_pj(weight_bits: int, act_bits: int, floating: bool = False) -> float:
+    """First-order energy of one multiply-accumulate, in picojoules.
+
+    Anchored to the 16-bit warp-engine datapath constants
+    (:data:`repro.hardware.eva2.MULT16_PJ` / ``ADD16_PJ``): the
+    multiplier scales with the *product* of its operand widths (array
+    multiplier), the accumulate with the accumulator width
+    (``weight_bits + act_bits + 8`` carry headroom).  ``floating`` adds
+    the alignment/normalisation overhead of a floating-point add —
+    first-order 3x the integer add at the same width, consistent with
+    published 45/65 nm datapath surveys where an fp32 MAC costs roughly
+    an order of magnitude more than an int8 one.
+    """
+    from .eva2 import ADD16_PJ, MULT16_PJ
+
+    mult = MULT16_PJ * (weight_bits * act_bits) / (16.0 * 16.0)
+    acc_bits = weight_bits + act_bits + 8
+    add = ADD16_PJ * (acc_bits / 16.0) * (3.0 if floating else 1.0)
+    return mult + add
+
+
+@dataclass(frozen=True)
+class QuantSavings:
+    """Estimated per-inference cost of a quantized lane vs float32.
+
+    Produced by :func:`estimate_quantized_savings` from layer shapes and
+    the lane's bit widths; surfaced on ``WorkloadResult`` /
+    ``ServingReport`` so serving reports carry the hardware story next
+    to the measured throughput.  Ratios are float32-cost over
+    quantized-cost (bigger is better); traffic counts activation bytes
+    crossing the inter-layer buffers plus one read of the weights.
+    """
+
+    macs: int
+    mac_energy_ratio: float
+    float_traffic_bytes: int
+    quant_traffic_bytes: int
+    #: eDRAM access energy saved per inference by the narrower traffic.
+    traffic_energy_saved_mj: float
+
+    @property
+    def traffic_ratio(self) -> float:
+        return self.float_traffic_bytes / max(self.quant_traffic_bytes, 1)
+
+
+def estimate_quantized_savings(
+    layers: Iterable[Tuple[int, int, int, int, int]],
+) -> QuantSavings:
+    """Aggregate MAC-energy and memory-traffic savings over a network.
+
+    ``layers`` yields one tuple per weighted layer:
+    ``(macs, act_values, weight_count, weight_bits, act_bits)`` where
+    ``act_values`` counts the layer's *input* activation values (the
+    tensor the quantized lane stores at ``act_bits`` instead of 32) and
+    the bit widths are the lane's calibrated storage widths.  The
+    float32 baseline pays 32 bits for both.  Traffic is priced at the
+    eDRAM energies the paper's buffer model uses
+    (:data:`repro.hardware.memory.EDRAM`).
+    """
+    from .memory import EDRAM
+
+    total_macs = 0
+    quant_mac_pj = 0.0
+    float_mac_pj = 0.0
+    float_bytes = 0
+    quant_bytes = 0
+    for macs, act_values, weight_count, weight_bits, act_bits in layers:
+        total_macs += macs
+        quant_mac_pj += macs * mac_energy_pj(weight_bits, act_bits)
+        float_mac_pj += macs * mac_energy_pj(
+            _FLOAT32_MANTISSA_BITS, _FLOAT32_MANTISSA_BITS, floating=True
+        )
+        float_bytes += 4 * (act_values + weight_count)
+        quant_bytes += (act_values * act_bits + weight_count * weight_bits) // 8
+    saved = float_bytes - quant_bytes
+    return QuantSavings(
+        macs=total_macs,
+        mac_energy_ratio=float_mac_pj / quant_mac_pj if quant_mac_pj else 1.0,
+        float_traffic_bytes=float_bytes,
+        quant_traffic_bytes=quant_bytes,
+        traffic_energy_saved_mj=EDRAM.read_energy_mj(max(saved, 0)),
+    )

@@ -22,6 +22,14 @@ dtype) and then executes layer ranges against preallocated scratch:
 * **opt-in float32** — ``dtype="float32"`` snapshots casted weights at
   compile time for roughly half the memory traffic.  float64 remains the
   default and is bit-identical to :meth:`repro.nn.network.Network.forward`.
+* **quantized lanes** — ``dtype="int8"`` and ``dtype="q16"`` compile the
+  paper's accuracy-for-throughput trade into the plan itself: per-layer
+  Q-formats calibrated over a seeded sample set
+  (:func:`repro.nn.quantize.calibrate_layer`), quantized weight
+  snapshots, im2col over int8/int16 activations, and integer-exact
+  GEMMs with per-layer requantization.  See the "quantized plans" notes
+  on :class:`InferencePlan` for the execution scheme and the tolerance
+  contract that replaces bit-identity for these lanes.
 
 Plans are obtained through :meth:`Network.inference_plan`, which caches
 one plan per dtype and grows its capacity on demand; calls with any batch
@@ -37,29 +45,193 @@ runtime stores per-frame outputs).
 
 from __future__ import annotations
 
+import math
 from typing import Dict, List, Optional, Tuple
 
 import numpy as np
 
+from ..hardware.fixed_point import QFormat, QuantSavings, estimate_quantized_savings
 from . import functional as F
 from .layers import AvgPool2d, Conv2d, Flatten, Layer, Linear, MaxPool2d, ReLU
+from .quantize import (
+    CALIBRATION_SAMPLES,
+    CALIBRATION_SEED,
+    LayerCalibration,
+    QuantTolerance,
+    calibrate_layer,
+)
 
-__all__ = ["InferencePlan"]
+__all__ = [
+    "InferencePlan",
+    "resolve_plan_dtype",
+    "quantized_savings",
+    "QUANT_DTYPES",
+]
 
 _DTYPES = {"float64": np.float64, "float32": np.float32}
 
 
-def _resolve_dtype(dtype) -> np.dtype:
+class _QuantSpec:
+    """Per-family constants of a quantized plan lane.
+
+    ``conv_bits`` sizes convolution weights *and* activations — for the
+    int8 family both ride in one byte, which is where the speed lives:
+    the im2col gathers (the planned engine's dominant memory traffic)
+    move a quarter of float32's bytes, and the 8-bit operands feed the
+    AVX512-VNNI integer GEMM when the host kernel has it.
+    ``linear_bits`` sizes the fully-connected layers: they carry under
+    2% of the MACs, so the int8 family keeps them at 16 bits — logit
+    accuracy is nearly free while the convolutions still move the
+    narrow operands (the same asymmetry EVA2 exploits: narrow where the
+    traffic is).  The systematic part of the 8-bit rounding error is
+    folded back into the quantized biases at compile time
+    (:func:`_fold_bias_correction`), which is what keeps the lane's
+    top-1 agreement at the contract bound despite the one-byte
+    activations.
+
+    The widths are fixed per family, never derived from host kernel
+    availability: every process — VNNI, plain C, or the
+    ``REPRO_FORCE_NUMPY`` lane — must pick identical Q-formats and
+    produce bit-identical raws.  Storage and GEMM dtypes are derived
+    per layer from the calibrated formats (:func:`_storage_for`,
+    :func:`_gemm_dtype_for`).
+    """
+
+    def __init__(self, name, conv_bits, linear_bits):
+        self.name = name
+        self.conv_bits = conv_bits
+        self.linear_bits = linear_bits
+
+    def weight_bits(self, layer) -> int:
+        return self.linear_bits if isinstance(layer, Linear) else self.conv_bits
+
+    def act_in_bits(self, layer) -> int:
+        """Width of the activation feeding ``layer``'s GEMM."""
+        return self.linear_bits if isinstance(layer, Linear) else self.conv_bits
+
+
+QUANT_DTYPES = ("int8", "q16")
+
+_QUANT_SPECS = {
+    "int8": _QuantSpec("int8", 8, 16),
+    "q16": _QuantSpec("q16", 16, 16),
+}
+
+
+def _storage_for(fmt: QFormat) -> np.dtype:
+    """Integer dtype that holds raws of ``fmt`` between steps."""
+    return np.dtype(np.int8) if fmt.total_bits <= 8 else np.dtype(np.int16)
+
+
+def _gemm_dtype_for(in_fmt: QFormat, w_fmts, terms: int) -> np.dtype:
+    """Float dtype whose mantissa makes the integer GEMM *exact*.
+
+    A product of raws needs ``(in_bits-1) + (w_bits-1)`` bits, a
+    reduction over ``terms`` of them adds ``ceil(log2(terms))``, and one
+    more bit covers the folded-in quantized bias.  When that fits
+    float32's 24-bit mantissa the GEMM runs in float32 (full sgemm
+    throughput); otherwise float64 — still exact (53 bits), still
+    order-independent, still fused.
+    """
+    w_bits = max(f.total_bits for f in w_fmts)
+    bits = (
+        (in_fmt.total_bits - 1)
+        + (w_bits - 1)
+        + math.ceil(math.log2(max(terms, 2)))
+        + 1
+    )
+    return np.dtype(np.float32) if bits <= 24 else np.dtype(np.float64)
+
+#: Safety factor on the calibration-set error when sizing a quantized
+#: plan's ``max_abs_error`` bound.  The headroom covers two effects the
+#: calibration pass cannot see: live traffic is only *sampled* by the
+#: seeded calibration set, and under AMC the plan's prefix error is
+#: amplified before it reaches the output — predicted frames warp the
+#: quantized prefix activations and re-enter the suffix, compounding the
+#: per-pass error severalfold.  Measured across the serving workloads,
+#: end-to-end error stays within ~6x the single-pass calibration error;
+#: 16x promises comfortably past that while still rejecting
+#: wrong-by-construction outputs.
+_TOLERANCE_SAFETY = 16.0
+
+#: Absolute floor of the ``max_abs_error`` bound (a plan whose
+#: calibration error rounds to zero still promises a non-trivial bound).
+_TOLERANCE_FLOOR = 1e-6
+
+#: Top-1 agreement fraction a quantized lane promises against the
+#: float64 reference — the second leg of the tolerance contract.
+_TOP1_BOUND = 0.98
+
+
+def _dtype_error(dtype) -> ValueError:
+    supported = sorted((*_DTYPES, *QUANT_DTYPES))
+    return ValueError(f"dtype must be one of {supported}, got {dtype!r}")
+
+
+def resolve_plan_dtype(dtype) -> str:
+    """Canonical plan-family name for ``dtype``: ``"float64"``,
+    ``"float32"``, ``"int8"``, or ``"q16"``.
+
+    Accepts the family names as strings plus anything ``np.dtype``
+    resolves to one of the float families.  This name keys the
+    per-network plan cache and the prefix-service content cache, so two
+    spellings of the same family must always map to one string.
+    """
     if isinstance(dtype, str):
-        if dtype not in _DTYPES:
-            raise ValueError(
-                f"dtype must be one of {sorted(_DTYPES)}, got {dtype!r}"
-            )
-        return np.dtype(_DTYPES[dtype])
-    resolved = np.dtype(dtype)
-    if resolved not in (np.dtype(np.float64), np.dtype(np.float32)):
-        raise ValueError(f"unsupported inference dtype {resolved}")
-    return resolved
+        if dtype in _DTYPES or dtype in _QUANT_SPECS:
+            return dtype
+        raise _dtype_error(dtype)
+    try:
+        resolved = np.dtype(dtype)
+    except TypeError:
+        raise _dtype_error(dtype) from None
+    for name, np_type in _DTYPES.items():
+        if resolved == np.dtype(np_type):
+            return name
+    raise _dtype_error(dtype)
+
+
+def _resolve_dtype(dtype) -> np.dtype:
+    """The numpy dtype a plan family exchanges with its callers.
+
+    Float families compute in their own dtype; the quantized families
+    hold integers internally but accept and return float32 at the plan
+    boundary (inputs are quantized on entry, outputs dequantized on
+    exit), so their external dtype is float32.
+    """
+    name = resolve_plan_dtype(dtype)
+    if name in _DTYPES:
+        return np.dtype(_DTYPES[name])
+    return np.dtype(np.float32)
+
+
+def quantized_savings(network, dtype) -> Optional[QuantSavings]:
+    """Estimated MAC-energy / memory-traffic savings of a quantized lane.
+
+    Pure shape arithmetic over the network's weighted layers and the
+    family's fixed bit widths — no compiled plan needed, because the
+    widths are family constants, not calibration outputs.  Returns
+    ``None`` for the float families (there is nothing to compare).
+    Surfaced on ``WorkloadResult`` / ``ServingReport`` so a serving run
+    reports the hardware story (what an EVA2-style datapath at these
+    widths would save) next to the measured host throughput.
+    """
+    name = resolve_plan_dtype(dtype)
+    spec = _QUANT_SPECS.get(name)
+    if spec is None:
+        return None
+    rows = []
+    for layer, in_shape in zip(network.layers, network.layer_input_shapes):
+        if not isinstance(layer, (Conv2d, Linear)):
+            continue
+        rows.append((
+            int(layer.macs(in_shape)),
+            int(np.prod(in_shape)),
+            int(layer.params["weight"].size),
+            spec.weight_bits(layer),
+            spec.act_in_bits(layer),
+        ))
+    return estimate_quantized_savings(rows)
 
 
 class _Step:
@@ -241,17 +413,23 @@ class _ReLUStep(_Step):
         # keeps both ufunc passes on contiguous memory.  ReLU is
         # elementwise, so the layout cannot change a single bit.
         self.nhwc = nhwc and len(in_shape) == 3
+        # Integer raws (quantized plans) have no signed zeros, so a
+        # single max(x, 0) pass is exact and the mask pass is dead
+        # weight.  Float lanes keep the two-pass x * (x > 0) form, which
+        # is bitwise the training path.
+        self.integer = np.issubdtype(np.dtype(dtype), np.integer)
         if self.nhwc:
             c, h, w = in_shape
             shape = (capacity, h, w, c)
         else:
             shape = (capacity,) + tuple(in_shape)
-        self.mask = np.empty(shape, dtype=bool)
+        self.mask = None if self.integer else np.empty(shape, dtype=bool)
         self.out = np.empty(shape, dtype=dtype)
 
     def resize(self, capacity: int) -> None:
         shape = (capacity,) + self.out.shape[1:]
-        self.mask = np.empty(shape, dtype=bool)
+        if not self.integer:
+            self.mask = np.empty(shape, dtype=bool)
         self.out = np.empty(shape, dtype=self.out.dtype)
 
     def run(self, x: np.ndarray, batch: int) -> np.ndarray:
@@ -260,11 +438,19 @@ class _ReLUStep(_Step):
             if not base.flags["C_CONTIGUOUS"]:
                 # Unexpected layout (custom caller): stay correct.
                 return x * (x > 0)
-            mask, out = self.mask[:batch], self.out[:batch]
+            out = self.out[:batch]
+            if self.integer:
+                np.maximum(base, 0, out=out)
+                return out.transpose(0, 3, 1, 2)
+            mask = self.mask[:batch]
             np.greater(base, 0, out=mask)
             np.multiply(base, mask, out=out)
             return out.transpose(0, 3, 1, 2)
-        mask, out = self.mask[:batch], self.out[:batch]
+        out = self.out[:batch]
+        if self.integer:
+            np.maximum(x, 0, out=out)
+            return out
+        mask = self.mask[:batch]
         np.greater(x, 0, out=mask)
         # x * mask, exactly as the training path computes it (bitwise
         # including signed zeros), into reused scratch.
@@ -345,6 +531,443 @@ class _GenericStep(_Step):
         return self.layer.forward(x, train=False)
 
 
+# --------------------------------------------------------------------- #
+# quantized-lane steps
+# --------------------------------------------------------------------- #
+def _quantize_raws(x: np.ndarray, fmt: QFormat, storage: np.dtype) -> np.ndarray:
+    """Float activations → raw integers in ``fmt`` (round, saturate)."""
+    raw = np.rint(np.asarray(x, dtype=np.float64) * fmt.scale)
+    np.clip(raw, fmt.min_raw, fmt.max_raw, out=raw)
+    return raw.astype(storage)
+
+
+def _quantize_operands(w_t, bias, cal, in_fmt, out_fmt, gemm_dtype):
+    """Quantized GEMM operands for one Conv/Linear layer.
+
+    ``w_t`` is the (in, out)-shaped transposed weight matrix; each
+    output column gets its own calibrated scale
+    (``cal.weight_channel_formats``).  Returns
+    ``(w_q, bias_q, acc_scales, out_scale, requant_mult)`` — the last
+    two are per-channel vectors, one of which is None depending on
+    whether the layer requantizes (mid-plan) or dequantizes (final
+    layer); ``acc_scales`` (float64, value→accumulator units) is kept
+    for the calibration-time bias correction.  Every scale involved is
+    a power of two, so the requant/dequant multiplies stay exact.
+    """
+    w_fmts = cal.weight_channel_formats
+    w_scales = np.array([f.scale for f in w_fmts], dtype=np.float64)
+    w_raw = np.rint(np.asarray(w_t, dtype=np.float64) * w_scales[None, :])
+    np.clip(w_raw, w_fmts[0].min_raw, w_fmts[0].max_raw, out=w_raw)
+    w_q = np.ascontiguousarray(w_raw.astype(gemm_dtype))
+    acc_scales = float(in_fmt.scale) * w_scales
+    bias_q = np.rint(bias * acc_scales).astype(gemm_dtype)
+    if out_fmt is None:
+        return w_q, bias_q, acc_scales, (1.0 / acc_scales).astype(gemm_dtype), None
+    return (
+        w_q, bias_q, acc_scales, None,
+        (out_fmt.scale / acc_scales).astype(gemm_dtype),
+    )
+
+
+def _fold_bias_correction(step, out, ref, axes) -> None:
+    """Shift ``step.bias_q`` by the mean (ref - quantized output) error.
+
+    ``out`` is the step's raw (or final-layer float) output over the
+    calibration samples; the per-channel mean deviation is rounded into
+    accumulator units, so the folded bias stays integer-valued and the
+    GEMM stays exact.
+    """
+    if step.out_fmt is not None:
+        deq = np.asarray(out, dtype=np.float64) / step.out_fmt.scale
+    else:
+        deq = np.asarray(out, dtype=np.float64)
+    delta = np.mean(np.asarray(ref, dtype=np.float64) - deq, axis=axes)
+    corr = np.rint(delta * step.acc_scales)
+    step.bias_q += corr.astype(step.bias_q.dtype)
+
+
+def _requant_gemm_out(out2d, mult, lo, hi, store) -> None:
+    """Rescale integer-exact GEMM output into the next format's raws.
+
+    ``mult`` is a power of two (both scales are), so the multiply only
+    shifts exponents and stays exact; ``np.rint`` then resolves exact
+    .5 ties deterministically (half-to-even) and the clip saturates —
+    the same round/saturate semantics as :meth:`QFormat.quantize`.
+    """
+    np.multiply(out2d, mult, out=out2d)
+    np.rint(out2d, out=out2d)
+    np.clip(out2d, lo, hi, out=out2d)
+    np.copyto(store, out2d, casting="unsafe")
+
+
+class _QuantConvStep(_Step):
+    """A convolution over raw integer activations.
+
+    Same im2col-as-gather geometry as :class:`_ConvStep`, but the padded
+    buffer and gather run over int8/int16 raws and the GEMM multiplies
+    integer-valued float operands — exact integer arithmetic (see
+    ``_QuantSpec``), so the fused batched GEMM is *always* bitwise equal
+    to the per-sample loop and no probe is needed.  The accumulator
+    (scale ``in_fmt.scale * w_fmt.scale``) absorbs the quantized bias
+    and is then requantized to ``out_fmt`` — or dequantized to float32
+    when this is the plan's final compute layer (``out_fmt is None``).
+    """
+
+    def __init__(self, layer: Conv2d, in_shape, capacity: int, spec,
+                 cal: LayerCalibration, in_fmt: Optional[QFormat],
+                 out_fmt: Optional[QFormat]):
+        super().__init__(layer)
+        c, h, w = in_shape
+        k, stride, pad = layer.kernel, layer.stride, layer.pad
+        self.out_h = F.conv_output_size(h, k, stride, pad)
+        self.out_w = F.conv_output_size(w, k, stride, pad)
+        self.out_c = layer.out_channels
+        self.rows = self.out_h * self.out_w
+        hp, wp = h + 2 * pad, w + 2 * pad
+        self._interior = (slice(None), slice(pad, pad + h), slice(pad, pad + w))
+        oy = np.arange(self.out_h) * stride
+        ox = np.arange(self.out_w) * stride
+        ci = np.arange(c)
+        ky = np.arange(k)
+        kx = np.arange(k)
+        idx = (
+            ci[None, None, :, None, None] * (hp * wp)
+            + (ky[None, None, None, :, None] + oy[:, None, None, None, None]) * wp
+            + (kx[None, None, None, None, :] + ox[None, :, None, None, None])
+        )
+        self.gather = np.ascontiguousarray(idx.reshape(-1), dtype=np.int64)
+        self.ckk = c * k * k
+        self._in_shape = (c, h, w)
+        self.in_fmt = in_fmt if in_fmt is not None else cal.input_format
+        self.quantize_input = in_fmt is None
+        self.out_fmt = out_fmt
+        self.storage = _storage_for(self.in_fmt)
+        self.gemm_dtype = _gemm_dtype_for(
+            self.in_fmt, cal.weight_channel_formats, self.ckk
+        )
+        w_mat = layer.params["weight"].reshape(self.out_c, -1).T
+        (self.w_q, self.bias_q, self.acc_scales, self.out_scale,
+         self.requant_mult) = (
+            _quantize_operands(
+                w_mat, layer.params["bias"], cal, self.in_fmt, out_fmt,
+                self.gemm_dtype,
+            )
+        )
+        self._padded_shape = (c, hp, wp)
+        from ..core.sad_kernel import get_kernel
+
+        ck = get_kernel()
+        # Fused gather-and-widen: only for the storage/GEMM pairs the
+        # kernel implements (the common ones; exotic escalations fall
+        # back to np.take + cast, still exact).
+        self._gather_fn = None if ck is None else {
+            (np.int8, np.float32): ck.gather_rows_q8,
+            (np.int16, np.float32): ck.gather_rows_q16f,
+            (np.int16, np.float64): ck.gather_rows_q16,
+        }.get((self.storage, self.gemm_dtype))
+        # Single-pass bias-fold + requantize; the NumPy fallback adds
+        # the bias separately first.
+        out_storage = None if out_fmt is None else _storage_for(out_fmt)
+        self._requant_fn = None if ck is None else {
+            (np.float32, np.int8): ck.requant_rows_q8,
+            (np.float32, np.int16): ck.requant_rows_q16f,
+            (np.float64, np.int16): ck.requant_rows_q16,
+        }.get((self.gemm_dtype, out_storage))
+        self._quant_kernel = ck
+        # AVX512-VNNI route: with one-byte operands and a requantized
+        # output, the whole conv collapses into a byte gather plus one
+        # fused integer-GEMM/requant call — no float column matrix, no
+        # separate requant pass.  ckk <= 512 keeps the offset
+        # accumulator (activations ride as u8 = raw + 128) and the
+        # offset-corrected bias inside float32's 24-bit mantissa, so the
+        # kernel is bitwise the sgemm/NumPy chain it replaces.
+        self._vnni = (
+            ck is not None
+            and ck.has_vnni
+            and self.storage == np.int8
+            and out_storage is not None
+            and max(f.total_bits for f in cal.weight_channel_formats) <= 8
+            and self.out_c <= 32
+            and self.ckk <= 512
+        )
+        if self._vnni:
+            self._vnni_kernel = ck
+            self._kp = -(-self.ckk // 4) * 4
+            w_raw = np.ascontiguousarray(self.w_q.T).astype(np.int8)
+            wt_pad = np.zeros((32, self._kp), dtype=np.int8)
+            wt_pad[: self.out_c, : self.ckk] = w_raw
+            self._w_packed = np.ascontiguousarray(
+                wt_pad.reshape(32, self._kp // 4, 4).transpose(1, 0, 2)
+            )
+            self._w_colsum = w_raw.astype(np.int64).sum(axis=1)
+            self._pack_vnni_operands()
+        self._alloc(capacity)
+
+    def _pack_vnni_operands(self) -> None:
+        """32-padded bias/mult vectors for the VNNI kernel.
+
+        The +128 activation offset adds ``128 * sum_k(w)`` to each
+        channel's accumulator; subtracting it from the quantized bias
+        restores the true sum.  Re-run after any ``bias_q`` update (the
+        calibration-time bias correction mutates it).
+        """
+        bias_eff = np.zeros(32, dtype=np.float32)
+        bias_eff[: self.out_c] = (
+            self.bias_q.astype(np.float64) - 128.0 * self._w_colsum
+        ).astype(np.float32)
+        mult = np.zeros(32, dtype=np.float32)
+        mult[: self.out_c] = self.requant_mult
+        self._vnni_bias = bias_eff
+        self._vnni_mult = mult
+
+    def _alloc(self, capacity: int) -> None:
+        c, hp, wp = self._padded_shape
+        # Border must stay zero — np.zeros, not empty (same as _ConvStep).
+        self.padded = np.zeros((capacity, c, hp, wp), dtype=self.storage)
+        if self._vnni:
+            # One byte per operand; the kp-ckk pad columns stay zero
+            # forever (the gather never writes them), matching the
+            # zero-padded packed weights.
+            self.cols_u8 = np.zeros(
+                (capacity * self.rows, self._kp), dtype=np.uint8
+            )
+            self.cols = self.cols_raw = self.out2d = None
+        else:
+            self.cols = np.empty(
+                (capacity, self.rows * self.ckk), dtype=self.gemm_dtype
+            )
+            # np.take cannot widen in place, so the NumPy fallback
+            # gathers into a raw-typed staging buffer first; the
+            # compiled kernel widens during the gather and never
+            # touches it.
+            self.cols_raw = (
+                None
+                if self._gather_fn is not None
+                else np.empty((capacity, self.rows * self.ckk), self.storage)
+            )
+            self.out2d = np.empty(
+                (capacity * self.rows, self.out_c), dtype=self.gemm_dtype
+            )
+        if self.quantize_input:
+            # Kernel path: one-pass quantize into integer staging, then
+            # a cheap strided int copy into the padded interior.  NumPy
+            # fallback: float64 scratch for the multiply/rint/clip chain
+            # (float64 so a float64 input from an unspecialised
+            # predecessor quantizes identically).
+            if self._quant_kernel is not None:
+                self.quant_raw = np.empty(
+                    (capacity,) + self._in_shape, dtype=self.storage
+                )
+                self.quant_buf = None
+            else:
+                self.quant_raw = None
+                self.quant_buf = np.empty(
+                    (capacity,) + self._in_shape, dtype=np.float64
+                )
+        if self.out_fmt is None:
+            self.out_f = np.empty(
+                (capacity, self.out_h, self.out_w, self.out_c), np.float32
+            )
+        else:
+            self.out_q = np.empty(
+                (capacity, self.out_h, self.out_w, self.out_c),
+                dtype=_storage_for(self.out_fmt),
+            )
+
+    def resize(self, capacity: int) -> None:
+        self._alloc(capacity)
+
+    def run(self, x: np.ndarray, batch: int) -> np.ndarray:
+        padded = self.padded[:batch]
+        if self.quantize_input:
+            fmt = self.in_fmt
+            if (
+                self._quant_kernel is not None
+                and x.dtype == np.float32
+                and x.flags["C_CONTIGUOUS"]
+            ):
+                raw = self.quant_raw[:batch]
+                qfn = (
+                    self._quant_kernel.quantize_q8
+                    if self.storage == np.int8
+                    else self._quant_kernel.quantize_q16
+                )
+                qfn(x, float(fmt.scale), float(fmt.min_raw),
+                    float(fmt.max_raw), raw)
+                padded[(slice(None),) + self._interior] = raw
+            else:
+                buf = self.quant_buf
+                if buf is None:
+                    buf = np.empty(x.shape, dtype=np.float64)
+                else:
+                    buf = buf[:batch]
+                np.multiply(x, fmt.scale, out=buf)
+                np.rint(buf, out=buf)
+                np.clip(buf, fmt.min_raw, fmt.max_raw, out=buf)
+                np.copyto(padded[(slice(None),) + self._interior], buf,
+                          casting="unsafe")
+        else:
+            padded[(slice(None),) + self._interior] = x
+        if self._vnni:
+            m = batch * self.rows
+            cols_u = self.cols_u8[:m]
+            self._vnni_kernel.gather_cols_q8u(
+                padded.reshape(batch, -1), self.gather, self.rows,
+                self.ckk, cols_u,
+            )
+            store = self.out_q[:batch]
+            self._vnni_kernel.gemm_requant_u8s8(
+                cols_u, self._w_packed, self.out_c, self._vnni_bias,
+                self._vnni_mult, float(self.out_fmt.min_raw),
+                float(self.out_fmt.max_raw),
+                store.reshape(m, self.out_c),
+            )
+            return store.transpose(0, 3, 1, 2)
+        cols = self.cols[:batch]
+        if self._gather_fn is not None:
+            self._gather_fn(padded.reshape(batch, -1), self.gather, cols)
+        else:
+            raws = self.cols_raw[:batch]
+            np.take(padded.reshape(batch, -1), self.gather, axis=1, out=raws)
+            np.copyto(cols, raws, casting="unsafe")
+        cols2d = cols.reshape(batch * self.rows, self.ckk)
+        out2d = self.out2d[: batch * self.rows]
+        # Integer-exact, hence order-independent: always fused.
+        np.matmul(cols2d, self.w_q, out=out2d)
+        if self.out_fmt is None:
+            np.add(out2d, self.bias_q, out=out2d)
+            out4 = out2d.reshape(batch, self.out_h, self.out_w, self.out_c)
+            out = self.out_f[:batch]
+            np.multiply(out4, self.out_scale, out=out, casting="unsafe")
+            return out.transpose(0, 3, 1, 2)
+        store = self.out_q[:batch]
+        store2d = store.reshape(batch * self.rows, self.out_c)
+        if self._requant_fn is not None:
+            # The kernel folds the bias into its single requant pass.
+            self._requant_fn(
+                out2d, self.bias_q, self.requant_mult,
+                float(self.out_fmt.min_raw), float(self.out_fmt.max_raw),
+                store2d,
+            )
+        else:
+            np.add(out2d, self.bias_q, out=out2d)
+            _requant_gemm_out(
+                out2d, self.requant_mult,
+                self.out_fmt.min_raw, self.out_fmt.max_raw, store2d,
+            )
+        return store.transpose(0, 3, 1, 2)
+
+    def apply_bias_correction(self, x, ref, batch: int) -> None:
+        _fold_bias_correction(self, self.run(x, batch), ref, (0, 2, 3))
+        if self._vnni:
+            self._pack_vnni_operands()
+
+
+class _QuantLinearStep(_Step):
+    """A fully-connected layer over raw integer activations.
+
+    Same integer-exact GEMM scheme as :class:`_QuantConvStep`, minus the
+    gather (the flattened raws are the operand, widened into a staging
+    buffer).  The plan's final layer dequantizes instead of requantizing
+    so the network outputs keep full float32 resolution.
+    """
+
+    def __init__(self, layer: Linear, capacity: int, spec,
+                 cal: LayerCalibration, in_fmt: Optional[QFormat],
+                 out_fmt: Optional[QFormat]):
+        super().__init__(layer)
+        self.in_fmt = in_fmt if in_fmt is not None else cal.input_format
+        self.quantize_input = in_fmt is None
+        self.out_fmt = out_fmt
+        self.in_features = layer.in_features
+        self.out_features = layer.out_features
+        self.gemm_dtype = _gemm_dtype_for(
+            self.in_fmt, cal.weight_channel_formats, self.in_features
+        )
+        (self.w_q, self.bias_q, self.acc_scales, self.out_scale,
+         self.requant_mult) = (
+            _quantize_operands(
+                layer.params["weight"].T, layer.params["bias"], cal,
+                self.in_fmt, out_fmt, self.gemm_dtype,
+            )
+        )
+        self._alloc(capacity)
+
+    def _alloc(self, capacity: int) -> None:
+        self.operand = np.empty(
+            (capacity, self.in_features), dtype=self.gemm_dtype
+        )
+        self.out2d = np.empty(
+            (capacity, self.out_features), dtype=self.gemm_dtype
+        )
+        if self.out_fmt is None:
+            self.out_f = np.empty((capacity, self.out_features), np.float32)
+        else:
+            self.out_q = np.empty(
+                (capacity, self.out_features), dtype=_storage_for(self.out_fmt)
+            )
+
+    def resize(self, capacity: int) -> None:
+        self._alloc(capacity)
+
+    def run(self, x: np.ndarray, batch: int) -> np.ndarray:
+        flat = x.reshape(batch, -1)
+        operand = self.operand[:batch]
+        if self.quantize_input:
+            np.multiply(flat, self.in_fmt.scale, out=operand, casting="unsafe")
+            np.rint(operand, out=operand)
+            np.clip(operand, self.in_fmt.min_raw, self.in_fmt.max_raw,
+                    out=operand)
+        else:
+            np.copyto(operand, flat, casting="unsafe")
+        out2d = self.out2d[:batch]
+        np.matmul(operand, self.w_q, out=out2d)
+        np.add(out2d, self.bias_q, out=out2d)
+        if self.out_fmt is None:
+            out = self.out_f[:batch]
+            np.multiply(out2d, self.out_scale, out=out, casting="unsafe")
+            return out
+        store = self.out_q[:batch]
+        _requant_gemm_out(
+            out2d, self.requant_mult,
+            self.out_fmt.min_raw, self.out_fmt.max_raw, store,
+        )
+        return store
+
+    def apply_bias_correction(self, x, ref, batch: int) -> None:
+        _fold_bias_correction(self, self.run(x, batch), ref, (0,))
+
+
+class _DequantWrapStep(_Step):
+    """Dequantize raw integer input, then run a float step.
+
+    Wraps the float-fallback layers of a quantized plan (calibration
+    saturated, or a layer type with no integer path) so the steps list
+    stays one-per-layer — ``run_prefix``/``run_suffix`` slice by layer
+    index and must keep doing so.
+    """
+
+    def __init__(self, inner: _Step, fmt: QFormat, in_shape, capacity: int):
+        super().__init__(inner.layer)
+        self.inner = inner
+        self.fmt = fmt
+        self._in_shape = tuple(in_shape)
+        self._alloc(capacity)
+
+    def _alloc(self, capacity: int) -> None:
+        self.buf = np.empty((capacity,) + self._in_shape, dtype=np.float32)
+
+    def resize(self, capacity: int) -> None:
+        self._alloc(capacity)
+        self.inner.resize(capacity)
+
+    def run(self, x: np.ndarray, batch: int) -> np.ndarray:
+        buf = self.buf[:batch]
+        np.multiply(x, np.float32(1.0 / self.fmt.scale), out=buf,
+                    casting="unsafe")
+        return self.inner.run(buf, batch)
+
+
 class InferencePlan:
     """Forward-only executor for one network at one batch capacity.
 
@@ -354,6 +977,22 @@ class InferencePlan:
     (so in-place weight updates are picked up); ``float32`` snapshots
     casted copies at compile time — recompile (or let
     :meth:`Network.load_state_dict` invalidate the cache) after retraining.
+
+    **Quantized plans** (``dtype="int8"`` / ``dtype="q16"``) compile a
+    calibration pass first: :data:`~repro.nn.quantize.CALIBRATION_SAMPLES`
+    seeded frames run through the float64 reference path and size one
+    :class:`~repro.nn.quantize.LayerCalibration` per Conv/Linear layer
+    (``self.calibration``).  Weights are quantized and snapshotted at
+    compile time; activations flow between steps as raw int8/int16 and
+    every GEMM multiplies integer-valued float operands whose products
+    and partial sums fit the mantissa exactly — integer arithmetic with
+    BLAS throughput, order-independent, so quantized plans are bitwise
+    deterministic across batch sizes, batch capacities, and processes.
+    Layers whose calibration saturates fall back to float32 snapshots
+    inside the plan (``self.quant_fallback_layers``).  The accuracy
+    contract is ``self.tolerance`` (a
+    :class:`~repro.nn.quantize.QuantTolerance` sized from the measured
+    calibration error) instead of bit-identity with the float64 path.
     """
 
     def __init__(self, network, max_batch: int = 1, dtype="float64"):
@@ -361,26 +1000,61 @@ class InferencePlan:
             raise ValueError(f"max_batch must be >= 1, got {max_batch}")
         self.network = network
         self.max_batch = int(max_batch)
+        self.dtype_name = resolve_plan_dtype(dtype)
         self.dtype = _resolve_dtype(dtype)
+        self._quant = _QUANT_SPECS.get(self.dtype_name)
+        #: For quantized plans: the Q-format of the activation *after*
+        #: each step (None = float).  ``_execute`` consults it to
+        #: quantize a float activation entering mid-plan (``run_suffix``)
+        #: and to dequantize raws leaving mid-plan (``run_prefix``) —
+        #: the plan boundary always exchanges float.
+        self._boundary: List[Optional[QFormat]] = []
+        self.calibration: Dict[str, LayerCalibration] = {}
+        self.tolerance: Optional[QuantTolerance] = None
+        self.calibration_top1: Optional[float] = None
         self._steps: List[_Step] = []
+        if self._quant is not None:
+            samples, refs, reference = self._calibrate()
         prev: Optional[Layer] = None
-        for layer, in_shape in zip(network.layers, network.layer_input_shapes):
-            self._steps.append(self._compile(layer, in_shape, prev))
+        current: Optional[QFormat] = None
+        layers = list(zip(network.layers, network.layer_input_shapes))
+        for i, (layer, in_shape) in enumerate(layers):
+            if self._quant is None:
+                self._steps.append(self._compile(layer, in_shape, prev))
+            else:
+                step, current = self._compile_quant(
+                    layer, in_shape, prev, current, last=(i == len(layers) - 1)
+                )
+                self._steps.append(step)
+                self._boundary.append(current)
             prev = layer
+        if self._quant is not None:
+            self._bias_correct(samples, refs)
+            self._measure_tolerance(samples, reference)
+
+    @property
+    def quant_fallback_layers(self) -> Tuple[str, ...]:
+        """Names of layers calibration sent back to float execution."""
+        return tuple(
+            name for name, cal in self.calibration.items() if cal.fallback
+        )
 
     # ------------------------------------------------------------------ #
+    def _float_snapshot(self, layer, dt):
+        out_features = (
+            layer.out_channels if isinstance(layer, Conv2d)
+            else layer.out_features
+        )
+        w_t = np.ascontiguousarray(
+            layer.params["weight"].reshape(out_features, -1).T, dtype=dt
+        )
+        return (w_t, layer.params["bias"].astype(dt))
+
     def _compile(self, layer: Layer, in_shape, prev: Optional[Layer]) -> _Step:
         cap, dt = self.max_batch, self.dtype
         snapshot = None
         if dt == np.float32 and isinstance(layer, (Conv2d, Linear)):
-            out_features = (
-                layer.out_channels if isinstance(layer, Conv2d)
-                else layer.out_features
-            )
-            w_t = np.ascontiguousarray(
-                layer.params["weight"].reshape(out_features, -1).T, dtype=dt
-            )
-            snapshot = (w_t, layer.params["bias"].astype(dt))
+            snapshot = self._float_snapshot(layer, dt)
         if isinstance(layer, Conv2d):
             return _ConvStep(layer, in_shape, cap, dt, snapshot)
         if isinstance(layer, Linear):
@@ -394,6 +1068,146 @@ class InferencePlan:
         if isinstance(layer, Flatten):
             return _FlattenStep(layer)
         return _GenericStep(layer)
+
+    # ------------------------------------------------------------------ #
+    # quantized plans
+    # ------------------------------------------------------------------ #
+    def _calibrate(self):
+        """Seeded sample forward pass: per-layer formats + float64 reference.
+
+        Uses the training-path ``layer.forward`` (pure NumPy, bit-exact
+        in both kernel lanes) so two processes that compile the same
+        network at the same dtype derive identical Q-formats, identical
+        quantized weight snapshots, and an identical tolerance bound.
+        """
+        rng = np.random.default_rng(CALIBRATION_SEED)
+        shape = (CALIBRATION_SAMPLES,) + tuple(
+            self.network.layer_input_shapes[0]
+        )
+        samples = rng.random(shape)
+        # Each activation is one layer's output and the next GEMM's
+        # input, so its width is the *consumer's* accumulator budget:
+        # layer k requantizes to act_in_bits(k+1).  The last weighted
+        # layer's pre-dequant accumulator gets the family envelope.
+        weighted = [
+            layer for layer in self.network.layers
+            if isinstance(layer, (Conv2d, Linear))
+        ]
+        out_bits = {
+            layer.name: self._quant.act_in_bits(nxt)
+            for layer, nxt in zip(weighted, weighted[1:])
+        }
+        refs: Dict[str, np.ndarray] = {}
+        x = samples
+        for layer in self.network.layers:
+            y = layer.forward(x, train=False)
+            if isinstance(layer, (Conv2d, Linear)):
+                refs[layer.name] = y
+                self.calibration[layer.name] = calibrate_layer(
+                    layer.name, x, y, layer.params["weight"],
+                    max(self._quant.conv_bits, self._quant.linear_bits),
+                    weight_bits=self._quant.weight_bits(layer),
+                    in_bits=self._quant.act_in_bits(layer),
+                    out_bits=out_bits.get(layer.name),
+                )
+            x = y
+        return samples, refs, x
+
+    def _bias_correct(self, samples, refs) -> None:
+        """Fold the calibration-set mean quantization error into biases.
+
+        Weight and activation rounding inject a *systematic* per-channel
+        shift (the classic post-training-quantization bias shift), which
+        downstream layers then amplify.  Walking the compiled steps over
+        the calibration samples, each weighted layer's mean deviation
+        from its float64 reference is rounded into accumulator units and
+        absorbed into ``bias_q`` — sequentially, so every layer is
+        corrected against the *already-corrected* prefix.  The
+        correction is an integer in the accumulator's scale, so the
+        integer-exact GEMM contract (and with it batch invariance and
+        cross-process determinism — the samples are seeded) is
+        untouched.
+        """
+        n = samples.shape[0]
+        orig = self.max_batch
+        self.reserve(n)
+        x = np.ascontiguousarray(samples, dtype=self.dtype)
+        for step in self._steps:
+            if isinstance(step, (_QuantConvStep, _QuantLinearStep)):
+                step.apply_bias_correction(x, refs[step.layer.name], n)
+            x = step.run(x, n)
+        if orig < n:
+            self.shrink(orig)
+
+    def _compile_quant(self, layer, in_shape, prev, current, last):
+        """Compile one layer of a quantized plan.
+
+        ``current`` is the Q-format of the incoming activation (None =
+        float); returns ``(step, format-after-this-step)``.  Conv/Linear
+        layers whose calibration flagged saturation fall back to float32
+        snapshots (dequantizing first when raws arrive); the final layer
+        dequantizes its accumulator directly so network outputs keep
+        full float32 resolution.
+        """
+        cap, spec = self.max_batch, self._quant
+        if isinstance(layer, (Conv2d, Linear)):
+            cal = self.calibration[layer.name]
+            if cal.fallback:
+                snapshot = self._float_snapshot(layer, np.float32)
+                if isinstance(layer, Conv2d):
+                    step = _ConvStep(layer, in_shape, cap, np.float32, snapshot)
+                else:
+                    step = _LinearStep(layer, cap, np.float32, snapshot)
+                if current is not None:
+                    step = _DequantWrapStep(step, current, in_shape, cap)
+                return step, None
+            out_fmt = None if last else cal.output_format
+            if isinstance(layer, Conv2d):
+                step = _QuantConvStep(
+                    layer, in_shape, cap, spec, cal, current, out_fmt
+                )
+            else:
+                step = _QuantLinearStep(layer, cap, spec, cal, current, out_fmt)
+            return step, out_fmt
+        if isinstance(layer, ReLU):
+            dt = _storage_for(current) if current is not None else np.float32
+            return (
+                _ReLUStep(layer, in_shape, cap, dt,
+                          nhwc=isinstance(prev, Conv2d)),
+                current,
+            )
+        if isinstance(layer, MaxPool2d):
+            # Max is monotone and the scale positive: max over raws is
+            # the raw of the max — runs on integers unchanged.
+            dt = _storage_for(current) if current is not None else np.float32
+            return _MaxPoolStep(layer, in_shape, cap, dt), current
+        if isinstance(layer, Flatten):
+            return _FlattenStep(layer), current
+        # No integer path (AvgPool's mean, unspecialised layers): float.
+        if isinstance(layer, AvgPool2d):
+            step = _AvgPoolStep(layer, in_shape, cap, np.float32)
+        else:
+            step = _GenericStep(layer)
+        if current is not None:
+            step = _DequantWrapStep(step, current, in_shape, cap)
+        return step, None
+
+    def _measure_tolerance(self, samples, reference):
+        """Run the calibration set through the compiled plan and size
+        the :class:`QuantTolerance` contract from the measured error."""
+        outs = np.stack(
+            [self.run(samples[i : i + 1])[0] for i in range(samples.shape[0])]
+        )
+        err = float(np.max(np.abs(outs.astype(np.float64) - reference)))
+        flat_q = outs.reshape(samples.shape[0], -1)
+        flat_r = np.asarray(reference).reshape(samples.shape[0], -1)
+        self.calibration_top1 = float(
+            np.mean(flat_q.argmax(axis=1) == flat_r.argmax(axis=1))
+        )
+        self.tolerance = QuantTolerance(
+            max_abs_error=max(_TOLERANCE_SAFETY * err, _TOLERANCE_FLOOR),
+            top1_agreement=_TOP1_BOUND,
+        )
 
     def _execute(self, x: np.ndarray, start: int, stop: int) -> np.ndarray:
         x = np.asarray(x)
@@ -417,6 +1231,25 @@ class InferencePlan:
             )
         if x.dtype != self.dtype:
             x = x.astype(self.dtype)
+        if self._quant is not None and start < stop:
+            # The plan boundary exchanges float32; raws live only between
+            # steps.  Entering mid-plan (run_suffix) re-quantizes into the
+            # boundary format, leaving mid-plan dequantizes below.  The
+            # round trip is lossless: raws fit float32's mantissa and the
+            # scales are powers of two.
+            if start > 0:
+                fmt = self._boundary[start - 1]
+                if fmt is not None:
+                    x = _quantize_raws(x, fmt, _storage_for(fmt))
+            for step in self._steps[start:stop]:
+                x = step.run(x, batch)
+            fmt = self._boundary[stop - 1]
+            if fmt is not None:
+                out = np.empty(x.shape, np.float32)
+                np.multiply(x, np.float32(1.0 / fmt.scale), out=out,
+                            casting="unsafe")
+                return out
+            return np.array(x, order="C")
         for step in self._steps[start:stop]:
             x = step.run(x, batch)
         # Hand back an owned copy: every scratch buffer is reused on the

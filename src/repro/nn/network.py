@@ -144,9 +144,9 @@ class Network:
         at fluctuating occupancy therefore all share one plan per
         network.  See :class:`repro.nn.inference.InferencePlan`.
         """
-        from .inference import InferencePlan, _resolve_dtype
+        from .inference import InferencePlan, resolve_plan_dtype
 
-        key = _resolve_dtype(dtype).name
+        key = resolve_plan_dtype(dtype)
         plan = self._plans.get(key)
         if plan is None:
             plan = InferencePlan(self, max_batch=max_batch, dtype=dtype)

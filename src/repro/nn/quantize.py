@@ -4,17 +4,60 @@ EVA2 stores and warps activations in 16-bit fixed point. The accuracy
 experiments therefore optionally run the AMC datapath through
 :class:`repro.hardware.fixed_point.QFormat` round-trips. This module picks
 per-tensor formats and measures the quantization impact.
+
+Since the quantized planned-engine lanes landed, this module is also the
+calibration home for ``dtype="int8"`` / ``dtype="q16"`` inference plans:
+:func:`calibrate_layer` sizes one layer's activation and weight formats
+from a seeded sample forward pass (the execution side lives in
+:mod:`repro.nn.inference`, which captures the per-layer sample inputs and
+builds the quantized steps from the resulting
+:class:`LayerCalibration`).
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Tuple
 
 import numpy as np
 
 from ..hardware.fixed_point import QFormat
 
-__all__ = ["choose_format", "quantize_activation", "QuantStats"]
+__all__ = [
+    "choose_format",
+    "quantize_activation",
+    "QuantStats",
+    "QuantTolerance",
+    "LayerCalibration",
+    "calibrate_layer",
+    "CALIBRATION_SEED",
+    "CALIBRATION_SAMPLES",
+    "CALIBRATION_MARGIN",
+    "SATURATION_THRESHOLD",
+]
+
+#: Seed of the synthetic calibration sample set.  Fixed, never derived
+#: from wall clock or process state: two processes that compile a
+#: quantized plan for the same network (sharded serving workers, a
+#: pickle round-trip) must arrive at bit-identical Q-formats and weight
+#: snapshots.
+CALIBRATION_SEED = 0x0CA11B
+
+#: Frames in the calibration sample set.  Enough to exercise every
+#: layer's dynamic range; small enough that compiling a quantized plan
+#: stays cheap (a LaneWorker compiles one per shard process).
+CALIBRATION_SAMPLES = 8
+
+#: Headroom factor applied to the observed activation peak before
+#: sizing the integer bits — real traffic can run slightly hotter than
+#: the synthetic calibration set, and saturation errors are much larger
+#: than one extra integer bit's resolution loss.
+CALIBRATION_MARGIN = 1.25
+
+#: A layer whose calibration round-trip saturates more than this
+#: fraction of samples falls back to float execution (the format cannot
+#: cover the dynamic range even after the margin).
+SATURATION_THRESHOLD = 1e-3
 
 
 @dataclass(frozen=True)
@@ -24,6 +67,57 @@ class QuantStats:
     max_abs_error: float
     mean_abs_error: float
     saturated_fraction: float
+
+
+@dataclass(frozen=True)
+class QuantTolerance:
+    """The documented accuracy contract of one quantized plan.
+
+    Replaces the float lanes' bit-identity contract: a quantized lane's
+    outputs must stay within ``max_abs_error`` of the float64 reference
+    and agree with its per-sample argmax on at least a
+    ``top1_agreement`` fraction of samples.  ``max_abs_error`` is
+    calibrated per plan (the measured error over the calibration set
+    times a safety factor), so ``verify``-style comparisons have an
+    explicit, machine-checkable bound instead of "close enough".
+    """
+
+    max_abs_error: float
+    top1_agreement: float
+
+
+@dataclass(frozen=True)
+class LayerCalibration:
+    """One layer's calibrated formats for a quantized inference plan.
+
+    ``input_format`` sizes the layer's incoming activations,
+    ``output_format`` its pre-activation outputs (both from the
+    observed sample peak times :data:`CALIBRATION_MARGIN`).  Weights
+    are fully known at compile time, so they get no margin and are
+    sized *per output channel* (``weight_channel_formats``, one
+    :class:`QFormat` per row of the flattened weight matrix — channel
+    dynamic ranges differ by orders of magnitude and a per-tensor
+    format would waste most of an 8-bit budget); ``weight_format`` is
+    the per-tensor envelope kept for reporting.  The ``*_stats`` fields
+    are the round-trip errors over the calibration tensors — the
+    per-layer ``QuantStats`` the tolerance contract is built from
+    (``weight_stats`` measures the per-channel round trip, the one the
+    engine actually runs).  ``fallback`` is true when any round-trip
+    saturated more than :data:`SATURATION_THRESHOLD` of its tensor
+    (the format ran out of integer bits for the observed dynamic
+    range): the layer then runs in float inside the otherwise-quantized
+    plan.
+    """
+
+    layer: str
+    input_format: QFormat
+    output_format: QFormat
+    weight_format: QFormat
+    weight_channel_formats: Tuple[QFormat, ...]
+    input_stats: QuantStats
+    output_stats: QuantStats
+    weight_stats: QuantStats
+    fallback: bool
 
 
 def choose_format(values: np.ndarray, total_bits: int = 16) -> QFormat:
@@ -48,8 +142,91 @@ def quantize_activation(values: np.ndarray, fmt: QFormat):
     err = np.abs(quantized - values)
     saturated = np.logical_or(values > fmt.max_value, values < fmt.min_value)
     stats = QuantStats(
-        max_abs_error=float(err.max()) if err.size else 0.0,
-        mean_abs_error=float(err.mean()) if err.size else 0.0,
-        saturated_fraction=float(saturated.mean()) if err.size else 0.0,
+        max_abs_error=float(err.max()) if values.size else 0.0,
+        mean_abs_error=float(err.mean()) if values.size else 0.0,
+        saturated_fraction=float(saturated.mean()) if values.size else 0.0,
     )
     return quantized, stats
+
+
+def _activation_format(values: np.ndarray, total_bits: int, margin: float) -> QFormat:
+    """Format for an activation tensor: observed peak plus headroom."""
+    peak = float(np.max(np.abs(values))) if values.size else 0.0
+    return choose_format(np.asarray([peak * margin]), total_bits=total_bits)
+
+
+def calibrate_layer(
+    name: str,
+    sample_inputs: np.ndarray,
+    sample_outputs: np.ndarray,
+    weight: np.ndarray,
+    total_bits: int = 16,
+    *,
+    weight_bits: int = None,
+    in_bits: int = None,
+    out_bits: int = None,
+    margin: float = CALIBRATION_MARGIN,
+    saturation_threshold: float = SATURATION_THRESHOLD,
+) -> LayerCalibration:
+    """Size one layer's activation and weight formats from samples.
+
+    ``sample_inputs`` / ``sample_outputs`` are the layer's input and
+    pre-activation output tensors over the seeded calibration set
+    (float64, as produced by the bit-exact reference path); ``weight``
+    the layer's float64 weight tensor, whose leading axis is the output
+    channel.  All formats come from :func:`choose_format`; the
+    activation peaks get ``margin`` headroom because future inputs are
+    only sampled, the weights none (and a per-channel sizing) because
+    they are fully known at compile time.
+
+    ``total_bits`` is the uniform budget; ``weight_bits`` / ``in_bits``
+    / ``out_bits`` override it per tensor class.  The split exists
+    because weight and activation budgets are priced differently in the
+    quantized engine: weights are the multiplier operand (narrow keeps
+    the integer-exact GEMM in float32), while activation widths can
+    spend whatever headroom the accumulator budget leaves over
+    (see ``repro.nn.inference._QuantSpec``).
+    """
+    weight_bits = total_bits if weight_bits is None else weight_bits
+    in_bits = total_bits if in_bits is None else in_bits
+    out_bits = total_bits if out_bits is None else out_bits
+    input_format = _activation_format(sample_inputs, in_bits, margin)
+    output_format = _activation_format(sample_outputs, out_bits, margin)
+    weight_format = choose_format(weight, total_bits=weight_bits)
+    w2d = np.asarray(weight).reshape(weight.shape[0], -1)
+    weight_channel_formats = tuple(
+        choose_format(row, total_bits=weight_bits) for row in w2d
+    )
+    _, input_stats = quantize_activation(sample_inputs, input_format)
+    _, output_stats = quantize_activation(sample_outputs, output_format)
+    channel_stats = [
+        quantize_activation(row, fmt)[1]
+        for row, fmt in zip(w2d, weight_channel_formats)
+    ]
+    weight_stats = QuantStats(
+        max_abs_error=max((s.max_abs_error for s in channel_stats), default=0.0),
+        mean_abs_error=(
+            float(np.mean([s.mean_abs_error for s in channel_stats]))
+            if channel_stats else 0.0
+        ),
+        saturated_fraction=(
+            float(np.mean([s.saturated_fraction for s in channel_stats]))
+            if channel_stats else 0.0
+        ),
+    )
+    fallback = (
+        input_stats.saturated_fraction > saturation_threshold
+        or output_stats.saturated_fraction > saturation_threshold
+        or weight_stats.saturated_fraction > saturation_threshold
+    )
+    return LayerCalibration(
+        layer=name,
+        input_format=input_format,
+        output_format=output_format,
+        weight_format=weight_format,
+        weight_channel_formats=weight_channel_formats,
+        input_stats=input_stats,
+        output_stats=output_stats,
+        weight_stats=weight_stats,
+        fallback=fallback,
+    )

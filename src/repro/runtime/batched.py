@@ -49,6 +49,8 @@ import numpy as np
 
 from ..core.pipeline import FrameRecord, PipelineResult
 from ..core.stages import LaneSlot, LaneState, PlanHandle, StepBatch
+from ..hardware.fixed_point import QuantSavings
+from ..nn.inference import quantized_savings, resolve_plan_dtype
 from ..video.generator import VideoClip
 from .prefix_service import PrefixService
 from .scheduler import ClipScheduler, SchedulerConfig
@@ -124,6 +126,10 @@ class WorkloadResult:
     prefix_cache_evictions: int = 0
     #: prefix MACs skipped by cache hits (hardware-model accounting).
     prefix_saved_macs: int = 0
+    #: plan family the CNN ran under ("float64", "float32", "int8", "q16").
+    dtype: str = "float64"
+    #: estimated MAC-energy / traffic savings for quantized dtypes.
+    quant_savings: Optional[QuantSavings] = None
 
     @property
     def pipeline_engagement(self) -> float:
@@ -216,6 +222,21 @@ class WorkloadResult:
         ) + (
             [["prefix MMACs saved", round(self.prefix_saved_macs / 1e6, 1)]]
             if self.prefix_saved_macs
+            else []
+        ) + (
+            [["dtype", self.dtype]] if self.dtype != "float64" else []
+        ) + (
+            [
+                [
+                    "est. MAC energy ratio",
+                    round(self.quant_savings.mac_energy_ratio, 2),
+                ],
+                [
+                    "est. traffic ratio",
+                    round(self.quant_savings.traffic_ratio, 2),
+                ],
+            ]
+            if self.quant_savings is not None
             else []
         )
 
@@ -358,6 +379,8 @@ class BatchedPipeline:
             prefix_cache_misses=service.stats.misses if service else 0,
             prefix_cache_evictions=service.stats.evictions if service else 0,
             prefix_saved_macs=service.stats.saved_macs if service else 0,
+            dtype=resolve_plan_dtype(self.spec.dtype),
+            quant_savings=quantized_savings(network, self.spec.dtype),
         )
 
 
@@ -380,6 +403,8 @@ def run_workload(
     on the lockstep path; serial and scheduled paths ignore it).  Every
     path returns identical per-clip results.
     """
+    dtype = resolve_plan_dtype(spec.dtype)
+    savings = quantized_savings(spec.shared_network(), spec.dtype)
     if scheduler is not None and scheduler.workers > 1:
         start = time.perf_counter()
         results = ClipScheduler(spec, scheduler).run(clips)
@@ -389,6 +414,8 @@ def run_workload(
             wall_seconds=wall,
             path=scheduler.resolve(len(clips)),
             workers=scheduler.workers,
+            dtype=dtype,
+            quant_savings=savings,
         )
     if batch:
         return BatchedPipeline(
@@ -397,4 +424,10 @@ def run_workload(
     start = time.perf_counter()
     results = spec.build().run_clips(clips)
     wall = time.perf_counter() - start
-    return WorkloadResult(results=results, wall_seconds=wall, path="serial")
+    return WorkloadResult(
+        results=results,
+        wall_seconds=wall,
+        path="serial",
+        dtype=dtype,
+        quant_savings=savings,
+    )

@@ -672,6 +672,11 @@ class ServerConfig:
     #: frames skip the prefix entirely and live weight swaps invalidate
     #: without draining.
     prefix_cache_mb: float = 0.0
+    #: inference plan family every lane runs under ("float64",
+    #: "float32", "int8", "q16"); None keeps each lane spec's own dtype.
+    #: The quantized families need the planned CNN engine — validated
+    #: against the lane specs when the runtime is constructed.
+    inference_dtype: Optional[str] = None
 
     def __post_init__(self):
         if self.max_batch < 1:
@@ -741,6 +746,15 @@ class ServerConfig:
                     f"resume_pending={self.resume_pending}, "
                     f"max_pending={self.max_pending}"
                 )
+        if self.inference_dtype is not None:
+            # Canonicalize here so every consumer (router, report,
+            # prefix-cache keys) sees one spelling per family.
+            from ..nn.inference import resolve_plan_dtype
+
+            object.__setattr__(
+                self, "inference_dtype",
+                resolve_plan_dtype(self.inference_dtype),
+            )
 
     @property
     def pool_workers(self) -> int:

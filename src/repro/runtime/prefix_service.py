@@ -255,7 +255,10 @@ class PrefixService:
             id(network),
             getattr(network, "weight_version", 0),
             target,
-            np.dtype(plan.dtype).str,
+            # The plan *family*, not the interchange dtype: quantized
+            # plans exchange float32 at the boundary, and an int8
+            # prefix must never be served to a float32 lane.
+            getattr(plan, "dtype_name", np.dtype(plan.dtype).str),
             frame.shape,
             _frame_digest(frame),
         )

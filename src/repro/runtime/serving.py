@@ -91,7 +91,7 @@ from __future__ import annotations
 import time
 import warnings
 from collections import deque
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from typing import (
     Callable,
     Dict,
@@ -107,6 +107,12 @@ import numpy as np
 
 from ..core.pipeline import FrameRecord, PipelineResult
 from ..core.stages import LaneSlot, LaneState, PlanHandle, StepBatch
+from ..hardware.fixed_point import QuantSavings
+from ..nn.inference import (
+    QUANT_DTYPES,
+    quantized_savings,
+    resolve_plan_dtype,
+)
 from ..video.generator import VideoClip
 from .batched import WorkloadResult
 from .frontdoor import (
@@ -373,6 +379,12 @@ class ServingReport:
     prefix_cache_evictions: int = 0
     #: prefix MACs the cache hits avoided recomputing.
     prefix_saved_macs: int = 0
+    #: plan family each lane ran under, by lane name ("float64",
+    #: "float32", "int8", "q16") — lanes can mix dtypes.
+    lane_dtypes: Dict[str, str] = field(default_factory=dict)
+    #: estimated MAC-energy / traffic savings per *quantized* lane
+    #: (float lanes are absent — there is nothing to compare).
+    lane_quant_savings: Dict[str, QuantSavings] = field(default_factory=dict)
 
     @property
     def num_requests(self) -> int:
@@ -469,6 +481,10 @@ class ServingReport:
         with a nonempty ``shed`` list, compare per-record by request id
         against the serial run instead of positionally.
         """
+        # dtype only carries over when every lane agrees on one — a
+        # mixed deployment has no single workload-level answer.
+        dtypes = set(self.lane_dtypes.values())
+        shared = dtypes.pop() if len(dtypes) == 1 else "float64"
         return WorkloadResult(
             results=[record.result for record in self.records],
             wall_seconds=self.wall_seconds,
@@ -479,6 +495,10 @@ class ServingReport:
             prefix_cache_misses=self.prefix_cache_misses,
             prefix_cache_evictions=self.prefix_cache_evictions,
             prefix_saved_macs=self.prefix_saved_macs,
+            dtype=shared,
+            quant_savings=next(
+                iter(self.lane_quant_savings.values()), None
+            ) if len(self.lane_dtypes) == 1 else None,
         )
 
     def summary_rows(self) -> List[List[object]]:
@@ -496,6 +516,19 @@ class ServingReport:
         ]
         if self.serve_workers > 1:
             rows.append(["admission", self.admission])
+        for name in sorted(self.lane_dtypes):
+            if self.lane_dtypes[name] == "float64":
+                continue
+            rows.append([f"lane {name} dtype", self.lane_dtypes[name]])
+            savings = self.lane_quant_savings.get(name)
+            if savings is not None:
+                rows.append(
+                    [
+                        f"lane {name} est. MAC energy/traffic",
+                        f"{savings.mac_energy_ratio:.2f}x / "
+                        f"{savings.traffic_ratio:.2f}x",
+                    ]
+                )
         if self.shed or self.retries or self.failovers or self.respawns:
             rows.append(["shed", self.num_shed])
             rows.append(["retries", self.retries])
@@ -1764,6 +1797,23 @@ class ServingRuntime:
             config = ServerConfig()
         #: the validated :class:`ServerConfig` this runtime serves under.
         self.config = config
+        if config.inference_dtype is not None:
+            # One dtype for every lane (per-lane dtypes come from per-lane
+            # specs).  The quantized families exist only in the planned
+            # engine — refuse a legacy-engine lane rather than silently
+            # serving float.
+            for name, lane_spec in specs.items():
+                if (config.inference_dtype in QUANT_DTYPES
+                        and lane_spec.cnn_engine != "planned"):
+                    raise ValueError(
+                        f"inference_dtype={config.inference_dtype!r} needs "
+                        f"cnn_engine='planned', but lane {name!r} uses "
+                        f"{lane_spec.cnn_engine!r}"
+                    )
+            specs = {
+                name: replace(lane_spec, dtype=config.inference_dtype)
+                for name, lane_spec in specs.items()
+            }
         self.router = Router(specs)
         # Plan/lane validation happens here — the one place that always
         # has the router — not in ServerConfig, which a caller may build
@@ -1883,6 +1933,22 @@ class ServingRuntime:
         return report
 
     # -------------------------------------------------------------- #
+    def _lane_quant_info(self):
+        """(lane → plan family, lane → savings estimate) for the report.
+
+        Derived from the lane specs, not the workers: the estimate is
+        pure shape arithmetic, so sharded backends get it without
+        shipping anything across the process boundary.
+        """
+        dtypes: Dict[str, str] = {}
+        savings: Dict[str, QuantSavings] = {}
+        for name, spec in self.router.specs.items():
+            dtypes[name] = resolve_plan_dtype(spec.dtype)
+            estimate = quantized_savings(spec.shared_network(), spec.dtype)
+            if estimate is not None:
+                savings[name] = estimate
+        return dtypes, savings
+
     def _serve_in_process(self, door: FrontDoor) -> ServingReport:
         workers = list(self.lanes.values())
         # One shared service across every in-process lane: coincident
@@ -1896,6 +1962,7 @@ class ServingRuntime:
             overlap_timeline=self.overlap_timeline,
             prefix_service=service,
         )
+        lane_dtypes, lane_savings = self._lane_quant_info()
         return ServingReport(
             records=[done[seq] for seq in sorted(done)],
             wall_seconds=wall,
@@ -1919,6 +1986,8 @@ class ServingRuntime:
             prefix_cache_misses=service.stats.misses,
             prefix_cache_evictions=service.stats.evictions,
             prefix_saved_macs=service.stats.saved_macs,
+            lane_dtypes=lane_dtypes,
+            lane_quant_savings=lane_savings,
         )
 
     def _serve_sharded(
@@ -1985,6 +2054,7 @@ class ServingRuntime:
             all_shed.extend(outcome.shed)
         shards = [outcome.info() for outcome in outcomes]
         slowest = max(shards, key=lambda s: s.wall_seconds, default=None)
+        lane_dtypes, lane_savings = self._lane_quant_info()
         return ServingReport(
             records=[done[seq] for seq in sorted(done)],
             wall_seconds=slowest.wall_seconds if slowest else 0.0,
@@ -2023,6 +2093,8 @@ class ServingRuntime:
                 prefix.saved_macs if prefix is not None
                 else sum(s.prefix_saved_macs for s in shards)
             ),
+            lane_dtypes=lane_dtypes,
+            lane_quant_savings=lane_savings,
         )
 
     def _spawn_lane_worker(self, lane: str, shard: int) -> LaneWorker:

@@ -68,8 +68,10 @@ class PipelineSpec:
     #: CNN execution engine ("planned"/"legacy"); see
     #: :class:`repro.core.amc.AMCConfig`.
     cnn_engine: str = "planned"
-    #: CNN arithmetic ("float64"/"float32"); float32 needs the planned
-    #: engine and trades bit-identity for throughput.
+    #: CNN arithmetic ("float64"/"float32"/"int8"/"q16").  float32 and
+    #: the quantized lanes need the planned engine; the quantized lanes
+    #: trade bit-identity for throughput under a calibrated
+    #: :class:`~repro.nn.quantize.QuantTolerance` contract.
     dtype: str = "float64"
     #: runtime step pipelining depth (see
     #: :class:`~repro.core.amc.AMCConfig`): 1 = sequential steps, 2 =

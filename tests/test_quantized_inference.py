@@ -1,0 +1,317 @@
+"""Quantized inference lane tests: int8 / q16 plan families.
+
+The quantized families trade the float lanes' bit-identity contract for
+a documented tolerance contract (``plan.tolerance``), but keep every
+*structural* contract the runtime relies on: batch invariance, lossless
+prefix/suffix round trips, ``reserve``/``shrink``, plan-cache and
+weight-version behaviour, and — the one that makes sharded serving
+sound — full determinism: two processes (or the compiled-kernel and
+forced-NumPy lanes) compiling the same network at the same dtype must
+derive bit-identical Q-formats, weight snapshots, and outputs.
+"""
+
+import hashlib
+import os
+import pickle
+import subprocess
+import sys
+
+import numpy as np
+import pytest
+
+from repro.nn import InferencePlan
+from repro.nn.inference import (
+    QUANT_DTYPES,
+    quantized_savings,
+    resolve_plan_dtype,
+)
+from repro.nn.layers import Conv2d, Flatten, Linear, ReLU
+from repro.nn.network import Network
+from repro.nn.quantize import (
+    QFormat,
+    QuantTolerance,
+    calibrate_layer,
+    choose_format,
+    quantize_activation,
+)
+from repro.nn.train import get_trained_network
+
+QUANT = ("int8", "q16")
+
+
+@pytest.fixture(scope="module")
+def net():
+    return get_trained_network("mini_fasterm")
+
+
+@pytest.fixture(scope="module")
+def frames():
+    rng = np.random.default_rng(42)
+    return rng.random((8, 1, 64, 64))
+
+
+# -------------------------------------------------------------------- #
+# satellite: one consistently-worded dtype error
+
+
+class TestDtypeErrors:
+    """Every rejection path names all supported dtypes identically."""
+
+    BAD = ["float16", "int7", np.int64, np.dtype("complex128")]
+
+    @pytest.mark.parametrize("bad", BAD, ids=str)
+    def test_resolve_names_all_supported(self, bad):
+        with pytest.raises(ValueError) as err:
+            resolve_plan_dtype(bad)
+        for family in ("float32", "float64", "int8", "q16"):
+            assert family in str(err.value)
+
+    def test_messages_identical_across_entry_points(self, net):
+        def message(fn, *args, **kwargs):
+            with pytest.raises(ValueError) as err:
+                fn(*args, **kwargs)
+            return str(err.value).replace(repr("float16"), "<got>").replace(
+                repr(np.int64), "<got>"
+            )
+
+        assert (
+            message(resolve_plan_dtype, "float16")
+            == message(resolve_plan_dtype, np.int64)
+            == message(InferencePlan, net, max_batch=1, dtype="float16")
+        )
+
+
+# -------------------------------------------------------------------- #
+# satellite: empty-tensor quantization stats
+
+
+class TestEmptyTensors:
+    def test_quantize_activation_empty(self):
+        fmt = QFormat(int_bits=3, frac_bits=4)
+        quantized, stats = quantize_activation(np.empty((0, 4)), fmt)
+        assert quantized.shape == (0, 4)
+        assert stats.max_abs_error == 0.0
+        assert stats.mean_abs_error == 0.0
+        assert stats.saturated_fraction == 0.0
+
+    def test_choose_format_empty(self):
+        fmt = choose_format(np.empty(0), total_bits=8)
+        assert fmt.total_bits == 8
+        assert fmt.int_bits == 0
+
+
+# -------------------------------------------------------------------- #
+# tolerance contract
+
+
+class TestToleranceContract:
+    @pytest.mark.parametrize("dtype", QUANT)
+    def test_plan_publishes_contract(self, net, dtype):
+        plan = net.inference_plan(max_batch=2, dtype=dtype)
+        assert isinstance(plan.tolerance, QuantTolerance)
+        assert plan.tolerance.max_abs_error > 0
+        assert plan.tolerance.top1_agreement == 0.98
+        # Every weighted layer got calibrated, none fell back on the
+        # trained zoo network (its dynamic range is tame).
+        weighted = [
+            layer.name for layer in net.layers
+            if isinstance(layer, (Conv2d, Linear))
+        ]
+        assert sorted(plan.calibration) == sorted(weighted)
+        assert plan.quant_fallback_layers == ()
+
+    @pytest.mark.parametrize("dtype", QUANT)
+    def test_outputs_within_bound(self, net, frames, dtype):
+        plan = net.inference_plan(max_batch=8, dtype=dtype)
+        out = plan.run(frames)
+        ref = net.forward(frames)
+        assert out.dtype == np.float32
+        err = float(np.max(np.abs(out.astype(np.float64) - ref)))
+        assert err <= plan.tolerance.max_abs_error
+
+    def test_q16_is_tighter_than_int8(self, net):
+        p8 = net.inference_plan(max_batch=1, dtype="int8")
+        p16 = net.inference_plan(max_batch=1, dtype="q16")
+        assert p16.tolerance.max_abs_error < p8.tolerance.max_abs_error
+
+
+# -------------------------------------------------------------------- #
+# structural contracts shared with the float lanes
+
+
+class TestStructure:
+    @pytest.mark.parametrize("dtype", QUANT)
+    def test_batch_invariance(self, net, frames, dtype):
+        """Row s of a batched run is bitwise the batch-1 run of sample s
+        — the property that lets lockstep/serving batch across clips."""
+        plan = net.inference_plan(max_batch=8, dtype=dtype)
+        batched = plan.run(frames)
+        for s in range(8):
+            np.testing.assert_array_equal(
+                batched[s], plan.run(frames[s : s + 1])[0]
+            )
+
+    @pytest.mark.parametrize("dtype", QUANT)
+    def test_prefix_suffix_roundtrip_exact(self, net, frames, dtype):
+        """Splitting at the AMC target is lossless: raws fit float32's
+        mantissa and the scales are powers of two, so prefix+suffix is
+        bitwise the whole run."""
+        plan = net.inference_plan(max_batch=4, dtype=dtype)
+        target = net.last_spatial_layer()
+        whole = plan.run(frames[:4])
+        split = plan.run_suffix(plan.run_prefix(frames[:4], target), target)
+        np.testing.assert_array_equal(whole, split)
+
+    @pytest.mark.parametrize("dtype", QUANT)
+    def test_reserve_shrink_bit_identical(self, net, frames, dtype):
+        plan = InferencePlan(net, max_batch=2, dtype=dtype)
+        want = plan.run(frames[:2]).copy()
+        plan.reserve(8)
+        out = plan.run(frames)
+        np.testing.assert_array_equal(out[:2], want)
+        plan.shrink(2)
+        np.testing.assert_array_equal(plan.run(frames[:2]), want)
+
+    def test_plan_cache_keyed_by_family(self, net):
+        p8 = net.inference_plan(max_batch=1, dtype="int8")
+        assert net.inference_plan(max_batch=1, dtype="int8") is p8
+        assert net.inference_plan(max_batch=1, dtype="q16") is not p8
+
+    def test_weight_swap_invalidates(self):
+        net = get_trained_network("mini_fasterm")
+        plan = net.inference_plan(max_batch=1, dtype="int8")
+        version = net.weight_version
+        net.load_state_dict(net.state_dict())
+        assert net.weight_version > version
+        assert net.inference_plan(max_batch=1, dtype="int8") is not plan
+
+
+# -------------------------------------------------------------------- #
+# calibration determinism (the sharded-serving soundness property)
+
+
+def _plan_digest(plan) -> str:
+    """One hash over everything calibration derives: formats, quantized
+    weight/bias snapshots, tolerance, and a probe output."""
+    digest = hashlib.sha256()
+    for name in sorted(plan.calibration):
+        digest.update(repr(plan.calibration[name]).encode())
+    for step in plan._steps:
+        for attr in ("w_q", "bias_q"):
+            value = getattr(step, attr, None)
+            if value is not None:
+                digest.update(np.ascontiguousarray(value).tobytes())
+    digest.update(repr(plan.tolerance).encode())
+    probe = np.linspace(0.0, 1.0, 1 * 64 * 64).reshape(1, 1, 64, 64)
+    digest.update(plan.run(probe).tobytes())
+    return digest.hexdigest()
+
+
+_DIGEST_SCRIPT = """
+import sys
+import numpy as np
+sys.path.insert(0, {test_dir!r})
+from test_quantized_inference import _plan_digest
+from repro.nn.train import get_trained_network
+net = get_trained_network("mini_fasterm")
+print(_plan_digest(net.inference_plan(max_batch=1, dtype={dtype!r})))
+"""
+
+
+class TestDeterminism:
+    @pytest.mark.parametrize("dtype", QUANT)
+    def test_identical_across_processes_and_kernel_lanes(self, net, dtype):
+        """A fresh process — with the compiled kernel and with it forced
+        off — derives bit-identical formats, weight snapshots, and
+        outputs.  This is what makes a quantized lane shardable: every
+        worker compiles its own plan and must agree with its siblings
+        bit for bit regardless of host SIMD."""
+        local = _plan_digest(net.inference_plan(max_batch=1, dtype=dtype))
+        script = _DIGEST_SCRIPT.format(
+            test_dir=os.path.dirname(os.path.abspath(__file__)), dtype=dtype
+        )
+        for force_numpy in ("0", "1"):
+            env = dict(os.environ, REPRO_FORCE_NUMPY=force_numpy)
+            out = subprocess.run(
+                [sys.executable, "-c", script],
+                capture_output=True, text=True, env=env, check=True,
+            )
+            assert out.stdout.strip() == local, (
+                f"plan digest diverged in subprocess "
+                f"(REPRO_FORCE_NUMPY={force_numpy})"
+            )
+
+    @pytest.mark.parametrize("dtype", QUANT)
+    def test_pickle_roundtrip_recompiles_identically(self, net, frames, dtype):
+        """Networks pickle without plans; the rebuilt plan must be
+        indistinguishable (same digest, same outputs)."""
+        plan = net.inference_plan(max_batch=2, dtype=dtype)
+        clone = pickle.loads(pickle.dumps(net))
+        clone_plan = clone.inference_plan(max_batch=2, dtype=dtype)
+        assert _plan_digest(clone_plan) == _plan_digest(plan)
+        np.testing.assert_array_equal(
+            clone_plan.run(frames[:2]), plan.run(frames[:2])
+        )
+
+
+# -------------------------------------------------------------------- #
+# saturation fallback
+
+
+class TestFallback:
+    def test_saturating_layer_falls_back_to_float(self):
+        """A layer whose dynamic range exceeds the family's integer
+        budget must run in float inside the quantized plan, not wrap."""
+        rng = np.random.default_rng(0)
+        layers = [
+            Conv2d("conv_hot", 1, 4, kernel=3, stride=2, pad=1, rng=rng),
+            ReLU("relu"),
+            Flatten("flatten"),
+            Linear("fc", 4 * 8 * 8, 4, rng=rng),
+        ]
+        net = Network("hot", layers, (1, 16, 16))
+        # 8-bit weights carry 7 value bits: |w| >= 2^7 saturates any
+        # choose_format budget, tripping the fallback threshold.
+        layers[0].params["weight"][:] *= 1e4
+        plan = InferencePlan(net, max_batch=2, dtype="int8")
+        assert "conv_hot" in plan.quant_fallback_layers
+        x = rng.random((2, 1, 16, 16))
+        err = np.max(np.abs(plan.run(x).astype(np.float64) - net.forward(x)))
+        assert err <= plan.tolerance.max_abs_error
+
+    def test_calibrate_layer_flags_saturation(self):
+        cal = calibrate_layer(
+            "hot",
+            sample_inputs=np.full((2, 4), 1e6),
+            sample_outputs=np.ones((2, 4)),
+            weight=np.ones((4, 4)),
+            total_bits=8,
+        )
+        assert cal.fallback
+        assert cal.input_stats.saturated_fraction > 0
+
+
+# -------------------------------------------------------------------- #
+# hardware savings estimate
+
+
+class TestQuantizedSavings:
+    def test_families_and_floats(self, net):
+        s8 = quantized_savings(net, "int8")
+        s16 = quantized_savings(net, "q16")
+        assert quantized_savings(net, "float64") is None
+        assert quantized_savings(net, "float32") is None
+        # Narrower operands must not estimate worse than wider ones.
+        assert s8.mac_energy_ratio > s16.mac_energy_ratio > 1.0
+        assert s8.traffic_ratio >= s16.traffic_ratio > 1.0
+        assert s8.quant_traffic_bytes < s8.float_traffic_bytes
+        assert s8.traffic_energy_saved_mj > 0
+
+    def test_macs_match_layer_accounting(self, net):
+        savings = quantized_savings(net, "int8")
+        want = sum(
+            layer.macs(shape)
+            for layer, shape in zip(net.layers, net.layer_input_shapes)
+            if isinstance(layer, (Conv2d, Linear))
+        )
+        assert savings.macs == want
